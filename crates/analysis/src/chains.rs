@@ -1,0 +1,110 @@
+//! End-to-end latency of task→message→task chains.
+//!
+//! The paper's task model activates receivers by message arrival; the
+//! end-to-end latency of one hop under an allocation is bounded by
+//!
+//! ```text
+//! r_sender  +  Σ_k d_m^k  +  serv_m  +  r_receiver
+//! ```
+//!
+//! — the sender's worst response, the message's budgeted path latency
+//! (each local deadline bounds the per-medium response, by construction of
+//! the feasible allocation), the gateway service, and the receiver's worst
+//! response. This module reports those bounds for inspection and
+//! regression tests; it is *derived* information, not a new constraint.
+
+use crate::holistic::AnalysisConfig;
+use crate::task_rta::task_response_time;
+use optalloc_model::{gateways_along, Allocation, Architecture, MsgId, TaskSet, Time};
+
+/// End-to-end latency bound of one message hop (sender release → receiver
+/// completion), or `None` if either side is unschedulable.
+pub fn hop_latency_bound(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    msg: MsgId,
+    config: &AnalysisConfig,
+) -> Option<Time> {
+    let m = tasks.message(msg);
+    let sender_rt =
+        task_response_time(tasks, alloc, msg.sender, config.task_jitter).value()?;
+    let receiver_rt = task_response_time(tasks, alloc, m.to, config.task_jitter).value()?;
+    let route = alloc.route(msg);
+    let path_latency: Time = route.local_deadlines.iter().sum();
+    let service = gateways_along(arch, &route.media).len() as Time * config.gateway_service;
+    Some(sender_rt + path_latency + service + receiver_rt)
+}
+
+/// Latency bounds for every message of the task set, in message order.
+pub fn all_hop_latency_bounds(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    config: &AnalysisConfig,
+) -> Vec<(MsgId, Option<Time>)> {
+    tasks
+        .messages()
+        .map(|(mid, _)| (mid, hop_latency_bound(arch, tasks, alloc, mid, config)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, EcuId, Medium, MessageRoute, Task, TaskId};
+
+    #[test]
+    fn hop_latency_adds_all_components() {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_ecu(Ecu::new("gw").gateway_only());
+        arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(2)], 1, 1));
+        arch.push_medium(Medium::priority("k1", vec![EcuId(1), EcuId(2)], 1, 1));
+
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("s", 200, 200, vec![(EcuId(0), 10)]).sends(TaskId(1), 4, 100));
+        ts.push(Task::new("r", 200, 150, vec![(EcuId(1), 20)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        *alloc.route_mut(msg) = MessageRoute {
+            media: vec![optalloc_model::MediumId(0), optalloc_model::MediumId(1)],
+            local_deadlines: vec![30, 40],
+        };
+
+        let config = AnalysisConfig {
+            gateway_service: 5,
+            ..Default::default()
+        };
+        // sender r = 10, path = 30 + 40, 1 gateway × 5, receiver r = 20.
+        assert_eq!(
+            hop_latency_bound(&arch, &ts, &alloc, msg, &config),
+            Some(10 + 70 + 5 + 20)
+        );
+        let all = all_hop_latency_bounds(&arch, &ts, &alloc, &config);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, Some(105));
+    }
+
+    #[test]
+    fn unschedulable_side_yields_none() {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("s", 10, 5, vec![(EcuId(0), 9)]).sends(TaskId(1), 2, 8));
+        ts.push(Task::new("r", 100, 100, vec![(EcuId(1), 5)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        *alloc.route_mut(msg) = MessageRoute::single_hop(optalloc_model::MediumId(0), 8);
+        // Sender misses its deadline (9 > 5).
+        assert_eq!(
+            hop_latency_bound(&arch, &ts, &alloc, msg, &AnalysisConfig::default()),
+            None
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Whole-system feasibility validation.
+//!
+//! Checks an [`Allocation`] against every constraint the paper's encoding
+//! enforces (§3–§4): placement permissions, separation sets, memory
+//! capacities, gateway task bans, deadline-monotonic priorities (eq. 10),
+//! task response times vs. deadlines (eq. 13), route existence and endpoint
+//! validity (eq. 14, `v(h)`), local-deadline budgets with gateway service
+//! cost, slot fit on TDMA media, and per-medium message response times with
+//! jitter propagation.
+//!
+//! This module is the *independent oracle*: every allocation the SAT
+//! optimizer emits is re-validated here before being returned, and the
+//! heuristic baselines use it as their feasibility test.
+
+use crate::msg_rta::message_response_time;
+use crate::task_rta::{task_response_time, ResponseTime};
+use optalloc_model::{
+    endpoints_valid, gateways_along, path_exists, Allocation, Architecture, EcuId, MediumId,
+    MediumKind, MsgId, TaskId, TaskSet, Time,
+};
+
+/// Analysis knobs shared by the validator and the encoder.
+#[derive(Copy, Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Include interferer release jitter in task RTA (extension; the paper's
+    /// eq. 1 is jitterless).
+    pub task_jitter: bool,
+    /// Service cost charged per gateway crossing (the paper's `serv`
+    /// contribution per hop).
+    pub gateway_service: Time,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            task_jitter: false,
+            gateway_service: 2,
+        }
+    }
+}
+
+/// One constraint violation discovered by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Task placed on an ECU outside its permission set πᵢ.
+    ForbiddenPlacement(TaskId, EcuId),
+    /// Task placed on a pure-gateway ECU.
+    TaskOnGateway(TaskId, EcuId),
+    /// Two separated (redundant) tasks share an ECU.
+    SeparationViolated(TaskId, TaskId, EcuId),
+    /// Sum of task memory exceeds the ECU capacity.
+    MemoryOverflow(EcuId),
+    /// Priorities contradict deadline-monotonic order (eq. 10).
+    NotDeadlineMonotonic(TaskId, TaskId),
+    /// Task response time exceeds its deadline (eq. 13).
+    TaskUnschedulable(TaskId),
+    /// Message route uses media not linked by gateways.
+    RouteBroken(MsgId),
+    /// Route endpoints inconsistent with task placement (`v(h)`).
+    RouteEndpoints(MsgId),
+    /// Local deadlines plus gateway service exceed the message deadline Δ.
+    DeadlineBudgetExceeded(MsgId),
+    /// Message response time exceeds its local deadline on a medium.
+    MessageUnschedulable(MsgId, MediumId),
+    /// A frame does not fit in its sender's TDMA slot.
+    SlotTooSmall(MsgId, MediumId),
+    /// Route visits the same medium twice.
+    RouteNotSimple(MsgId),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ForbiddenPlacement(t, p) => write!(f, "{t} placed on forbidden {p}"),
+            Violation::TaskOnGateway(t, p) => write!(f, "{t} placed on gateway-only {p}"),
+            Violation::SeparationViolated(a, b, p) => {
+                write!(f, "separated tasks {a} and {b} share {p}")
+            }
+            Violation::MemoryOverflow(p) => write!(f, "memory capacity of {p} exceeded"),
+            Violation::NotDeadlineMonotonic(a, b) => {
+                write!(f, "priorities of {a} and {b} contradict deadline order")
+            }
+            Violation::TaskUnschedulable(t) => write!(f, "{t} misses its deadline"),
+            Violation::RouteBroken(m) => write!(f, "route of {m} does not exist in topology"),
+            Violation::RouteEndpoints(m) => write!(f, "route endpoints of {m} invalid"),
+            Violation::DeadlineBudgetExceeded(m) => {
+                write!(f, "local deadlines of {m} exceed its end-to-end deadline")
+            }
+            Violation::MessageUnschedulable(m, k) => {
+                write!(f, "{m} misses its local deadline on {k}")
+            }
+            Violation::SlotTooSmall(m, k) => {
+                write!(f, "frame of {m} does not fit its TDMA slot on {k}")
+            }
+            Violation::RouteNotSimple(m) => write!(f, "route of {m} repeats a medium"),
+        }
+    }
+}
+
+/// The full feasibility report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Violations found (empty ⇔ feasible).
+    pub violations: Vec<Violation>,
+    /// Task response times (`None` = diverged), indexed by task.
+    pub task_response_times: Vec<Option<Time>>,
+    /// Per-(message, medium) response times for scheduled messages.
+    pub message_response_times: Vec<(MsgId, MediumId, Option<Time>)>,
+}
+
+impl Report {
+    /// `true` when the allocation satisfies every constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validates `alloc` against the complete constraint system.
+pub fn validate(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    config: &AnalysisConfig,
+) -> Report {
+    let mut report = Report::default();
+    if let Err(e) = alloc.validate_shape(tasks) {
+        panic!("malformed allocation: {e}");
+    }
+
+    // Placement constraints (eq. 4) and platform restrictions.
+    for (tid, t) in tasks.iter() {
+        let p = alloc.ecu_of(tid);
+        if !t.may_run_on(p) {
+            report.violations.push(Violation::ForbiddenPlacement(tid, p));
+        }
+        if !arch.ecu(p).hosts_tasks {
+            report.violations.push(Violation::TaskOnGateway(tid, p));
+        }
+        for &other in &t.separation {
+            if other > tid && alloc.ecu_of(other) == p {
+                report
+                    .violations
+                    .push(Violation::SeparationViolated(tid, other, p));
+            }
+        }
+    }
+
+    // Memory capacities.
+    for (pid, ecu) in arch.iter_ecus() {
+        if ecu.memory_capacity == u64::MAX {
+            continue;
+        }
+        let used: u64 = tasks
+            .iter()
+            .filter(|&(tid, _)| alloc.ecu_of(tid) == pid)
+            .map(|(_, t)| t.memory)
+            .sum();
+        if used > ecu.memory_capacity {
+            report.violations.push(Violation::MemoryOverflow(pid));
+        }
+    }
+
+    // Deadline-monotonic priority consistency (eq. 10).
+    for (a, ta) in tasks.iter() {
+        for (b, tb) in tasks.iter() {
+            if a < b && ta.deadline < tb.deadline && !alloc.outranks(a, b) {
+                report.violations.push(Violation::NotDeadlineMonotonic(a, b));
+            }
+        }
+    }
+
+    // Task response times (eq. 1, eq. 13).
+    for (tid, _) in tasks.iter() {
+        // Skip RTA when placement is already illegal for this task.
+        if !tasks.task(tid).may_run_on(alloc.ecu_of(tid)) {
+            report.task_response_times.push(None);
+            continue;
+        }
+        match task_response_time(tasks, alloc, tid, config.task_jitter) {
+            ResponseTime::Converged(r) => report.task_response_times.push(Some(r)),
+            ResponseTime::ExceedsDeadline => {
+                report.task_response_times.push(None);
+                report.violations.push(Violation::TaskUnschedulable(tid));
+            }
+        }
+    }
+
+    // Messages: routes, budgets, per-medium schedulability.
+    for (mid, m) in tasks.messages() {
+        let route = alloc.route(mid);
+        let sender_ecu = alloc.ecu_of(mid.sender);
+        let receiver_ecu = alloc.ecu_of(m.to);
+
+        // Simple path check.
+        let mut media_sorted = route.media.clone();
+        media_sorted.sort_unstable();
+        media_sorted.dedup();
+        if media_sorted.len() != route.media.len() {
+            report.violations.push(Violation::RouteNotSimple(mid));
+            continue;
+        }
+        if !path_exists(arch, &route.media) {
+            report.violations.push(Violation::RouteBroken(mid));
+            continue;
+        }
+        if !endpoints_valid(arch, &route.media, sender_ecu, receiver_ecu) {
+            report.violations.push(Violation::RouteEndpoints(mid));
+            continue;
+        }
+
+        // Deadline budget: Σ local deadlines + gateway service ≤ Δ.
+        let service =
+            gateways_along(arch, &route.media).len() as Time * config.gateway_service;
+        let budget: Time = route.local_deadlines.iter().sum();
+        if budget + service > m.deadline {
+            report
+                .violations
+                .push(Violation::DeadlineBudgetExceeded(mid));
+        }
+
+        // Per-medium schedulability.
+        for &k in &route.media {
+            // Slot fit on TDMA media.
+            let med = arch.medium(k);
+            if let MediumKind::Tdma { slots } = &med.kind {
+                let slots = alloc.effective_slots(k, slots);
+                if let Some(fwd) = crate::msg_rta::forwarder(arch, alloc, mid, k) {
+                    if let Some(idx) = med.members.iter().position(|&p| p == fwd) {
+                        if med.transmission_time(m.size) > slots[idx] {
+                            report.violations.push(Violation::SlotTooSmall(mid, k));
+                        }
+                    }
+                }
+            }
+            let rt = message_response_time(arch, tasks, alloc, mid, k);
+            if rt.is_none() {
+                report
+                    .violations
+                    .push(Violation::MessageUnschedulable(mid, k));
+            }
+            report.message_response_times.push((mid, k, rt));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, Medium, MessageRoute, Task};
+
+    /// p0, p1 on a CAN bus; a on p0 sends to b on p1.
+    fn feasible_system() -> (Architecture, TaskSet, Allocation) {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 1, 1));
+
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 100, 50, vec![(EcuId(0), 5), (EcuId(1), 5)]).sends(
+            TaskId(1),
+            4,
+            30,
+        ));
+        ts.push(Task::new("b", 100, 80, vec![(EcuId(0), 5), (EcuId(1), 5)]));
+
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
+            MessageRoute::single_hop(MediumId(0), 28);
+        (arch, ts, alloc)
+    }
+
+    #[test]
+    fn feasible_system_passes() {
+        let (arch, ts, alloc) = feasible_system();
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report.is_feasible(), "{:?}", report.violations);
+        assert_eq!(report.task_response_times, vec![Some(5), Some(5)]);
+        assert_eq!(report.message_response_times.len(), 1);
+        assert_eq!(report.message_response_times[0].2, Some(5));
+    }
+
+    #[test]
+    fn forbidden_placement_detected() {
+        let (arch, mut ts, alloc) = feasible_system();
+        ts.tasks[0].wcet.remove(&EcuId(0));
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::ForbiddenPlacement(TaskId(0), EcuId(0))));
+    }
+
+    #[test]
+    fn gateway_only_ecu_rejects_tasks() {
+        let (mut arch, ts, alloc) = feasible_system();
+        arch.ecus[0] = Ecu::new("p0").gateway_only();
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::TaskOnGateway(TaskId(0), EcuId(0))));
+    }
+
+    #[test]
+    fn separation_violation_detected() {
+        let (arch, mut ts, mut alloc) = feasible_system();
+        ts.tasks[0].separation.insert(TaskId(1));
+        ts.tasks[1].separation.insert(TaskId(0));
+        alloc.placement = vec![EcuId(0), EcuId(0)];
+        // Fix the route to co-located so only the separation violation fires.
+        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) = MessageRoute::colocated();
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::SeparationViolated(TaskId(0), TaskId(1), EcuId(0))));
+    }
+
+    #[test]
+    fn memory_overflow_detected() {
+        let (mut arch, mut ts, alloc) = feasible_system();
+        arch.ecus[0] = Ecu::new("p0").with_memory(100);
+        ts.tasks[0].memory = 200;
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::MemoryOverflow(EcuId(0))));
+    }
+
+    #[test]
+    fn non_dm_priorities_detected() {
+        let (arch, ts, mut alloc) = feasible_system();
+        // a has d=50 < b's 80, so a must outrank b; swap priorities.
+        alloc.priorities = vec![1, 0];
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::NotDeadlineMonotonic(TaskId(0), TaskId(1))));
+    }
+
+    #[test]
+    fn broken_route_detected() {
+        let (arch, ts, mut alloc) = feasible_system();
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        alloc.route_mut(msg).media = vec![MediumId(0), MediumId(0)];
+        alloc.route_mut(msg).local_deadlines = vec![10, 10];
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report.violations.contains(&Violation::RouteNotSimple(msg)));
+    }
+
+    #[test]
+    fn endpoint_mismatch_detected() {
+        let (arch, ts, mut alloc) = feasible_system();
+        // Put both tasks on p0 but keep the bus route: receiver endpoint ok
+        // (p0 is on the bus), but co-located pairs routed over the bus are
+        // fine per v(h) — instead move receiver off the bus is impossible
+        // here, so test the colocated-route-with-split-placement case:
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        *alloc.route_mut(msg) = MessageRoute::colocated();
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        // placement is split p0/p1, but the route claims co-location.
+        assert!(report.violations.contains(&Violation::RouteEndpoints(msg)));
+    }
+
+    #[test]
+    fn budget_overflow_detected() {
+        let (arch, ts, mut alloc) = feasible_system();
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        alloc.route_mut(msg).local_deadlines = vec![31]; // Δ = 30
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::DeadlineBudgetExceeded(msg)));
+    }
+
+    #[test]
+    fn unschedulable_task_detected() {
+        let (arch, mut ts, alloc) = feasible_system();
+        ts.tasks[0].wcet.insert(EcuId(0), 60); // d = 50
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .contains(&Violation::TaskUnschedulable(TaskId(0))));
+        assert_eq!(report.task_response_times[0], None);
+    }
+
+    #[test]
+    fn slot_fit_checked_on_tdma() {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::tdma(
+            "ring",
+            vec![EcuId(0), EcuId(1)],
+            vec![3, 3],
+            1,
+            1,
+        ));
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 100, 50, vec![(EcuId(0), 5)]).sends(TaskId(1), 8, 40));
+        ts.push(Task::new("b", 100, 80, vec![(EcuId(1), 5)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        *alloc.route_mut(msg) = MessageRoute::single_hop(MediumId(0), 38);
+        let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
+        // ρ = 1 + 8 = 9 > slot 3.
+        assert!(report
+            .violations
+            .contains(&Violation::SlotTooSmall(msg, MediumId(0))));
+    }
+}

@@ -1,0 +1,38 @@
+//! # optalloc-analysis
+//!
+//! Concrete schedulability analysis for the task-allocation system of
+//! Metzner et al. (IPPS 2006): the fixed-point response-time analyses of
+//! paper §2 and the holistic multi-hop validation of §4, applied to a
+//! *given* [`Allocation`](optalloc_model::Allocation).
+//!
+//! The SAT optimizer in the `optalloc` crate encodes these same equations
+//! symbolically; this crate evaluates them numerically, serving three roles:
+//!
+//! 1. **oracle** — every optimal allocation the solver emits is re-validated
+//!    here ([`validate`]) before being returned;
+//! 2. **baseline substrate** — the simulated-annealing and greedy heuristics
+//!    use [`validate`] as their feasibility test and the objective
+//!    functions as their energy;
+//! 3. **reporting** — response times, bus loads and chain latencies for the experiment
+//!    tables.
+
+#![warn(missing_docs)]
+
+mod chains;
+mod cosim;
+mod holistic;
+mod msg_rta;
+mod objective;
+mod sim;
+mod task_rta;
+
+pub use chains::{all_hop_latency_bounds, hop_latency_bound};
+pub use cosim::{cosimulate, CosimOutcome};
+pub use holistic::{validate, AnalysisConfig, Report, Violation};
+pub use msg_rta::{forwarder, jitter_on_medium, message_response_time, msg_outranks};
+pub use objective::{
+    bus_load, bus_load_permille, ecu_utilization_permille, sum_trt, token_rotation_time,
+    utilization_minmax_spread_permille, utilization_spread_permille,
+};
+pub use sim::simulate_critical_instant;
+pub use task_rta::{all_task_response_times, task_response_time, ResponseTime};

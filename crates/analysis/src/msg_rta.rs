@@ -1,0 +1,316 @@
+//! Response-time analysis for messages (paper §2, equations 2–3; §4 jitter).
+//!
+//! Message transmission is analyzed in analogy to CPU scheduling: messages
+//! queue priority-ordered, and the bus plays the processor. Two arbitration
+//! schemes are modeled:
+//!
+//! * **priority-driven** buses (CAN, eq. 2):
+//!   `r = ρ + Σ_{hp} ⌈(r + Jⱼᵏ)/tⱼ⌉ ρⱼ`
+//! * **TDMA** buses (token ring, eq. 3): the same interference plus a
+//!   blocking term `⌈r/Λ⌉·(Λ − λ(S(sender)))` for rounds in which the
+//!   sender's own slot has already passed.
+//!
+//! Message priorities are unique and deadline-monotonic in the *end-to-end*
+//! deadline Δ (ties broken by message id) — constant per problem, exactly as
+//! the encoder assumes.
+//!
+//! On a TDMA medium only messages **forwarded by the same ECU** compete for
+//! the sender's slot; messages of other ECUs live in other slots and are
+//! covered by the blocking term. On a priority bus every higher-priority
+//! message on the medium interferes.
+
+use optalloc_model::{
+    Allocation, Architecture, EcuId, MediumId, MediumKind, MsgId, TaskSet, Time,
+};
+
+/// The ECU that puts `msg` onto `medium`: the sending task's ECU on the
+/// first hop, the upstream gateway on later hops. `None` if the route does
+/// not cross `medium`.
+pub fn forwarder(
+    arch: &Architecture,
+    alloc: &Allocation,
+    msg: MsgId,
+    medium: MediumId,
+) -> Option<EcuId> {
+    let route = alloc.route(msg);
+    let pos = route.media.iter().position(|&k| k == medium)?;
+    if pos == 0 {
+        Some(alloc.ecu_of(msg.sender))
+    } else {
+        arch.gateway_between(route.media[pos - 1], medium)
+    }
+}
+
+/// `true` if message `a` outranks message `b` (higher priority):
+/// deadline-monotonic in Δ, ties by id.
+pub fn msg_outranks(tasks: &TaskSet, a: MsgId, b: MsgId) -> bool {
+    let da = tasks.message(a).deadline;
+    let db = tasks.message(b).deadline;
+    (da, a) < (db, b)
+}
+
+/// Accumulated queuing jitter of `msg` when it reaches `medium` (§4):
+/// its release jitter plus, for every upstream medium, the local deadline
+/// minus the best-case transmission time.
+pub fn jitter_on_medium(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    msg: MsgId,
+    medium: MediumId,
+) -> Option<Time> {
+    let route = alloc.route(msg);
+    let pos = route.media.iter().position(|&k| k == medium)?;
+    let m = tasks.message(msg);
+    let mut j = tasks.task(msg.sender).release_jitter;
+    for i in 0..pos {
+        let k = route.media[i];
+        let best = arch.medium(k).best_case_time(m.size);
+        j += route.local_deadlines[i].saturating_sub(best);
+    }
+    Some(j)
+}
+
+/// Messages routed over `medium`, with their analysis parameters.
+fn messages_on(
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    medium: MediumId,
+) -> Vec<MsgId> {
+    tasks
+        .messages()
+        .filter(|(id, _)| alloc.route(*id).media.contains(&medium))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Worst-case response time of `msg` on `medium` under `alloc`, or `None`
+/// if the iteration exceeds the local deadline budget.
+///
+/// Precondition: the route of `msg` crosses `medium`.
+pub fn message_response_time(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    msg: MsgId,
+    medium: MediumId,
+) -> Option<Time> {
+    let med = arch.medium(medium);
+    let m = tasks.message(msg);
+    let rho = med.transmission_time(m.size);
+    let local_deadline = alloc
+        .route(msg)
+        .deadline_on(medium)
+        .expect("route must cross the medium");
+    let own_forwarder = forwarder(arch, alloc, msg, medium)?;
+
+    // TDMA parameters under the allocation's slot overrides.
+    let (round, own_slot) = match &med.kind {
+        MediumKind::Tdma { slots } => {
+            let slots = alloc.effective_slots(medium, slots);
+            let idx = med.members.iter().position(|&p| p == own_forwarder)?;
+            (slots.iter().sum::<Time>(), slots[idx])
+        }
+        MediumKind::Priority => (0, 0),
+    };
+
+    // Interfering messages: higher priority, on this medium; on TDMA
+    // additionally sharing the forwarder's slot.
+    let interferers: Vec<(Time, Time, Time)> = messages_on(tasks, alloc, medium)
+        .into_iter()
+        .filter(|&other| other != msg && msg_outranks(tasks, other, msg))
+        .filter(|&other| {
+            !med.is_tdma() || forwarder(arch, alloc, other, medium) == Some(own_forwarder)
+        })
+        .map(|other| {
+            let om = tasks.message(other);
+            let period = tasks.task(other.sender).period;
+            let jitter =
+                jitter_on_medium(arch, tasks, alloc, other, medium).unwrap_or(0);
+            (period, med.transmission_time(om.size), jitter)
+        })
+        .collect();
+
+    let mut r = rho;
+    loop {
+        let mut next = rho;
+        for &(period, orho, jitter) in &interferers {
+            next += (r + jitter).div_ceil(period) * orho;
+        }
+        if med.is_tdma() {
+            next += r.div_ceil(round.max(1)) * (round - own_slot);
+        }
+        if next > local_deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{gateways_along, Allocation, Ecu, EcuId, Medium, MessageRoute, Task, TaskId, TaskSet};
+
+    /// Two ECUs on one bus; tasks a (p0) and b (p1); a sends to b.
+    fn single_bus(kind_tdma: bool) -> (Architecture, TaskSet, Allocation) {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        let medium = if kind_tdma {
+            Medium::tdma("ring", vec![EcuId(0), EcuId(1)], vec![10, 10], 1, 1)
+        } else {
+            Medium::priority("can", vec![EcuId(0), EcuId(1)], 1, 1)
+        };
+        arch.push_medium(medium);
+
+        let mut ts = TaskSet::new();
+        let b = TaskId(1);
+        ts.push(
+            Task::new("a", 100, 100, vec![(EcuId(0), 5)]).sends(b, 4, 50),
+        );
+        ts.push(Task::new("b", 100, 100, vec![(EcuId(1), 5)]));
+
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
+            MessageRoute::single_hop(MediumId(0), 50);
+        (arch, ts, alloc)
+    }
+
+    #[test]
+    fn lone_message_on_priority_bus_takes_rho() {
+        let (arch, ts, alloc) = single_bus(false);
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        // ρ = 1 + 4*1 = 5.
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn tdma_adds_blocking_for_foreign_slots() {
+        let (arch, ts, alloc) = single_bus(true);
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        // ρ = 5; Λ = 20, own slot 10 ⇒ blocking ceil(r/20)*10.
+        // r0 = 5 → 5 + 10 = 15 → 5 + 10 = 15 (fixpoint).
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
+            Some(15)
+        );
+    }
+
+    #[test]
+    fn higher_priority_message_interferes_on_priority_bus() {
+        let (arch, mut ts, mut alloc) = single_bus(false);
+        // Add a second, tighter-deadline message from task b to task a.
+        ts.tasks[1] = ts.tasks[1].clone().sends(TaskId(0), 9, 20);
+        alloc.routes[1] = vec![MessageRoute::single_hop(MediumId(0), 20)];
+        let low = MsgId { sender: TaskId(0), index: 0 };
+        let high = MsgId { sender: TaskId(1), index: 0 };
+        assert!(msg_outranks(&ts, high, low));
+        // high: ρ = 10, alone among hp ⇒ r = 10.
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, high, MediumId(0)),
+            Some(10)
+        );
+        // low: ρ = 5 + interference ⌈r/100⌉·10 ⇒ 15.
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, low, MediumId(0)),
+            Some(15)
+        );
+    }
+
+    #[test]
+    fn tdma_ignores_messages_from_other_slots() {
+        let (arch, mut ts, mut alloc) = single_bus(true);
+        ts.tasks[1] = ts.tasks[1].clone().sends(TaskId(0), 9, 20);
+        alloc.routes[1] = vec![MessageRoute::single_hop(MediumId(0), 20)];
+        let low = MsgId { sender: TaskId(0), index: 0 };
+        // The higher-priority message is sent from p1's slot; p0's message
+        // only suffers the blocking term: r = 5 + ceil(r/20)*10 = 15.
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, low, MediumId(0)),
+            Some(15)
+        );
+    }
+
+    #[test]
+    fn deadline_overrun_returns_none() {
+        let (arch, ts, mut alloc) = single_bus(true);
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        alloc.route_mut(msg).local_deadlines = vec![10]; // r would be 15
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn slot_override_changes_blocking() {
+        let (arch, ts, mut alloc) = single_bus(true);
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        // Give p0 a bigger slot: Λ = 25, own = 15 ⇒ blocking 10 per round.
+        alloc.slot_overrides.insert(MediumId(0), vec![15, 10]);
+        // r = 5 + ceil(5/25)*10 = 15 → 5 + ceil(15/25)*10 = 15.
+        assert_eq!(
+            message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
+            Some(15)
+        );
+    }
+
+    #[test]
+    fn forwarder_on_first_hop_is_sender_ecu() {
+        let (arch, ts, alloc) = single_bus(false);
+        let _ = ts;
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        assert_eq!(forwarder(&arch, &alloc, msg, MediumId(0)), Some(EcuId(0)));
+        assert_eq!(forwarder(&arch, &alloc, msg, MediumId(1)), None);
+    }
+
+    #[test]
+    fn jitter_accumulates_over_upstream_hops() {
+        // Three media chained: k0 -p1- k1 -p3- k2.
+        let mut arch = Architecture::new();
+        for i in 0..5 {
+            arch.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+        arch.push_medium(Medium::priority("k1", vec![EcuId(1), EcuId(3)], 1, 1));
+        arch.push_medium(Medium::priority("k2", vec![EcuId(3), EcuId(4)], 1, 1));
+
+        let mut ts = TaskSet::new();
+        ts.push(
+            Task::new("s", 100, 100, vec![(EcuId(0), 5)])
+                .sends(TaskId(1), 4, 60)
+                .with_jitter(3),
+        );
+        ts.push(Task::new("r", 100, 100, vec![(EcuId(4), 5)]));
+
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(4)];
+        let msg = MsgId { sender: TaskId(0), index: 0 };
+        *alloc.route_mut(msg) = MessageRoute {
+            media: vec![MediumId(0), MediumId(1), MediumId(2)],
+            local_deadlines: vec![20, 15, 25],
+        };
+        // β = 5 on each medium; jitter on k2 = 3 + (20−5) + (15−5) = 28.
+        assert_eq!(
+            jitter_on_medium(&arch, &ts, &alloc, msg, MediumId(2)),
+            Some(28)
+        );
+        assert_eq!(
+            jitter_on_medium(&arch, &ts, &alloc, msg, MediumId(0)),
+            Some(3)
+        );
+        // Gateways along the path.
+        assert_eq!(
+            gateways_along(&arch, &alloc.route(msg).media),
+            vec![EcuId(1), EcuId(3)]
+        );
+    }
+}

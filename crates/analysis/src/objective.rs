@@ -1,0 +1,164 @@
+//! Objective functions of the paper's evaluation (§6).
+//!
+//! * **Token rotation time** (TRT) of a TDMA medium — the round length Λ
+//!   under the allocation's slot choice; Table 1 and Table 4 minimize it
+//!   (respectively its sum over all media).
+//! * **CAN bus load** `U_CAN = Σ ρₘ / tₘ` over the messages routed across a
+//!   priority bus; the Table 1 CAN variant minimizes it. Reported in
+//!   per-mille so the optimizer can treat it as an integer.
+//! * **Utilization spread** — distance of per-ECU utilization from the
+//!   mean, the "utilization optimization" §4 closes with.
+
+use optalloc_model::{Allocation, Architecture, MediumId, MediumKind, TaskSet, Time};
+
+/// Token rotation time (round length Λ) of a TDMA medium under `alloc`'s
+/// slot overrides. `None` for priority media.
+pub fn token_rotation_time(
+    arch: &Architecture,
+    alloc: &Allocation,
+    medium: MediumId,
+) -> Option<Time> {
+    match &arch.medium(medium).kind {
+        MediumKind::Tdma { slots } => {
+            Some(alloc.effective_slots(medium, slots).iter().sum())
+        }
+        MediumKind::Priority => None,
+    }
+}
+
+/// Sum of token rotation times over all TDMA media (Table 4's objective).
+pub fn sum_trt(arch: &Architecture, alloc: &Allocation) -> Time {
+    arch.iter_media()
+        .filter_map(|(k, _)| token_rotation_time(arch, alloc, k))
+        .sum()
+}
+
+/// Bus load of a medium: `Σ ρₘ / tₘ` over messages routed across it.
+pub fn bus_load(arch: &Architecture, tasks: &TaskSet, alloc: &Allocation, medium: MediumId) -> f64 {
+    let med = arch.medium(medium);
+    tasks
+        .messages()
+        .filter(|(id, _)| alloc.route(*id).media.contains(&medium))
+        .map(|(id, m)| {
+            med.transmission_time(m.size) as f64 / tasks.task(id.sender).period as f64
+        })
+        .sum()
+}
+
+/// Bus load in integer per-mille (‰), the unit the optimizer minimizes.
+pub fn bus_load_permille(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    medium: MediumId,
+) -> u64 {
+    let med = arch.medium(medium);
+    tasks
+        .messages()
+        .filter(|(id, _)| alloc.route(*id).media.contains(&medium))
+        .map(|(id, m)| {
+            (med.transmission_time(m.size) * 1000).div_ceil(tasks.task(id.sender).period)
+        })
+        .sum()
+}
+
+/// Per-ECU processor utilization in per-mille, using placed WCETs.
+pub fn ecu_utilization_permille(tasks: &TaskSet, alloc: &Allocation, ecus: usize) -> Vec<u64> {
+    let mut u = vec![0u64; ecus];
+    for (tid, t) in tasks.iter() {
+        let p = alloc.ecu_of(tid);
+        if let Some(c) = t.wcet_on(p) {
+            u[p.index()] += (c * 1000).div_ceil(t.period);
+        }
+    }
+    u
+}
+
+/// Spread between the most and least utilized ECU (per-mille) — the
+/// balance objective the optimizer supports directly.
+pub fn utilization_minmax_spread_permille(
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    ecus: usize,
+) -> u64 {
+    let u = ecu_utilization_permille(tasks, alloc, ecus);
+    match (u.iter().max(), u.iter().min()) {
+        (Some(&hi), Some(&lo)) => hi - lo,
+        _ => 0,
+    }
+}
+
+/// Maximum deviation of per-ECU utilization from the mean (per-mille) —
+/// the balance objective.
+pub fn utilization_spread_permille(tasks: &TaskSet, alloc: &Allocation, ecus: usize) -> u64 {
+    let u = ecu_utilization_permille(tasks, alloc, ecus);
+    if u.is_empty() {
+        return 0;
+    }
+    let mean = u.iter().sum::<u64>() / u.len() as u64;
+    u.iter()
+        .map(|&x| x.abs_diff(mean))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Allocation, Ecu, EcuId, Medium, MessageRoute, MsgId, Task, TaskId};
+
+    fn system() -> (Architecture, TaskSet, Allocation) {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::tdma(
+            "ring",
+            vec![EcuId(0), EcuId(1)],
+            vec![10, 15],
+            1,
+            1,
+        ));
+        arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 2, 1));
+
+        let mut ts = TaskSet::new();
+        ts.push(
+            Task::new("a", 100, 100, vec![(EcuId(0), 10)]).sends(TaskId(1), 8, 50),
+        );
+        ts.push(Task::new("b", 50, 50, vec![(EcuId(1), 10)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
+            MessageRoute::single_hop(MediumId(1), 50);
+        (arch, ts, alloc)
+    }
+
+    #[test]
+    fn trt_reads_effective_slots() {
+        let (arch, _, mut alloc) = system();
+        assert_eq!(token_rotation_time(&arch, &alloc, MediumId(0)), Some(25));
+        assert_eq!(token_rotation_time(&arch, &alloc, MediumId(1)), None);
+        alloc.slot_overrides.insert(MediumId(0), vec![4, 6]);
+        assert_eq!(token_rotation_time(&arch, &alloc, MediumId(0)), Some(10));
+        assert_eq!(sum_trt(&arch, &alloc), 10);
+    }
+
+    #[test]
+    fn bus_load_counts_routed_messages() {
+        let (arch, ts, alloc) = system();
+        // ρ = 2 + 8 = 10; period 100 ⇒ 0.1 ⇒ 100‰.
+        assert!((bus_load(&arch, &ts, &alloc, MediumId(1)) - 0.1).abs() < 1e-12);
+        assert_eq!(bus_load_permille(&arch, &ts, &alloc, MediumId(1)), 100);
+        // Nothing routed over the ring.
+        assert_eq!(bus_load_permille(&arch, &ts, &alloc, MediumId(0)), 0);
+    }
+
+    #[test]
+    fn utilization_spread() {
+        let (_, ts, alloc) = system();
+        // u0 = 10/100 = 100‰, u1 = 10/50 = 200‰; mean 150 ⇒ spread 50.
+        let u = ecu_utilization_permille(&ts, &alloc, 2);
+        assert_eq!(u, vec![100, 200]);
+        assert_eq!(utilization_spread_permille(&ts, &alloc, 2), 50);
+        assert_eq!(utilization_minmax_spread_permille(&ts, &alloc, 2), 100);
+    }
+}

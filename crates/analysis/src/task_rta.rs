@@ -1,0 +1,199 @@
+//! Fixed-point response-time analysis for tasks (paper §2, equation 1).
+//!
+//! For a task `τᵢ` under preemptive fixed-priority scheduling, the worst
+//! case response time is the least fixed point of
+//!
+//! ```text
+//! rᵢⁿ⁺¹ = cᵢ + Σ_{j ∈ hp(i)} ⌈rᵢⁿ / tⱼ⌉ · cⱼ
+//! ```
+//!
+//! where `hp(i)` are the higher-priority tasks on the same ECU. The
+//! iteration starts at `cᵢ` and stops at the fixed point or as soon as the
+//! deadline is exceeded (divergence).
+
+use optalloc_model::{Allocation, TaskId, TaskSet, Time};
+
+/// Result of one task's response-time iteration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResponseTime {
+    /// Converged within the deadline.
+    Converged(Time),
+    /// Exceeded the deadline before converging (unschedulable).
+    ExceedsDeadline,
+}
+
+impl ResponseTime {
+    /// The converged value, if any.
+    pub fn value(self) -> Option<Time> {
+        match self {
+            ResponseTime::Converged(r) => Some(r),
+            ResponseTime::ExceedsDeadline => None,
+        }
+    }
+}
+
+/// Computes the worst-case response time of `task` under `alloc`.
+///
+/// Interference comes from every task with higher priority placed on the
+/// same ECU (eq. 12 of the encoding: different ECUs never preempt). The
+/// optional `extra_interferer_jitter` adds release jitter of interferers
+/// (`⌈(r + Jⱼ)/tⱼ⌉`), an extension the paper mentions but does not spell
+/// out; pass `false` for the paper's exact eq. (1).
+pub fn task_response_time(
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    task: TaskId,
+    with_jitter: bool,
+) -> ResponseTime {
+    let t = tasks.task(task);
+    let ecu = alloc.ecu_of(task);
+    let own_wcet = t
+        .wcet_on(ecu)
+        .expect("task placed on an ECU outside its permission set");
+    // Higher-priority tasks sharing the ECU.
+    let interferers: Vec<(Time, Time, Time)> = tasks
+        .iter()
+        .filter(|&(j, _)| j != task && alloc.ecu_of(j) == ecu && alloc.outranks(j, task))
+        .map(|(_j, tj)| {
+            let c = tj
+                .wcet_on(ecu)
+                .expect("interferer placed outside its permission set");
+            let jitter = if with_jitter { tj.release_jitter } else { 0 };
+            (tj.period, c, jitter)
+        })
+        .collect();
+
+    let deadline = t.deadline;
+    let mut r = own_wcet;
+    loop {
+        let mut next = own_wcet;
+        for &(period, c, jitter) in &interferers {
+            next += (r + jitter).div_ceil(period) * c;
+        }
+        if next > deadline {
+            return ResponseTime::ExceedsDeadline;
+        }
+        if next == r {
+            return ResponseTime::Converged(r);
+        }
+        r = next;
+    }
+}
+
+/// Response times for every task; `None` marks unschedulable tasks.
+pub fn all_task_response_times(
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    with_jitter: bool,
+) -> Vec<Option<Time>> {
+    tasks
+        .iter()
+        .map(|(id, _)| task_response_time(tasks, alloc, id, with_jitter).value())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Allocation, EcuId, Task, TaskSet};
+
+    /// Classic example: three tasks on one ECU.
+    /// t1: C=1, T=4 (highest), t2: C=2, T=6, t3: C=3, T=12 (lowest).
+    /// Known response times: r1=1, r2=3, r3=10.
+    fn classic() -> (TaskSet, Allocation) {
+        let mut ts = TaskSet::new();
+        let w = |c| vec![(EcuId(0), c)];
+        ts.push(Task::new("t1", 4, 4, w(1)));
+        ts.push(Task::new("t2", 6, 6, w(2)));
+        ts.push(Task::new("t3", 12, 12, w(3)));
+        let alloc = Allocation::skeleton(&ts); // DM = rate order here
+        (ts, alloc)
+    }
+
+    #[test]
+    fn classic_response_times() {
+        let (ts, alloc) = classic();
+        let rts = all_task_response_times(&ts, &alloc, false);
+        assert_eq!(rts, vec![Some(1), Some(3), Some(10)]);
+    }
+
+    #[test]
+    fn highest_priority_sees_only_own_wcet() {
+        let (ts, alloc) = classic();
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(0), false),
+            ResponseTime::Converged(1)
+        );
+    }
+
+    #[test]
+    fn overload_exceeds_deadline() {
+        let mut ts = TaskSet::new();
+        let w = |c| vec![(EcuId(0), c)];
+        ts.push(Task::new("hog", 10, 10, w(6)));
+        ts.push(Task::new("victim", 20, 15, w(8)));
+        let alloc = Allocation::skeleton(&ts);
+        // victim: 8 + 2*6 = 20 > 15.
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(1), false),
+            ResponseTime::ExceedsDeadline
+        );
+    }
+
+    #[test]
+    fn separate_ecus_do_not_interfere() {
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 10, 10, vec![(EcuId(0), 6), (EcuId(1), 6)]));
+        ts.push(Task::new("b", 10, 10, vec![(EcuId(0), 6), (EcuId(1), 6)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1)];
+        let rts = all_task_response_times(&ts, &alloc, false);
+        assert_eq!(rts, vec![Some(6), Some(6)]);
+    }
+
+    #[test]
+    fn heterogeneous_wcet_uses_placement() {
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 100, 100, vec![(EcuId(0), 10), (EcuId(1), 30)]));
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(1)];
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(0), false),
+            ResponseTime::Converged(30)
+        );
+    }
+
+    #[test]
+    fn interferer_jitter_increases_interference() {
+        let mut ts = TaskSet::new();
+        let w = |c| vec![(EcuId(0), c)];
+        ts.push(Task::new("hp", 10, 5, w(3)).with_jitter(4));
+        ts.push(Task::new("lp", 40, 40, w(5)));
+        let alloc = Allocation::skeleton(&ts);
+        // Without jitter: r = 5 + ceil(r/10)*3 → 8.
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(1), false),
+            ResponseTime::Converged(8)
+        );
+        // With jitter 4: r = 5 + ceil((r+4)/10)*3 → 5+3=8, ceil(12/10)=2 →
+        // 11, ceil(15/10)=2 → 11.
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(1), true),
+            ResponseTime::Converged(11)
+        );
+    }
+
+    #[test]
+    fn exact_deadline_hit_is_schedulable() {
+        let mut ts = TaskSet::new();
+        let w = |c| vec![(EcuId(0), c)];
+        ts.push(Task::new("a", 4, 4, w(2)));
+        ts.push(Task::new("b", 8, 8, w(4)));
+        let alloc = Allocation::skeleton(&ts);
+        // b: 4 + 2*2 = 8 = deadline exactly.
+        assert_eq!(
+            task_response_time(&ts, &alloc, TaskId(1), false),
+            ResponseTime::Converged(8)
+        );
+    }
+}

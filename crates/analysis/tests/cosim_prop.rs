@@ -1,0 +1,59 @@
+//! Property test: on feasible planted allocations, the co-simulation's
+//! observed worst cases never exceed the analytic bounds — task responses
+//! stay within the RTA fixed points and per-medium message latencies within
+//! the eq. (2)/(3) response-time bounds.
+
+use optalloc_analysis::{
+    all_task_response_times, cosimulate, message_response_time, validate, AnalysisConfig,
+};
+use optalloc_workloads::{generate, GenParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_never_exceeds_analysis(seed in 0u64..10_000, ring in any::<bool>()) {
+        let w = generate(&GenParams {
+            name: format!("cosim-{seed}"),
+            n_tasks: 10,
+            n_chains: 3,
+            n_ecus: 3,
+            seed,
+            utilization: 0.35,
+            restricted_fraction: 0.2,
+            redundant_pairs: 1,
+            token_ring: ring,
+            deadline_slack: 1.5,
+        });
+        let config = AnalysisConfig::default();
+        let report = validate(&w.arch, &w.tasks, &w.planted, &config);
+        prop_assume!(report.is_feasible());
+
+        // Horizon: several hyperperiod-ish windows (periods ≤ 1000 ticks).
+        let out = cosimulate(&w.arch, &w.tasks, &w.planted, &config, 6_000);
+
+        // Task responses ≤ RTA fixed points.
+        let rta = all_task_response_times(&w.tasks, &w.planted, false);
+        for (i, observed) in out.task_worst_response.iter().enumerate() {
+            if let (Some(obs), Some(bound)) = (observed, rta[i]) {
+                prop_assert!(
+                    *obs <= bound,
+                    "seed {seed}: task {i} observed {obs} > RTA {bound}"
+                );
+            }
+            prop_assert!(out.jobs_finished[i] > 0, "seed {seed}: task {i} never ran");
+        }
+
+        // Per-medium message latencies ≤ eq. (2)/(3) bounds.
+        for (&(m, k), &obs) in &out.msg_worst_latency {
+            let bound = message_response_time(&w.arch, &w.tasks, &w.planted, m, k)
+                .expect("feasible allocation has converging message RTA");
+            prop_assert!(
+                obs <= bound,
+                "seed {seed}: {m} on {k} observed {obs} > bound {bound}"
+            );
+        }
+        prop_assert!(out.msgs_delivered > 0 || w.tasks.messages().count() == 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the analytical response-time fixed point (eq. 1) must
+//! equal the first-job completion time of an exact discrete-event
+//! simulation from the critical instant, on random task sets and random
+//! placements.
+
+use optalloc_model::{deadline_monotonic, Allocation, EcuId, Task, TaskId, TaskSet};
+use optalloc_analysis::{all_task_response_times, simulate_critical_instant};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    period: u64,
+    wcet: u64,
+    ecu: u8,
+}
+
+fn arb_tasks() -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        (2u64..=40, 1u64..=6, 0u8..3).prop_map(|(period, wcet, ecu)| TaskSpec {
+            period,
+            wcet: wcet.min(period),
+            ecu,
+        }),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// RTA fixed point == simulated first-job completion wherever RTA
+    /// converges; where RTA reports a deadline miss, the simulation must
+    /// not finish the job by the deadline either.
+    #[test]
+    fn rta_equals_simulation(specs in arb_tasks()) {
+        let mut ts = TaskSet::new();
+        for (i, s) in specs.iter().enumerate() {
+            // Deadline = period (implicit-deadline), all ECUs allowed.
+            let wcet_table: Vec<(EcuId, u64)> =
+                (0..3).map(|p| (EcuId(p), s.wcet)).collect();
+            ts.push(Task::new(format!("t{i}"), s.period, s.period, wcet_table));
+        }
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.priorities = deadline_monotonic(&ts);
+        alloc.placement = specs.iter().map(|s| EcuId(s.ecu as u32)).collect();
+
+        let rta = all_task_response_times(&ts, &alloc, false);
+        for ecu in 0..3u32 {
+            let horizon = 10_000;
+            let sim = simulate_critical_instant(&ts, &alloc, EcuId(ecu), horizon);
+            for (i, s) in specs.iter().enumerate() {
+                if s.ecu as u32 != ecu {
+                    continue;
+                }
+                let tid = TaskId(i as u32);
+                match rta[tid.index()] {
+                    Some(r) => prop_assert_eq!(
+                        sim[tid.index()], Some(r),
+                        "task {} on p{}: rta {:?} vs sim {:?}", i, ecu,
+                        rta[tid.index()], sim[tid.index()]
+                    ),
+                    None => {
+                        // Deadline miss: simulation must not complete the
+                        // first job within the deadline.
+                        if let Some(done) = sim[tid.index()] {
+                            prop_assert!(done > ts.task(tid).deadline,
+                                "task {i}: RTA says miss but sim finished at {done}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

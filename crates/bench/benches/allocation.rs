@@ -1,0 +1,68 @@
+//! Criterion benchmarks of end-to-end optimal allocation on small
+//! instances (encode → binary search → decode → re-validate), plus the
+//! simulated-annealing baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc_heuristics::{anneal, HeuristicObjective, SaParams};
+use optalloc_model::MediumId;
+use optalloc_workloads::{generate, GenParams};
+
+fn small_params(n: usize) -> GenParams {
+    GenParams {
+        name: format!("bench-{n}"),
+        n_tasks: n,
+        n_chains: (n / 3).max(1),
+        n_ecus: 4,
+        seed: 0xbe9c_0000 + n as u64,
+        utilization: 0.35,
+        restricted_fraction: 0.2,
+        redundant_pairs: 1,
+        token_ring: true,
+        deadline_slack: 1.5,
+    }
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+
+    for n in [6usize, 9] {
+        let w = generate(&small_params(n));
+        group.bench_with_input(BenchmarkId::new("sat_optimal_trt", n), &n, |b, _| {
+            b.iter(|| {
+                let r = Optimizer::new(&w.arch, &w.tasks)
+                    .with_options(SolveOptions {
+                        max_slot: 16,
+                        ..Default::default()
+                    })
+                    .minimize(&Objective::TokenRotationTime(MediumId(0)))
+                    .expect("feasible by construction");
+                r.cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sa_baseline_trt", n), &n, |b, _| {
+            let params = SaParams {
+                restarts: 2,
+                iters_per_stage: 100,
+                stages: 25,
+                ..Default::default()
+            };
+            b.iter(|| {
+                let r = anneal(
+                    &w.arch,
+                    &w.tasks,
+                    &HeuristicObjective::TokenRotationTime(MediumId(0)),
+                    &params,
+                );
+                r.energy
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

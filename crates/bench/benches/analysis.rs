@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the numeric schedulability analysis — the hot
+//! path of the heuristic baselines (every SA move re-validates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optalloc_analysis::{all_task_response_times, validate, AnalysisConfig};
+use optalloc_workloads::{generate, GenParams};
+
+fn bench_analysis(c: &mut Criterion) {
+    let w = generate(&GenParams::tindell43());
+    let config = AnalysisConfig::default();
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("task_rta_tindell43", |b| {
+        b.iter(|| {
+            let rts = all_task_response_times(&w.tasks, &w.planted, false);
+            assert!(rts.iter().all(Option::is_some));
+            rts.len()
+        })
+    });
+    group.bench_function("full_validation_tindell43", |b| {
+        b.iter(|| {
+            let report = validate(&w.arch, &w.tasks, &w.planted, &config);
+            assert!(report.is_feasible());
+            report.message_response_times.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

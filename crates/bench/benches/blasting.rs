@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the integer layer: triplet rewriting,
+//! bit-blasting (both back-ends) and small optimizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optalloc_intopt::{
+    blast, Backend, BinSearchMode, IntExpr, IntProblem, MinimizeOptions,
+};
+use optalloc_sat::Solver;
+
+/// A medium-sized arithmetic system: n chained nonlinear constraints.
+fn chained_products(n: usize) -> (IntProblem, optalloc_intopt::IntVar) {
+    let mut p = IntProblem::new();
+    let xs: Vec<_> = (0..n).map(|_| p.int_var(1, 30)).collect();
+    for w in xs.windows(2) {
+        p.assert((w[0].expr() * w[1].expr()).le(300));
+        p.assert((w[0].expr() + w[1].expr()).ge(8));
+    }
+    let cost = p.int_var(0, 30 * n as i64);
+    p.assert(cost.expr().eq(IntExpr::sum(xs.iter().map(|v| v.expr()))));
+    (p, cost)
+}
+
+fn bench_blasting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blasting");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    group.bench_function("triplet_rewriting_20", |b| {
+        let (p, _) = chained_products(20);
+        b.iter(|| {
+            let tf = p.triplet_form();
+            assert!(!tf.is_empty());
+            tf.len()
+        })
+    });
+
+    for backend in [Backend::Cnf, Backend::PseudoBoolean] {
+        group.bench_with_input(
+            BenchmarkId::new("encode_20", format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                let (p, _) = chained_products(20);
+                let tf = p.triplet_form();
+                b.iter(|| {
+                    let mut solver = Solver::new();
+                    let bl = blast(&tf, p.int_decls(), &mut solver, backend);
+                    assert!(!bl.trivially_unsat());
+                    solver.num_vars()
+                })
+            },
+        );
+    }
+
+    group.bench_function("minimize_incremental_8", |b| {
+        b.iter(|| {
+            let (p, cost) = chained_products(8);
+            let out = p.minimize(
+                cost,
+                &MinimizeOptions {
+                    mode: BinSearchMode::Incremental,
+                    ..Default::default()
+                },
+            );
+            out.solve_calls
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_blasting);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the CDCL(PB) solver substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optalloc_sat::{PbOp, PbTerm, SolveResult, Solver, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pigeonhole principle instance PHP(n+1, n) in clauses — classic UNSAT
+/// stress for clause learning.
+fn pigeonhole_clauses(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
+        s.add_clause(&lits);
+    }
+    for hole in 0..n {
+        for i in 0..n + 1 {
+            for j in (i + 1)..n + 1 {
+                s.add_clause(&[p[i][hole].negative(), p[j][hole].negative()]);
+            }
+        }
+    }
+    s
+}
+
+/// The same pigeonhole with PB cardinality constraints (the paper's point:
+/// PB keeps cardinality compact).
+fn pigeonhole_pb(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let terms: Vec<_> = row.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+        s.add_pb(&terms, PbOp::Ge, 1);
+    }
+    for hole in 0..n {
+        let terms: Vec<_> = p
+            .iter()
+            .map(|row| PbTerm::new(row[hole].positive(), 1))
+            .collect();
+        s.add_pb(&terms, PbOp::Le, 1);
+    }
+    s
+}
+
+/// Random 3-SAT near the phase transition (ratio 4.2).
+fn random_3sat(n_vars: usize, seed: u64) -> Solver {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+    let n_clauses = (n_vars as f64 * 4.2) as usize;
+    for _ in 0..n_clauses {
+        let mut lits = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let v = vars[rng.gen_range(0..n_vars)];
+            lits.push(v.lit(rng.gen_bool(0.5)));
+        }
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for n in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole_cnf", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole_clauses(n);
+                assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pigeonhole_pb", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole_pb(n);
+                assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            })
+        });
+    }
+    group.bench_function("random_3sat_150", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut s = random_3sat(150, seed);
+            let _ = s.solve(&[]);
+        })
+    });
+    group.bench_function("incremental_assumption_flips", |b| {
+        // Reuse one solver across many assumption probes (the binary-search
+        // access pattern).
+        let mut s = random_3sat(120, 42);
+        let flip = Var::from_index(0);
+        b.iter(|| {
+            let _ = s.solve(&[flip.positive()]);
+            let _ = s.solve(&[flip.negative()]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! `optalloc-cli` — optimal task allocation from the command line.
+//!
+//! ```text
+//! optalloc-cli generate <name> <out.json>       # dump a bundled workload
+//! optalloc-cli solve <workload.json> [options]  # optimize it
+//!
+//! generate names: tindell43, tindell16, table2-e<N>, table3-t<N>,
+//!                 arch-a, arch-b, arch-c
+//!
+//! solve options:
+//!   --objective trt | sumtrt | busload | maxutil | spread | feasible
+//!               (trt/busload use medium 0 unless --medium <k> is given)
+//!   --medium <k>            target medium index for trt/busload
+//!   --max-conflicts <n>     solver budget
+//!   --out <alloc.json>      write the allocation as JSON
+//! ```
+//!
+//! The workload file is the JSON serialization of
+//! `optalloc_workloads::Workload` (architecture + task set + a feasibility
+//! witness); the output is the optimal `optalloc_model::Allocation`.
+
+use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc_model::{ticks_to_ms, MediumId};
+use optalloc_workloads::{
+    architecture_scaling, generate, table4_workload, task_scaling, Fig2, GenParams, Workload,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  optalloc-cli generate <name> <out.json>\n  \
+         optalloc-cli solve <workload.json> [--objective o] [--medium k] \
+         [--max-conflicts n] [--out alloc.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn bundled(name: &str) -> Option<Workload> {
+    if let Some(n) = name.strip_prefix("table2-e") {
+        return n.parse().ok().map(architecture_scaling);
+    }
+    if let Some(n) = name.strip_prefix("table3-t") {
+        return n.parse().ok().map(task_scaling);
+    }
+    match name {
+        "tindell43" => Some(generate(&GenParams::tindell43())),
+        "tindell16" => Some(generate(&GenParams {
+            n_tasks: 16,
+            n_chains: 5,
+            utilization: 0.35,
+            name: "tindell16".into(),
+            ..GenParams::tindell43()
+        })),
+        "arch-a" => Some(table4_workload(Fig2::A, &GenParams::tindell43())),
+        "arch-b" => Some(table4_workload(Fig2::B, &GenParams::tindell43())),
+        "arch-c" => Some(table4_workload(Fig2::C, &GenParams::tindell43())),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let (Some(name), Some(out)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(w) = bundled(name) else {
+                eprintln!("unknown workload `{name}`");
+                return ExitCode::from(2);
+            };
+            let json = serde_json::to_string_pretty(&w).expect("serialize");
+            if let Err(e) = std::fs::write(out, json) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {out}: {} tasks, {} ECUs, {} media",
+                w.tasks.len(),
+                w.arch.num_ecus(),
+                w.arch.num_media()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("solve") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut objective_name = "feasible".to_string();
+            let mut medium = 0u32;
+            let mut max_conflicts = None;
+            let mut out_path: Option<String> = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--objective" => {
+                        objective_name = it.next().cloned().unwrap_or_default()
+                    }
+                    "--medium" => {
+                        medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0)
+                    }
+                    "--max-conflicts" => {
+                        max_conflicts = it.next().and_then(|s| s.parse().ok())
+                    }
+                    "--out" => out_path = it.next().cloned(),
+                    other => {
+                        eprintln!("unknown option {other}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+
+            let input = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let w: Workload = match serde_json::from_str(&input) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("bad workload file: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Err(e) = w.arch.validate() {
+                eprintln!("invalid architecture: {e}");
+                return ExitCode::from(2);
+            }
+            if let Err(e) = w.tasks.validate() {
+                eprintln!("invalid task set: {e}");
+                return ExitCode::from(2);
+            }
+
+            let objective = match objective_name.as_str() {
+                "trt" => Objective::TokenRotationTime(MediumId(medium)),
+                "sumtrt" => Objective::SumTokenRotationTimes,
+                "busload" => Objective::BusLoadPermille(MediumId(medium)),
+                "maxutil" => Objective::MaxUtilizationPermille,
+                "spread" => Objective::UtilizationSpreadPermille,
+                "feasible" => Objective::Feasibility,
+                other => {
+                    eprintln!("unknown objective `{other}`");
+                    return ExitCode::from(2);
+                }
+            };
+
+            let opts = SolveOptions {
+                max_conflicts,
+                ..Default::default()
+            };
+            let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
+            let (allocation, cost_line) = if matches!(objective, Objective::Feasibility) {
+                match optimizer.find_feasible() {
+                    Ok(sol) => (sol.allocation, "feasible".to_string()),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            } else {
+                match optimizer.minimize(&objective) {
+                    Ok(r) => {
+                        let line = match objective {
+                            Objective::TokenRotationTime(_)
+                            | Objective::SumTokenRotationTimes => format!(
+                                "optimal {objective_name} = {} ticks ({:.2} ms)",
+                                r.cost,
+                                ticks_to_ms(r.cost as u64)
+                            ),
+                            _ => format!("optimal {objective_name} = {}", r.cost),
+                        };
+                        println!(
+                            "encoding: {} vars, {} literals; {} SOLVE calls, {:.2}s",
+                            r.encode.bool_vars,
+                            r.encode.literals,
+                            r.solve_calls,
+                            r.wall.as_secs_f64()
+                        );
+                        (r.solution.allocation, line)
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            };
+            println!("{cost_line}");
+            for (tid, t) in w.tasks.iter() {
+                println!(
+                    "  {:<12} -> {}",
+                    t.name,
+                    w.arch.ecu(allocation.ecu_of(tid)).name
+                );
+            }
+            if let Some(out) = out_path {
+                let json =
+                    serde_json::to_string_pretty(&allocation).expect("serialize");
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("allocation written to {out}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

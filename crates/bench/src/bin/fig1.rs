@@ -1,0 +1,39 @@
+//! **Figure 1** — path closures on the example hierarchical topology.
+//!
+//! Prints the closure set `PH` exactly as the figure lists it:
+//!
+//! ```text
+//! ph0 = { "" }
+//! ph1 = { "k1", "k1k2" }
+//! ph2 = { "k1", "k1k3" }
+//! ph3 = { "k2", "k2k1", "k2k1k3" }
+//! ph4 = { "k3", "k3k1", "k3k1k2" }
+//! ```
+
+use optalloc_model::path_closures;
+use optalloc_workloads::figure1;
+
+fn main() {
+    let arch = figure1();
+    println!("Figure 1 topology:");
+    for (_k, m) in arch.iter_media() {
+        let members: Vec<String> = m.members.iter().map(|p| format!("p{}", p.0)).collect();
+        println!("  {} = {{{}}}", m.name, members.join(", "));
+    }
+    println!("\nPath closures PH:");
+    for (i, ph) in path_closures(&arch).iter().enumerate() {
+        let paths: Vec<String> = ph
+            .prefixes
+            .iter()
+            .map(|p| {
+                let s: String = p
+                    .iter()
+                    .map(|k| arch.medium(*k).name.clone())
+                    .collect::<Vec<_>>()
+                    .join("");
+                format!("\"{s}\"")
+            })
+            .collect();
+        println!("  ph{} = {{ {} }}", i, paths.join(", "));
+    }
+}

@@ -1,0 +1,156 @@
+//! **Table 1** — the \[5\]-style benchmark on 8 ECUs.
+//!
+//! Paper rows:
+//!
+//! ```text
+//! \[5\]        TRT = 8.55ms   48 min   175k var   995k lit   (SA found 8.7ms)
+//! \[5\] + CAN  U_CAN = 0.371  361 min  298k var  1627k lit
+//! ```
+//!
+//! We reproduce the *shape*: the SAT optimum is ≤ the simulated-annealing
+//! result (the paper's headline — SA was not optimal), the CAN variant's
+//! encoding is markedly larger than the token-ring one, and the Var./Lit.
+//! columns land in the paper's order of magnitude at full scale.
+//!
+//! Quick mode runs a reduced instance (same generator, fewer tasks);
+//! `--full` runs the whole 43-task synthetic benchmark.
+
+use optalloc::{Objective, Optimizer};
+use optalloc_bench::{emit, parse_cli, solve_options, Row};
+use optalloc_heuristics::{anneal, greedy, HeuristicObjective, SaParams};
+use optalloc_model::{ticks_to_ms, MediumId};
+use optalloc_workloads::{generate, GenParams};
+use std::time::Instant;
+
+fn main() {
+    let cli = parse_cli();
+    let mut rows = Vec::new();
+
+    let params = if cli.full {
+        GenParams::tindell43()
+    } else {
+        GenParams {
+            n_tasks: 16,
+            n_chains: 5,
+            utilization: 0.35,
+            ..GenParams::tindell43()
+        }
+    };
+    let ring = MediumId(0);
+
+    // --- token ring, minimize TRT: SAT vs SA vs greedy -------------------
+    let w = generate(&params);
+    match Optimizer::new(&w.arch, &w.tasks)
+        .with_options(solve_options(cli.full))
+        .minimize(&Objective::TokenRotationTime(ring))
+    {
+        Ok(r) => rows.push(Row::from_report(
+            format!("[5]-style ring (SAT, n={})", params.n_tasks),
+            &r,
+            format!("TRT = {:.2}ms", ticks_to_ms(r.cost as u64)),
+        )),
+        Err(e) => rows.push(Row {
+            experiment: format!("[5]-style ring (SAT, n={})", params.n_tasks),
+            result: format!("{e}"),
+            time_s: 0.0,
+            vars_k: 0.0,
+            lits_k: 0.0,
+            note: String::new(),
+        }),
+    }
+
+    let sa_params = SaParams {
+        restarts: if cli.full { 8 } else { 4 },
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let sa = anneal(
+        &w.arch,
+        &w.tasks,
+        &HeuristicObjective::TokenRotationTime(ring),
+        &sa_params,
+    );
+    rows.push(Row {
+        experiment: "  simulated annealing [5]".into(),
+        result: if sa.feasible {
+            format!("TRT = {:.2}ms", ticks_to_ms(sa.objective as u64))
+        } else {
+            "infeasible".into()
+        },
+        time_s: t.elapsed().as_secs_f64(),
+        vars_k: 0.0,
+        lits_k: 0.0,
+        note: format!("{} evaluations", sa.evaluations),
+    });
+
+    let t = Instant::now();
+    let gr = greedy(&w.arch, &w.tasks, &HeuristicObjective::TokenRotationTime(ring));
+    rows.push(Row {
+        experiment: "  greedy first-fit".into(),
+        result: if gr.feasible {
+            format!("TRT = {:.2}ms", ticks_to_ms(gr.objective as u64))
+        } else {
+            "infeasible".into()
+        },
+        time_s: t.elapsed().as_secs_f64(),
+        vars_k: 0.0,
+        lits_k: 0.0,
+        note: String::new(),
+    });
+
+    // --- CAN variant, minimize U_CAN --------------------------------------
+    let can_params = GenParams {
+        token_ring: false,
+        name: format!("{}-can", params.name),
+        ..params.clone()
+    };
+    let wc = generate(&can_params);
+    match Optimizer::new(&wc.arch, &wc.tasks)
+        .with_options(solve_options(cli.full))
+        .minimize(&Objective::BusLoadPermille(ring))
+    {
+        Ok(r) => rows.push(Row::from_report(
+            "[5] + CAN (SAT)",
+            &r,
+            format!("U_CAN = {:.3}", r.cost as f64 / 1000.0),
+        )),
+        Err(e) => rows.push(Row {
+            experiment: "[5] + CAN (SAT)".into(),
+            result: format!("{e}"),
+            time_s: 0.0,
+            vars_k: 0.0,
+            lits_k: 0.0,
+            note: String::new(),
+        }),
+    }
+
+    let t = Instant::now();
+    let sa_can = anneal(
+        &wc.arch,
+        &wc.tasks,
+        &HeuristicObjective::BusLoadPermille(ring),
+        &sa_params,
+    );
+    rows.push(Row {
+        experiment: "  simulated annealing".into(),
+        result: if sa_can.feasible {
+            format!("U_CAN = {:.3}", sa_can.objective as f64 / 1000.0)
+        } else {
+            "infeasible".into()
+        },
+        time_s: t.elapsed().as_secs_f64(),
+        vars_k: 0.0,
+        lits_k: 0.0,
+        note: format!("{} evaluations", sa_can.evaluations),
+    });
+
+    emit(
+        "Table 1: [5]-style benchmark — optimal SAT allocation vs heuristics",
+        &rows,
+        &cli,
+    );
+    println!(
+        "paper: TRT 8.55ms SAT vs 8.7ms SA (48 min, 175k var, 995k lit); \
+         CAN U=0.371 (361 min, 298k var, 1627k lit)"
+    );
+}

@@ -1,0 +1,161 @@
+//! # optalloc-bench
+//!
+//! Table/figure regeneration harnesses for the paper's evaluation (§6) plus
+//! Criterion micro-benchmarks.
+//!
+//! Each `table*` binary reprints one experiment of the paper:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — \[5\]-style benchmark, TRT + CAN-load objectives, SA comparison |
+//! | `table2` | Table 2 — architecture scaling (ECU count sweep) |
+//! | `table3` | Table 3 — task-set scaling |
+//! | `table4` | Table 4 — hierarchical architectures A/B/C, ΣTRT |
+//! | `fig1`   | Figure 1 — path closures of the example topology |
+//! | `incremental_ablation` | §7 — learned-clause reuse speedup |
+//! | `encoding_ablation` | §5.1 — CNF vs pseudo-Boolean encoding sizes |
+//!
+//! All binaries accept `--full` (paper-scale parameters; long runtimes) and
+//! default to a calibrated **quick** scale that preserves the trends while
+//! finishing in seconds to minutes. `--json <path>` additionally dumps
+//! machine-readable rows.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Run at paper-scale parameters (slow).
+    pub full: bool,
+    /// Dump rows as JSON to this path.
+    pub json: Option<PathBuf>,
+}
+
+/// Parses `--full` and `--json <path>` from `std::env::args`.
+pub fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => cli.full = true,
+            "--json" => cli.json = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("options: --full (paper-scale), --json <path>");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// One row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment label (leftmost column).
+    pub experiment: String,
+    /// Headline result (objective value, status).
+    pub result: String,
+    /// Wall-clock time of the optimization run.
+    pub time_s: f64,
+    /// Propositional variables of the encoding (thousands).
+    pub vars_k: f64,
+    /// Literal occurrences of the encoding (thousands).
+    pub lits_k: f64,
+    /// Extra detail (solver calls, conflicts, …).
+    pub note: String,
+}
+
+impl Row {
+    /// Builds a row from an optimizer report.
+    pub fn from_report(
+        experiment: impl Into<String>,
+        r: &optalloc::OptimizeReport,
+        result: String,
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            result,
+            time_s: r.wall.as_secs_f64(),
+            vars_k: r.encode.bool_vars as f64 / 1000.0,
+            lits_k: r.encode.literals as f64 / 1000.0,
+            note: format!(
+                "{} SOLVE calls, {} conflicts",
+                r.solve_calls, r.stats.conflicts
+            ),
+        }
+    }
+}
+
+/// Formats a duration like the paper's time columns.
+pub fn fmt_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 60.0 {
+        format!("{s:.2}s")
+    } else if s < 3600.0 {
+        format!("{}m{:02}s", (s / 60.0) as u64, (s % 60.0) as u64)
+    } else {
+        format!("{}h{:02}m", (s / 3600.0) as u64, ((s % 3600.0) / 60.0) as u64)
+    }
+}
+
+/// Prints a table in the paper's layout and optionally dumps JSON.
+pub fn emit(title: &str, rows: &[Row], cli: &Cli) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<34} {:>16} {:>10} {:>10} {:>10}  Notes",
+        "Experiment", "Result", "Time", "Var.(k)", "Lit.(k)"
+    );
+    for r in rows {
+        println!(
+            "{:<34} {:>16} {:>10} {:>10.1} {:>10.1}  {}",
+            r.experiment,
+            r.result,
+            fmt_time(Duration::from_secs_f64(r.time_s)),
+            r.vars_k,
+            r.lits_k,
+            r.note
+        );
+    }
+    if let Some(path) = &cli.json {
+        let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+        std::fs::write(path, json).expect("write json");
+        println!("(rows written to {})", path.display());
+    }
+}
+
+/// Solve options for the harnesses: quick mode bounds conflicts so a
+/// too-hard probe degrades into a reported incumbent instead of hanging.
+pub fn solve_options(full: bool) -> optalloc::SolveOptions {
+    optalloc::SolveOptions {
+        max_conflicts: if full { None } else { Some(3_000_000) },
+        // Generated frames are ≤ 9 ticks, so 24 leaves ample headroom while
+        // keeping the slot decision space small in quick mode.
+        max_slot: if full { 48 } else { 24 },
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(Duration::from_millis(2500)), "2.50s");
+        assert_eq!(fmt_time(Duration::from_secs(75)), "1m15s");
+        assert_eq!(fmt_time(Duration::from_secs(3700)), "1h01m");
+    }
+
+    #[test]
+    fn cli_default_is_quick() {
+        let cli = Cli::default();
+        assert!(!cli.full);
+        assert!(cli.json.is_none());
+    }
+}

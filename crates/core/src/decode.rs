@@ -1,0 +1,69 @@
+//! Decoding a SAT model back into an [`Allocation`] — "extracting the
+//! placement and scheduling information from the satisfying assignment"
+//! (paper §5.2).
+
+use crate::encode::Encoding;
+use optalloc_intopt::Model;
+use optalloc_model::{deadline_monotonic, Allocation, MessageRoute, TaskId};
+
+/// Reads the allocation encoded in `model` out of the variable maps.
+pub(crate) fn decode(enc: &Encoding<'_>, model: &Model) -> Allocation {
+    let tasks = enc.tasks;
+
+    // Π: the ECU whose one-hot literal is true.
+    let placement = (0..tasks.len())
+        .map(|i| {
+            let tid = TaskId(i as u32);
+            enc.alloc[tid.index()]
+                .iter()
+                .find(|(_, v)| model.bool(**v))
+                .map(|(&p, _)| p)
+                .expect("exactly-one allocation constraint guarantees a placement")
+        })
+        .collect();
+
+    // Φ: deadline-monotonic with the same id tie-break the encoder fixed.
+    let priorities = deadline_monotonic(tasks);
+
+    // Γ: the selected sub-path per message, with its local deadlines.
+    let mut routes: Vec<Vec<MessageRoute>> = tasks
+        .tasks
+        .iter()
+        .map(|t| Vec::with_capacity(t.messages.len()))
+        .collect();
+    for mv in &enc.msgs {
+        let chosen = mv
+            .routes
+            .iter()
+            .zip(&mv.hsel)
+            .find(|(_, sel)| model.bool(**sel))
+            .map(|(r, _)| r)
+            .expect("exactly-one selector constraint guarantees a route");
+        let local_deadlines = chosen
+            .path
+            .iter()
+            .map(|k| model.int(mv.local_deadline[k]) as u64)
+            .collect();
+        routes[mv.id.sender.index()].push(MessageRoute {
+            media: chosen.path.clone(),
+            local_deadlines,
+        });
+    }
+
+    // Slot tables the optimizer chose.
+    let slot_overrides = enc
+        .slot_vars
+        .iter()
+        .map(|(&k, vars)| {
+            let slots = vars.iter().map(|v| model.int(*v) as u64).collect();
+            (k, slots)
+        })
+        .collect();
+
+    Allocation {
+        placement,
+        priorities,
+        routes,
+        slot_overrides,
+    }
+}

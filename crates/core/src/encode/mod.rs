@@ -1,0 +1,396 @@
+//! Translation of the allocation problem into integer formulae (paper §3–§4).
+//!
+//! This module builds one [`IntProblem`] containing:
+//!
+//! * task-side constraints — allocation variables with placement and
+//!   separation restrictions (eq. 4), WCET selection (eq. 5), response-time
+//!   recurrences with ceiling elimination (eqs. 6–12) and deadline checks
+//!   (eq. 13), plus the Tindell-style memory-capacity extension;
+//! * message-side constraints — path-closure route selection (eq. 14 and
+//!   the `v(h)` endpoint check), per-medium local deadlines with gateway
+//!   service cost, jitter propagation, and per-medium response-time analysis
+//!   for priority (eq. 2) and TDMA (eq. 3) buses, including the nonlinear
+//!   TDMA blocking term;
+//! * an objective definition (see [`crate::Objective`]).
+//!
+//! ## Deviations from the paper's letter (not its semantics)
+//!
+//! * **Priorities are constant.** Eq. (10) fixes deadline-monotonic order
+//!   wherever deadlines differ and eq. (9) allows an "arbitrary but
+//!   consistent" order on ties. Since deadline-monotonic scheduling remains
+//!   optimal under any fixed tie-break, we resolve ties by task id at
+//!   encode time instead of carrying the paper's `pᵢⱼ` Boolean variables;
+//!   no optimal solution is lost and the search space shrinks.
+//! * **Eq. (14) is realized through per-(closure, prefix) selector
+//!   variables** (`hsel`). The paper's disjunction over sub-paths of the
+//!   chosen closure admits exactly one sub-path (the `K` patterns of
+//!   distinct prefixes are mutually exclusive); an exactly-one constraint
+//!   over selectors is the same condition with the Tseitin variables made
+//!   explicit, and the `K` usage variables become derived disjunctions.
+
+mod messages;
+pub(crate) mod objective;
+
+use crate::options::SolveOptions;
+use optalloc_intopt::{BoolExpr, BoolVar, IntExpr, IntProblem, IntVar, PbOp};
+use optalloc_model::{
+    path_closures, Architecture, EcuId, MediumId, MediumKind, MsgId, PathClosure, TaskId, TaskSet,
+    Time,
+};
+use std::collections::BTreeMap;
+
+/// One feasible route choice for a message: a prefix `h` of a path closure.
+#[derive(Clone, Debug)]
+pub(crate) struct RouteChoice {
+    /// Index into the architecture's closure set `PH` (kept for debugging
+    /// and experiment reports).
+    #[allow(dead_code)]
+    pub closure: usize,
+    /// The sub-path (empty for `ph₀`).
+    pub path: Vec<MediumId>,
+}
+
+/// Per-message encoding state.
+pub(crate) struct MsgVars {
+    pub id: MsgId,
+    /// Feasible route choices.
+    pub routes: Vec<RouteChoice>,
+    /// One selector per route choice (exactly one holds).
+    pub hsel: Vec<BoolVar>,
+    /// Media that appear in any feasible route, sorted.
+    pub media: Vec<MediumId>,
+    /// `K_m^k`: medium usage, as derived disjunction of selectors.
+    pub k_used: BTreeMap<MediumId, BoolExpr>,
+    /// Cached 0/1 integer image of `k_used`.
+    pub k_used_int: BTreeMap<MediumId, IntExpr>,
+    /// Local deadline `d_m^k` per medium.
+    pub local_deadline: BTreeMap<MediumId, IntVar>,
+    /// Accumulated queueing jitter `J_m^k` per medium.
+    pub jitter: BTreeMap<MediumId, IntVar>,
+    /// Per-medium response time `r_m^k`.
+    pub resp: BTreeMap<MediumId, IntVar>,
+    /// Forwarder one-hot per TDMA medium (which member ECU owns the slot
+    /// this message is sent from).
+    pub fwd: BTreeMap<MediumId, BTreeMap<EcuId, BoolVar>>,
+}
+
+/// The complete symbolic encoding of one allocation problem.
+pub(crate) struct Encoding<'a> {
+    pub arch: &'a Architecture,
+    pub tasks: &'a TaskSet,
+    pub opts: &'a SolveOptions,
+    pub problem: IntProblem,
+
+    /// Path closures of the architecture (`PH`, §4).
+    pub closures: Vec<PathClosure>,
+    /// Allocation one-hots `aᵢ = p`, per task over its allowed ECUs.
+    pub alloc: Vec<BTreeMap<EcuId, BoolVar>>,
+    /// Task response-time variables `rᵢ`.
+    pub resp: Vec<IntVar>,
+    /// WCET expressions per task (constant when one ECU is allowed).
+    pub wcet: Vec<IntExpr>,
+    /// Message encoding state.
+    pub msgs: Vec<MsgVars>,
+    /// TDMA slot-length decision variables (only for media whose slots the
+    /// objective optimizes), aligned with medium member lists.
+    pub slot_vars: BTreeMap<MediumId, Vec<IntVar>>,
+    /// Becomes `true` when a structurally infeasible situation was found at
+    /// encode time (e.g. a task with no legal ECU).
+    pub infeasible: bool,
+}
+
+impl<'a> Encoding<'a> {
+    /// Builds the full constraint system. `variable_slot_media` lists the
+    /// TDMA media whose slot tables are decision variables (derived from
+    /// the objective by the optimizer).
+    pub fn build(
+        arch: &'a Architecture,
+        tasks: &'a TaskSet,
+        opts: &'a SolveOptions,
+        variable_slot_media: &[MediumId],
+    ) -> Encoding<'a> {
+        let mut enc = Encoding {
+            arch,
+            tasks,
+            opts,
+            problem: IntProblem::new(),
+            closures: path_closures(arch),
+            alloc: Vec::new(),
+            resp: Vec::new(),
+            wcet: Vec::new(),
+            msgs: Vec::new(),
+            slot_vars: BTreeMap::new(),
+            infeasible: false,
+        };
+        enc.declare_slot_vars(variable_slot_media);
+        enc.encode_tasks();
+        enc.encode_messages();
+        enc
+    }
+
+    /// ECUs a task may legally occupy: its permission set πᵢ minus pure
+    /// gateway nodes.
+    pub fn allowed_ecus(&self, task: TaskId) -> Vec<EcuId> {
+        self.tasks
+            .task(task)
+            .allowed_ecus()
+            .filter(|&p| self.arch.ecu(p).hosts_tasks)
+            .collect()
+    }
+
+    /// The allocation literal `aᵢ = p` (constant `false` when `p` is not
+    /// allowed).
+    pub fn placed_on(&self, task: TaskId, ecu: EcuId) -> BoolExpr {
+        self.alloc[task.index()]
+            .get(&ecu)
+            .map(|v| v.expr())
+            .unwrap_or_else(|| BoolExpr::constant(false))
+    }
+
+    /// `aᵢ = aⱼ` — the co-location test used throughout §3.
+    pub fn colocated(&self, a: TaskId, b: TaskId) -> BoolExpr {
+        let shared: Vec<BoolExpr> = self.alloc[a.index()]
+            .iter()
+            .filter_map(|(&p, va)| {
+                self.alloc[b.index()]
+                    .get(&p)
+                    .map(|vb| va.expr().and(vb.expr()))
+            })
+            .collect();
+        BoolExpr::any(shared)
+    }
+
+    /// 0/1 integer image of a Boolean expression.
+    pub fn b2i(&mut self, e: &BoolExpr) -> IntExpr {
+        let v = self.problem.int_var(0, 1);
+        self.problem.assert(e.implies(v.expr().eq(1)));
+        self.problem.assert(e.not().implies(v.expr().eq(0)));
+        v.expr()
+    }
+
+    /// Slot-length expression of `medium`'s `idx`-th member: a decision
+    /// variable if the objective optimizes this medium, else the constant
+    /// from the architecture.
+    pub fn slot_expr(&self, medium: MediumId, idx: usize) -> IntExpr {
+        if let Some(vars) = self.slot_vars.get(&medium) {
+            return vars[idx].expr();
+        }
+        match &self.arch.medium(medium).kind {
+            MediumKind::Tdma { slots } => IntExpr::constant(slots[idx] as i64),
+            MediumKind::Priority => unreachable!("slot_expr on a priority medium"),
+        }
+    }
+
+    /// Round length Λ of a TDMA medium as an expression, with its interval.
+    pub fn round_expr(&self, medium: MediumId) -> (IntExpr, i64, i64) {
+        let med = self.arch.medium(medium);
+        let n = med.members.len();
+        let expr = IntExpr::sum((0..n).map(|i| self.slot_expr(medium, i)));
+        match (&med.kind, self.slot_vars.contains_key(&medium)) {
+            (_, true) => (expr, n as i64, n as i64 * self.opts.max_slot as i64),
+            (MediumKind::Tdma { slots }, false) => {
+                let sum: Time = slots.iter().sum();
+                (expr, sum as i64, sum as i64)
+            }
+            (MediumKind::Priority, false) => unreachable!(),
+        }
+    }
+
+    fn declare_slot_vars(&mut self, media: &[MediumId]) {
+        for &k in media {
+            let med = self.arch.medium(k);
+            assert!(med.is_tdma(), "slot variables only exist on TDMA media");
+            let vars: Vec<IntVar> = med
+                .members
+                .iter()
+                .map(|_| self.problem.int_var(1, self.opts.max_slot as i64))
+                .collect();
+            self.slot_vars.insert(k, vars);
+        }
+    }
+
+    /// The constant priority relation: `true` iff `a` outranks `b`
+    /// (deadline-monotonic, ties by id — see the module docs for why this
+    /// is constant rather than eq. (9)'s Boolean variables).
+    pub fn task_outranks(&self, a: TaskId, b: TaskId) -> bool {
+        let (da, db) = (self.tasks.task(a).deadline, self.tasks.task(b).deadline);
+        (da, a) < (db, b)
+    }
+
+    // ------------------------------------------------------------------
+    // Task-side constraints (§3)
+    // ------------------------------------------------------------------
+
+    fn encode_tasks(&mut self) {
+        let n = self.tasks.len();
+
+        // Allocation one-hots + eq. (4) placement restrictions (forbidden
+        // ECUs simply get no variable) + eq. (5) WCET selection.
+        for i in 0..n {
+            let tid = TaskId(i as u32);
+            let allowed = self.allowed_ecus(tid);
+            if allowed.is_empty() {
+                self.infeasible = true;
+                self.problem.assert(BoolExpr::constant(false));
+                self.alloc.push(BTreeMap::new());
+                self.wcet.push(IntExpr::constant(0));
+                continue;
+            }
+            let vars: BTreeMap<EcuId, BoolVar> = allowed
+                .iter()
+                .map(|&p| (p, self.problem.bool_var()))
+                .collect();
+            let terms: Vec<(BoolExpr, i64)> =
+                vars.values().map(|v| (v.expr(), 1)).collect();
+            self.problem.assert_pb(terms, PbOp::Eq, 1);
+
+            let t = self.tasks.task(tid);
+            let wcet_expr = if allowed.len() == 1 {
+                IntExpr::constant(t.wcet_on(allowed[0]).unwrap() as i64)
+            } else {
+                let lo = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).min().unwrap();
+                let hi = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).max().unwrap();
+                let w = self.problem.int_var(lo as i64, hi as i64);
+                for &p in &allowed {
+                    let c = t.wcet_on(p).unwrap() as i64;
+                    self.problem
+                        .assert(vars[&p].expr().implies(w.expr().eq(c)));
+                }
+                w.expr()
+            };
+            self.alloc.push(vars);
+            self.wcet.push(wcet_expr);
+        }
+
+        // Eq. (4) second conjunct: separation (redundancy) constraints.
+        for (tid, t) in self.tasks.iter() {
+            for &other in &t.separation {
+                // Each unordered pair once.
+                if other < tid && self.tasks.task(other).separation.contains(&tid) {
+                    continue;
+                }
+                let shared: Vec<EcuId> = self.alloc[tid.index()]
+                    .keys()
+                    .filter(|p| self.alloc[other.index()].contains_key(p))
+                    .copied()
+                    .collect();
+                for p in shared {
+                    let both = self.placed_on(tid, p).and(self.placed_on(other, p));
+                    self.problem.assert(both.not());
+                }
+            }
+        }
+
+        // Memory capacities (Tindell extension).
+        for (pid, ecu) in self.arch.iter_ecus() {
+            if ecu.memory_capacity == u64::MAX {
+                continue;
+            }
+            let terms: Vec<(BoolExpr, i64)> = self
+                .tasks
+                .iter()
+                .filter(|(_, t)| t.memory > 0)
+                .filter_map(|(tid, t)| {
+                    self.alloc[tid.index()]
+                        .get(&pid)
+                        .map(|v| (v.expr(), t.memory as i64))
+                })
+                .collect();
+            if !terms.is_empty() {
+                self.problem
+                    .assert_pb(terms, PbOp::Le, ecu.memory_capacity as i64);
+            }
+        }
+
+        // Response times: eqs. (6)–(12); eq. (13) is the range of rᵢ.
+        for i in 0..n {
+            let tid = TaskId(i as u32);
+            let t = self.tasks.task(tid);
+            let allowed = self.allowed_ecus(tid);
+            if allowed.is_empty() {
+                self.resp.push(self.problem.int_var(0, 0));
+                continue;
+            }
+            let min_c = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).min().unwrap();
+            let r = self
+                .problem
+                .int_var(min_c as i64, t.deadline as i64);
+            self.resp.push(r);
+        }
+        for i in 0..n {
+            let tid = TaskId(i as u32);
+            if self.allowed_ecus(tid).is_empty() {
+                continue;
+            }
+            let t = self.tasks.task(tid).clone();
+            let r = self.resp[i];
+
+            let mut preemption_terms: Vec<IntExpr> = Vec::new();
+            for j in 0..n {
+                let jid = TaskId(j as u32);
+                if i == j || !self.task_outranks(jid, tid) {
+                    continue;
+                }
+                // Pairs that can never co-locate contribute nothing (eq. 12
+                // holds vacuously).
+                let shared: Vec<EcuId> = self.alloc[i]
+                    .keys()
+                    .filter(|p| self.alloc[j].contains_key(p))
+                    .copied()
+                    .collect();
+                if shared.is_empty() || t.separation.contains(&jid)
+                    || self.tasks.task(jid).separation.contains(&tid)
+                {
+                    continue;
+                }
+
+                let tj = self.tasks.task(jid).clone();
+                let jitter = if self.opts.task_jitter {
+                    tj.release_jitter
+                } else {
+                    0
+                };
+                let i_max = (t.deadline + jitter).div_ceil(tj.period).max(1);
+                let i_var = self.problem.int_var(0, i_max as i64);
+                let pc_max = (i_max * tj.wcet.values().copied().max().unwrap())
+                    .min(t.deadline);
+                let pc_var = self.problem.int_var(0, pc_max as i64);
+                let same = self.colocated(tid, jid);
+                let tj_period = tj.period as i64;
+
+                // Eq. (11): ceiling elimination Iᵢⱼ = ⌈(rᵢ + Jⱼ)/tⱼ⌉ when
+                // co-located (Jⱼ = 0 unless the jitter extension is on).
+                let arrival = r.expr() + jitter as i64;
+                self.problem.assert(same.implies(
+                    (i_var.expr() * tj_period)
+                        .ge(arrival.clone())
+                        .and(((i_var.expr() - 1) * tj_period).lt(arrival)),
+                ));
+                // Eq. (12) + eq. (8): no interference across ECUs.
+                self.problem.assert(
+                    same.not()
+                        .implies(i_var.expr().eq(0).and(pc_var.expr().eq(0))),
+                );
+                // Eq. (7): preemption cost.
+                if self.opts.product_elimination {
+                    for &p in &shared {
+                        let guard = self.placed_on(tid, p).and(self.placed_on(jid, p));
+                        let cjp = tj.wcet_on(p).unwrap() as i64;
+                        self.problem.assert(
+                            guard.implies(pc_var.expr().eq(i_var.expr() * cjp)),
+                        );
+                    }
+                } else {
+                    let prod = i_var.expr() * self.wcet[j].clone();
+                    self.problem
+                        .assert(same.implies(pc_var.expr().eq(prod)));
+                }
+                preemption_terms.push(pc_var.expr());
+            }
+
+            // Eq. (6): rᵢ = wcetᵢ + Σ pcᵢⱼ; eq. (13) via the range of rᵢ.
+            let rhs = self.wcet[i].clone() + IntExpr::sum(preemption_terms);
+            self.problem.assert(r.expr().eq(rhs));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The top-level optimizer: encode → `BIN_SEARCH` → decode → re-validate.
+
+use crate::decode::decode;
+use crate::encode::objective::{variable_slot_media, ObjectiveError};
+use crate::encode::Encoding;
+use crate::options::{Objective, SolveOptions};
+use optalloc_analysis::{validate, AnalysisConfig, Report};
+use optalloc_intopt::{EncodeStats, MinimizeOptions, MinimizeStatus};
+use optalloc_model::{Allocation, Architecture, TaskSet};
+use optalloc_sat::SolverStats;
+use std::time::{Duration, Instant};
+
+/// A feasible allocation together with its independent analysis report.
+#[derive(Clone, Debug)]
+pub struct AllocationSolution {
+    /// The decoded allocation `(Π, Φ, Γ)` plus chosen slot tables.
+    pub allocation: Allocation,
+    /// The analysis report re-validating the allocation (always feasible).
+    pub report: Report,
+}
+
+/// Result of an optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimizeReport {
+    /// The optimal allocation.
+    pub solution: AllocationSolution,
+    /// The minimal objective value.
+    pub cost: i64,
+    /// Propositional encoding size — the paper's "Var." / "Lit." columns.
+    pub encode: EncodeStats,
+    /// Number of `SOLVE` calls the binary search issued.
+    pub solve_calls: u32,
+    /// Aggregated solver statistics.
+    pub stats: SolverStats,
+    /// Wall-clock time of the full run (encode + search + decode).
+    pub wall: Duration,
+}
+
+/// Why an optimization run produced no allocation.
+#[derive(Debug)]
+pub enum OptError {
+    /// No allocation satisfies the constraints.
+    Infeasible,
+    /// The conflict budget ran out; carries the best incumbent if any probe
+    /// succeeded before the abort.
+    Budget {
+        /// Best (cost, solution) found before giving up.
+        incumbent: Option<(i64, AllocationSolution)>,
+    },
+    /// Objective incompatible with the architecture.
+    Objective(ObjectiveError),
+    /// Internal consistency failure: the solver's allocation did not pass
+    /// independent re-validation (a bug, never expected).
+    ValidationFailed(Report),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::Infeasible => write!(f, "no feasible allocation exists"),
+            OptError::Budget { incumbent } => write!(
+                f,
+                "conflict budget exhausted ({} incumbent)",
+                if incumbent.is_some() { "with" } else { "no" }
+            ),
+            OptError::Objective(e) => write!(f, "objective error: {e}"),
+            OptError::ValidationFailed(r) => {
+                write!(f, "solver allocation failed re-validation: {:?}", r.violations)
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// The SAT-based optimal allocator (the paper's contribution, end to end).
+///
+/// ```
+/// use optalloc::{Optimizer, Objective};
+/// use optalloc_model::{Architecture, Ecu, EcuId, Medium, Task, TaskId, TaskSet};
+///
+/// let mut arch = Architecture::new();
+/// let p0 = arch.push_ecu(Ecu::new("p0"));
+/// let p1 = arch.push_ecu(Ecu::new("p1"));
+/// arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+///
+/// let mut tasks = TaskSet::new();
+/// tasks.push(Task::new("a", 20, 20, vec![(p0, 8), (p1, 8)]));
+/// tasks.push(Task::new("b", 20, 20, vec![(p0, 8), (p1, 8)]));
+/// tasks.push(Task::new("c", 20, 19, vec![(p0, 8), (p1, 8)]));
+///
+/// // Three 40%-tasks cannot share one ECU; the optimizer must split them.
+/// let result = Optimizer::new(&arch, &tasks)
+///     .minimize(&Objective::MaxUtilizationPermille)
+///     .unwrap();
+/// assert!(result.solution.report.is_feasible());
+/// assert_eq!(result.cost, 800); // 2 tasks × 40% on the fuller ECU
+/// ```
+pub struct Optimizer<'a> {
+    arch: &'a Architecture,
+    tasks: &'a TaskSet,
+    opts: SolveOptions,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer with default options.
+    pub fn new(arch: &'a Architecture, tasks: &'a TaskSet) -> Optimizer<'a> {
+        Optimizer {
+            arch,
+            tasks,
+            opts: SolveOptions::default(),
+        }
+    }
+
+    /// Replaces the solve options (builder style).
+    pub fn with_options(mut self, opts: SolveOptions) -> Optimizer<'a> {
+        self.opts = opts;
+        self
+    }
+
+    /// The analysis configuration consistent with the encoder settings; use
+    /// it for any external re-validation.
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            task_jitter: self.opts.task_jitter,
+            gateway_service: self.opts.gateway_service,
+        }
+    }
+
+    fn check(&self, alloc: Allocation) -> Result<AllocationSolution, OptError> {
+        let report = validate(self.arch, self.tasks, &alloc, &self.analysis_config());
+        if report.is_feasible() {
+            Ok(AllocationSolution {
+                allocation: alloc,
+                report,
+            })
+        } else {
+            Err(OptError::ValidationFailed(report))
+        }
+    }
+
+    /// Finds any feasible allocation (no objective), or proves none exists.
+    pub fn find_feasible(&self) -> Result<AllocationSolution, OptError> {
+        let enc = Encoding::build(self.arch, self.tasks, &self.opts, &[]);
+        if enc.infeasible {
+            return Err(OptError::Infeasible);
+        }
+        match enc
+            .problem
+            .solve_with_budget(self.opts.backend, self.opts.max_conflicts)
+        {
+            Err(()) => Err(OptError::Budget { incumbent: None }),
+            Ok(None) => Err(OptError::Infeasible),
+            Ok(Some(model)) => self.check(decode(&enc, &model)),
+        }
+    }
+
+    /// Minimizes `objective` over all feasible allocations via the paper's
+    /// binary-search scheme, returning a provably optimal allocation.
+    pub fn minimize(&self, objective: &Objective) -> Result<OptimizeReport, OptError> {
+        let start = Instant::now();
+        if matches!(objective, Objective::Feasibility) {
+            // Feasibility has no cost; reuse find_feasible with cost 0.
+            let solution = self.find_feasible()?;
+            return Ok(OptimizeReport {
+                solution,
+                cost: 0,
+                encode: EncodeStats::default(),
+                solve_calls: 1,
+                stats: SolverStats::default(),
+                wall: start.elapsed(),
+            });
+        }
+
+        let slot_media =
+            variable_slot_media(self.arch, objective).map_err(OptError::Objective)?;
+        let mut enc = Encoding::build(self.arch, self.tasks, &self.opts, &slot_media);
+        let cost = enc
+            .encode_objective(objective)
+            .map_err(OptError::Objective)?
+            .expect("non-feasibility objectives define a cost");
+        if enc.infeasible {
+            return Err(OptError::Infeasible);
+        }
+
+        let min_opts = MinimizeOptions {
+            backend: self.opts.backend,
+            mode: self.opts.mode,
+            max_conflicts: self.opts.max_conflicts,
+            initial_upper: self.opts.initial_upper,
+        };
+        let outcome = enc.problem.minimize(cost, &min_opts);
+        let wall = start.elapsed();
+
+        match outcome.status {
+            MinimizeStatus::Infeasible => Err(OptError::Infeasible),
+            MinimizeStatus::Unknown { incumbent } => {
+                let incumbent = match incumbent {
+                    None => None,
+                    Some((value, model)) => {
+                        let sol = self.check(decode(&enc, &model))?;
+                        Some((value, sol))
+                    }
+                };
+                Err(OptError::Budget { incumbent })
+            }
+            MinimizeStatus::Optimal { value, model } => {
+                let solution = self.check(decode(&enc, &model))?;
+                Ok(OptimizeReport {
+                    solution,
+                    cost: value,
+                    encode: outcome.encode,
+                    solve_calls: outcome.solve_calls,
+                    stats: outcome.stats,
+                    wall,
+                })
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Configuration of the encoder and optimizer.
+
+use optalloc_intopt::{Backend, BinSearchMode};
+use optalloc_model::{MediumId, Time};
+
+/// What the optimizer minimizes (paper §6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the token rotation time (round length Λ) of one TDMA
+    /// medium — the \[5\] benchmark objective of Table 1. The medium's slot
+    /// lengths become decision variables.
+    TokenRotationTime(MediumId),
+    /// Minimize the sum of token rotation times over all TDMA media —
+    /// Table 4's objective. All TDMA slot tables become decision variables.
+    SumTokenRotationTimes,
+    /// Minimize the bus load `U = Σ ρₘ/tₘ` (in ‰) of one priority medium —
+    /// the Table 1 CAN variant.
+    BusLoadPermille(MediumId),
+    /// Minimize the maximum per-ECU processor utilization (in ‰) — the
+    /// utilization-balancing objective §4 mentions.
+    MaxUtilizationPermille,
+    /// Minimize the spread between the most and least utilized ECU (in ‰) —
+    /// the "difference to the average utilization" balance goal of §4,
+    /// realized as a max−min band.
+    UtilizationSpreadPermille,
+    /// No objective: find any feasible allocation.
+    Feasibility,
+}
+
+/// Encoder and search options.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Service cost charged per gateway crossing (ticks). Must match the
+    /// `AnalysisConfig` used for validation; the optimizer keeps them in
+    /// sync automatically.
+    pub gateway_service: Time,
+    /// Upper bound for TDMA slot-length decision variables (ticks).
+    pub max_slot: Time,
+    /// Encode preemption cost per co-location case (`(aᵢ=aⱼ=p) → pc =
+    /// I·cⱼ(p)`, constant multiplier) instead of the paper's literal
+    /// eq. (7) product `pc = I·wcetⱼ` (variable×variable). Semantically
+    /// identical; an ablation knob for encoding-size experiments.
+    pub product_elimination: bool,
+    /// Gate-encoding backend for bit-blasting.
+    pub backend: Backend,
+    /// Binary-search mode (fresh re-encoding vs. incremental solver).
+    pub mode: BinSearchMode,
+    /// Per-`SOLVE` conflict budget; `None` = unlimited.
+    pub max_conflicts: Option<u64>,
+    /// Warm-start hint: a cost value known to be attainable (e.g. from the
+    /// simulated-annealing baseline or a planted allocation). The first
+    /// binary-search probe is bounded by it.
+    pub initial_upper: Option<i64>,
+    /// Account for interferer release jitter in task response times
+    /// (`⌈(rᵢ + Jⱼ)/tⱼ⌉`) — one of the "release jitter, blocking factors,
+    /// etc." extensions the paper's §2 mentions. Off = the literal eq. (1).
+    pub task_jitter: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            gateway_service: 2,
+            max_slot: 64,
+            product_elimination: false,
+            backend: Backend::PseudoBoolean,
+            mode: BinSearchMode::Incremental,
+            max_conflicts: None,
+            initial_upper: None,
+            task_jitter: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let o = SolveOptions::default();
+        assert!(!o.product_elimination, "eq. (7) product is the default");
+        assert_eq!(o.backend, Backend::PseudoBoolean);
+        assert_eq!(o.mode, BinSearchMode::Incremental);
+    }
+}

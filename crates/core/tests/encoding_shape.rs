@@ -1,0 +1,169 @@
+//! Structural tests of the encoder: encode-time infeasibility detection,
+//! route-choice pruning, and encoding-size scaling.
+
+use optalloc::{Objective, OptError, Optimizer, SolveOptions};
+use optalloc_model::{Architecture, Ecu, EcuId, Medium, Task, TaskId, TaskSet};
+
+#[test]
+fn task_with_no_legal_ecu_is_infeasible_at_encode_time() {
+    let mut arch = Architecture::new();
+    arch.push_ecu(Ecu::new("gw").gateway_only());
+    arch.push_ecu(Ecu::new("p1"));
+    arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 1, 1));
+    let mut tasks = TaskSet::new();
+    // Permission set only contains the gateway.
+    tasks.push(Task::new("t", 10, 10, vec![(EcuId(0), 1)]));
+    match Optimizer::new(&arch, &tasks).find_feasible() {
+        Err(OptError::Infeasible) => {}
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn message_between_disconnected_islands_is_infeasible() {
+    // Two buses with no gateway between them.
+    let mut arch = Architecture::new();
+    for i in 0..4 {
+        arch.push_ecu(Ecu::new(format!("p{i}")));
+    }
+    arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+    arch.push_medium(Medium::priority("k1", vec![EcuId(2), EcuId(3)], 1, 1));
+    let mut tasks = TaskSet::new();
+    tasks.push(Task::new("s", 100, 100, vec![(EcuId(0), 5)]).sends(TaskId(1), 4, 50));
+    tasks.push(Task::new("r", 100, 90, vec![(EcuId(2), 5)]));
+    match Optimizer::new(&arch, &tasks).find_feasible() {
+        Err(OptError::Infeasible) => {}
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_island_message_is_feasible() {
+    // Control for the previous test: receiver reachable on the same bus.
+    let mut arch = Architecture::new();
+    for i in 0..4 {
+        arch.push_ecu(Ecu::new(format!("p{i}")));
+    }
+    arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+    arch.push_medium(Medium::priority("k1", vec![EcuId(2), EcuId(3)], 1, 1));
+    let mut tasks = TaskSet::new();
+    tasks.push(Task::new("s", 100, 100, vec![(EcuId(0), 5)]).sends(TaskId(1), 4, 50));
+    tasks.push(Task::new("r", 100, 90, vec![(EcuId(1), 5)]));
+    assert!(Optimizer::new(&arch, &tasks).find_feasible().is_ok());
+}
+
+#[test]
+fn encoding_size_grows_with_permission_sets() {
+    // More allowed ECUs per task ⇒ more allocation literals and pair
+    // machinery ⇒ larger encodings.
+    let build = |ecus_per_task: usize| {
+        let mut arch = Architecture::new();
+        for i in 0..4 {
+            arch.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        arch.push_medium(Medium::priority(
+            "can",
+            (0..4).map(EcuId).collect(),
+            1,
+            1,
+        ));
+        let mut tasks = TaskSet::new();
+        for i in 0..6 {
+            let wcet: Vec<_> = (0..ecus_per_task as u32).map(|p| (EcuId(p), 5)).collect();
+            tasks.push(Task::new(format!("t{i}"), 60, 50 + i, wcet));
+        }
+        let r = Optimizer::new(&arch, &tasks)
+            .minimize(&Objective::MaxUtilizationPermille)
+            .unwrap();
+        r.encode.bool_vars
+    };
+    let narrow = build(1);
+    let wide = build(4);
+    assert!(
+        wide > narrow,
+        "wide permission sets must enlarge the encoding: {wide} vs {narrow}"
+    );
+}
+
+#[test]
+fn restricting_permissions_changes_the_optimum() {
+    let mut arch = Architecture::new();
+    let p0 = arch.push_ecu(Ecu::new("p0"));
+    let p1 = arch.push_ecu(Ecu::new("p1"));
+    arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+    // Free placement: two 40% tasks split → max util 400‰.
+    let mut free = TaskSet::new();
+    free.push(Task::new("a", 10, 10, vec![(p0, 4), (p1, 4)]));
+    free.push(Task::new("b", 10, 9, vec![(p0, 4), (p1, 4)]));
+    let free_cost = Optimizer::new(&arch, &free)
+        .minimize(&Objective::MaxUtilizationPermille)
+        .unwrap()
+        .cost;
+    assert_eq!(free_cost, 400);
+    // Pinned together: 800‰.
+    let mut pinned = TaskSet::new();
+    pinned.push(Task::new("a", 10, 10, vec![(p0, 4)]));
+    pinned.push(Task::new("b", 10, 9, vec![(p0, 4)]));
+    let pinned_cost = Optimizer::new(&arch, &pinned)
+        .minimize(&Objective::MaxUtilizationPermille)
+        .unwrap()
+        .cost;
+    assert_eq!(pinned_cost, 800);
+}
+
+#[test]
+fn objective_medium_type_mismatch_is_reported() {
+    let mut arch = Architecture::new();
+    let p0 = arch.push_ecu(Ecu::new("p0"));
+    let p1 = arch.push_ecu(Ecu::new("p1"));
+    let can = arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+    let mut tasks = TaskSet::new();
+    tasks.push(Task::new("t", 10, 10, vec![(p0, 1), (p1, 1)]));
+    // TRT on a priority medium is a type error.
+    match Optimizer::new(&arch, &tasks).minimize(&Objective::TokenRotationTime(can)) {
+        Err(OptError::Objective(_)) => {}
+        other => panic!("expected objective error, got {other:?}"),
+    }
+    // Sum-TRT with no TDMA media likewise.
+    match Optimizer::new(&arch, &tasks).minimize(&Objective::SumTokenRotationTimes) {
+        Err(OptError::Objective(_)) => {}
+        other => panic!("expected objective error, got {other:?}"),
+    }
+}
+
+#[test]
+fn gateway_service_tightens_multi_hop_budgets() {
+    // A 2-hop message whose deadline only just fits without service cost.
+    let mut arch = Architecture::new();
+    for i in 0..2 {
+        arch.push_ecu(Ecu::new(format!("p{i}")));
+    }
+    arch.push_ecu(Ecu::new("gw").gateway_only());
+    arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(2)], 1, 1));
+    arch.push_medium(Medium::priority("k1", vec![EcuId(1), EcuId(2)], 1, 1));
+    let mut tasks = TaskSet::new();
+    // ρ = 5 per hop; the minimal budget is 5 + 5 = 10 plus service.
+    tasks.push(Task::new("s", 100, 80, vec![(EcuId(0), 5)]).sends(TaskId(1), 4, 11));
+    tasks.push(Task::new("r", 100, 90, vec![(EcuId(1), 5)]));
+
+    // Service 1: 10 + 1 ≤ 11 — feasible.
+    let ok = Optimizer::new(&arch, &tasks)
+        .with_options(SolveOptions {
+            gateway_service: 1,
+            ..Default::default()
+        })
+        .find_feasible();
+    assert!(ok.is_ok(), "{ok:?}");
+
+    // Service 5: 10 + 5 > 11 — infeasible.
+    match Optimizer::new(&arch, &tasks)
+        .with_options(SolveOptions {
+            gateway_service: 5,
+            ..Default::default()
+        })
+        .find_feasible()
+    {
+        Err(OptError::Infeasible) => {}
+        other => panic!("expected infeasible under heavy gateway cost, got {other:?}"),
+    }
+}

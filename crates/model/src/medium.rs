@@ -1,0 +1,193 @@
+//! Communication media: priority-driven buses (CAN) and TDMA buses
+//! (token ring, TTP).
+//!
+//! Following the paper's §2, a medium `k ∈ K ⊆ 2^P` connects a set of ECUs
+//! and carries protocol parameters `κ` — frame overheads, per-byte
+//! transmission cost and, for TDMA media, the slot table. All times are in
+//! integer **ticks**; a workload fixes the tick length (the bundled
+//! workloads use 50 µs).
+
+use crate::ids::EcuId;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Media access control: how concurrent senders are arbitrated.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MediumKind {
+    /// Priority-driven arbitration (e.g. CAN): the pending message with the
+    /// highest priority wins the bus, and a started frame is not preempted.
+    Priority,
+    /// Time-division multiple access (e.g. token ring, TTP): each member ECU
+    /// owns one slot per round; `slots[i]` is the slot length of the `i`-th
+    /// member in [`Medium::members`]. The round length Λ is the slot sum.
+    Tdma {
+        /// Slot length per member ECU, aligned with [`Medium::members`].
+        slots: Vec<Time>,
+    },
+}
+
+/// One communication medium of the architecture.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Medium {
+    /// Human-readable name.
+    pub name: String,
+    /// Arbitration scheme and its parameters.
+    pub kind: MediumKind,
+    /// The ECUs connected to this medium (`k = {p₁, …, pⱼ}`).
+    pub members: Vec<EcuId>,
+    /// Fixed per-frame overhead in ticks (headers, arbitration, CRC).
+    pub frame_overhead: Time,
+    /// Transmission cost per byte of payload, in ticks.
+    pub per_byte: Time,
+}
+
+impl Medium {
+    /// Creates a priority-driven (CAN-style) medium.
+    pub fn priority(
+        name: impl Into<String>,
+        members: Vec<EcuId>,
+        frame_overhead: Time,
+        per_byte: Time,
+    ) -> Medium {
+        Medium {
+            name: name.into(),
+            kind: MediumKind::Priority,
+            members,
+            frame_overhead,
+            per_byte,
+        }
+    }
+
+    /// Creates a TDMA (token-ring-style) medium with one slot per member.
+    pub fn tdma(
+        name: impl Into<String>,
+        members: Vec<EcuId>,
+        slots: Vec<Time>,
+        frame_overhead: Time,
+        per_byte: Time,
+    ) -> Medium {
+        assert_eq!(
+            members.len(),
+            slots.len(),
+            "one TDMA slot per member ECU required"
+        );
+        Medium {
+            name: name.into(),
+            kind: MediumKind::Tdma { slots },
+            members,
+            frame_overhead,
+            per_byte,
+        }
+    }
+
+    /// `true` if `ecu` is connected to this medium.
+    pub fn connects(&self, ecu: EcuId) -> bool {
+        self.members.contains(&ecu)
+    }
+
+    /// Worst-case time to push one frame of `size` payload bytes over the
+    /// wire — the paper's ρ (rho).
+    pub fn transmission_time(&self, size: u32) -> Time {
+        self.frame_overhead + self.per_byte * size as Time
+    }
+
+    /// Best-case transmission time β: the bare frame with no contention.
+    /// Identical to ρ for our frame model, kept separate for the jitter
+    /// formula of §4.
+    pub fn best_case_time(&self, size: u32) -> Time {
+        self.transmission_time(size)
+    }
+
+    /// TDMA round length Λ (sum of all slots); `None` on priority media.
+    pub fn tdma_round(&self) -> Option<Time> {
+        match &self.kind {
+            MediumKind::Tdma { slots } => Some(slots.iter().sum()),
+            MediumKind::Priority => None,
+        }
+    }
+
+    /// The TDMA slot length λ(S(p)) owned by member `ecu`; `None` on
+    /// priority media or if `ecu` is not a member.
+    pub fn slot_of(&self, ecu: EcuId) -> Option<Time> {
+        match &self.kind {
+            MediumKind::Tdma { slots } => {
+                let idx = self.members.iter().position(|&m| m == ecu)?;
+                Some(slots[idx])
+            }
+            MediumKind::Priority => None,
+        }
+    }
+
+    /// `true` for TDMA media.
+    pub fn is_tdma(&self) -> bool {
+        matches!(self.kind, MediumKind::Tdma { .. })
+    }
+
+    /// Replaces the slot table (used when the optimizer chose new slot
+    /// lengths); panics if the medium is not TDMA or lengths mismatch.
+    pub fn with_slots(&self, slots: Vec<Time>) -> Medium {
+        assert!(self.is_tdma(), "slot override on a priority medium");
+        assert_eq!(slots.len(), self.members.len());
+        Medium {
+            kind: MediumKind::Tdma { slots },
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecus(ids: &[u32]) -> Vec<EcuId> {
+        ids.iter().map(|&i| EcuId(i)).collect()
+    }
+
+    #[test]
+    fn transmission_time_is_affine_in_size() {
+        let m = Medium::priority("can0", ecus(&[0, 1]), 5, 2);
+        assert_eq!(m.transmission_time(0), 5);
+        assert_eq!(m.transmission_time(8), 21);
+        assert_eq!(m.best_case_time(8), 21);
+    }
+
+    #[test]
+    fn tdma_round_is_slot_sum() {
+        let m = Medium::tdma("ring", ecus(&[0, 1, 2]), vec![10, 20, 30], 1, 1);
+        assert_eq!(m.tdma_round(), Some(60));
+        assert_eq!(m.slot_of(EcuId(1)), Some(20));
+        assert_eq!(m.slot_of(EcuId(9)), None);
+        assert!(m.is_tdma());
+    }
+
+    #[test]
+    fn priority_medium_has_no_round() {
+        let m = Medium::priority("can0", ecus(&[0, 1]), 5, 2);
+        assert_eq!(m.tdma_round(), None);
+        assert_eq!(m.slot_of(EcuId(0)), None);
+        assert!(!m.is_tdma());
+    }
+
+    #[test]
+    fn connects_checks_membership() {
+        let m = Medium::priority("can0", ecus(&[0, 2]), 5, 2);
+        assert!(m.connects(EcuId(0)));
+        assert!(!m.connects(EcuId(1)));
+    }
+
+    #[test]
+    fn with_slots_overrides() {
+        let m = Medium::tdma("ring", ecus(&[0, 1]), vec![5, 5], 1, 1);
+        let m2 = m.with_slots(vec![7, 3]);
+        assert_eq!(m2.tdma_round(), Some(10));
+        assert_eq!(m2.slot_of(EcuId(0)), Some(7));
+        // original unchanged
+        assert_eq!(m.slot_of(EcuId(0)), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "one TDMA slot per member")]
+    fn tdma_slot_count_must_match() {
+        Medium::tdma("ring", ecus(&[0, 1]), vec![5], 1, 1);
+    }
+}

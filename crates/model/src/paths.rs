@@ -1,0 +1,318 @@
+//! Path closures on hierarchical topologies (paper §4, Figure 1).
+//!
+//! The media of an architecture form a graph whose nodes are media and whose
+//! arcs are the gateway ECUs linking them. A **path closure** `ph ∈ PH` is
+//! the set of all non-empty prefixes of one maximal simple path through that
+//! graph; choosing a closure plus one of its prefixes for a message fixes
+//! both *which* media the message crosses and *in which order* — the order
+//! being what the jitter propagation of §4 needs.
+//!
+//! The closure `ph₀ = {""}` (the empty path) models co-located
+//! sender/receiver pairs that need no bus at all.
+
+use crate::allocation::MessageRoute;
+use crate::architecture::Architecture;
+use crate::ids::{EcuId, MediumId};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of media a message crosses (possibly empty).
+pub type Path = Vec<MediumId>;
+
+/// All prefixes of one maximal simple path, shortest first.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathClosure {
+    /// The sub-paths, ordered by length; `prefixes.last()` is the maximal
+    /// path `h̃`. Empty for `ph₀`.
+    pub prefixes: Vec<Path>,
+}
+
+impl PathClosure {
+    /// The empty closure `ph₀` (co-located communication).
+    pub fn empty() -> PathClosure {
+        PathClosure {
+            prefixes: vec![Vec::new()],
+        }
+    }
+
+    /// `true` for `ph₀`.
+    pub fn is_empty_path(&self) -> bool {
+        self.prefixes.len() == 1 && self.prefixes[0].is_empty()
+    }
+
+    /// The longest path `h̃` of the closure.
+    pub fn longest(&self) -> &Path {
+        self.prefixes.last().expect("closures are never empty")
+    }
+
+    /// The starting medium, if any.
+    pub fn start(&self) -> Option<MediumId> {
+        self.longest().first().copied()
+    }
+}
+
+/// Computes the set `PH` of path closures of the architecture: `ph₀` plus
+/// one closure per maximal simple path in the media graph.
+pub fn path_closures(arch: &Architecture) -> Vec<PathClosure> {
+    let n = arch.num_media();
+    // Adjacency by shared gateway.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in 0..n {
+            if a != b
+                && arch
+                    .gateway_between(MediumId(a as u32), MediumId(b as u32))
+                    .is_some()
+            {
+                adj[a].push(b);
+            }
+        }
+    }
+
+    let mut closures = vec![PathClosure::empty()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut on_path = vec![false; n];
+
+    // DFS over simple paths; emit a closure at each maximal path.
+    fn dfs(
+        node: usize,
+        adj: &[Vec<usize>],
+        stack: &mut Vec<usize>,
+        on_path: &mut [bool],
+        out: &mut Vec<PathClosure>,
+    ) {
+        stack.push(node);
+        on_path[node] = true;
+        let mut extended = false;
+        for &next in &adj[node] {
+            if !on_path[next] {
+                extended = true;
+                dfs(next, adj, stack, on_path, out);
+            }
+        }
+        if !extended {
+            let maximal: Path = stack.iter().map(|&i| MediumId(i as u32)).collect();
+            let prefixes = (1..=maximal.len())
+                .map(|l| maximal[..l].to_vec())
+                .collect();
+            out.push(PathClosure { prefixes });
+        }
+        on_path[node] = false;
+        stack.pop();
+    }
+
+    for start in 0..n {
+        dfs(start, &adj, &mut stack, &mut on_path, &mut closures);
+    }
+    closures
+}
+
+/// The paper's `v(h)` endpoint check: the sender must sit on the first
+/// medium and the receiver on the last, and for multi-hop paths neither may
+/// sit on the gateway shared with the adjacent medium (gateways forward,
+/// they do not originate/terminate on both sides).
+pub fn endpoints_valid(
+    arch: &Architecture,
+    path: &[MediumId],
+    sender: EcuId,
+    receiver: EcuId,
+) -> bool {
+    match path {
+        [] => sender == receiver,
+        [k] => arch.medium(*k).connects(sender) && arch.medium(*k).connects(receiver),
+        _ => {
+            let first = path[0];
+            let second = path[1];
+            let last = path[path.len() - 1];
+            let before_last = path[path.len() - 2];
+            let sender_ok = arch.medium(first).connects(sender)
+                && arch.gateway_between(first, second) != Some(sender);
+            let receiver_ok = arch.medium(last).connects(receiver)
+                && arch.gateway_between(last, before_last) != Some(receiver);
+            sender_ok && receiver_ok
+        }
+    }
+}
+
+/// `true` if consecutive media on the path are linked by gateways (i.e. the
+/// path exists in the topology).
+pub fn path_exists(arch: &Architecture, path: &[MediumId]) -> bool {
+    path.windows(2)
+        .all(|w| arch.gateway_between(w[0], w[1]).is_some())
+}
+
+/// The gateway ECUs a message crosses along `path`, in order.
+pub fn gateways_along(arch: &Architecture, path: &[MediumId]) -> Vec<EcuId> {
+    path.windows(2)
+        .map(|w| {
+            arch.gateway_between(w[0], w[1])
+                .expect("path must exist in the topology")
+        })
+        .collect()
+}
+
+/// Shortest media path between two ECUs (BFS over the media graph), with
+/// the deadline budget split evenly across hops.
+pub fn shortest_route(
+    arch: &Architecture,
+    from: EcuId,
+    to: EcuId,
+    deadline: Time,
+) -> MessageRoute {
+    if from == to {
+        return MessageRoute::colocated();
+    }
+    if let Some(k) = arch.shared_medium(from, to) {
+        return MessageRoute::single_hop(k, deadline);
+    }
+    // BFS over media, starting from media containing `from`.
+    let n = arch.num_media();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for k in arch.media_of(from) {
+        seen[k.index()] = true;
+        queue.push_back(k.index());
+    }
+    while let Some(cur) = queue.pop_front() {
+        if arch.medium(MediumId(cur as u32)).connects(to) {
+            // Reconstruct.
+            let mut path = vec![MediumId(cur as u32)];
+            let mut node = cur;
+            while let Some(p) = prev[node] {
+                path.push(MediumId(p as u32));
+                node = p;
+            }
+            path.reverse();
+            let hops = path.len() as Time;
+            let per_hop = (deadline / hops).max(1);
+            let local = path.iter().map(|_| per_hop).collect();
+            return MessageRoute {
+                media: path,
+                local_deadlines: local,
+            };
+        }
+        for next in 0..n {
+            if !seen[next]
+                && arch
+                    .gateway_between(MediumId(cur as u32), MediumId(next as u32))
+                    .is_some()
+            {
+                seen[next] = true;
+                prev[next] = Some(cur);
+                queue.push_back(next);
+            }
+        }
+    }
+    // Unreachable pair; return a colocated stub (validation will flag it).
+    MessageRoute::colocated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::Ecu;
+    use crate::medium::Medium;
+
+    /// The exact topology of the paper's Figure 1:
+    /// k1 = {p1,p2,p3}, k2 = {p2,p4}, k3 = {p3,p5}.
+    fn figure1() -> Architecture {
+        let mut a = Architecture::new();
+        // Index 0 is unused so ECU numbers match the figure.
+        for i in 0..=5 {
+            a.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        a.push_medium(Medium::priority(
+            "k1",
+            vec![EcuId(1), EcuId(2), EcuId(3)],
+            1,
+            1,
+        ));
+        a.push_medium(Medium::priority("k2", vec![EcuId(2), EcuId(4)], 1, 1));
+        a.push_medium(Medium::priority("k3", vec![EcuId(3), EcuId(5)], 1, 1));
+        a
+    }
+
+    fn path(ids: &[u32]) -> Path {
+        ids.iter().map(|&i| MediumId(i)).collect()
+    }
+
+    #[test]
+    fn figure1_closures_match_the_paper() {
+        let arch = figure1();
+        assert_eq!(arch.validate(), Ok(()));
+        let phs = path_closures(&arch);
+        // Media indices: k1 = 0, k2 = 1, k3 = 2.
+        let expect = |prefixes: Vec<Path>| PathClosure { prefixes };
+        let expected = vec![
+            PathClosure::empty(),                                        // ph0
+            expect(vec![path(&[0]), path(&[0, 1])]),                     // ph1: "k1","k1k2"
+            expect(vec![path(&[0]), path(&[0, 2])]),                     // ph2: "k1","k1k3"
+            expect(vec![path(&[1]), path(&[1, 0]), path(&[1, 0, 2])]),   // ph3
+            expect(vec![path(&[2]), path(&[2, 0]), path(&[2, 0, 1])]),   // ph4
+        ];
+        assert_eq!(phs, expected);
+    }
+
+    #[test]
+    fn isolated_medium_yields_singleton_closure() {
+        let mut a = Architecture::new();
+        for i in 0..4 {
+            a.push_ecu(Ecu::new(format!("p{i}")));
+        }
+        a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
+        a.push_medium(Medium::priority("k1", vec![EcuId(2), EcuId(3)], 1, 1));
+        let phs = path_closures(&a);
+        assert_eq!(phs.len(), 3); // ph0 + one per isolated medium
+        assert_eq!(phs[1].prefixes, vec![path(&[0])]);
+        assert_eq!(phs[2].prefixes, vec![path(&[1])]);
+    }
+
+    #[test]
+    fn endpoint_validity_single_medium() {
+        let arch = figure1();
+        // Both endpoints on k1.
+        assert!(endpoints_valid(&arch, &path(&[0]), EcuId(1), EcuId(3)));
+        // Receiver not on k1.
+        assert!(!endpoints_valid(&arch, &path(&[0]), EcuId(1), EcuId(4)));
+    }
+
+    #[test]
+    fn endpoint_validity_multi_hop_excludes_gateways() {
+        let arch = figure1();
+        // k1→k2 via gateway p2: sender may be p1/p3 (not p2), receiver p4.
+        let p = path(&[0, 1]);
+        assert!(endpoints_valid(&arch, &p, EcuId(1), EcuId(4)));
+        assert!(endpoints_valid(&arch, &p, EcuId(3), EcuId(4)));
+        assert!(!endpoints_valid(&arch, &p, EcuId(2), EcuId(4))); // sender is the gateway
+        assert!(!endpoints_valid(&arch, &p, EcuId(1), EcuId(2))); // receiver is the gateway
+    }
+
+    #[test]
+    fn empty_path_needs_colocation() {
+        let arch = figure1();
+        assert!(endpoints_valid(&arch, &[], EcuId(1), EcuId(1)));
+        assert!(!endpoints_valid(&arch, &[], EcuId(1), EcuId(2)));
+    }
+
+    #[test]
+    fn path_existence_and_gateways() {
+        let arch = figure1();
+        assert!(path_exists(&arch, &path(&[1, 0, 2])));
+        assert!(!path_exists(&arch, &path(&[1, 2])));
+        assert_eq!(
+            gateways_along(&arch, &path(&[1, 0, 2])),
+            vec![EcuId(2), EcuId(3)]
+        );
+    }
+
+    #[test]
+    fn closure_accessors() {
+        let arch = figure1();
+        let phs = path_closures(&arch);
+        assert!(phs[0].is_empty_path());
+        assert_eq!(phs[0].start(), None);
+        assert_eq!(phs[3].start(), Some(MediumId(1)));
+        assert_eq!(phs[3].longest(), &path(&[1, 0, 2]));
+    }
+}

@@ -1,0 +1,299 @@
+//! The task model `τᵢ = (tᵢ, cᵢ, γᵢ, πᵢ, δᵢ, dᵢ)` of paper §2, plus the
+//! extensions of Tindell et al. \[5\] that the evaluation uses: memory
+//! consumption and release jitter.
+
+use crate::ids::{EcuId, MsgId, TaskId};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A message a task sends at the end of each activation (an element of γᵢ):
+/// target task, payload size and end-to-end deadline Δ.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Receiving task.
+    pub to: TaskId,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// End-to-end deadline Δ in ticks (budget over all media crossed plus
+    /// gateway service).
+    pub deadline: Time,
+}
+
+/// One task of the application.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name.
+    pub name: String,
+    /// Activation period / minimal inter-arrival time tᵢ, in ticks.
+    pub period: Time,
+    /// Worst-case execution time per ECU (the paper's `cᵢ : P → N`). Keys
+    /// double as the placement permission set πᵢ: the task may only run on
+    /// ECUs present here.
+    pub wcet: BTreeMap<EcuId, Time>,
+    /// Relative deadline dᵢ in ticks.
+    pub deadline: Time,
+    /// Messages sent at the end of each activation (γᵢ).
+    pub messages: Vec<Message>,
+    /// Tasks that must not share an ECU with this one (δᵢ — redundant
+    /// replicas in fault-tolerant configurations).
+    pub separation: BTreeSet<TaskId>,
+    /// Memory footprint in bytes (Tindell-style extension; 0 if irrelevant).
+    pub memory: u64,
+    /// Release jitter Jᵢ in ticks.
+    pub release_jitter: Time,
+}
+
+impl Task {
+    /// Creates a task with the given name, period, deadline and WCET table;
+    /// remaining fields start empty and can be set fluently.
+    pub fn new(
+        name: impl Into<String>,
+        period: Time,
+        deadline: Time,
+        wcet: impl IntoIterator<Item = (EcuId, Time)>,
+    ) -> Task {
+        Task {
+            name: name.into(),
+            period,
+            deadline,
+            wcet: wcet.into_iter().collect(),
+            messages: Vec::new(),
+            separation: BTreeSet::new(),
+            memory: 0,
+            release_jitter: 0,
+        }
+    }
+
+    /// Adds a message to γᵢ (builder style).
+    pub fn sends(mut self, to: TaskId, size: u32, deadline: Time) -> Task {
+        self.messages.push(Message { to, size, deadline });
+        self
+    }
+
+    /// Declares a separation (anti-affinity) partner (builder style).
+    pub fn separated_from(mut self, other: TaskId) -> Task {
+        self.separation.insert(other);
+        self
+    }
+
+    /// Sets the memory footprint (builder style).
+    pub fn with_memory(mut self, bytes: u64) -> Task {
+        self.memory = bytes;
+        self
+    }
+
+    /// Sets the release jitter (builder style).
+    pub fn with_jitter(mut self, jitter: Time) -> Task {
+        self.release_jitter = jitter;
+        self
+    }
+
+    /// The placement permission set πᵢ.
+    pub fn allowed_ecus(&self) -> impl Iterator<Item = EcuId> + '_ {
+        self.wcet.keys().copied()
+    }
+
+    /// `true` if the task may be placed on `ecu`.
+    pub fn may_run_on(&self, ecu: EcuId) -> bool {
+        self.wcet.contains_key(&ecu)
+    }
+
+    /// WCET on `ecu`, if placement there is allowed.
+    pub fn wcet_on(&self, ecu: EcuId) -> Option<Time> {
+        self.wcet.get(&ecu).copied()
+    }
+
+    /// Maximum utilization this task can impose (worst WCET over period).
+    pub fn max_utilization(&self) -> f64 {
+        let worst = self.wcet.values().copied().max().unwrap_or(0);
+        worst as f64 / self.period as f64
+    }
+}
+
+/// The application: a set of tasks with dense [`TaskId`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSet {
+    /// All tasks; `TaskId(i)` indexes this vector.
+    pub tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates an empty task set.
+    pub fn new() -> TaskSet {
+        TaskSet::default()
+    }
+
+    /// Adds a task, returning its id.
+    pub fn push(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(task);
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no tasks exist.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task behind an id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates `(id, task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
+    }
+
+    /// Iterates all message ids with their descriptors.
+    pub fn messages(&self) -> impl Iterator<Item = (MsgId, &Message)> {
+        self.iter().flat_map(|(tid, t)| {
+            t.messages.iter().enumerate().map(move |(i, m)| {
+                (
+                    MsgId {
+                        sender: tid,
+                        index: i as u32,
+                    },
+                    m,
+                )
+            })
+        })
+    }
+
+    /// The message behind a [`MsgId`].
+    pub fn message(&self, id: MsgId) -> &Message {
+        &self.task(id.sender).messages[id.index as usize]
+    }
+
+    /// Checks internal consistency: message targets exist, separation
+    /// partners exist and no task separates from itself, every task can run
+    /// somewhere, periods/deadlines are positive.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, t) in self.iter() {
+            if t.period == 0 {
+                return Err(format!("{id} ({}) has period 0", t.name));
+            }
+            if t.deadline == 0 {
+                return Err(format!("{id} ({}) has deadline 0", t.name));
+            }
+            if t.wcet.is_empty() {
+                return Err(format!("{id} ({}) has no allowed ECU", t.name));
+            }
+            if t.wcet.values().any(|&c| c == 0) {
+                return Err(format!("{id} ({}) has a zero WCET entry", t.name));
+            }
+            for m in &t.messages {
+                if m.to.index() >= self.len() {
+                    return Err(format!("{id} sends to unknown task {}", m.to));
+                }
+                if m.to == id {
+                    return Err(format!("{id} sends a message to itself"));
+                }
+            }
+            for &s in &t.separation {
+                if s.index() >= self.len() {
+                    return Err(format!("{id} separated from unknown task {s}"));
+                }
+                if s == id {
+                    return Err(format!("{id} separated from itself"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total worst-case utilization (sum over tasks of worst WCET/period).
+    pub fn max_utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::max_utilization).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wcet(pairs: &[(u32, Time)]) -> Vec<(EcuId, Time)> {
+        pairs.iter().map(|&(p, c)| (EcuId(p), c)).collect()
+    }
+
+    #[test]
+    fn builder_style_construction() {
+        let t = Task::new("ctrl", 100, 80, wcet(&[(0, 10), (1, 12)]))
+            .sends(TaskId(1), 8, 40)
+            .separated_from(TaskId(2))
+            .with_memory(1024)
+            .with_jitter(2);
+        assert_eq!(t.period, 100);
+        assert_eq!(t.messages.len(), 1);
+        assert!(t.separation.contains(&TaskId(2)));
+        assert_eq!(t.memory, 1024);
+        assert_eq!(t.release_jitter, 2);
+        assert!(t.may_run_on(EcuId(0)));
+        assert!(!t.may_run_on(EcuId(5)));
+        assert_eq!(t.wcet_on(EcuId(1)), Some(12));
+    }
+
+    #[test]
+    fn utilization_uses_worst_wcet() {
+        let t = Task::new("a", 100, 100, wcet(&[(0, 10), (1, 25)]));
+        assert!((t.max_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taskset_message_iteration() {
+        let mut ts = TaskSet::new();
+        let a = ts.push(Task::new("a", 10, 10, wcet(&[(0, 1)])));
+        let b = ts.push(
+            Task::new("b", 20, 20, wcet(&[(0, 2)]))
+                .sends(a, 4, 10)
+                .sends(a, 2, 15),
+        );
+        let ids: Vec<MsgId> = ts.messages().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].sender, b);
+        assert_eq!(ids[0].index, 0);
+        assert_eq!(ts.message(ids[1]).size, 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_targets() {
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 10, 10, wcet(&[(0, 1)])).sends(TaskId(9), 1, 5));
+        assert!(ts.validate().unwrap_err().contains("unknown task"));
+    }
+
+    #[test]
+    fn validate_catches_self_message_and_self_separation() {
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 10, 10, wcet(&[(0, 1)])).sends(TaskId(0), 1, 5));
+        assert!(ts.validate().unwrap_err().contains("itself"));
+
+        let mut ts2 = TaskSet::new();
+        ts2.push(Task::new("a", 10, 10, wcet(&[(0, 1)])).separated_from(TaskId(0)));
+        assert!(ts2.validate().unwrap_err().contains("itself"));
+    }
+
+    #[test]
+    fn validate_catches_degenerate_timing() {
+        let mut ts = TaskSet::new();
+        ts.push(Task::new("a", 0, 10, wcet(&[(0, 1)])));
+        assert!(ts.validate().unwrap_err().contains("period 0"));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_set() {
+        let mut ts = TaskSet::new();
+        let a = ts.push(Task::new("a", 10, 10, wcet(&[(0, 1)])));
+        ts.push(Task::new("b", 20, 18, wcet(&[(0, 2), (1, 3)])).sends(a, 4, 9));
+        assert!(ts.validate().is_ok());
+    }
+}

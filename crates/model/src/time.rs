@@ -1,0 +1,32 @@
+//! Time representation.
+//!
+//! All model quantities (periods, deadlines, WCETs, slot lengths,
+//! transmission times) are integers in **ticks**. The tick length is a
+//! property of the workload, not of the library; the bundled benchmark
+//! workloads use 50 µs ticks so that the paper's 8.55 ms token rotation
+//! time corresponds to 171 ticks.
+
+/// A duration or instant in ticks.
+pub type Time = u64;
+
+/// Converts milliseconds to ticks at the bundled workloads' 50 µs tick.
+pub const fn ms_to_ticks(ms: u64) -> Time {
+    ms * 20
+}
+
+/// Converts ticks to milliseconds (as f64) at the 50 µs tick.
+pub fn ticks_to_ms(t: Time) -> f64 {
+    t as f64 / 20.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_conversions() {
+        assert_eq!(ms_to_ticks(1), 20);
+        assert_eq!(ms_to_ticks(50), 1000);
+        assert!((ticks_to_ms(171) - 8.55).abs() < 1e-12);
+    }
+}

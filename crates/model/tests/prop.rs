@@ -1,0 +1,129 @@
+//! Property tests on random topologies: structural invariants of path
+//! closures and routing helpers.
+
+use optalloc_model::{
+    endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Architecture,
+    Ecu, EcuId, Medium, MediumId,
+};
+use proptest::prelude::*;
+
+/// Random valid architecture: `n_media` buses over `n_ecus` ECUs, chained
+/// by dedicated gateways so the one-gateway-per-media-pair rule holds.
+fn arb_arch() -> impl Strategy<Value = Architecture> {
+    (2usize..=4, 2usize..=4, any::<u64>()).prop_map(|(n_media, per_bus, seed)| {
+        let mut arch = Architecture::new();
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        // Host ECUs per bus + one gateway between consecutive buses.
+        let mut members_per_bus: Vec<Vec<EcuId>> = Vec::new();
+        for _ in 0..n_media {
+            let mut members = Vec::new();
+            for _ in 0..per_bus {
+                members.push(arch.push_ecu(Ecu::new(format!("p{}", arch.num_ecus()))));
+            }
+            members_per_bus.push(members);
+        }
+        for w in 0..n_media.saturating_sub(1) {
+            // Chain bus w and w+1 via a fresh gateway (sometimes task-free).
+            let gw = if next() % 2 == 0 {
+                arch.push_ecu(Ecu::new(format!("gw{w}")).gateway_only())
+            } else {
+                arch.push_ecu(Ecu::new(format!("gw{w}")))
+            };
+            members_per_bus[w].push(gw);
+            members_per_bus[w + 1].push(gw);
+        }
+        for (i, members) in members_per_bus.into_iter().enumerate() {
+            if next() % 2 == 0 {
+                let slots = vec![4; members.len()];
+                arch.push_medium(Medium::tdma(format!("ring{i}"), members, slots, 1, 1));
+            } else {
+                arch.push_medium(Medium::priority(format!("bus{i}"), members, 1, 1));
+            }
+        }
+        arch
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure invariants: prefixes are nested, every prefix is a valid
+    /// path in the topology, and closures are deduplicated.
+    #[test]
+    fn closures_are_wellformed(arch in arb_arch()) {
+        prop_assert!(arch.validate().is_ok());
+        let closures = path_closures(&arch);
+        prop_assert!(closures[0].is_empty_path());
+        for ph in &closures[1..] {
+            // Prefix chain: each path extends the previous by one medium.
+            for (i, p) in ph.prefixes.iter().enumerate() {
+                prop_assert_eq!(p.len(), i + 1);
+                if i > 0 {
+                    prop_assert_eq!(&p[..i], ph.prefixes[i - 1].as_slice());
+                }
+                prop_assert!(path_exists(&arch, p));
+                // Simple: no repeated medium.
+                let mut seen = p.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), p.len());
+            }
+        }
+        // Dedup check over maximal paths.
+        let mut maximal: Vec<_> = closures[1..].iter().map(|c| c.longest().clone()).collect();
+        let before = maximal.len();
+        maximal.sort();
+        maximal.dedup();
+        prop_assert_eq!(maximal.len(), before, "duplicate closures emitted");
+    }
+
+    /// The chained construction is connected, so shortest_route always finds
+    /// a route between host ECUs, the route exists in the topology, and its
+    /// endpoints are valid.
+    #[test]
+    fn shortest_routes_are_valid(arch in arb_arch(), a in 0usize..8, b in 0usize..8) {
+        let hosts: Vec<EcuId> = arch
+            .iter_ecus()
+            .filter(|(_, e)| e.hosts_tasks)
+            .map(|(id, _)| id)
+            .collect();
+        let from = hosts[a % hosts.len()];
+        let to = hosts[b % hosts.len()];
+        let route = shortest_route(&arch, from, to, 100);
+        if from == to {
+            prop_assert!(route.is_colocated());
+            return Ok(());
+        }
+        prop_assert!(!route.is_colocated(), "chained topology is connected");
+        prop_assert!(path_exists(&arch, &route.media));
+        prop_assert_eq!(route.local_deadlines.len(), route.media.len());
+        // First medium contains the sender, last the receiver.
+        prop_assert!(arch.medium(route.media[0]).connects(from));
+        prop_assert!(arch.medium(*route.media.last().unwrap()).connects(to));
+        // Gateways along the route are consistent with the topology.
+        let gws = gateways_along(&arch, &route.media);
+        prop_assert_eq!(gws.len() + 1, route.media.len());
+        // Every route the BFS returns appears as a prefix of some closure.
+        let closures = path_closures(&arch);
+        let found = closures.iter().any(|ph| ph.prefixes.contains(&route.media));
+        prop_assert!(found, "route {:?} not covered by PH", route.media);
+    }
+
+    /// endpoints_valid agrees with a direct reading of v(h) for single-hop
+    /// routes.
+    #[test]
+    fn single_hop_endpoint_validity(arch in arb_arch(), a in 0usize..8, b in 0usize..8) {
+        let n = arch.num_ecus();
+        let from = EcuId((a % n) as u32);
+        let to = EcuId((b % n) as u32);
+        for (k, med) in arch.iter_media() {
+            let expected = med.connects(from) && med.connects(to);
+            prop_assert_eq!(endpoints_valid(&arch, &[k], from, to), expected);
+        }
+        let _ = MediumId(0);
+    }
+}

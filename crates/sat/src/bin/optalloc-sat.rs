@@ -1,0 +1,125 @@
+//! Standalone SAT/PB solver CLI.
+//!
+//! ```text
+//! optalloc-sat <file.cnf|file.opb> [--max-conflicts N]
+//! ```
+//!
+//! Reads DIMACS CNF (by `.cnf` extension or a `p cnf` header) or OPB and
+//! prints a SAT-competition-style result:
+//!
+//! ```text
+//! s SATISFIABLE
+//! v 1 -2 3 0
+//! ```
+//!
+//! For OPB files with a `min:` objective, the optimum is found by
+//! iterative strengthening (`obj ≤ best − 1` re-solves) and reported as
+//! `o <value>` lines followed by the final `s OPTIMUM FOUND`.
+
+use optalloc_sat::{Formula, PbOp, PbTerm, SolveResult, Var};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: optalloc-sat <file.cnf|file.opb> [--max-conflicts N]");
+        return ExitCode::from(2);
+    };
+    let mut max_conflicts = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-conflicts" => {
+                max_conflicts = args.next().and_then(|s| s.parse().ok());
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let is_cnf = path.ends_with(".cnf") || input.lines().any(|l| l.trim_start().starts_with("p cnf"));
+    let formula = match if is_cnf {
+        Formula::parse_dimacs(&input)
+    } else {
+        Formula::parse_opb(&input)
+    } {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (mut solver, vars) = formula.into_solver();
+    solver.config.max_conflicts = max_conflicts;
+
+    let verdict = solver.solve(&[]);
+    if verdict == SolveResult::Sat {
+        if let Some(obj) = formula.minimize.clone() {
+            // Iterative strengthening: forbid the current objective value.
+            loop {
+                let value = formula
+                    .objective_value(|l| {
+                        let v = vars[l.unsigned_abs() as usize - 1];
+                        solver.model_value(v.lit(l > 0))
+                    })
+                    .unwrap();
+                println!("o {value}");
+                let terms: Vec<PbTerm> = obj
+                    .iter()
+                    .map(|&(c, l)| {
+                        let v = vars[l.unsigned_abs() as usize - 1];
+                        PbTerm::new(v.lit(l > 0), c)
+                    })
+                    .collect();
+                if !solver.add_pb(&terms, PbOp::Le, value - 1) {
+                    break; // strengthening is contradictory ⇒ optimum found
+                }
+                match solver.solve(&[]) {
+                    SolveResult::Sat => continue,
+                    SolveResult::Unsat => break,
+                    SolveResult::Unknown => {
+                        println!("s UNKNOWN");
+                        return ExitCode::from(0);
+                    }
+                }
+            }
+            println!("s OPTIMUM FOUND");
+            print_model(&solver, &vars);
+            return ExitCode::from(10);
+        }
+    }
+
+    match verdict {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            print_model(&solver, &vars);
+            ExitCode::from(10)
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn print_model(solver: &optalloc_sat::Solver, vars: &[Var]) {
+    print!("v");
+    for (i, v) in vars.iter().enumerate() {
+        let val = solver.model_value(v.positive());
+        print!(" {}", if val { (i + 1) as i64 } else { -((i + 1) as i64) });
+    }
+    println!(" 0");
+}

@@ -1,0 +1,247 @@
+//! Arena-allocated clause storage.
+//!
+//! Clauses live in one flat `Vec<u32>` to keep them contiguous in memory and
+//! cheap to allocate during learning. A [`ClauseRef`] is an offset into that
+//! arena. Each clause is laid out as:
+//!
+//! ```text
+//! [ header ][ activity(f32 bits) ][ lbd ][ lit_0 ] ... [ lit_{n-1} ]
+//! ```
+//!
+//! where the header packs the length and a `learnt` flag. Deleted clauses are
+//! tombstoned and reclaimed by [`ClauseDb::collect`], which compacts the
+//! arena and reports the relocation map so watch lists can be rebuilt.
+
+use crate::types::Lit;
+
+/// Reference to a clause in the arena (an offset into the backing vector).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClauseRef(pub(crate) u32);
+
+const LEARNT_BIT: u32 = 1 << 31;
+const DELETED_BIT: u32 = 1 << 30;
+const LEN_MASK: u32 = (1 << 30) - 1;
+
+/// Flat arena holding every clause in the solver.
+#[derive(Default)]
+pub struct ClauseDb {
+    data: Vec<u32>,
+    /// Number of `u32` words wasted by tombstoned clauses, used to decide
+    /// when compaction pays off.
+    pub(crate) wasted: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty arena.
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    /// Allocates a clause containing `lits`; `learnt` marks conflict-learned
+    /// clauses, which participate in activity-based deletion.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let cref = ClauseRef(self.data.len() as u32);
+        let header = lits.len() as u32 | if learnt { LEARNT_BIT } else { 0 };
+        self.data.push(header);
+        self.data.push(0f32.to_bits());
+        self.data.push(lits.len() as u32); // initial LBD upper bound
+        self.data.extend(lits.iter().map(|l| l.0));
+        cref
+    }
+
+    #[inline]
+    fn base(&self, cref: ClauseRef) -> usize {
+        cref.0 as usize
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, cref: ClauseRef) -> usize {
+        (self.data[self.base(cref)] & LEN_MASK) as usize
+    }
+
+    /// `true` if the clause was learned from a conflict.
+    #[inline]
+    pub fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.data[self.base(cref)] & LEARNT_BIT != 0
+    }
+
+    /// `true` if the clause has been tombstoned.
+    #[cfg(test)]
+    pub fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.data[self.base(cref)] & DELETED_BIT != 0
+    }
+
+    /// Tombstones the clause; its storage is reclaimed at the next
+    /// [`ClauseDb::collect`].
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let b = self.base(cref);
+        debug_assert!(self.data[b] & DELETED_BIT == 0);
+        self.data[b] |= DELETED_BIT;
+        self.wasted += self.len(cref) + 3;
+    }
+
+    /// The literals of the clause.
+    #[inline]
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let b = self.base(cref);
+        let len = self.len(cref);
+        // SAFETY: `Lit` is a transparent wrapper over `u32` with identical
+        // layout, and the range is in bounds by construction.
+        unsafe { std::mem::transmute(&self.data[b + 3..b + 3 + len]) }
+    }
+
+    /// Mutable access to the literals of the clause.
+    #[inline]
+    pub fn lits_mut(&mut self, cref: ClauseRef) -> &mut [Lit] {
+        let b = self.base(cref);
+        let len = self.len(cref);
+        // SAFETY: as in `lits`.
+        unsafe { std::mem::transmute(&mut self.data[b + 3..b + 3 + len]) }
+    }
+
+    /// Clause activity (bumped when the clause participates in a conflict).
+    #[inline]
+    pub fn activity(&self, cref: ClauseRef) -> f32 {
+        f32::from_bits(self.data[self.base(cref) + 1])
+    }
+
+    /// Overwrites the clause activity.
+    #[inline]
+    pub fn set_activity(&mut self, cref: ClauseRef, act: f32) {
+        let b = self.base(cref);
+        self.data[b + 1] = act.to_bits();
+    }
+
+    /// Literal-block distance recorded when the clause was learned (or last
+    /// updated); lower means more valuable.
+    #[inline]
+    pub fn lbd(&self, cref: ClauseRef) -> u32 {
+        self.data[self.base(cref) + 2]
+    }
+
+    /// Updates the stored literal-block distance.
+    #[inline]
+    pub fn set_lbd(&mut self, cref: ClauseRef, lbd: u32) {
+        let b = self.base(cref);
+        self.data[b + 2] = lbd;
+    }
+
+    /// Iterates over the refs of all live (non-deleted) clauses.
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        ClauseIter { db: self, pos: 0 }
+    }
+
+    /// Words currently used by the arena (live + tombstoned).
+    pub fn arena_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Compacts the arena, dropping tombstoned clauses. Returns the
+    /// relocation of every surviving clause as `(old, new)` pairs; callers
+    /// must remap any stored [`ClauseRef`]s (watch lists, reasons).
+    pub fn collect(&mut self) -> Vec<(ClauseRef, ClauseRef)> {
+        let mut relocs = Vec::new();
+        let mut new_data = Vec::with_capacity(self.data.len() - self.wasted);
+        let mut pos = 0usize;
+        while pos < self.data.len() {
+            let header = self.data[pos];
+            let len = (header & LEN_MASK) as usize;
+            let total = len + 3;
+            if header & DELETED_BIT == 0 {
+                let new_ref = ClauseRef(new_data.len() as u32);
+                relocs.push((ClauseRef(pos as u32), new_ref));
+                new_data.extend_from_slice(&self.data[pos..pos + total]);
+            }
+            pos += total;
+        }
+        self.data = new_data;
+        self.wasted = 0;
+        relocs
+    }
+}
+
+struct ClauseIter<'a> {
+    db: &'a ClauseDb,
+    pos: usize,
+}
+
+impl Iterator for ClauseIter<'_> {
+    type Item = ClauseRef;
+    fn next(&mut self) -> Option<ClauseRef> {
+        while self.pos < self.db.data.len() {
+            let header = self.db.data[self.pos];
+            let len = (header & LEN_MASK) as usize;
+            let cref = ClauseRef(self.pos as u32);
+            self.pos += len + 3;
+            if header & DELETED_BIT == 0 {
+                return Some(cref);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ids: &[i32]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&i| Var::from_index(i.unsigned_abs() as usize).lit(i > 0))
+            .collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&lits(&[1, -2, 3]), false);
+        let c2 = db.alloc(&lits(&[4, -5]), true);
+        assert_eq!(db.len(c1), 3);
+        assert_eq!(db.len(c2), 2);
+        assert!(!db.is_learnt(c1));
+        assert!(db.is_learnt(c2));
+        assert_eq!(db.lits(c1), &lits(&[1, -2, 3])[..]);
+        assert_eq!(db.lits(c2), &lits(&[4, -5])[..]);
+    }
+
+    #[test]
+    fn activity_and_lbd_roundtrip() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[1, 2]), true);
+        db.set_activity(c, 3.5);
+        db.set_lbd(c, 7);
+        assert_eq!(db.activity(c), 3.5);
+        assert_eq!(db.lbd(c), 7);
+    }
+
+    #[test]
+    fn delete_and_collect_relocates() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&lits(&[1, 2, 3]), false);
+        let c2 = db.alloc(&lits(&[4, 5]), true);
+        let c3 = db.alloc(&lits(&[6, 7, 8, 9]), false);
+        db.delete(c2);
+        assert!(db.is_deleted(c2));
+        let live: Vec<_> = db.iter_refs().collect();
+        assert_eq!(live, vec![c1, c3]);
+
+        let relocs = db.collect();
+        assert_eq!(relocs.len(), 2);
+        assert_eq!(relocs[0].0, c1);
+        let new_c3 = relocs[1].1;
+        assert_eq!(db.lits(new_c3), &lits(&[6, 7, 8, 9])[..]);
+        assert_eq!(db.wasted, 0);
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[1, 2]), false);
+        let b = db.alloc(&lits(&[3, 4]), false);
+        db.delete(a);
+        assert_eq!(db.iter_refs().collect::<Vec<_>>(), vec![b]);
+    }
+}

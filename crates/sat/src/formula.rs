@@ -1,0 +1,365 @@
+//! Standalone formula container with DIMACS CNF and OPB (pseudo-Boolean
+//! competition format) parsing/printing.
+//!
+//! This gives the solver a life outside the allocation pipeline: the
+//! `optalloc-sat` binary reads either format, decides satisfiability, and
+//! optionally minimizes an OPB objective — handy for debugging encodings
+//! (both the blaster and the tables can dump instances) and for comparing
+//! against other solvers.
+
+use crate::pb::{PbOp, PbTerm};
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::fmt::Write as _;
+
+/// A parsed problem: clauses plus PB constraints plus an optional
+/// minimization objective (OPB `min:` line).
+#[derive(Debug, Default, Clone)]
+pub struct Formula {
+    /// Number of variables (1-based in the file formats, 0-based here).
+    pub n_vars: usize,
+    /// Clauses as signed 1-based indices (DIMACS convention).
+    pub clauses: Vec<Vec<i64>>,
+    /// PB constraints: terms of `(coefficient, signed 1-based var)`.
+    pub pbs: Vec<(Vec<(i64, i64)>, PbOp, i64)>,
+    /// Optional objective to minimize: terms `(coefficient, signed var)`.
+    pub minimize: Option<Vec<(i64, i64)>>,
+}
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the error occurred.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Formula {
+    /// Parses DIMACS CNF (`p cnf <vars> <clauses>` header, clauses
+    /// terminated by `0`, `c` comment lines).
+    pub fn parse_dimacs(input: &str) -> Result<Formula, ParseError> {
+        let mut f = Formula::default();
+        let mut current: Vec<i64> = Vec::new();
+        let mut seen_header = false;
+        for (ln, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            let n = ln + 1;
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(err(n, "malformed problem line (want `p cnf V C`)"));
+                }
+                f.n_vars = parts[1]
+                    .parse()
+                    .map_err(|_| err(n, "bad variable count"))?;
+                seen_header = true;
+                continue;
+            }
+            if !seen_header {
+                return Err(err(n, "clause before `p cnf` header"));
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|_| err(n, format!("bad literal {tok}")))?;
+                if v == 0 {
+                    f.clauses.push(std::mem::take(&mut current));
+                } else {
+                    if v.unsigned_abs() as usize > f.n_vars {
+                        return Err(err(n, format!("literal {v} exceeds declared variables")));
+                    }
+                    current.push(v);
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(err(
+                input.lines().count(),
+                "last clause not terminated by 0",
+            ));
+        }
+        Ok(f)
+    }
+
+    /// Parses the OPB linear pseudo-Boolean format:
+    ///
+    /// ```text
+    /// * #variable= 4 #constraint= 2
+    /// min: +1 x1 +2 x2 ;
+    /// +3 x1 -2 x2 +1 x3 >= 2 ;
+    /// +1 x1 +1 x4 = 1 ;
+    /// ```
+    ///
+    /// Negated literals are written `~x3`.
+    pub fn parse_opb(input: &str) -> Result<Formula, ParseError> {
+        let mut f = Formula::default();
+        for (ln, raw) in input.lines().enumerate() {
+            let n = ln + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('*') {
+                // Optional size hints in the standard comment header.
+                if let Some(idx) = header.find("#variable=") {
+                    let rest = header[idx + "#variable=".len()..].trim_start();
+                    let num: String =
+                        rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    if let Ok(v) = num.parse() {
+                        f.n_vars = v;
+                    }
+                }
+                continue;
+            }
+            let line = line
+                .strip_suffix(';')
+                .map(str::trim)
+                .ok_or_else(|| err(n, "missing terminating `;`"))?;
+
+            let (is_min, body) = match line.strip_prefix("min:") {
+                Some(rest) => (true, rest.trim()),
+                None => (false, line),
+            };
+
+            // Split off the relational operator for constraints.
+            let (terms_str, op, bound) = if is_min {
+                (body, None, 0)
+            } else {
+                let (op_txt, op) = if body.contains(">=") {
+                    (">=", PbOp::Ge)
+                } else if body.contains("<=") {
+                    ("<=", PbOp::Le)
+                } else if body.contains('=') {
+                    ("=", PbOp::Eq)
+                } else {
+                    return Err(err(n, "constraint without relational operator"));
+                };
+                let mut split = body.splitn(2, op_txt);
+                let lhs = split.next().unwrap().trim();
+                let rhs = split.next().ok_or_else(|| err(n, "missing bound"))?.trim();
+                let bound: i64 = rhs
+                    .parse()
+                    .map_err(|_| err(n, format!("bad bound `{rhs}`")))?;
+                (lhs, Some(op), bound)
+            };
+
+            // Terms: `<coef> <lit>` pairs, lit = `x<k>` or `~x<k>`.
+            let mut terms: Vec<(i64, i64)> = Vec::new();
+            let toks: Vec<&str> = terms_str.split_whitespace().collect();
+            if !toks.len().is_multiple_of(2) {
+                return Err(err(n, "odd number of tokens in term list"));
+            }
+            for pair in toks.chunks(2) {
+                let coef: i64 = pair[0]
+                    .parse()
+                    .map_err(|_| err(n, format!("bad coefficient `{}`", pair[0])))?;
+                let (neg, name) = match pair[1].strip_prefix('~') {
+                    Some(rest) => (true, rest),
+                    None => (false, pair[1]),
+                };
+                let idx: i64 = name
+                    .strip_prefix('x')
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| err(n, format!("bad literal `{}`", pair[1])))?;
+                if idx < 1 {
+                    return Err(err(n, "variable indices start at 1"));
+                }
+                f.n_vars = f.n_vars.max(idx as usize);
+                terms.push((coef, if neg { -idx } else { idx }));
+            }
+
+            if is_min {
+                f.minimize = Some(terms);
+            } else {
+                f.pbs.push((terms, op.unwrap(), bound));
+            }
+        }
+        Ok(f)
+    }
+
+    /// Serializes to DIMACS CNF (PB constraints are not representable; they
+    /// must be empty).
+    pub fn to_dimacs(&self) -> String {
+        assert!(
+            self.pbs.is_empty() && self.minimize.is_none(),
+            "DIMACS cannot express PB constraints"
+        );
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.n_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let _ = write!(out, "{l} ");
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Serializes to OPB (clauses become `≥ 1` constraints).
+    pub fn to_opb(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "* #variable= {} #constraint= {}",
+            self.n_vars,
+            self.clauses.len() + self.pbs.len()
+        );
+        let term = |coef: i64, lit: i64| {
+            if lit < 0 {
+                format!("{:+} ~x{}", coef, -lit)
+            } else {
+                format!("{coef:+} x{lit}")
+            }
+        };
+        if let Some(obj) = &self.minimize {
+            let parts: Vec<String> = obj.iter().map(|&(c, l)| term(c, l)).collect();
+            let _ = writeln!(out, "min: {} ;", parts.join(" "));
+        }
+        for c in &self.clauses {
+            let parts: Vec<String> = c.iter().map(|&l| term(1, l)).collect();
+            let _ = writeln!(out, "{} >= 1 ;", parts.join(" "));
+        }
+        for (terms, op, bound) in &self.pbs {
+            let parts: Vec<String> = terms.iter().map(|&(c, l)| term(c, l)).collect();
+            let op_txt = match op {
+                PbOp::Ge => ">=",
+                PbOp::Le => "<=",
+                PbOp::Eq => "=",
+            };
+            let _ = writeln!(out, "{} {} {} ;", parts.join(" "), op_txt, bound);
+        }
+        out
+    }
+
+    fn lit(signed: i64) -> Lit {
+        let v = Var::from_index(signed.unsigned_abs() as usize - 1);
+        v.lit(signed > 0)
+    }
+
+    /// Loads the formula into a fresh solver, returning the solver and the
+    /// variable handles (index `i` ↔ file variable `i+1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.n_vars).map(|_| s.new_var()).collect();
+        for c in &self.clauses {
+            let lits: Vec<Lit> = c.iter().map(|&l| Self::lit(l)).collect();
+            if !s.add_clause(&lits) {
+                break;
+            }
+        }
+        for (terms, op, bound) in &self.pbs {
+            let pb: Vec<PbTerm> = terms
+                .iter()
+                .map(|&(c, l)| PbTerm::new(Self::lit(l), c))
+                .collect();
+            if !s.add_pb(&pb, *op, *bound) {
+                break;
+            }
+        }
+        (s, vars)
+    }
+
+    /// Evaluates the objective under a model reader (used by the CLI's
+    /// minimization loop).
+    pub fn objective_value(&self, value_of: impl Fn(i64) -> bool) -> Option<i64> {
+        self.minimize.as_ref().map(|obj| {
+            obj.iter()
+                .map(|&(c, l)| if value_of(l) { c } else { 0 })
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn dimacs_roundtrip_and_solve() {
+        let text = "c example\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let f = Formula::parse_dimacs(text).unwrap();
+        assert_eq!(f.n_vars, 3);
+        assert_eq!(f.clauses.len(), 3);
+        let back = Formula::parse_dimacs(&f.to_dimacs()).unwrap();
+        assert_eq!(back.clauses, f.clauses);
+
+        let (mut s, _) = f.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn dimacs_unsat_instance() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let f = Formula::parse_dimacs(text).unwrap();
+        let (mut s, _) = f.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(Formula::parse_dimacs("1 2 0\n").is_err()); // no header
+        assert!(Formula::parse_dimacs("p cnf 1 1\n2 0\n").is_err()); // var range
+        assert!(Formula::parse_dimacs("p cnf 2 1\n1 2\n").is_err()); // no 0
+    }
+
+    #[test]
+    fn opb_parse_and_solve() {
+        let text = "\
+* #variable= 3 #constraint= 2
+min: +1 x1 +1 x2 +1 x3 ;
++2 x1 +1 x2 +1 x3 >= 2 ;
++1 x2 +1 ~x3 <= 1 ;
+";
+        let f = Formula::parse_opb(text).unwrap();
+        assert_eq!(f.n_vars, 3);
+        assert_eq!(f.pbs.len(), 2);
+        assert!(f.minimize.is_some());
+        let (mut s, vars) = f.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Constraint 1 must hold in the model.
+        let val = |i: usize| s.model_value(vars[i].positive());
+        let sum = 2 * val(0) as i64 + val(1) as i64 + val(2) as i64;
+        assert!(sum >= 2);
+    }
+
+    #[test]
+    fn opb_roundtrip() {
+        let text = "min: +2 x1 -1 ~x2 ;\n+3 x1 -2 x2 >= 1 ;\n+1 x1 +1 x2 = 1 ;\n";
+        let f = Formula::parse_opb(text).unwrap();
+        let back = Formula::parse_opb(&f.to_opb()).unwrap();
+        assert_eq!(back.pbs, f.pbs);
+        assert_eq!(back.minimize, f.minimize);
+    }
+
+    #[test]
+    fn opb_errors() {
+        assert!(Formula::parse_opb("+1 x1 >= 1\n").is_err()); // missing ;
+        assert!(Formula::parse_opb("+1 x1 1 ;\n").is_err()); // no operator
+        assert!(Formula::parse_opb("+1 y1 >= 1 ;\n").is_err()); // bad name
+    }
+
+    #[test]
+    fn objective_value_reads_model() {
+        let f = Formula::parse_opb("min: +5 x1 +3 ~x2 ;\n+1 x1 +1 x2 >= 1 ;\n").unwrap();
+        let v = f.objective_value(|l| l == 1 || l == -2).unwrap();
+        assert_eq!(v, 8); // x1 true (5) + ~x2 true (3)
+    }
+}

@@ -1,0 +1,195 @@
+//! Indexed max-heap over variable activities (the EVSIDS decision order).
+//!
+//! The heap stores variable indices ordered by an external activity array;
+//! `positions` gives O(1) membership tests and in-place `decrease`/`increase`
+//! sift operations when an activity is bumped.
+
+use crate::types::Var;
+
+/// Binary max-heap of variables keyed by activity, with index tracking.
+#[derive(Default)]
+pub struct VarOrderHeap {
+    heap: Vec<u32>,
+    /// `positions[v]` is the heap slot of variable `v`, or `u32::MAX`.
+    positions: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarOrderHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarOrderHeap {
+        VarOrderHeap::default()
+    }
+
+    /// Grows the position table to cover `n` variables.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    /// Number of enqueued variables.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.positions
+            .get(v.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` (no-op if present), restoring heap order by `activity`.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let slot = self.heap.len();
+        self.heap.push(v.0);
+        self.positions[v.index()] = slot as u32;
+        self.sift_up(slot, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.positions[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores order after the activity of `v` increased.
+    pub fn increased(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.positions.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap after a global activity rescale (order unchanged,
+    /// so this is a no-op kept for interface clarity).
+    pub fn rescaled(&mut self) {}
+
+    fn sift_up(&mut self, mut slot: usize, activity: &[f64]) {
+        let v = self.heap[slot];
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            let pv = self.heap[parent];
+            if activity[pv as usize] >= activity[v as usize] {
+                break;
+            }
+            self.heap[slot] = pv;
+            self.positions[pv as usize] = slot as u32;
+            slot = parent;
+        }
+        self.heap[slot] = v;
+        self.positions[v as usize] = slot as u32;
+    }
+
+    fn sift_down(&mut self, mut slot: usize, activity: &[f64]) {
+        let v = self.heap[slot];
+        loop {
+            let left = 2 * slot + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let best = if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                right
+            } else {
+                left
+            };
+            let bv = self.heap[best];
+            if activity[v as usize] >= activity[bv as usize] {
+                break;
+            }
+            self.heap[slot] = bv;
+            self.positions[bv as usize] = slot as u32;
+            slot = best;
+        }
+        self.heap[slot] = v;
+        self.positions[v as usize] = slot as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariant(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                activity[self.heap[parent] as usize] >= activity[self.heap[i] as usize],
+                "heap order violated at {i}"
+            );
+        }
+        for (i, &h) in self.heap.iter().enumerate() {
+            assert_eq!(self.positions[h as usize], i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_returns_max_activity_order() {
+        let activity = vec![0.5, 2.0, 1.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..4 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        heap.check_invariant(&activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(3)));
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(1)));
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(2)));
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert_eq!(heap.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn increased_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.increased(Var::from_index(0), &activity);
+        heap.check_invariant(&activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(1), &activity);
+        let top = heap.pop_max(&activity).unwrap();
+        assert!(!heap.contains(top));
+        heap.insert(top, &activity);
+        assert!(heap.contains(top));
+        assert_eq!(heap.len(), 2);
+        heap.check_invariant(&activity);
+    }
+}

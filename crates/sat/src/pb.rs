@@ -1,0 +1,319 @@
+//! Pseudo-Boolean (PB) linear constraints.
+//!
+//! A PB constraint is a linear inequality over literals, e.g.
+//! `3·x + 2·¬y + z ≥ 4`. The paper's GOBLIN back-end solves conjunctions of
+//! such constraints directly; we do the same, normalizing every input
+//! constraint to the canonical form
+//!
+//! ```text
+//! Σ aᵢ·lᵢ ≥ k      with  aᵢ > 0,  k > 0,  lᵢ distinct variables
+//! ```
+//!
+//! Normalization handles negative coefficients (via `a·l = a − a·¬l`),
+//! duplicate literals, complementary pairs, coefficient clamping at the
+//! bound, and detects trivially true/false constraints and units.
+
+use crate::types::Lit;
+
+/// A linear term `coef · lit` in a PB constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PbTerm {
+    /// The literal (counts 1 when true, 0 when false).
+    pub lit: Lit,
+    /// Its integer coefficient (may be negative before normalization).
+    pub coef: i64,
+}
+
+impl PbTerm {
+    /// Convenience constructor.
+    pub fn new(lit: Lit, coef: i64) -> PbTerm {
+        PbTerm { lit, coef }
+    }
+}
+
+/// Comparison operator of an input PB constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PbOp {
+    /// `Σ aᵢ·lᵢ ≥ k`
+    Ge,
+    /// `Σ aᵢ·lᵢ ≤ k`
+    Le,
+    /// `Σ aᵢ·lᵢ = k`
+    Eq,
+}
+
+/// Outcome of normalizing one `Σ aᵢ·lᵢ ≥ k` inequality.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Normalized {
+    /// The constraint holds under every assignment.
+    TriviallyTrue,
+    /// The constraint holds under no assignment.
+    TriviallyFalse,
+    /// The constraint reduces to a single forced literal.
+    Unit(Lit),
+    /// A genuine constraint in canonical form.
+    Constraint {
+        /// Distinct literals, paired with `coefs`.
+        lits: Vec<Lit>,
+        /// Positive coefficients, clamped at `bound`.
+        coefs: Vec<u64>,
+        /// Positive right-hand side.
+        bound: u64,
+    },
+}
+
+/// Normalizes `Σ terms ≥ bound` into canonical form.
+///
+/// Works on one `≥` inequality; [`PbOp::Le`] and [`PbOp::Eq`] inputs are
+/// reduced to `≥` form by [`to_ge_constraints`].
+pub fn normalize_ge(terms: &[PbTerm], mut bound: i64) -> Normalized {
+    // Merge coefficients per variable, folding signs: a term on ¬x with
+    // coefficient a is the same as `a − a·x`, i.e. coefficient −a on x plus
+    // `a` on the bound side. Track everything as a coefficient on the
+    // *positive* literal.
+    let mut by_var: Vec<(u32, i64)> = Vec::with_capacity(terms.len());
+    for t in terms {
+        if t.coef == 0 {
+            continue;
+        }
+        let (var, coef) = if t.lit.is_positive() {
+            (t.lit.var().0, t.coef)
+        } else {
+            bound -= t.coef;
+            (t.lit.var().0, -t.coef)
+        };
+        by_var.push((var, coef));
+    }
+    by_var.sort_unstable_by_key(|&(v, _)| v);
+    by_var.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            a.1 += b.1;
+            true
+        } else {
+            false
+        }
+    });
+
+    // Re-express each merged coefficient as a positive coefficient on the
+    // appropriate sign of the literal.
+    let mut lits = Vec::with_capacity(by_var.len());
+    let mut coefs: Vec<u64> = Vec::with_capacity(by_var.len());
+    for (var, coef) in by_var {
+        if coef == 0 {
+            continue;
+        }
+        let v = crate::types::Var(var);
+        if coef > 0 {
+            lits.push(v.positive());
+            coefs.push(coef as u64);
+        } else {
+            bound -= coef; // coef < 0, so bound increases
+            lits.push(v.negative());
+            coefs.push((-coef) as u64);
+        }
+    }
+
+    if bound <= 0 {
+        return Normalized::TriviallyTrue;
+    }
+    let bound = bound as u64;
+    // Clamp coefficients: any coefficient ≥ bound satisfies the constraint
+    // alone, so larger values carry no extra information.
+    for c in &mut coefs {
+        if *c > bound {
+            *c = bound;
+        }
+    }
+    let total: u64 = coefs.iter().sum();
+    if total < bound {
+        return Normalized::TriviallyFalse;
+    }
+    // A literal whose absence makes the constraint unsatisfiable is forced.
+    // When exactly one literal exists, that is a unit.
+    if lits.len() == 1 {
+        return Normalized::Unit(lits[0]);
+    }
+    Normalized::Constraint { lits, coefs, bound }
+}
+
+/// Reduces an arbitrary PB constraint to one or two `≥` inequalities.
+///
+/// `≤` is flipped by negating coefficients and bound; `=` becomes the
+/// conjunction of `≥` and `≤`.
+pub fn to_ge_constraints(terms: &[PbTerm], op: PbOp, bound: i64) -> Vec<(Vec<PbTerm>, i64)> {
+    match op {
+        PbOp::Ge => vec![(terms.to_vec(), bound)],
+        PbOp::Le => {
+            let flipped: Vec<PbTerm> = terms
+                .iter()
+                .map(|t| PbTerm::new(t.lit, -t.coef))
+                .collect();
+            vec![(flipped, -bound)]
+        }
+        PbOp::Eq => {
+            let mut out = to_ge_constraints(terms, PbOp::Ge, bound);
+            out.extend(to_ge_constraints(terms, PbOp::Le, bound));
+            out
+        }
+    }
+}
+
+/// A canonical PB constraint as stored inside the solver, with the running
+/// counter state used for propagation.
+pub(crate) struct PbConstraint {
+    pub lits: Box<[Lit]>,
+    pub coefs: Box<[u64]>,
+    pub bound: u64,
+    /// `Σ_{lᵢ not false} aᵢ − bound`. Negative ⇒ violated under the current
+    /// partial assignment; less than some unassigned `aᵢ` ⇒ that literal is
+    /// forced true.
+    pub slack: i64,
+    /// Largest coefficient, used to skip propagation scans when
+    /// `slack ≥ max_coef`.
+    pub max_coef: u64,
+}
+
+impl PbConstraint {
+    pub(crate) fn new(lits: Vec<Lit>, coefs: Vec<u64>, bound: u64) -> PbConstraint {
+        debug_assert_eq!(lits.len(), coefs.len());
+        let total: i64 = coefs.iter().map(|&c| c as i64).sum();
+        let max_coef = coefs.iter().copied().max().unwrap_or(0);
+        PbConstraint {
+            lits: lits.into_boxed_slice(),
+            coefs: coefs.into_boxed_slice(),
+            bound,
+            slack: total - bound as i64,
+            max_coef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn pos(i: usize) -> Lit {
+        Var::from_index(i).positive()
+    }
+    fn neg(i: usize) -> Lit {
+        Var::from_index(i).negative()
+    }
+
+    #[test]
+    fn normalize_simple_clause() {
+        // x0 + x1 + x2 >= 1 stays as-is.
+        let n = normalize_ge(
+            &[
+                PbTerm::new(pos(0), 1),
+                PbTerm::new(pos(1), 1),
+                PbTerm::new(pos(2), 1),
+            ],
+            1,
+        );
+        match n {
+            Normalized::Constraint { lits, coefs, bound } => {
+                assert_eq!(lits, vec![pos(0), pos(1), pos(2)]);
+                assert_eq!(coefs, vec![1, 1, 1]);
+                assert_eq!(bound, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_negative_coefficient() {
+        // 2·x0 − 3·x1 ≥ −1  ≡  2·x0 + 3·¬x1 ≥ 2
+        let n = normalize_ge(&[PbTerm::new(pos(0), 2), PbTerm::new(pos(1), -3)], -1);
+        match n {
+            Normalized::Constraint { lits, coefs, bound } => {
+                assert_eq!(lits, vec![pos(0), neg(1)]);
+                assert_eq!(coefs, vec![2, 2]); // 3 clamped to bound 2
+                assert_eq!(bound, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_negated_literal() {
+        // 2·¬x0 ≥ 1 with another literal: ¬x0 kept as-is.
+        let n = normalize_ge(&[PbTerm::new(neg(0), 2), PbTerm::new(pos(1), 1)], 2);
+        match n {
+            Normalized::Constraint { lits, coefs, bound } => {
+                assert_eq!(lits, vec![neg(0), pos(1)]);
+                assert_eq!(coefs, vec![2, 1]);
+                assert_eq!(bound, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complementary_literals_cancel() {
+        // x0 + ¬x0 ≥ 1 is trivially true (sum is always exactly 1).
+        let n = normalize_ge(&[PbTerm::new(pos(0), 1), PbTerm::new(neg(0), 1)], 1);
+        assert_eq!(n, Normalized::TriviallyTrue);
+    }
+
+    #[test]
+    fn duplicate_literals_merge() {
+        // x0 + x0 ≥ 2 ≡ 2·x0 ≥ 2 ⇒ unit x0.
+        let n = normalize_ge(&[PbTerm::new(pos(0), 1), PbTerm::new(pos(0), 1)], 2);
+        assert_eq!(n, Normalized::Unit(pos(0)));
+    }
+
+    #[test]
+    fn trivially_false_detected() {
+        let n = normalize_ge(&[PbTerm::new(pos(0), 1), PbTerm::new(pos(1), 1)], 3);
+        assert_eq!(n, Normalized::TriviallyFalse);
+    }
+
+    #[test]
+    fn trivially_true_detected() {
+        let n = normalize_ge(&[PbTerm::new(pos(0), 1)], 0);
+        assert_eq!(n, Normalized::TriviallyTrue);
+    }
+
+    #[test]
+    fn le_flips_to_ge() {
+        // x0 + x1 ≤ 1  ≡  −x0 − x1 ≥ −1  ≡  ¬x0 + ¬x1 ≥ 1
+        let ge = to_ge_constraints(
+            &[PbTerm::new(pos(0), 1), PbTerm::new(pos(1), 1)],
+            PbOp::Le,
+            1,
+        );
+        assert_eq!(ge.len(), 1);
+        match normalize_ge(&ge[0].0, ge[0].1) {
+            Normalized::Constraint { lits, coefs, bound } => {
+                assert_eq!(lits, vec![neg(0), neg(1)]);
+                assert_eq!(coefs, vec![1, 1]);
+                assert_eq!(bound, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq_produces_two_constraints() {
+        let ge = to_ge_constraints(
+            &[PbTerm::new(pos(0), 1), PbTerm::new(pos(1), 1)],
+            PbOp::Eq,
+            1,
+        );
+        assert_eq!(ge.len(), 2);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let n = normalize_ge(&[PbTerm::new(pos(0), 0), PbTerm::new(pos(1), 1)], 1);
+        assert_eq!(n, Normalized::Unit(pos(1)));
+    }
+
+    #[test]
+    fn constraint_state_initial_slack() {
+        let c = PbConstraint::new(vec![pos(0), pos(1), pos(2)], vec![3, 2, 1], 4);
+        assert_eq!(c.slack, 2);
+        assert_eq!(c.max_coef, 3);
+    }
+}

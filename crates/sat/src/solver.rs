@@ -1,0 +1,1374 @@
+//! The CDCL(PB) solver core.
+//!
+//! A conflict-driven clause-learning SAT solver in the MiniSat lineage,
+//! extended with native pseudo-Boolean constraints propagated by the counter
+//! method. This is our stand-in for the GOBLIN solver the paper uses: it
+//! accepts a conjunction of clauses and linear PB constraints over literals,
+//! decides satisfiability, and supports *incremental* solving under
+//! assumptions with learned-clause retention — the mechanism behind the
+//! paper's §7 observation that reusing learned facts across the binary-search
+//! sequence speeds optimization up by a factor of two or more.
+//!
+//! Feature set:
+//! - two-watched-literal clause propagation with blocker literals,
+//! - counter-based PB propagation with on-demand clause explanations,
+//! - first-UIP conflict analysis with learned-clause minimization,
+//! - EVSIDS variable activities with phase saving,
+//! - Luby restarts,
+//! - activity/LBD-driven deletion of learned clauses with arena compaction,
+//! - solving under assumptions; all clauses (input and learned) persist
+//!   across `solve` calls.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarOrderHeap;
+use crate::pb::{normalize_ge, to_ge_constraints, Normalized, PbConstraint, PbOp, PbTerm};
+use crate::types::{LBool, Lit, Var};
+
+/// Verdict of a [`Solver::solve`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Why a variable is assigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Reason {
+    /// Decision or unassigned.
+    None,
+    /// Propagated by a clause (whose first literal is the propagated one).
+    Clause(ClauseRef),
+    /// Propagated by the PB constraint with this index.
+    Pb(u32),
+}
+
+/// What raised a conflict during propagation.
+#[derive(Copy, Clone, Debug)]
+enum Conflict {
+    Clause(ClauseRef),
+    Pb(u32),
+}
+
+#[derive(Copy, Clone)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch list walk can skip it.
+    blocker: Lit,
+}
+
+/// Tunable solver parameters.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Multiplicative EVSIDS decay (activity increment grows by `1/decay`).
+    pub var_decay: f64,
+    /// Clause activity decay.
+    pub clause_decay: f64,
+    /// Conflicts in the first restart interval; later intervals follow the
+    /// Luby sequence scaled by this unit.
+    pub restart_unit: u64,
+    /// Initial cap on retained learned clauses before a reduction pass.
+    pub first_reduce: usize,
+    /// Growth of the learned-clause cap after each reduction.
+    pub reduce_grow: f64,
+    /// Give up (return [`SolveResult::Unknown`]) after this many conflicts
+    /// in one `solve` call, if set.
+    pub max_conflicts: Option<u64>,
+    /// Default phase for unassigned decision variables.
+    pub default_phase: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_unit: 100,
+            first_reduce: 4000,
+            reduce_grow: 1.2,
+            max_conflicts: None,
+            default_phase: false,
+        }
+    }
+}
+
+/// Execution counters, exposed for the paper's complexity tables.
+#[derive(Default, Clone, Debug)]
+pub struct SolverStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated (clause + PB).
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned (including units).
+    pub learned: u64,
+    /// Learned clauses deleted by DB reduction.
+    pub deleted: u64,
+    /// Propagations caused by PB constraints.
+    pub pb_propagations: u64,
+}
+
+/// CDCL SAT solver with native pseudo-Boolean constraints.
+pub struct Solver {
+    /// Tunables; adjust before solving.
+    pub config: SolverConfig,
+
+    db: ClauseDb,
+    pbs: Vec<PbConstraint>,
+    /// `pb_occs[lit]` lists `(pb index, coef)` for constraints containing
+    /// `lit`; consulted when `lit` becomes false.
+    pb_occs: Vec<Vec<(u32, u64)>>,
+    /// `watches[lit]` holds clauses to inspect when `lit` becomes **true**
+    /// (i.e. clauses watching `¬lit`).
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    trail_pos: Vec<u32>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f32,
+    order: VarOrderHeap,
+    saved_phase: Vec<bool>,
+
+    /// Learned clause refs, for DB reduction.
+    learnts: Vec<ClauseRef>,
+    max_learnts: usize,
+
+    // Conflict-analysis scratch space.
+    seen: Vec<bool>,
+    reason_buf: Vec<Lit>,
+
+    /// False once an unconditional (level-0) contradiction was derived.
+    ok: bool,
+
+    /// Completed model captured at the last `Sat` verdict.
+    model: Vec<bool>,
+
+    /// Total literal occurrences over all input constraints (paper's "Lit." column).
+    input_literals: u64,
+    input_clauses: u64,
+
+    /// Execution counters.
+    pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            config: SolverConfig::default(),
+            db: ClauseDb::new(),
+            pbs: Vec::new(),
+            pb_occs: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            trail_pos: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarOrderHeap::new(),
+            saved_phase: Vec::new(),
+            learnts: Vec::new(),
+            max_learnts: 0,
+            seen: Vec::new(),
+            reason_buf: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            input_literals: 0,
+            input_clauses: 0,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(Reason::None);
+        self.trail_pos.push(0);
+        self.activity.push(0.0);
+        self.saved_phase.push(self.config.default_phase);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.pb_occs.push(Vec::new());
+        self.pb_occs.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem constraints added (clauses + PB constraints),
+    /// excluding learned clauses.
+    pub fn num_constraints(&self) -> u64 {
+        self.input_clauses
+    }
+
+    /// Total literal occurrences over all added constraints — the paper's
+    /// "Lit." complexity column.
+    pub fn num_literals(&self) -> u64 {
+        self.input_literals
+    }
+
+    /// `false` once the constraint set is unconditionally contradictory.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    #[inline]
+    fn value_var(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    /// Current value of a literal under the partial assignment.
+    #[inline]
+    pub fn value_lit(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    /// Model value of a literal after a [`SolveResult::Sat`] verdict.
+    ///
+    /// The model is a snapshot taken when `solve` returned `Sat`; it remains
+    /// readable until the next `solve` call.
+    pub fn model_value(&self, l: Lit) -> bool {
+        let v = self
+            .model
+            .get(l.var().index())
+            .copied()
+            .unwrap_or(self.config.default_phase);
+        v == l.is_positive()
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Adding constraints
+    // ------------------------------------------------------------------
+
+    /// Adds a clause (a disjunction of literals). Returns `false` if the
+    /// solver detected an unconditional contradiction.
+    ///
+    /// Must be called at decision level 0 (i.e. outside `solve`).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack_to(0);
+        if !self.ok {
+            return false;
+        }
+        let mut cl: Vec<Lit> = lits.to_vec();
+        cl.sort_unstable();
+        cl.dedup();
+        // Tautology / level-0 simplification.
+        let mut write = 0;
+        for i in 0..cl.len() {
+            let l = cl[i];
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return true; // contains l ∨ ¬l
+            }
+            match self.value_lit(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => {
+                    cl[write] = l;
+                    write += 1;
+                }
+            }
+        }
+        cl.truncate(write);
+        self.input_clauses += 1;
+        self.input_literals += lits.len() as u64;
+        match cl.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.assign(cl[0], Reason::None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(&cl, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Adds the pseudo-Boolean constraint `Σ terms  op  bound`. Returns
+    /// `false` on an unconditional contradiction.
+    pub fn add_pb(&mut self, terms: &[PbTerm], op: PbOp, bound: i64) -> bool {
+        self.backtrack_to(0);
+        if !self.ok {
+            return false;
+        }
+        self.input_clauses += 1;
+        self.input_literals += terms.len() as u64;
+        for (ge_terms, ge_bound) in to_ge_constraints(terms, op, bound) {
+            match normalize_ge(&ge_terms, ge_bound) {
+                Normalized::TriviallyTrue => {}
+                Normalized::TriviallyFalse => {
+                    self.ok = false;
+                    return false;
+                }
+                Normalized::Unit(l) => match self.value_lit(l) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.ok = false;
+                        return false;
+                    }
+                    LBool::Undef => {
+                        self.assign(l, Reason::None);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                            return false;
+                        }
+                    }
+                },
+                Normalized::Constraint { lits, coefs, bound } => {
+                    if !self.install_pb(lits, coefs, bound) {
+                        self.ok = false;
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Installs a canonical PB constraint, accounting for literals already
+    /// false at level 0 and propagating any immediately forced literals.
+    fn install_pb(&mut self, lits: Vec<Lit>, coefs: Vec<u64>, bound: u64) -> bool {
+        let idx = self.pbs.len() as u32;
+        let mut c = PbConstraint::new(lits, coefs, bound);
+        // Fold in the current level-0 assignment.
+        for (i, &l) in c.lits.iter().enumerate() {
+            if self.value_lit(l) == LBool::False {
+                c.slack -= c.coefs[i] as i64;
+            }
+        }
+        if c.slack < 0 {
+            return false;
+        }
+        for (i, &l) in c.lits.iter().enumerate() {
+            self.pb_occs[l.index()].push((idx, c.coefs[i]));
+        }
+        // Literals forced right away (coef exceeds slack).
+        let forced: Vec<Lit> = c
+            .lits
+            .iter()
+            .zip(c.coefs.iter())
+            .filter(|&(l, &a)| self.value_lit(*l) == LBool::Undef && (a as i64) > c.slack)
+            .map(|(&l, _)| l)
+            .collect();
+        self.pbs.push(c);
+        for l in forced {
+            if self.value_lit(l) == LBool::Undef {
+                self.assign(l, Reason::Pb(idx));
+            }
+            if self.propagate().is_some() {
+                return false;
+            }
+        }
+        self.propagate().is_none()
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let ls = self.db.lits(cref);
+            (ls[0], ls[1])
+        };
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment & propagation
+    // ------------------------------------------------------------------
+
+    fn assign(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail_pos[v.index()] = self.trail.len() as u32;
+        self.trail.push(l);
+        // Counter maintenance: every constraint containing ¬l loses slack.
+        let fl = !l;
+        for &(pb, coef) in &self.pb_occs[fl.index()] {
+            self.pbs[pb as usize].slack -= coef as i64;
+        }
+        self.stats.propagations += 1;
+    }
+
+    fn unassign(&mut self, v: Var) {
+        let val = self.assigns[v.index()];
+        debug_assert!(val.is_assigned());
+        let true_lit = v.lit(val == LBool::True);
+        let fl = !true_lit;
+        for &(pb, coef) in &self.pb_occs[fl.index()] {
+            self.pbs[pb as usize].slack += coef as i64;
+        }
+        self.assigns[v.index()] = LBool::Undef;
+        self.reason[v.index()] = Reason::None;
+        self.saved_phase[v.index()] = val == LBool::True;
+        if !self.order.contains(v) {
+            self.order.insert(v, &self.activity);
+        }
+    }
+
+    /// Propagates all queued assignments. Returns the conflicting constraint
+    /// if a conflict arises.
+    fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(confl) = self.propagate_clauses(p) {
+                self.qhead = self.trail.len();
+                return Some(Conflict::Clause(confl));
+            }
+            if let Some(confl) = self.propagate_pbs(p) {
+                self.qhead = self.trail.len();
+                return Some(confl);
+            }
+        }
+        None
+    }
+
+    /// Walks the watch list of `p` (clauses containing `¬p`).
+    fn propagate_clauses(&mut self, p: Lit) -> Option<ClauseRef> {
+        let false_lit = !p;
+        let mut ws = std::mem::take(&mut self.watches[p.index()]);
+        let mut i = 0;
+        let mut conflict = None;
+        'watchers: while i < ws.len() {
+            let w = ws[i];
+            if self.value_lit(w.blocker) == LBool::True {
+                i += 1;
+                continue;
+            }
+            let cref = w.cref;
+            // Normalize: watched literal we are processing goes to slot 1.
+            {
+                let lits = self.db.lits_mut(cref);
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], false_lit);
+            }
+            let first = self.db.lits(cref)[0];
+            if first != w.blocker && self.value_lit(first) == LBool::True {
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                i += 1;
+                continue;
+            }
+            // Find a new literal to watch.
+            let len = self.db.len(cref);
+            for k in 2..len {
+                let lk = self.db.lits(cref)[k];
+                if self.value_lit(lk) != LBool::False {
+                    self.db.lits_mut(cref).swap(1, k);
+                    self.watches[(!lk).index()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue 'watchers;
+                }
+            }
+            // No replacement: clause is unit or conflicting.
+            ws[i] = Watcher {
+                cref,
+                blocker: first,
+            };
+            i += 1;
+            match self.value_lit(first) {
+                LBool::False => {
+                    conflict = Some(cref);
+                    break;
+                }
+                LBool::Undef => self.assign(first, Reason::Clause(cref)),
+                LBool::True => unreachable!("handled above"),
+            }
+        }
+        // Put the (possibly shrunk) watch list back, preserving any watchers
+        // not yet visited.
+        let rest = std::mem::replace(&mut self.watches[p.index()], ws);
+        self.watches[p.index()].extend(rest);
+        conflict
+    }
+
+    /// Updates PB constraints containing `¬p` after `p` became true.
+    fn propagate_pbs(&mut self, p: Lit) -> Option<Conflict> {
+        let fl = !p;
+        // Slack was already decremented in `assign`; here we detect
+        // conflicts and propagate forced literals.
+        for oi in 0..self.pb_occs[fl.index()].len() {
+            let (pb_idx, _) = self.pb_occs[fl.index()][oi];
+            let pb = &self.pbs[pb_idx as usize];
+            if pb.slack < 0 {
+                return Some(Conflict::Pb(pb_idx));
+            }
+            if (pb.max_coef as i64) <= pb.slack {
+                continue;
+            }
+            // Scan for unassigned literals with coef > slack: forced true.
+            let n = pb.lits.len();
+            for k in 0..n {
+                let pb = &self.pbs[pb_idx as usize];
+                let (l, a) = (pb.lits[k], pb.coefs[k]);
+                if (a as i64) > pb.slack && self.value_lit(l) == LBool::Undef {
+                    self.stats.pb_propagations += 1;
+                    self.assign(l, Reason::Pb(pb_idx));
+                }
+            }
+        }
+        None
+    }
+
+    /// Collects the explanation literals of a reason/conflict into
+    /// `self.reason_buf`. For a clause this is the clause body; for a PB
+    /// constraint it is the set of its false literals assigned before
+    /// `before` (or all false literals for a conflict). The propagated
+    /// literal itself, if any, is excluded.
+    fn explain(&mut self, r: Reason, propagated: Option<Lit>) {
+        self.reason_buf.clear();
+        match r {
+            Reason::None => unreachable!("decisions have no explanation"),
+            Reason::Clause(cref) => {
+                for &l in self.db.lits(cref) {
+                    if Some(l) != propagated {
+                        self.reason_buf.push(l);
+                    }
+                }
+            }
+            Reason::Pb(idx) => {
+                let cutoff = propagated
+                    .map(|p| self.trail_pos[p.var().index()])
+                    .unwrap_or(u32::MAX);
+                let pb = &self.pbs[idx as usize];
+                for &l in pb.lits.iter() {
+                    let v = l.var();
+                    let val = self.assigns[v.index()];
+                    let lit_false = match val {
+                        LBool::Undef => false,
+                        _ => (val == LBool::True) != l.is_positive(),
+                    };
+                    if lit_false && self.trail_pos[v.index()] < cutoff {
+                        self.reason_buf.push(l);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::with_capacity(16);
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut reason = match confl {
+            Conflict::Clause(c) => {
+                self.bump_clause(c);
+                Reason::Clause(c)
+            }
+            Conflict::Pb(i) => Reason::Pb(i),
+        };
+
+        loop {
+            self.explain(reason, p);
+            let expl = std::mem::take(&mut self.reason_buf);
+            for &q in &expl {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            self.reason_buf = expl;
+
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let v = pl.var();
+            self.seen[v.index()] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+            reason = self.reason[v.index()];
+            if let Reason::Clause(c) = reason {
+                self.bump_clause(c);
+            }
+        }
+
+        let uip = !p.unwrap();
+        self.minimize_learnt(&mut learnt);
+        learnt.insert(0, uip);
+
+        // Backtrack level = highest level among the non-asserting literals.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        // Clear remaining `seen` flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// Drops learned literals whose reason is entirely subsumed by other
+    /// learned literals (local minimization).
+    fn minimize_learnt(&mut self, learnt: &mut Vec<Lit>) {
+        // Mark all kept literals (the UIP is added later and never removed).
+        for &l in learnt.iter() {
+            self.seen[l.var().index()] = true;
+        }
+        let mut i = 0;
+        while i < learnt.len() {
+            let l = learnt[i];
+            let r = self.reason[l.var().index()];
+            let redundant = match r {
+                Reason::None => false,
+                _ => {
+                    self.explain(r, Some(!l));
+                    let buf = std::mem::take(&mut self.reason_buf);
+                    let red = buf.iter().all(|&q| {
+                        let v = q.var();
+                        self.level[v.index()] == 0 || self.seen[v.index()]
+                    });
+                    self.reason_buf = buf;
+                    red
+                }
+            };
+            if redundant {
+                self.seen[l.var().index()] = false;
+                learnt.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        for &l in learnt.iter() {
+            self.seen[l.var().index()] = false;
+        }
+    }
+
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.order.rescaled();
+        }
+        self.order.increased(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.db.is_learnt(cref) {
+            return;
+        }
+        let act = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, act);
+        if act > 1e20 {
+            for &c in &self.learnts {
+                let a = self.db.activity(c);
+                self.db.set_activity(c, a * 1e-20);
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay as f32;
+    }
+
+    // ------------------------------------------------------------------
+    // Backtracking
+    // ------------------------------------------------------------------
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        while self.trail.len() > target {
+            let l = self.trail.pop().unwrap();
+            self.unassign(l.var());
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Learned-clause database management
+    // ------------------------------------------------------------------
+
+    fn reduce_db(&mut self) {
+        // Sort worst-first: high LBD, then low activity.
+        let db = &self.db;
+        self.learnts.sort_by(|&a, &b| {
+            db.lbd(b)
+                .cmp(&db.lbd(a))
+                .then(db.activity(a).partial_cmp(&db.activity(b)).unwrap())
+        });
+        let mut removed = 0usize;
+        let target = self.learnts.len() / 2;
+        let mut kept = Vec::with_capacity(self.learnts.len() - target);
+        let learnts = std::mem::take(&mut self.learnts);
+        for (i, &c) in learnts.iter().enumerate() {
+            let locked = {
+                let first = self.db.lits(c)[0];
+                self.reason[first.var().index()] == Reason::Clause(c)
+                    && self.value_lit(first) == LBool::True
+            };
+            if i < target && !locked && self.db.lbd(c) > 2 {
+                self.detach(c);
+                self.db.delete(c);
+                removed += 1;
+            } else {
+                kept.push(c);
+            }
+        }
+        self.learnts = kept;
+        self.stats.deleted += removed as u64;
+        self.max_learnts = (self.max_learnts as f64 * self.config.reduce_grow) as usize;
+
+        if self.db.wasted * 4 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let ls = self.db.lits(cref);
+            (ls[0], ls[1])
+        };
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+    }
+
+    fn garbage_collect(&mut self) {
+        let relocs = self.db.collect();
+        let map: std::collections::HashMap<ClauseRef, ClauseRef> = relocs.into_iter().collect();
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                w.cref = map[&w.cref];
+            }
+        }
+        for r in &mut self.reason {
+            if let Reason::Clause(c) = r {
+                *r = Reason::Clause(map[c]);
+            }
+        }
+        for c in &mut self.learnts {
+            *c = map[c];
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main search
+    // ------------------------------------------------------------------
+
+    /// Decides satisfiability of the accumulated constraints under the given
+    /// `assumptions` (literals temporarily forced true for this call).
+    ///
+    /// All constraints and learned clauses persist across calls, which is
+    /// what makes the binary-search optimization loop incremental.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.backtrack_to(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if let Some(c) = self.propagate() {
+            let _ = c;
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut restarts = 0u64;
+        let mut conflicts_this_call = 0u64;
+        if self.max_learnts == 0 {
+            self.max_learnts = self.config.first_reduce;
+        }
+
+        let result = loop {
+            let budget = luby(restarts) * self.config.restart_unit;
+            match self.search(assumptions, budget, &mut conflicts_this_call) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+                SearchOutcome::Budget => break SolveResult::Unknown,
+            }
+        };
+        if result == SolveResult::Sat {
+            // Snapshot the model, completing unconstrained variables with
+            // their saved phase.
+            self.model.clear();
+            self.model.extend(self.assigns.iter().enumerate().map(|(i, &v)| match v {
+                LBool::True => true,
+                LBool::False => false,
+                LBool::Undef => self.saved_phase[i],
+            }));
+        }
+        self.backtrack_to(0);
+        result
+    }
+
+    /// Convenience: solve with no assumptions.
+    pub fn solve_unassuming(&mut self) -> SolveResult {
+        self.solve(&[])
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_budget: u64,
+        conflicts_this_call: &mut u64,
+    ) -> SearchOutcome {
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                *conflicts_this_call += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.backtrack_to(bt_level);
+                self.learn(&learnt);
+                self.decay_activities();
+                if let Some(max) = self.config.max_conflicts {
+                    if *conflicts_this_call >= max {
+                        return SearchOutcome::Budget;
+                    }
+                }
+            } else {
+                if conflicts_since_restart >= restart_budget && self.decision_level() > assumptions.len() as u32 {
+                    self.backtrack_to(assumptions.len() as u32);
+                    return SearchOutcome::Restart;
+                }
+                if self.learnts.len() >= self.max_learnts {
+                    self.reduce_db();
+                }
+                // Extend with assumptions, then decide.
+                match self.pick_next(assumptions) {
+                    PickOutcome::AllAssigned => return SearchOutcome::Sat,
+                    PickOutcome::AssumptionConflict => return SearchOutcome::Unsat,
+                    PickOutcome::Decided => {}
+                }
+            }
+        }
+    }
+
+    fn pick_next(&mut self, assumptions: &[Lit]) -> PickOutcome {
+        while (self.decision_level() as usize) < assumptions.len() {
+            let p = assumptions[self.decision_level() as usize];
+            match self.value_lit(p) {
+                LBool::True => {
+                    // Already satisfied: dummy level to keep the invariant
+                    // that level i ≤ |assumptions| corresponds to assumption i.
+                    self.new_decision_level();
+                }
+                LBool::False => return PickOutcome::AssumptionConflict,
+                LBool::Undef => {
+                    self.new_decision_level();
+                    self.assign(p, Reason::None);
+                    return PickOutcome::Decided;
+                }
+            }
+        }
+        // Regular decision by activity.
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.value_var(v) == LBool::Undef {
+                self.stats.decisions += 1;
+                self.new_decision_level();
+                let phase = self.saved_phase[v.index()];
+                self.assign(v.lit(phase), Reason::None);
+                return PickOutcome::Decided;
+            }
+        }
+        PickOutcome::AllAssigned
+    }
+
+    fn learn(&mut self, learnt: &[Lit]) {
+        self.stats.learned += 1;
+        match learnt.len() {
+            0 => self.ok = false,
+            1 => self.assign(learnt[0], Reason::None),
+            _ => {
+                let cref = self.db.alloc(learnt, true);
+                let lbd = self.lbd(learnt);
+                self.db.set_lbd(cref, lbd);
+                self.db.set_activity(cref, self.cla_inc);
+                self.attach(cref);
+                self.learnts.push(cref);
+                self.assign(learnt[0], Reason::Clause(cref));
+            }
+        }
+    }
+
+    /// Exports the accumulated *input* constraints (clauses and PB
+    /// constraints, not learned clauses) as a [`crate::Formula`] — e.g. to
+    /// dump an encoded instance in OPB format for an external solver.
+    ///
+    /// Level-0 unit assignments made while adding constraints are exported
+    /// as unit constraints so the formula is equisatisfiable.
+    pub fn export_formula(&self) -> crate::Formula {
+        let to_signed = |l: Lit| -> i64 {
+            let v = l.var().index() as i64 + 1;
+            if l.is_positive() {
+                v
+            } else {
+                -v
+            }
+        };
+        let mut f = crate::Formula {
+            n_vars: self.num_vars(),
+            ..Default::default()
+        };
+        // Root-level forced literals (from unit clauses / PB units).
+        let root_end = self
+            .trail_lim
+            .first()
+            .copied()
+            .unwrap_or(self.trail.len());
+        for &l in &self.trail[..root_end] {
+            if self.reason[l.var().index()] == Reason::None {
+                f.clauses.push(vec![to_signed(l)]);
+            }
+        }
+        for cref in self.db.iter_refs() {
+            if self.db.is_learnt(cref) {
+                continue;
+            }
+            f.clauses
+                .push(self.db.lits(cref).iter().map(|&l| to_signed(l)).collect());
+        }
+        for pb in &self.pbs {
+            let terms: Vec<(i64, i64)> = pb
+                .lits
+                .iter()
+                .zip(pb.coefs.iter())
+                .map(|(&l, &a)| (a as i64, to_signed(l)))
+                .collect();
+            f.pbs.push((terms, crate::PbOp::Ge, pb.bound as i64));
+        }
+        f
+    }
+
+    /// Verifies the current model against every input constraint. Intended
+    /// for tests and debug assertions; `panic`s on violation.
+    pub fn debug_check_model(&self) {
+        for cref in self.db.iter_refs() {
+            if self.db.is_learnt(cref) {
+                continue;
+            }
+            assert!(
+                self.db.lits(cref).iter().any(|&l| self.model_value(l)),
+                "clause {:?} violated",
+                self.db.lits(cref)
+            );
+        }
+        for pb in &self.pbs {
+            let sum: u64 = pb
+                .lits
+                .iter()
+                .zip(pb.coefs.iter())
+                .filter(|&(l, _)| self.model_value(*l))
+                .map(|(_, &a)| a)
+                .sum();
+            assert!(
+                sum >= pb.bound,
+                "PB constraint violated: sum {} < bound {}",
+                sum,
+                pb.bound
+            );
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    Budget,
+}
+
+enum PickOutcome {
+    AllAssigned,
+    AssumptionConflict,
+    Decided,
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then recurse.
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        if i + 1 < (1u64 << k) - 1 {
+            i -= (1u64 << (k - 1)) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, ids: &mut Vec<Var>, i: i32) -> Lit {
+        let idx = i.unsigned_abs() as usize - 1;
+        while ids.len() <= idx {
+            ids.push(s.new_var());
+        }
+        ids[idx].lit(i > 0)
+    }
+
+    fn add(s: &mut Solver, ids: &mut Vec<Var>, clause: &[i32]) -> bool {
+        let lits: Vec<Lit> = clause.iter().map(|&i| lit(s, ids, i)).collect();
+        s.add_clause(&lits)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        assert!(add(&mut s, &mut ids, &[1]));
+        assert!(add(&mut s, &mut ids, &[-1, 2]));
+        assert!(add(&mut s, &mut ids, &[-2, 3]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.model_value(ids[0].positive()));
+        assert!(s.model_value(ids[1].positive()));
+        assert!(s.model_value(ids[2].positive()));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        add(&mut s, &mut ids, &[1, 2]);
+        add(&mut s, &mut ids, &[1, -2]);
+        add(&mut s, &mut ids, &[-1, 2]);
+        add(&mut s, &mut ids, &[-1, -2]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn contradictory_units_unsat_at_add_time() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        assert!(add(&mut s, &mut ids, &[1]));
+        assert!(!add(&mut s, &mut ids, &[-1]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_verdict() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        add(&mut s, &mut ids, &[1, 2]);
+        let a = ids[0];
+        let b = ids[1];
+        assert_eq!(s.solve(&[a.negative(), b.negative()]), SolveResult::Unsat);
+        // Still satisfiable without assumptions (incremental reuse).
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.solve(&[a.negative()]), SolveResult::Sat);
+        assert!(s.model_value(b.positive()));
+    }
+
+    #[test]
+    fn pb_exactly_one() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let terms: Vec<PbTerm> = vars.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+        assert!(s.add_pb(&terms, PbOp::Eq, 1));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let count = vars.iter().filter(|v| s.model_value(v.positive())).count();
+        assert_eq!(count, 1);
+        s.debug_check_model();
+    }
+
+    #[test]
+    fn pb_at_least_two_with_forbidden_pair() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        let terms: Vec<PbTerm> = vars.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+        assert!(s.add_pb(&terms, PbOp::Ge, 2));
+        // v0 and v1 cannot both hold ⇒ v2 must hold.
+        assert!(s.add_clause(&[vars[0].negative(), vars[1].negative()]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.model_value(vars[2].positive()));
+        s.debug_check_model();
+    }
+
+    #[test]
+    fn pb_infeasible_bound() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        let terms: Vec<PbTerm> = vars.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+        assert!(s.add_pb(&terms, PbOp::Le, 1));
+        assert!(s.add_pb(&terms, PbOp::Ge, 1));
+        // Forbid each single-variable solution pairwise-free: force v0 true
+        // and v1 true, contradicting ≤ 1.
+        assert!(s.add_clause(&[vars[0].positive()]));
+        let ok = s.add_clause(&[vars[1].positive()]);
+        assert!(!ok || s.solve(&[]) == SolveResult::Unsat);
+    }
+
+    #[test]
+    fn weighted_pb_propagation() {
+        // 3a + 2b + c >= 5 with b false forces a and c... 3+1 < 5 ⇒ conflict;
+        // with c false forces a and b.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let terms = vec![
+            PbTerm::new(a.positive(), 3),
+            PbTerm::new(b.positive(), 2),
+            PbTerm::new(c.positive(), 1),
+        ];
+        assert!(s.add_pb(&terms, PbOp::Ge, 5));
+        assert_eq!(s.solve(&[b.negative()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[c.negative()]), SolveResult::Sat);
+        assert!(s.model_value(a.positive()));
+        assert!(s.model_value(b.positive()));
+    }
+
+    #[test]
+    fn full_adder_pb_encoding() {
+        // The paper's §5.1 example: cout ⇔ (x + y + cin ≥ 2) via two PB
+        // constraints. Check all 8 input combinations by assumption.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let cin = s.new_var();
+        let cout = s.new_var();
+        assert!(s.add_pb(
+            &[
+                PbTerm::new(cout.negative(), 2),
+                PbTerm::new(x.positive(), 1),
+                PbTerm::new(y.positive(), 1),
+                PbTerm::new(cin.positive(), 1),
+            ],
+            PbOp::Ge,
+            2
+        ));
+        assert!(s.add_pb(
+            &[
+                PbTerm::new(cout.positive(), 2),
+                PbTerm::new(x.negative(), 1),
+                PbTerm::new(y.negative(), 1),
+                PbTerm::new(cin.negative(), 1),
+            ],
+            PbOp::Ge,
+            2
+        ));
+        for bits in 0..8u32 {
+            let assumptions = [
+                x.lit(bits & 1 != 0),
+                y.lit(bits & 2 != 0),
+                cin.lit(bits & 4 != 0),
+            ];
+            assert_eq!(s.solve(&assumptions), SolveResult::Sat);
+            let expect = (bits & 1 != 0) as u32 + (bits & 2 != 0) as u32 + (bits & 4 != 0) as u32;
+            assert_eq!(
+                s.model_value(cout.positive()),
+                expect >= 2,
+                "bits {bits:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): classic small hard instance; exercises learning.
+        let mut s = Solver::new();
+        let mut p = vec![];
+        for _ in 0..4 {
+            let row: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for hole in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause(&[p[i][hole].negative(), p[j][hole].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_via_pb_unsat() {
+        // Same pigeonhole expressed with PB cardinality constraints.
+        let mut s = Solver::new();
+        let mut p = vec![];
+        for _ in 0..5 {
+            let row: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            let terms: Vec<PbTerm> = row.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+            assert!(s.add_pb(&terms, PbOp::Ge, 1));
+        }
+        for hole in 0..4 {
+            let terms: Vec<PbTerm> = p
+                .iter()
+                .map(|row| PbTerm::new(row[hole].positive(), 1))
+                .collect();
+            assert!(s.add_pb(&terms, PbOp::Le, 1));
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        let mut s = Solver::new();
+        s.config.max_conflicts = Some(1);
+        // A pigeonhole that needs more than one conflict.
+        let mut p = vec![];
+        for _ in 0..5 {
+            let row: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for hole in 0..4 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause(&[p[i][hole].negative(), p[j][hole].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        for i in 1..=6 {
+            add(&mut s, &mut ids, &[i, -(i % 6 + 1)]);
+        }
+        add(&mut s, &mut ids, &[1, 2, 3]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.num_vars() == 6);
+        assert!(s.num_literals() > 0);
+        assert!(s.num_constraints() == 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fundamental solver types: variables, literals, and the three-valued
+//! assignment domain.
+//!
+//! The representation follows the classic MiniSat convention: a variable is a
+//! dense index, and a literal packs the variable together with its sign into
+//! a single `u32` (`var << 1 | sign`), so literals can index arrays directly.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from its raw index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Var {
+        Var(idx as u32)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit(self.0 << 1 | (!positive as u32))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated. This makes
+/// `lit.index()` usable for direct indexing of watch lists and occurrence
+/// tables, and negation a single XOR.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// Creates a literal from its raw encoded index (`var << 1 | sign`).
+    #[inline]
+    pub fn from_index(idx: usize) -> Lit {
+        Lit(idx as u32)
+    }
+
+    /// The raw encoded index, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the positive (unnegated) literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// `true` if this is the negated literal.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+/// A three-valued Boolean: true, false, or unassigned.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum LBool {
+    /// Assigned true.
+    True = 0,
+    /// Assigned false.
+    False = 1,
+    /// Not assigned.
+    Undef = 2,
+}
+
+impl LBool {
+    /// Converts a concrete Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// `true` if assigned (either value).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+
+    /// Flips true/false; `Undef` stays `Undef`.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Extracts the concrete value, if assigned.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(v.negative().is_negative());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    fn literal_indexing_is_dense() {
+        let a = Var::from_index(0);
+        let b = Var::from_index(1);
+        assert_eq!(a.positive().index(), 0);
+        assert_eq!(a.negative().index(), 1);
+        assert_eq!(b.positive().index(), 2);
+        assert_eq!(b.negative().index(), 3);
+    }
+
+    #[test]
+    fn lbool_negation() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Undef.to_bool(), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based cross-validation of the CDCL(PB) solver against a
+//! brute-force model enumerator on random small instances.
+
+use optalloc_sat::{PbOp, PbTerm, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random problem over `n_vars` variables: clauses plus PB constraints in
+/// a plain data form that both the solver and the brute-forcer consume.
+#[derive(Debug, Clone)]
+struct Problem {
+    n_vars: usize,
+    /// Clauses as signed var indices (1-based, negative = negated).
+    clauses: Vec<Vec<i32>>,
+    /// PB constraints: (terms of (signed var, coef), op, bound).
+    pbs: Vec<(Vec<(i32, i64)>, PbOp, i64)>,
+}
+
+fn lit_of(vars: &[Var], signed: i32) -> optalloc_sat::Lit {
+    let v = vars[signed.unsigned_abs() as usize - 1];
+    v.lit(signed > 0)
+}
+
+/// Evaluates the problem under the assignment given by bitmask `m`.
+fn eval(p: &Problem, m: u32) -> bool {
+    let val = |signed: i32| -> bool {
+        let bit = m >> (signed.unsigned_abs() - 1) & 1 == 1;
+        if signed > 0 {
+            bit
+        } else {
+            !bit
+        }
+    };
+    for c in &p.clauses {
+        if !c.iter().any(|&l| val(l)) {
+            return false;
+        }
+    }
+    for (terms, op, bound) in &p.pbs {
+        let sum: i64 = terms
+            .iter()
+            .map(|&(l, a)| if val(l) { a } else { 0 })
+            .sum();
+        let ok = match op {
+            PbOp::Ge => sum >= *bound,
+            PbOp::Le => sum <= *bound,
+            PbOp::Eq => sum == *bound,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn brute_force(p: &Problem) -> Option<u32> {
+    (0u32..1 << p.n_vars).find(|&m| eval(p, m))
+}
+
+fn build_solver(p: &Problem) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..p.n_vars).map(|_| s.new_var()).collect();
+    for c in &p.clauses {
+        let lits: Vec<_> = c.iter().map(|&l| lit_of(&vars, l)).collect();
+        if !s.add_clause(&lits) {
+            break;
+        }
+    }
+    for (terms, op, bound) in &p.pbs {
+        let ts: Vec<PbTerm> = terms
+            .iter()
+            .map(|&(l, a)| PbTerm::new(lit_of(&vars, l), a))
+            .collect();
+        if !s.add_pb(&ts, *op, *bound) {
+            break;
+        }
+    }
+    (s, vars)
+}
+
+fn signed_var(n_vars: usize) -> impl Strategy<Value = i32> {
+    (1..=n_vars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (3usize..=8).prop_flat_map(|n_vars| {
+        let clause = proptest::collection::vec(signed_var(n_vars), 1..=4);
+        let clauses = proptest::collection::vec(clause, 0..12);
+        let term = (signed_var(n_vars), -4i64..=4);
+        let pb = (
+            proptest::collection::vec(term, 1..=4),
+            prop_oneof![Just(PbOp::Ge), Just(PbOp::Le), Just(PbOp::Eq)],
+            -6i64..=6,
+        );
+        let pbs = proptest::collection::vec(pb, 0..6);
+        (Just(n_vars), clauses, pbs).prop_map(|(n_vars, clauses, pbs)| Problem {
+            n_vars,
+            clauses,
+            pbs,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The solver's verdict matches brute-force enumeration, and any model
+    /// it returns actually satisfies every constraint.
+    #[test]
+    fn verdict_matches_brute_force(p in arb_problem()) {
+        let expected_sat = brute_force(&p).is_some();
+        let (mut s, vars) = build_solver(&p);
+        let verdict = s.solve(&[]);
+        prop_assert_eq!(verdict, if expected_sat { SolveResult::Sat } else { SolveResult::Unsat });
+        if verdict == SolveResult::Sat {
+            let mut mask = 0u32;
+            for (i, v) in vars.iter().enumerate() {
+                if s.model_value(v.positive()) {
+                    mask |= 1 << i;
+                }
+            }
+            prop_assert!(eval(&p, mask), "returned model violates a constraint");
+        }
+    }
+
+    /// Solving under assumptions equals brute force restricted to those
+    /// assumptions, and does not corrupt later unassumed solving.
+    #[test]
+    fn assumptions_match_restricted_brute_force(
+        p in arb_problem(),
+        pattern in any::<u32>(),
+    ) {
+        // Assume the first min(2, n) variables to values from `pattern`.
+        let n_assumed = p.n_vars.min(2);
+        let (mut s, vars) = build_solver(&p);
+        let assumptions: Vec<_> = (0..n_assumed)
+            .map(|i| vars[i].lit(pattern >> i & 1 == 1))
+            .collect();
+
+        let expected = (0u32..1 << p.n_vars).any(|m| {
+            (0..n_assumed).all(|i| (m >> i & 1 == 1) == (pattern >> i & 1 == 1)) && eval(&p, m)
+        });
+        let verdict = s.solve(&assumptions);
+        prop_assert_eq!(
+            verdict,
+            if expected { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+
+        // Incremental reuse: the unrestricted problem must still be decided
+        // correctly afterwards.
+        let expected_free = brute_force(&p).is_some();
+        let verdict_free = s.solve(&[]);
+        prop_assert_eq!(
+            verdict_free,
+            if expected_free { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+    }
+
+    /// Re-solving the same formula many times under alternating assumptions
+    /// (as the binary-search optimizer does) stays consistent.
+    #[test]
+    fn repeated_incremental_solves_stay_consistent(p in arb_problem()) {
+        let (mut s, vars) = build_solver(&p);
+        for round in 0..4u32 {
+            let a = vars[0].lit(round % 2 == 0);
+            let expected = (0u32..1 << p.n_vars).any(|m| {
+                ((m & 1 == 1) == (round % 2 == 0)) && eval(&p, m)
+            });
+            let verdict = s.solve(&[a]);
+            prop_assert_eq!(
+                verdict,
+                if expected { SolveResult::Sat } else { SolveResult::Unsat },
+                "round {}", round
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The architectures of the paper's figures: the Figure 1 path-closure
+//! example and the hierarchical architectures A, B, C of Figure 2 (§6,
+//! Table 4).
+
+use crate::gen::{generate, GenParams, Workload};
+use optalloc_model::{
+    shortest_route, Allocation, Architecture, Ecu, EcuId, Medium, MessageRoute, Time,
+};
+
+/// Figure 1's topology: `k1 = {p1,p2,p3}`, `k2 = {p2,p4}`, `k3 = {p3,p5}`
+/// (ECU indices match the figure; `p0` exists but is unconnected).
+pub fn figure1() -> Architecture {
+    let mut a = Architecture::new();
+    for i in 0..=5 {
+        a.push_ecu(Ecu::new(format!("p{i}")));
+    }
+    a.push_medium(Medium::priority(
+        "k1",
+        vec![EcuId(1), EcuId(2), EcuId(3)],
+        1,
+        1,
+    ));
+    a.push_medium(Medium::priority("k2", vec![EcuId(2), EcuId(4)], 1, 1));
+    a.push_medium(Medium::priority("k3", vec![EcuId(3), EcuId(5)], 1, 1));
+    a
+}
+
+/// Which of the paper's Figure 2 architectures to instantiate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Fig2 {
+    /// Two 4-ECU token rings joined by one dedicated gateway node (ECU 8),
+    /// which hosts no tasks.
+    A,
+    /// Three 4-ECU token rings chained by two dedicated gateway nodes
+    /// (ECUs 12, 13), which host no tasks.
+    B,
+    /// Two token rings sharing ECU 0 as gateway; all ECUs host tasks.
+    C,
+}
+
+/// Builds one of Figure 2's architectures. TDMA slot tables are sized by
+/// `slot` per member (they become decision variables under the TRT
+/// objectives anyway); `per_byte`/`frame_overhead` = 1 tick.
+pub fn figure2(which: Fig2, slot: Time) -> Architecture {
+    let mut a = Architecture::new();
+    let ring = |name: &str, members: Vec<EcuId>| {
+        let slots = vec![slot; members.len()];
+        Medium::tdma(name, members, slots, 1, 1)
+    };
+    match which {
+        Fig2::A => {
+            // ECUs 0..7 host tasks; 8 is the gateway.
+            for i in 0..8 {
+                a.push_ecu(Ecu::new(format!("p{i}")));
+            }
+            a.push_ecu(Ecu::new("gw8").gateway_only());
+            let lower: Vec<EcuId> = (0..4).map(EcuId).chain([EcuId(8)]).collect();
+            let upper: Vec<EcuId> = (4..8).map(EcuId).chain([EcuId(8)]).collect();
+            a.push_medium(ring("ring-low", lower));
+            a.push_medium(ring("ring-high", upper));
+        }
+        Fig2::B => {
+            // ECUs 0..11 host tasks; 12 and 13 are gateways.
+            for i in 0..12 {
+                a.push_ecu(Ecu::new(format!("p{i}")));
+            }
+            a.push_ecu(Ecu::new("gw12").gateway_only());
+            a.push_ecu(Ecu::new("gw13").gateway_only());
+            let b0: Vec<EcuId> = (0..4).map(EcuId).chain([EcuId(12)]).collect();
+            let b1: Vec<EcuId> = (4..8).map(EcuId).chain([EcuId(12), EcuId(13)]).collect();
+            let b2: Vec<EcuId> = (8..12).map(EcuId).chain([EcuId(13)]).collect();
+            a.push_medium(ring("ring0", b0));
+            a.push_medium(ring("ring1", b1));
+            a.push_medium(ring("ring2", b2));
+        }
+        Fig2::C => {
+            // The original 8 ECUs, split over two rings with ECU 0 shared
+            // as a task-hosting gateway.
+            for i in 0..8 {
+                a.push_ecu(Ecu::new(format!("p{i}")));
+            }
+            let lower: Vec<EcuId> = (0..4).map(EcuId).collect();
+            let upper: Vec<EcuId> = [EcuId(0)]
+                .into_iter()
+                .chain((4..8).map(EcuId))
+                .collect();
+            a.push_medium(ring("ring-low", lower));
+            a.push_medium(ring("ring-high", upper));
+        }
+    }
+    a
+}
+
+/// The Table 4 instances: the Tindell-style task set placed on Figure 2's
+/// architectures. Task permission sets are remapped onto the task-hosting
+/// ECUs of the target architecture; the planted allocation re-routes
+/// messages over the (unique) shortest media path.
+pub fn table4_workload(which: Fig2, params: &GenParams) -> Workload {
+    let n_hosts = match which {
+        Fig2::A | Fig2::C => 8,
+        Fig2::B => 12,
+    };
+    let base = generate(&GenParams {
+        n_ecus: n_hosts,
+        name: format!("{}-arch{:?}", params.name, which),
+        ..params.clone()
+    });
+    let arch = figure2(which, 24);
+    let mut tasks = base.tasks;
+
+    // Remap: the generator used ECUs 0..n_hosts on one bus; those ids are
+    // exactly the task-hosting ECUs of A/B/C, so permission sets carry
+    // over unchanged. Slot tables differ, and routes must follow the
+    // hierarchical topology.
+    let mut planted = Allocation::skeleton(&tasks);
+    planted.placement = base.planted.placement.clone();
+    for (mid, m) in tasks.messages() {
+        let s = planted.ecu_of(mid.sender);
+        let r = planted.ecu_of(m.to);
+        *route_mut(&mut planted, mid) = shortest_route(&arch, s, r, m.deadline);
+    }
+    planted.priorities = optalloc_model::deadline_monotonic(&tasks);
+
+    // Planted feasibility on the new topology may need roomier deadlines.
+    crate::gen::relax_message_deadlines(&arch, &mut tasks, &mut planted);
+
+    Workload {
+        name: format!("tindell-arch{which:?}"),
+        arch,
+        tasks,
+        planted,
+    }
+}
+
+fn route_mut(
+    alloc: &mut Allocation,
+    msg: optalloc_model::MsgId,
+) -> &mut MessageRoute {
+    alloc.route_mut(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::path_closures;
+
+    #[test]
+    fn figure1_has_five_closures() {
+        let arch = figure1();
+        assert_eq!(arch.validate(), Ok(()));
+        assert_eq!(path_closures(&arch).len(), 5);
+    }
+
+    #[test]
+    fn figure2_architectures_validate() {
+        for which in [Fig2::A, Fig2::B, Fig2::C] {
+            let arch = figure2(which, 24);
+            assert_eq!(arch.validate(), Ok(()), "{which:?}");
+        }
+    }
+
+    #[test]
+    fn figure2_gateway_structure() {
+        let a = figure2(Fig2::A, 24);
+        assert_eq!(a.gateways(), vec![EcuId(8)]);
+        assert!(!a.ecu(EcuId(8)).hosts_tasks);
+
+        let b = figure2(Fig2::B, 24);
+        assert_eq!(b.gateways(), vec![EcuId(12), EcuId(13)]);
+
+        let c = figure2(Fig2::C, 24);
+        assert_eq!(c.gateways(), vec![EcuId(0)]);
+        assert!(c.ecu(EcuId(0)).hosts_tasks);
+    }
+
+    #[test]
+    fn shortest_route_crosses_gateways() {
+        let b = figure2(Fig2::B, 24);
+        // p0 (ring0) → p9 (ring2) must cross both gateways.
+        let route = shortest_route(&b, EcuId(0), EcuId(9), 300);
+        assert_eq!(route.media.len(), 3);
+        assert_eq!(route.local_deadlines.len(), 3);
+    }
+
+    #[test]
+    fn table4_workloads_are_planted_feasible() {
+        let mut params = GenParams::tindell43();
+        // Keep the Table 4 witness construction modest in size for tests.
+        params.n_tasks = 16;
+        params.n_chains = 5;
+        params.utilization = 0.35;
+        for which in [Fig2::A, Fig2::C] {
+            let w = table4_workload(which, &params);
+            let report = optalloc_analysis::validate(
+                &w.arch,
+                &w.tasks,
+                &w.planted,
+                &optalloc_analysis::AnalysisConfig::default(),
+            );
+            assert!(
+                report.is_feasible(),
+                "{which:?}: {:?}",
+                report.violations
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # optalloc-workloads
+//!
+//! Benchmark workloads for the task-allocation reproduction: a synthetic
+//! Tindell-style generator with planted-feasible allocations, the paper's
+//! Figure 1 / Figure 2 architectures, and the Table 2 / Table 3 scaling
+//! series.
+//!
+//! Because the original 43-task benchmark of Tindell et al. \[5\] is not
+//! available in machine-readable form, these instances are *same-shape*
+//! synthetics (see `DESIGN.md` §3 for the substitution argument). All
+//! instances are seeded and fully deterministic.
+
+#![warn(missing_docs)]
+
+mod architectures;
+mod gen;
+mod scaling;
+
+pub use architectures::{figure1, figure2, table4_workload, Fig2};
+pub use gen::{generate, GenParams, Workload};
+pub use scaling::{architecture_scaling, task_scaling, TABLE2_ECUS, TABLE3_TASKS};

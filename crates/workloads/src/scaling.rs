@@ -1,0 +1,75 @@
+//! Scaling series for Tables 2 and 3.
+//!
+//! * **Table 2** — fixed 30-task application, architectures growing from 8
+//!   to 64 ECUs on a token ring.
+//! * **Table 3** — growing partitions (7, 12, 20, 30, 43 tasks) of the
+//!   Tindell-style benchmark on 8 ECUs.
+
+use crate::gen::{generate, GenParams, Workload};
+
+/// The paper's Table 2 ECU counts.
+pub const TABLE2_ECUS: [usize; 6] = [8, 16, 25, 32, 45, 64];
+
+/// The paper's Table 3 task counts.
+pub const TABLE3_TASKS: [usize; 5] = [7, 12, 20, 30, 43];
+
+/// Table 2 instance: 30 tasks with chains and extra requirements on
+/// `n_ecus` token-ring ECUs.
+pub fn architecture_scaling(n_ecus: usize) -> Workload {
+    generate(&GenParams {
+        name: format!("table2-e{n_ecus}"),
+        n_tasks: 30,
+        n_chains: 8,
+        n_ecus,
+        seed: 0x7ab1_e200 + n_ecus as u64,
+        utilization: 0.40,
+        restricted_fraction: 0.2,
+        redundant_pairs: 2,
+        token_ring: true,
+        deadline_slack: 1.4,
+    })
+}
+
+/// Table 3 instance: `n_tasks` tasks (a partition of the benchmark) on
+/// 8 token-ring ECUs.
+pub fn task_scaling(n_tasks: usize) -> Workload {
+    generate(&GenParams {
+        name: format!("table3-t{n_tasks}"),
+        n_tasks,
+        n_chains: (n_tasks / 3).max(1),
+        n_ecus: 8,
+        seed: 0x7ab1_e300,
+        utilization: 0.40,
+        restricted_fraction: 0.25,
+        redundant_pairs: if n_tasks >= 12 { 2 } else { 0 },
+        token_ring: true,
+        deadline_slack: 1.4,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_analysis::{validate, AnalysisConfig};
+
+    #[test]
+    fn table2_series_is_planted_feasible() {
+        for &e in &TABLE2_ECUS {
+            let w = architecture_scaling(e);
+            assert_eq!(w.arch.num_ecus(), e);
+            assert_eq!(w.tasks.len(), 30);
+            let report = validate(&w.arch, &w.tasks, &w.planted, &AnalysisConfig::default());
+            assert!(report.is_feasible(), "{e} ECUs: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn table3_series_is_planted_feasible() {
+        for &t in &TABLE3_TASKS {
+            let w = task_scaling(t);
+            assert_eq!(w.tasks.len(), t);
+            let report = validate(&w.arch, &w.tasks, &w.planted, &AnalysisConfig::default());
+            assert!(report.is_feasible(), "{t} tasks: {:?}", report.violations);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! JSON round-trips for the full workload bundle — the format the
+//! `optalloc-cli` tool exchanges.
+
+use optalloc_workloads::{generate, table4_workload, Fig2, GenParams, Workload};
+
+fn roundtrip(w: &Workload) -> Workload {
+    let json = serde_json::to_string(w).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn tindell_workload_roundtrips() {
+    let w = generate(&GenParams::tindell43());
+    let back = roundtrip(&w);
+    assert_eq!(back.name, w.name);
+    assert_eq!(back.arch, w.arch);
+    assert_eq!(back.tasks, w.tasks);
+    assert_eq!(back.planted, w.planted);
+}
+
+#[test]
+fn hierarchical_workload_roundtrips() {
+    let mut params = GenParams::tindell43();
+    params.n_tasks = 10;
+    params.n_chains = 3;
+    let w = table4_workload(Fig2::C, &params);
+    let back = roundtrip(&w);
+    assert_eq!(back.arch, w.arch);
+    assert_eq!(back.tasks, w.tasks);
+    // The planted allocation's routes and slot overrides survive.
+    assert_eq!(back.planted.routes, w.planted.routes);
+    assert_eq!(back.planted.slot_overrides, w.planted.slot_overrides);
+}
+
+#[test]
+fn deserialized_workload_still_validates() {
+    let w = generate(&GenParams {
+        n_tasks: 12,
+        n_chains: 4,
+        name: "roundtrip".into(),
+        ..GenParams::tindell43()
+    });
+    let back = roundtrip(&w);
+    assert!(back.arch.validate().is_ok());
+    assert!(back.tasks.validate().is_ok());
+    let report = optalloc_analysis::validate(
+        &back.arch,
+        &back.tasks,
+        &back.planted,
+        &optalloc_analysis::AnalysisConfig::default(),
+    );
+    assert!(report.is_feasible());
+}

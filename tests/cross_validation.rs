@@ -1,0 +1,98 @@
+//! Cross-validation sweeps: solver modes and backends must agree on the
+//! optimum across random instances, and every emitted allocation must pass
+//! the independent analysis — the workspace-level soundness net.
+
+use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc_intopt::{Backend, BinSearchMode};
+use optalloc_model::MediumId;
+use optalloc_workloads::{generate, GenParams};
+
+fn tiny(seed: u64, token_ring: bool) -> GenParams {
+    GenParams {
+        name: format!("xval-{seed}"),
+        n_tasks: 7,
+        n_chains: 2,
+        n_ecus: 3,
+        seed,
+        utilization: 0.35,
+        restricted_fraction: 0.3,
+        redundant_pairs: 1,
+        token_ring,
+        deadline_slack: 1.5,
+    }
+}
+
+#[test]
+fn all_solver_configurations_agree_on_trt_optimum() {
+    let ring = MediumId(0);
+    for seed in [41u64, 42, 43] {
+        let w = generate(&tiny(seed, true));
+        let mut costs = Vec::new();
+        for backend in [Backend::Cnf, Backend::PseudoBoolean] {
+            for mode in [BinSearchMode::Fresh, BinSearchMode::Incremental] {
+                let result = Optimizer::new(&w.arch, &w.tasks)
+                    .with_options(SolveOptions {
+                        backend,
+                        mode,
+                        max_slot: 16,
+                        ..Default::default()
+                    })
+                    .minimize(&Objective::TokenRotationTime(ring))
+                    .unwrap_or_else(|e| panic!("seed {seed} {backend:?} {mode:?}: {e}"));
+                assert!(result.solution.report.is_feasible());
+                costs.push(result.cost);
+            }
+        }
+        assert!(
+            costs.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: configurations disagree: {costs:?}"
+        );
+    }
+}
+
+#[test]
+fn product_elimination_is_semantics_preserving() {
+    let ring = MediumId(0);
+    for seed in [51u64, 52] {
+        let w = generate(&tiny(seed, true));
+        let mut costs = Vec::new();
+        for product_elimination in [false, true] {
+            let result = Optimizer::new(&w.arch, &w.tasks)
+                .with_options(SolveOptions {
+                    product_elimination,
+                    max_slot: 16,
+                    ..Default::default()
+                })
+                .minimize(&Objective::TokenRotationTime(ring))
+                .unwrap();
+            costs.push(result.cost);
+        }
+        assert_eq!(costs[0], costs[1], "seed {seed}");
+    }
+}
+
+#[test]
+fn feasibility_search_matches_minimization_feasibility() {
+    // If minimize() succeeds, find_feasible() must too, and vice versa.
+    for seed in [61u64, 62, 63] {
+        let w = generate(&tiny(seed, false));
+        let opt = Optimizer::new(&w.arch, &w.tasks);
+        let feasible = opt.find_feasible().is_ok();
+        let minimized = opt.minimize(&Objective::MaxUtilizationPermille).is_ok();
+        assert_eq!(feasible, minimized, "seed {seed}");
+        assert!(feasible, "planted instances are feasible (seed {seed})");
+    }
+}
+
+#[test]
+fn gateway_service_config_is_consistent() {
+    // The optimizer's analysis_config must reproduce the encoder's gateway
+    // service setting.
+    let w = generate(&tiny(71, true));
+    let opts = SolveOptions {
+        gateway_service: 5,
+        ..Default::default()
+    };
+    let opt = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
+    assert_eq!(opt.analysis_config().gateway_service, 5);
+}

@@ -1,0 +1,112 @@
+//! Tests for the optional model extensions: interferer release jitter in
+//! task RTA and the utilization-spread objective.
+
+use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc_analysis::{validate, AnalysisConfig};
+use optalloc_model::{Architecture, Ecu, EcuId, Medium, Task, TaskSet};
+
+/// A pair that fits on one ECU without jitter but not with it: the encoder
+/// must make placement decisions that the jitter-aware analysis confirms.
+fn jitter_sensitive_system() -> (Architecture, TaskSet) {
+    let mut arch = Architecture::new();
+    let p0 = arch.push_ecu(Ecu::new("p0"));
+    let p1 = arch.push_ecu(Ecu::new("p1"));
+    arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+
+    let mut tasks = TaskSet::new();
+    // hp: period 10, jitter 4, wcet 3. lp: wcet 5, deadline 9.
+    // Without jitter on one ECU: r_lp = 5 + 3 = 8 ≤ 9 (ok co-located).
+    // With jitter: r_lp = 5 + ceil((8+4)/10)·3 = 11 > 9 (must split).
+    tasks.push(Task::new("hp", 10, 5, vec![(p0, 3), (p1, 3)]).with_jitter(4));
+    tasks.push(Task::new("lp", 40, 9, vec![(p0, 5), (p1, 5)]));
+    (arch, tasks)
+}
+
+#[test]
+fn jitter_extension_matches_analysis_semantics() {
+    let (arch, tasks) = jitter_sensitive_system();
+
+    // Without the extension, co-location is allowed (eq. 1 exactly).
+    let plain = Optimizer::new(&arch, &tasks).find_feasible().unwrap();
+    let plain_report = validate(
+        &arch,
+        &tasks,
+        &plain.allocation,
+        &AnalysisConfig {
+            task_jitter: false,
+            gateway_service: 2,
+        },
+    );
+    assert!(plain_report.is_feasible());
+
+    // With the extension, every returned allocation must also satisfy the
+    // jitter-aware analysis — which forces the pair apart.
+    let opts = SolveOptions {
+        task_jitter: true,
+        ..Default::default()
+    };
+    let jittery = Optimizer::new(&arch, &tasks)
+        .with_options(opts)
+        .find_feasible()
+        .unwrap();
+    assert_ne!(
+        jittery.allocation.ecu_of(optalloc_model::TaskId(0)),
+        jittery.allocation.ecu_of(optalloc_model::TaskId(1)),
+        "jitter-aware encoding must split the pair"
+    );
+    let report = validate(
+        &arch,
+        &tasks,
+        &jittery.allocation,
+        &AnalysisConfig {
+            task_jitter: true,
+            gateway_service: 2,
+        },
+    );
+    assert!(report.is_feasible(), "{:?}", report.violations);
+}
+
+#[test]
+fn jitter_extension_can_prove_infeasibility() {
+    let (mut arch, mut tasks) = jitter_sensitive_system();
+    // Restrict both tasks to p0: with jitter there is no legal placement.
+    arch.ecus[1] = Ecu::new("p1").gateway_only();
+    tasks.tasks[0].wcet.remove(&EcuId(1));
+    tasks.tasks[1].wcet.remove(&EcuId(1));
+
+    assert!(Optimizer::new(&arch, &tasks).find_feasible().is_ok());
+    let opts = SolveOptions {
+        task_jitter: true,
+        ..Default::default()
+    };
+    match Optimizer::new(&arch, &tasks)
+        .with_options(opts)
+        .find_feasible()
+    {
+        Err(optalloc::OptError::Infeasible) => {}
+        other => panic!("expected infeasible under jitter, got {other:?}"),
+    }
+}
+
+#[test]
+fn spread_objective_prefers_balance_over_concentration() {
+    let mut arch = Architecture::new();
+    let p0 = arch.push_ecu(Ecu::new("p0"));
+    let p1 = arch.push_ecu(Ecu::new("p1"));
+    arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+
+    let mut tasks = TaskSet::new();
+    // Two identical 30% tasks: bus-load-free, so concentration (spread 600)
+    // and balance (spread 0) are both feasible; the objective must pick 0.
+    tasks.push(Task::new("a", 10, 10, vec![(p0, 3), (p1, 3)]));
+    tasks.push(Task::new("b", 10, 9, vec![(p0, 3), (p1, 3)]));
+
+    let result = Optimizer::new(&arch, &tasks)
+        .minimize(&Objective::UtilizationSpreadPermille)
+        .unwrap();
+    assert_eq!(result.cost, 0);
+    assert_ne!(
+        result.solution.allocation.placement[0],
+        result.solution.allocation.placement[1]
+    );
+}
