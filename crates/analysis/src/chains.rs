@@ -27,8 +27,7 @@ pub fn hop_latency_bound(
     config: &AnalysisConfig,
 ) -> Option<Time> {
     let m = tasks.message(msg);
-    let sender_rt =
-        task_response_time(tasks, alloc, msg.sender, config.task_jitter).value()?;
+    let sender_rt = task_response_time(tasks, alloc, msg.sender, config.task_jitter).value()?;
     let receiver_rt = task_response_time(tasks, alloc, m.to, config.task_jitter).value()?;
     let route = alloc.route(msg);
     let path_latency: Time = route.local_deadlines.iter().sum();
@@ -68,7 +67,10 @@ mod tests {
         ts.push(Task::new("r", 200, 150, vec![(EcuId(1), 20)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute {
             media: vec![optalloc_model::MediumId(0), optalloc_model::MediumId(1)],
             local_deadlines: vec![30, 40],
@@ -99,7 +101,10 @@ mod tests {
         ts.push(Task::new("r", 100, 100, vec![(EcuId(1), 5)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute::single_hop(optalloc_model::MediumId(0), 8);
         // Sender misses its deadline (9 > 5).
         assert_eq!(

@@ -30,9 +30,7 @@
 
 use crate::holistic::AnalysisConfig;
 use crate::task_rta::all_task_response_times;
-use optalloc_model::{
-    Allocation, Architecture, EcuId, MediumId, MediumKind, MsgId, TaskSet, Time,
-};
+use optalloc_model::{Allocation, Architecture, EcuId, MediumId, MediumKind, MsgId, TaskSet, Time};
 use std::collections::BTreeMap;
 
 /// Observed worst cases from one simulation run.
@@ -86,13 +84,7 @@ pub fn cosimulate(
     // Tasks per ECU in priority order.
     let per_ecu: Vec<Vec<usize>> = arch
         .iter_ecus()
-        .map(|(pid, _)| {
-            alloc
-                .tasks_on(pid)
-                .into_iter()
-                .map(|t| t.index())
-                .collect()
-        })
+        .map(|(pid, _)| alloc.tasks_on(pid).into_iter().map(|t| t.index()).collect())
         .collect();
 
     // --- message release schedule ------------------------------------------
@@ -283,8 +275,10 @@ mod tests {
         ts.push(Task::new("b", 50, 50, vec![(EcuId(1), 12)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
-            MessageRoute::single_hop(optalloc_model::MediumId(0), 30);
+        *alloc.route_mut(MsgId {
+            sender: TaskId(0),
+            index: 0,
+        }) = MessageRoute::single_hop(optalloc_model::MediumId(0), 30);
         (arch, ts, alloc)
     }
 
@@ -297,7 +291,13 @@ mod tests {
         assert_eq!(out.task_worst_response, vec![Some(10), Some(12)]);
         assert!(out.jobs_finished.iter().all(|&j| j >= 9));
         // The lone frame: latency == ρ == 5.
-        let key = (MsgId { sender: TaskId(0), index: 0 }, optalloc_model::MediumId(0));
+        let key = (
+            MsgId {
+                sender: TaskId(0),
+                index: 0,
+            },
+            optalloc_model::MediumId(0),
+        );
         assert_eq!(out.msg_worst_latency[&key], 5);
         assert!(out.msgs_delivered >= 9);
     }
@@ -337,16 +337,24 @@ mod tests {
         ts.push(Task::new("b", 100, 90, vec![(EcuId(1), 5)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute::single_hop(optalloc_model::MediumId(0), 60);
         let out = cosimulate(&arch, &ts, &alloc, &AnalysisConfig::default(), 600);
         let observed = out.msg_worst_latency[&(msg, optalloc_model::MediumId(0))];
         // ρ = 5; frame enters at t = 5 (sender RTA); p0's slot covers
         // [0,10) each round, so observed = 5 (fits immediately) — but the
         // analytic bound (15, with worst-phase blocking) must dominate.
-        let bound =
-            crate::msg_rta::message_response_time(&arch, &ts, &alloc, msg, optalloc_model::MediumId(0))
-                .unwrap();
+        let bound = crate::msg_rta::message_response_time(
+            &arch,
+            &ts,
+            &alloc,
+            msg,
+            optalloc_model::MediumId(0),
+        )
+        .unwrap();
         assert!(observed <= bound, "observed {observed} > bound {bound}");
         assert!(observed >= 5);
     }
@@ -364,7 +372,10 @@ mod tests {
         ts.push(Task::new("r", 100, 90, vec![(EcuId(1), 5)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute {
             media: vec![optalloc_model::MediumId(0), optalloc_model::MediumId(1)],
             local_deadlines: vec![25, 25],
@@ -372,8 +383,12 @@ mod tests {
         let config = AnalysisConfig::default();
         let out = cosimulate(&arch, &ts, &alloc, &config, 800);
         // Both hops see traffic, and deliveries happen.
-        assert!(out.msg_worst_latency.contains_key(&(msg, optalloc_model::MediumId(0))));
-        assert!(out.msg_worst_latency.contains_key(&(msg, optalloc_model::MediumId(1))));
+        assert!(out
+            .msg_worst_latency
+            .contains_key(&(msg, optalloc_model::MediumId(0))));
+        assert!(out
+            .msg_worst_latency
+            .contains_key(&(msg, optalloc_model::MediumId(1))));
         assert!(out.msgs_delivered >= 6);
         // Each hop's observed latency within its local deadline.
         for (&(m, k), &obs) in &out.msg_worst_latency {

@@ -131,7 +131,9 @@ pub fn validate(
     for (tid, t) in tasks.iter() {
         let p = alloc.ecu_of(tid);
         if !t.may_run_on(p) {
-            report.violations.push(Violation::ForbiddenPlacement(tid, p));
+            report
+                .violations
+                .push(Violation::ForbiddenPlacement(tid, p));
         }
         if !arch.ecu(p).hosts_tasks {
             report.violations.push(Violation::TaskOnGateway(tid, p));
@@ -164,7 +166,9 @@ pub fn validate(
     for (a, ta) in tasks.iter() {
         for (b, tb) in tasks.iter() {
             if a < b && ta.deadline < tb.deadline && !alloc.outranks(a, b) {
-                report.violations.push(Violation::NotDeadlineMonotonic(a, b));
+                report
+                    .violations
+                    .push(Violation::NotDeadlineMonotonic(a, b));
             }
         }
     }
@@ -209,8 +213,7 @@ pub fn validate(
         }
 
         // Deadline budget: Σ local deadlines + gateway service ≤ Δ.
-        let service =
-            gateways_along(arch, &route.media).len() as Time * config.gateway_service;
+        let service = gateways_along(arch, &route.media).len() as Time * config.gateway_service;
         let budget: Time = route.local_deadlines.iter().sum();
         if budget + service > m.deadline {
             report
@@ -258,17 +261,17 @@ mod tests {
         arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 1, 1));
 
         let mut ts = TaskSet::new();
-        ts.push(Task::new("a", 100, 50, vec![(EcuId(0), 5), (EcuId(1), 5)]).sends(
-            TaskId(1),
-            4,
-            30,
-        ));
+        ts.push(
+            Task::new("a", 100, 50, vec![(EcuId(0), 5), (EcuId(1), 5)]).sends(TaskId(1), 4, 30),
+        );
         ts.push(Task::new("b", 100, 80, vec![(EcuId(0), 5), (EcuId(1), 5)]));
 
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
-            MessageRoute::single_hop(MediumId(0), 28);
+        *alloc.route_mut(MsgId {
+            sender: TaskId(0),
+            index: 0,
+        }) = MessageRoute::single_hop(MediumId(0), 28);
         (arch, ts, alloc)
     }
 
@@ -309,11 +312,16 @@ mod tests {
         ts.tasks[1].separation.insert(TaskId(0));
         alloc.placement = vec![EcuId(0), EcuId(0)];
         // Fix the route to co-located so only the separation violation fires.
-        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) = MessageRoute::colocated();
+        *alloc.route_mut(MsgId {
+            sender: TaskId(0),
+            index: 0,
+        }) = MessageRoute::colocated();
         let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
-        assert!(report
-            .violations
-            .contains(&Violation::SeparationViolated(TaskId(0), TaskId(1), EcuId(0))));
+        assert!(report.violations.contains(&Violation::SeparationViolated(
+            TaskId(0),
+            TaskId(1),
+            EcuId(0)
+        )));
     }
 
     #[test]
@@ -341,7 +349,10 @@ mod tests {
     #[test]
     fn broken_route_detected() {
         let (arch, ts, mut alloc) = feasible_system();
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         alloc.route_mut(msg).media = vec![MediumId(0), MediumId(0)];
         alloc.route_mut(msg).local_deadlines = vec![10, 10];
         let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
@@ -355,7 +366,10 @@ mod tests {
         // (p0 is on the bus), but co-located pairs routed over the bus are
         // fine per v(h) — instead move receiver off the bus is impossible
         // here, so test the colocated-route-with-split-placement case:
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute::colocated();
         let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
         // placement is split p0/p1, but the route claims co-location.
@@ -365,7 +379,10 @@ mod tests {
     #[test]
     fn budget_overflow_detected() {
         let (arch, ts, mut alloc) = feasible_system();
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         alloc.route_mut(msg).local_deadlines = vec![31]; // Δ = 30
         let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
         assert!(report
@@ -401,7 +418,10 @@ mod tests {
         ts.push(Task::new("b", 100, 80, vec![(EcuId(1), 5)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute::single_hop(MediumId(0), 38);
         let report = validate(&arch, &ts, &alloc, &AnalysisConfig::default());
         // ρ = 1 + 8 = 9 > slot 3.

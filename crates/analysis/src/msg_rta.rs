@@ -19,9 +19,7 @@
 //! covered by the blocking term. On a priority bus every higher-priority
 //! message on the medium interferes.
 
-use optalloc_model::{
-    Allocation, Architecture, EcuId, MediumId, MediumKind, MsgId, TaskSet, Time,
-};
+use optalloc_model::{Allocation, Architecture, EcuId, MediumId, MediumKind, MsgId, TaskSet, Time};
 
 /// The ECU that puts `msg` onto `medium`: the sending task's ECU on the
 /// first hop, the upstream gateway on later hops. `None` if the route does
@@ -72,11 +70,7 @@ pub fn jitter_on_medium(
 }
 
 /// Messages routed over `medium`, with their analysis parameters.
-fn messages_on(
-    tasks: &TaskSet,
-    alloc: &Allocation,
-    medium: MediumId,
-) -> Vec<MsgId> {
+fn messages_on(tasks: &TaskSet, alloc: &Allocation, medium: MediumId) -> Vec<MsgId> {
     tasks
         .messages()
         .filter(|(id, _)| alloc.route(*id).media.contains(&medium))
@@ -125,8 +119,7 @@ pub fn message_response_time(
         .map(|other| {
             let om = tasks.message(other);
             let period = tasks.task(other.sender).period;
-            let jitter =
-                jitter_on_medium(arch, tasks, alloc, other, medium).unwrap_or(0);
+            let jitter = jitter_on_medium(arch, tasks, alloc, other, medium).unwrap_or(0);
             (period, med.transmission_time(om.size), jitter)
         })
         .collect();
@@ -153,7 +146,9 @@ pub fn message_response_time(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optalloc_model::{gateways_along, Allocation, Ecu, EcuId, Medium, MessageRoute, Task, TaskId, TaskSet};
+    use optalloc_model::{
+        gateways_along, Allocation, Ecu, EcuId, Medium, MessageRoute, Task, TaskId, TaskSet,
+    };
 
     /// Two ECUs on one bus; tasks a (p0) and b (p1); a sends to b.
     fn single_bus(kind_tdma: bool) -> (Architecture, TaskSet, Allocation) {
@@ -169,22 +164,25 @@ mod tests {
 
         let mut ts = TaskSet::new();
         let b = TaskId(1);
-        ts.push(
-            Task::new("a", 100, 100, vec![(EcuId(0), 5)]).sends(b, 4, 50),
-        );
+        ts.push(Task::new("a", 100, 100, vec![(EcuId(0), 5)]).sends(b, 4, 50));
         ts.push(Task::new("b", 100, 100, vec![(EcuId(1), 5)]));
 
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
-            MessageRoute::single_hop(MediumId(0), 50);
+        *alloc.route_mut(MsgId {
+            sender: TaskId(0),
+            index: 0,
+        }) = MessageRoute::single_hop(MediumId(0), 50);
         (arch, ts, alloc)
     }
 
     #[test]
     fn lone_message_on_priority_bus_takes_rho() {
         let (arch, ts, alloc) = single_bus(false);
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         // ρ = 1 + 4*1 = 5.
         assert_eq!(
             message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
@@ -195,7 +193,10 @@ mod tests {
     #[test]
     fn tdma_adds_blocking_for_foreign_slots() {
         let (arch, ts, alloc) = single_bus(true);
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         // ρ = 5; Λ = 20, own slot 10 ⇒ blocking ceil(r/20)*10.
         // r0 = 5 → 5 + 10 = 15 → 5 + 10 = 15 (fixpoint).
         assert_eq!(
@@ -210,8 +211,14 @@ mod tests {
         // Add a second, tighter-deadline message from task b to task a.
         ts.tasks[1] = ts.tasks[1].clone().sends(TaskId(0), 9, 20);
         alloc.routes[1] = vec![MessageRoute::single_hop(MediumId(0), 20)];
-        let low = MsgId { sender: TaskId(0), index: 0 };
-        let high = MsgId { sender: TaskId(1), index: 0 };
+        let low = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
+        let high = MsgId {
+            sender: TaskId(1),
+            index: 0,
+        };
         assert!(msg_outranks(&ts, high, low));
         // high: ρ = 10, alone among hp ⇒ r = 10.
         assert_eq!(
@@ -230,7 +237,10 @@ mod tests {
         let (arch, mut ts, mut alloc) = single_bus(true);
         ts.tasks[1] = ts.tasks[1].clone().sends(TaskId(0), 9, 20);
         alloc.routes[1] = vec![MessageRoute::single_hop(MediumId(0), 20)];
-        let low = MsgId { sender: TaskId(0), index: 0 };
+        let low = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         // The higher-priority message is sent from p1's slot; p0's message
         // only suffers the blocking term: r = 5 + ceil(r/20)*10 = 15.
         assert_eq!(
@@ -242,7 +252,10 @@ mod tests {
     #[test]
     fn deadline_overrun_returns_none() {
         let (arch, ts, mut alloc) = single_bus(true);
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         alloc.route_mut(msg).local_deadlines = vec![10]; // r would be 15
         assert_eq!(
             message_response_time(&arch, &ts, &alloc, msg, MediumId(0)),
@@ -253,7 +266,10 @@ mod tests {
     #[test]
     fn slot_override_changes_blocking() {
         let (arch, ts, mut alloc) = single_bus(true);
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         // Give p0 a bigger slot: Λ = 25, own = 15 ⇒ blocking 10 per round.
         alloc.slot_overrides.insert(MediumId(0), vec![15, 10]);
         // r = 5 + ceil(5/25)*10 = 15 → 5 + ceil(15/25)*10 = 15.
@@ -267,7 +283,10 @@ mod tests {
     fn forwarder_on_first_hop_is_sender_ecu() {
         let (arch, ts, alloc) = single_bus(false);
         let _ = ts;
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         assert_eq!(forwarder(&arch, &alloc, msg, MediumId(0)), Some(EcuId(0)));
         assert_eq!(forwarder(&arch, &alloc, msg, MediumId(1)), None);
     }
@@ -293,7 +312,10 @@ mod tests {
 
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(4)];
-        let msg = MsgId { sender: TaskId(0), index: 0 };
+        let msg = MsgId {
+            sender: TaskId(0),
+            index: 0,
+        };
         *alloc.route_mut(msg) = MessageRoute {
             media: vec![MediumId(0), MediumId(1), MediumId(2)],
             local_deadlines: vec![20, 15, 25],

@@ -19,9 +19,7 @@ pub fn token_rotation_time(
     medium: MediumId,
 ) -> Option<Time> {
     match &arch.medium(medium).kind {
-        MediumKind::Tdma { slots } => {
-            Some(alloc.effective_slots(medium, slots).iter().sum())
-        }
+        MediumKind::Tdma { slots } => Some(alloc.effective_slots(medium, slots).iter().sum()),
         MediumKind::Priority => None,
     }
 }
@@ -39,9 +37,7 @@ pub fn bus_load(arch: &Architecture, tasks: &TaskSet, alloc: &Allocation, medium
     tasks
         .messages()
         .filter(|(id, _)| alloc.route(*id).media.contains(&medium))
-        .map(|(id, m)| {
-            med.transmission_time(m.size) as f64 / tasks.task(id.sender).period as f64
-        })
+        .map(|(id, m)| med.transmission_time(m.size) as f64 / tasks.task(id.sender).period as f64)
         .sum()
 }
 
@@ -76,11 +72,7 @@ pub fn ecu_utilization_permille(tasks: &TaskSet, alloc: &Allocation, ecus: usize
 
 /// Spread between the most and least utilized ECU (per-mille) — the
 /// balance objective the optimizer supports directly.
-pub fn utilization_minmax_spread_permille(
-    tasks: &TaskSet,
-    alloc: &Allocation,
-    ecus: usize,
-) -> u64 {
+pub fn utilization_minmax_spread_permille(tasks: &TaskSet, alloc: &Allocation, ecus: usize) -> u64 {
     let u = ecu_utilization_permille(tasks, alloc, ecus);
     match (u.iter().max(), u.iter().min()) {
         (Some(&hi), Some(&lo)) => hi - lo,
@@ -96,10 +88,7 @@ pub fn utilization_spread_permille(tasks: &TaskSet, alloc: &Allocation, ecus: us
         return 0;
     }
     let mean = u.iter().sum::<u64>() / u.len() as u64;
-    u.iter()
-        .map(|&x| x.abs_diff(mean))
-        .max()
-        .unwrap_or(0)
+    u.iter().map(|&x| x.abs_diff(mean)).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -121,14 +110,14 @@ mod tests {
         arch.push_medium(Medium::priority("can", vec![EcuId(0), EcuId(1)], 2, 1));
 
         let mut ts = TaskSet::new();
-        ts.push(
-            Task::new("a", 100, 100, vec![(EcuId(0), 10)]).sends(TaskId(1), 8, 50),
-        );
+        ts.push(Task::new("a", 100, 100, vec![(EcuId(0), 10)]).sends(TaskId(1), 8, 50));
         ts.push(Task::new("b", 50, 50, vec![(EcuId(1), 10)]));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(0), EcuId(1)];
-        *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
-            MessageRoute::single_hop(MediumId(1), 50);
+        *alloc.route_mut(MsgId {
+            sender: TaskId(0),
+            index: 0,
+        }) = MessageRoute::single_hop(MediumId(1), 50);
         (arch, ts, alloc)
     }
 

@@ -154,7 +154,12 @@ mod tests {
     #[test]
     fn heterogeneous_wcet_uses_placement() {
         let mut ts = TaskSet::new();
-        ts.push(Task::new("a", 100, 100, vec![(EcuId(0), 10), (EcuId(1), 30)]));
+        ts.push(Task::new(
+            "a",
+            100,
+            100,
+            vec![(EcuId(0), 10), (EcuId(1), 30)],
+        ));
         let mut alloc = Allocation::skeleton(&ts);
         alloc.placement = vec![EcuId(1)];
         assert_eq!(

@@ -9,51 +9,69 @@ use optalloc_analysis::{
 use optalloc_workloads::{generate, GenParams};
 use proptest::prelude::*;
 
+/// One property case: simulate `seed`/`ring` and compare observation
+/// against analysis. `Reject` when the planted allocation is infeasible.
+fn check_simulation_within_bounds(seed: u64, ring: bool) -> Result<(), TestCaseError> {
+    let w = generate(&GenParams {
+        name: format!("cosim-{seed}"),
+        n_tasks: 10,
+        n_chains: 3,
+        n_ecus: 3,
+        seed,
+        utilization: 0.35,
+        restricted_fraction: 0.2,
+        redundant_pairs: 1,
+        token_ring: ring,
+        deadline_slack: 1.5,
+    });
+    let config = AnalysisConfig::default();
+    let report = validate(&w.arch, &w.tasks, &w.planted, &config);
+    prop_assume!(report.is_feasible());
+
+    // Horizon: several hyperperiod-ish windows (periods ≤ 1000 ticks).
+    let out = cosimulate(&w.arch, &w.tasks, &w.planted, &config, 6_000);
+
+    // Task responses ≤ RTA fixed points.
+    let rta = all_task_response_times(&w.tasks, &w.planted, false);
+    for (i, observed) in out.task_worst_response.iter().enumerate() {
+        if let (Some(obs), Some(bound)) = (observed, rta[i]) {
+            prop_assert!(
+                *obs <= bound,
+                "seed {seed}: task {i} observed {obs} > RTA {bound}"
+            );
+        }
+        prop_assert!(out.jobs_finished[i] > 0, "seed {seed}: task {i} never ran");
+    }
+
+    // Per-medium message latencies ≤ eq. (2)/(3) bounds.
+    for (&(m, k), &obs) in &out.msg_worst_latency {
+        let bound = message_response_time(&w.arch, &w.tasks, &w.planted, m, k)
+            .expect("feasible allocation has converging message RTA");
+        prop_assert!(
+            obs <= bound,
+            "seed {seed}: {m} on {k} observed {obs} > bound {bound}"
+        );
+    }
+    prop_assert!(out.msgs_delivered > 0 || w.tasks.messages().count() == 0);
+    Ok(())
+}
+
+/// Pinned regression from `cosim_prop.proptest-regressions` ("shrinks to
+/// seed = 0, ring = true"): the vendored proptest stand-in does not replay
+/// regression files, so the historic failure case runs as a plain test.
+#[test]
+fn regression_seed_0_ring_true() {
+    match check_simulation_within_bounds(0, true) {
+        Ok(()) | Err(TestCaseError::Reject) => {}
+        Err(TestCaseError::Fail(msg)) => panic!("regression case failed: {msg}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn simulation_never_exceeds_analysis(seed in 0u64..10_000, ring in any::<bool>()) {
-        let w = generate(&GenParams {
-            name: format!("cosim-{seed}"),
-            n_tasks: 10,
-            n_chains: 3,
-            n_ecus: 3,
-            seed,
-            utilization: 0.35,
-            restricted_fraction: 0.2,
-            redundant_pairs: 1,
-            token_ring: ring,
-            deadline_slack: 1.5,
-        });
-        let config = AnalysisConfig::default();
-        let report = validate(&w.arch, &w.tasks, &w.planted, &config);
-        prop_assume!(report.is_feasible());
-
-        // Horizon: several hyperperiod-ish windows (periods ≤ 1000 ticks).
-        let out = cosimulate(&w.arch, &w.tasks, &w.planted, &config, 6_000);
-
-        // Task responses ≤ RTA fixed points.
-        let rta = all_task_response_times(&w.tasks, &w.planted, false);
-        for (i, observed) in out.task_worst_response.iter().enumerate() {
-            if let (Some(obs), Some(bound)) = (observed, rta[i]) {
-                prop_assert!(
-                    *obs <= bound,
-                    "seed {seed}: task {i} observed {obs} > RTA {bound}"
-                );
-            }
-            prop_assert!(out.jobs_finished[i] > 0, "seed {seed}: task {i} never ran");
-        }
-
-        // Per-medium message latencies ≤ eq. (2)/(3) bounds.
-        for (&(m, k), &obs) in &out.msg_worst_latency {
-            let bound = message_response_time(&w.arch, &w.tasks, &w.planted, m, k)
-                .expect("feasible allocation has converging message RTA");
-            prop_assert!(
-                obs <= bound,
-                "seed {seed}: {m} on {k} observed {obs} > bound {bound}"
-            );
-        }
-        prop_assert!(out.msgs_delivered > 0 || w.tasks.messages().count() == 0);
+        return check_simulation_within_bounds(seed, ring);
     }
 }

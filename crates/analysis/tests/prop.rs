@@ -3,8 +3,8 @@
 //! simulation from the critical instant, on random task sets and random
 //! placements.
 
-use optalloc_model::{deadline_monotonic, Allocation, EcuId, Task, TaskId, TaskSet};
 use optalloc_analysis::{all_task_response_times, simulate_critical_instant};
+use optalloc_model::{deadline_monotonic, Allocation, EcuId, Task, TaskId, TaskSet};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

@@ -2,9 +2,7 @@
 //! bit-blasting (both back-ends) and small optimizations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use optalloc_intopt::{
-    blast, Backend, BinSearchMode, IntExpr, IntProblem, MinimizeOptions,
-};
+use optalloc_intopt::{blast, Backend, BinSearchMode, IntExpr, IntProblem, MinimizeOptions};
 use optalloc_sat::Solver;
 
 /// A medium-sized arithmetic system: n chained nonlinear constraints.

@@ -16,6 +16,7 @@ fn pigeonhole_clauses(n: usize) -> Solver {
         let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&lits);
     }
+    #[allow(clippy::needless_range_loop)] // `hole` indexes two rows at once
     for hole in 0..n {
         for i in 0..n + 1 {
             for j in (i + 1)..n + 1 {

@@ -12,6 +12,8 @@
 //!               (trt/busload use medium 0 unless --medium <k> is given)
 //!   --medium <k>            target medium index for trt/busload
 //!   --max-conflicts <n>     solver budget
+//!   --portfolio <n>         race n diversified workers instead of one search
+//!   --deterministic         bit-stable portfolio (join all, lowest index wins)
 //!   --out <alloc.json>      write the allocation as JSON
 //! ```
 //!
@@ -19,7 +21,7 @@
 //! `optalloc_workloads::Workload` (architecture + task set + a feasibility
 //! witness); the output is the optimal `optalloc_model::Allocation`.
 
-use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
 use optalloc_model::{ticks_to_ms, MediumId};
 use optalloc_workloads::{
     architecture_scaling, generate, table4_workload, task_scaling, Fig2, GenParams, Workload,
@@ -30,7 +32,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
-         [--max-conflicts n] [--out alloc.json]"
+         [--max-conflicts n] [--portfolio n] [--deterministic] [--out alloc.json]"
     );
     ExitCode::from(2)
 }
@@ -83,23 +85,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("solve") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let mut objective_name = "feasible".to_string();
             let mut medium = 0u32;
             let mut max_conflicts = None;
             let mut out_path: Option<String> = None;
+            let mut portfolio: Option<usize> = None;
+            let mut deterministic = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--objective" => {
-                        objective_name = it.next().cloned().unwrap_or_default()
-                    }
-                    "--medium" => {
-                        medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0)
-                    }
-                    "--max-conflicts" => {
-                        max_conflicts = it.next().and_then(|s| s.parse().ok())
-                    }
+                    "--objective" => objective_name = it.next().cloned().unwrap_or_default(),
+                    "--medium" => medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+                    "--max-conflicts" => max_conflicts = it.next().and_then(|s| s.parse().ok()),
+                    "--portfolio" => portfolio = it.next().and_then(|s| s.parse().ok()),
+                    "--deterministic" => deterministic = true,
                     "--out" => out_path = it.next().cloned(),
                     other => {
                         eprintln!("unknown option {other}");
@@ -146,6 +148,13 @@ fn main() -> ExitCode {
 
             let opts = SolveOptions {
                 max_conflicts,
+                strategy: match portfolio {
+                    Some(workers) => Strategy::Portfolio {
+                        workers,
+                        deterministic,
+                    },
+                    None => Strategy::Single,
+                },
                 ..Default::default()
             };
             let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
@@ -161,12 +170,13 @@ fn main() -> ExitCode {
                 match optimizer.minimize(&objective) {
                     Ok(r) => {
                         let line = match objective {
-                            Objective::TokenRotationTime(_)
-                            | Objective::SumTokenRotationTimes => format!(
-                                "optimal {objective_name} = {} ticks ({:.2} ms)",
-                                r.cost,
-                                ticks_to_ms(r.cost as u64)
-                            ),
+                            Objective::TokenRotationTime(_) | Objective::SumTokenRotationTimes => {
+                                format!(
+                                    "optimal {objective_name} = {} ticks ({:.2} ms)",
+                                    r.cost,
+                                    ticks_to_ms(r.cost as u64)
+                                )
+                            }
                             _ => format!("optimal {objective_name} = {}", r.cost),
                         };
                         println!(
@@ -176,6 +186,9 @@ fn main() -> ExitCode {
                             r.solve_calls,
                             r.wall.as_secs_f64()
                         );
+                        for worker in &r.workers {
+                            println!("  {worker}");
+                        }
                         (r.solution.allocation, line)
                     }
                     Err(e) => {
@@ -193,8 +206,7 @@ fn main() -> ExitCode {
                 );
             }
             if let Some(out) = out_path {
-                let json =
-                    serde_json::to_string_pretty(&allocation).expect("serialize");
+                let json = serde_json::to_string_pretty(&allocation).expect("serialize");
                 if let Err(e) = std::fs::write(&out, json) {
                     eprintln!("cannot write {out}: {e}");
                     return ExitCode::from(2);

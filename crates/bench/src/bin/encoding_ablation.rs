@@ -35,7 +35,11 @@ fn main() {
                         Backend::Cnf => "CNF",
                         Backend::PseudoBoolean => "PB",
                     },
-                    if product_elimination { " + case-split" } else { "" }
+                    if product_elimination {
+                        " + case-split"
+                    } else {
+                        ""
+                    }
                 );
                 match Optimizer::new(&w.arch, &w.tasks)
                     .with_options(opts)

@@ -19,7 +19,11 @@ use optalloc_workloads::task_scaling;
 fn main() {
     let cli = parse_cli();
     let mut rows = Vec::new();
-    let sizes: &[usize] = if cli.full { &[12, 20, 30] } else { &[7, 12, 20] };
+    let sizes: &[usize] = if cli.full {
+        &[12, 20, 30]
+    } else {
+        &[7, 12, 20]
+    };
 
     for &n in sizes {
         let w = task_scaling(n);

@@ -1,0 +1,178 @@
+//! **Portfolio ablation** — one plain search vs N diversified racing workers.
+//!
+//! Table-3-style instances (token-ring task-set scaling), TRT objective.
+//! The 1-worker row is the plain incremental binary search
+//! ([`Strategy::Single`], no heuristic seeding) — the configuration a user
+//! gets with the portfolio subsystem off. The N-worker rows run the full
+//! portfolio pipeline: a short simulated-annealing pass seeds the shared
+//! incumbent (`initial_upper`), then N diversified workers race with
+//! cooperative cancellation and incumbent-bound sharing; the SA wall time
+//! is charged to the portfolio. On a single-core host the workers time-slice
+//! one CPU, so any speedup is algorithmic (warm start + bound sharing +
+//! configuration diversity), not hardware parallelism.
+//!
+//! Emits a machine-readable JSON array on stdout (and to `--json <path>`):
+//! per instance × worker count, the proven optimum, wall time, solver
+//! totals, the winning worker's configuration, the measured speedup over
+//! the 1-worker baseline, and — because on one core the racing workers
+//! time-slice a single CPU — a projected speedup for a host with one core
+//! per worker (`single / (sa + race_wall / workers)`; with fair
+//! time-slicing, `race_wall / workers` approximates the winner's solo
+//! time, which is its wall time when it owns a core).
+//!
+//! `OPTALLOC_ABLATION_SIZES` (comma-separated task counts) overrides the
+//! instance grid, e.g. `OPTALLOC_ABLATION_SIZES=30,43`.
+
+use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
+use optalloc_bench::{parse_cli, solve_options};
+use optalloc_heuristics::{anneal, HeuristicObjective, SaParams};
+use optalloc_model::MediumId;
+use optalloc_workloads::task_scaling;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measurement of the ablation grid.
+#[derive(Debug, Serialize)]
+struct AblationRow {
+    instance: String,
+    tasks: usize,
+    workers: usize,
+    /// CPUs available to the process — racing workers beyond this count
+    /// time-slice cores, capping the *measured* speedup at ~1×.
+    host_cores: usize,
+    /// Whether the run was seeded with the SA incumbent.
+    warm: bool,
+    /// Proven optimal TRT in ticks (identical across worker counts).
+    cost: i64,
+    /// Wall time in seconds; for portfolio rows this includes the SA pass.
+    time_s: f64,
+    /// SA seeding time included in `time_s` (0 for the baseline).
+    sa_time_s: f64,
+    /// SA incumbent used as the warm-start upper bound, if feasible.
+    sa_incumbent: Option<i64>,
+    solve_calls: u32,
+    conflicts: u64,
+    decisions: u64,
+    /// Winning worker index and configuration descriptor (portfolio only).
+    winner: Option<usize>,
+    winner_config: Option<String>,
+    /// `time_s(1 worker, cold) / time_s(this row)` — measured wall clock.
+    speedup_vs_single: f64,
+    /// `time_s(1 worker, cold) / (sa_time_s + race_wall / workers)` — the
+    /// expected speedup with one core per worker (see module docs).
+    projected_parallel_speedup: f64,
+}
+
+fn main() {
+    let cli = parse_cli();
+    let ring = MediumId(0);
+    let objective = Objective::TokenRotationTime(ring);
+    let default_sizes: &[usize] = if cli.full {
+        &[12, 20, 30]
+    } else {
+        &[7, 12, 20]
+    };
+    let sizes: Vec<usize> = match std::env::var("OPTALLOC_ABLATION_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default_sizes.to_vec(),
+    };
+    // workers = 1 runs both cold (the Strategy::Single baseline) and
+    // SA-warm-started, decomposing the pipeline's two levers.
+    let grid: &[(usize, bool)] = &[(1, false), (1, true), (2, true), (4, true)];
+
+    let mut rows: Vec<AblationRow> = Vec::new();
+    for &n in &sizes {
+        let w = task_scaling(n);
+        let base_opts = solve_options(cli.full);
+        let mut single_time = f64::NAN;
+        let mut single_cost = 0i64;
+
+        for &(workers, warm) in grid {
+            let start = Instant::now();
+            let (sa_time, sa_incumbent) = if warm {
+                let sa = anneal(
+                    &w.arch,
+                    &w.tasks,
+                    &HeuristicObjective::TokenRotationTime(ring),
+                    &SaParams {
+                        restarts: 2,
+                        iters_per_stage: 150,
+                        stages: 30,
+                        max_slot: base_opts.max_slot,
+                        ..Default::default()
+                    },
+                );
+                (
+                    start.elapsed().as_secs_f64(),
+                    sa.feasible.then_some(sa.objective),
+                )
+            } else {
+                (0.0, None)
+            };
+            let opts = SolveOptions {
+                strategy: if workers == 1 {
+                    Strategy::Single
+                } else {
+                    Strategy::Portfolio {
+                        workers,
+                        deterministic: false,
+                    }
+                },
+                initial_upper: sa_incumbent,
+                ..base_opts.clone()
+            };
+            let r = Optimizer::new(&w.arch, &w.tasks)
+                .with_options(opts)
+                .minimize(&objective)
+                .unwrap_or_else(|e| panic!("{n} tasks, {workers} workers: {e}"));
+            let total = start.elapsed().as_secs_f64();
+            if workers == 1 && !warm {
+                single_time = total;
+                single_cost = r.cost;
+            }
+            assert_eq!(
+                r.cost, single_cost,
+                "{n} tasks: portfolio optimum diverged from the single search"
+            );
+            let race_wall = total - sa_time;
+            let projected = single_time / (sa_time + race_wall / workers as f64);
+            let winner = r.workers.iter().position(|w| w.winner);
+            eprintln!(
+                "{n} tasks, {workers} worker(s){}: TRT = {} in {total:.2}s \
+                 ({sa_time:.2}s SA) — speedup {:.2}x measured, {projected:.2}x \
+                 projected at one core/worker",
+                if warm { ", warm" } else { ", cold" },
+                r.cost,
+                single_time / total,
+            );
+            for report in &r.workers {
+                eprintln!("  {report}");
+            }
+            rows.push(AblationRow {
+                instance: w.name.clone(),
+                tasks: n,
+                workers,
+                host_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+                warm,
+                cost: r.cost,
+                time_s: total,
+                sa_time_s: sa_time,
+                sa_incumbent,
+                solve_calls: r.solve_calls,
+                conflicts: r.stats.conflicts,
+                decisions: r.stats.decisions,
+                winner,
+                winner_config: winner.map(|i| r.workers[i].config.clone()),
+                speedup_vs_single: single_time / total,
+                projected_parallel_speedup: projected,
+            });
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    println!("{json}");
+    if let Some(path) = &cli.json {
+        std::fs::write(path, &json).expect("write json");
+        eprintln!("(rows written to {})", path.display());
+    }
+}

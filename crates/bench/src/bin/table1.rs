@@ -84,7 +84,11 @@ fn main() {
     });
 
     let t = Instant::now();
-    let gr = greedy(&w.arch, &w.tasks, &HeuristicObjective::TokenRotationTime(ring));
+    let gr = greedy(
+        &w.arch,
+        &w.tasks,
+        &HeuristicObjective::TokenRotationTime(ring),
+    );
     rows.push(Row {
         experiment: "  greedy first-fit".into(),
         result: if gr.feasible {

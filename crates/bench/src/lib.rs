@@ -100,7 +100,11 @@ pub fn fmt_time(d: Duration) -> String {
     } else if s < 3600.0 {
         format!("{}m{:02}s", (s / 60.0) as u64, (s % 60.0) as u64)
     } else {
-        format!("{}h{:02}m", (s / 3600.0) as u64, ((s % 3600.0) / 60.0) as u64)
+        format!(
+            "{}h{:02}m",
+            (s / 3600.0) as u64,
+            ((s % 3600.0) / 60.0) as u64
+        )
     }
 }
 

@@ -12,11 +12,8 @@ use std::collections::BTreeMap;
 
 impl Encoding<'_> {
     pub(super) fn encode_messages(&mut self) {
-        let msg_ids: Vec<(MsgId, TaskId)> = self
-            .tasks
-            .messages()
-            .map(|(id, m)| (id, m.to))
-            .collect();
+        let msg_ids: Vec<(MsgId, TaskId)> =
+            self.tasks.messages().map(|(id, m)| (id, m.to)).collect();
 
         // Pass 1: route choices, selectors, usage/deadline/jitter variables.
         for &(mid, receiver) in &msg_ids {
@@ -44,8 +41,7 @@ impl Encoding<'_> {
                     [] => a_s.iter().any(|p| a_v.contains(p)),
                     [k] => {
                         let med = self.arch.medium(*k);
-                        a_s.iter().any(|&p| med.connects(p))
-                            && a_v.iter().any(|&p| med.connects(p))
+                        a_s.iter().any(|&p| med.connects(p)) && a_v.iter().any(|&p| med.connects(p))
                     }
                     multi => {
                         let first = multi[0];
@@ -54,11 +50,11 @@ impl Encoding<'_> {
                         let before_last = multi[multi.len() - 2];
                         let gw_in = self.arch.gateway_between(first, second);
                         let gw_out = self.arch.gateway_between(last, before_last);
-                        a_s.iter().any(|&p| {
-                            self.arch.medium(first).connects(p) && Some(p) != gw_in
-                        }) && a_v.iter().any(|&p| {
-                            self.arch.medium(last).connects(p) && Some(p) != gw_out
-                        })
+                        a_s.iter()
+                            .any(|&p| self.arch.medium(first).connects(p) && Some(p) != gw_in)
+                            && a_v
+                                .iter()
+                                .any(|&p| self.arch.medium(last).connects(p) && Some(p) != gw_out)
                     }
                 };
                 if feasible {
@@ -73,22 +69,13 @@ impl Encoding<'_> {
     }
 
     /// The endpoint condition `v(h)` (§4) as a Boolean expression.
-    fn endpoint_condition(
-        &self,
-        sender: TaskId,
-        receiver: TaskId,
-        path: &[MediumId],
-    ) -> BoolExpr {
+    fn endpoint_condition(&self, sender: TaskId, receiver: TaskId, path: &[MediumId]) -> BoolExpr {
         match path {
             [] => self.colocated(sender, receiver),
             [k] => {
                 let med = self.arch.medium(*k);
-                let s_on = BoolExpr::any(
-                    med.members.iter().map(|&p| self.placed_on(sender, p)),
-                );
-                let v_on = BoolExpr::any(
-                    med.members.iter().map(|&p| self.placed_on(receiver, p)),
-                );
+                let s_on = BoolExpr::any(med.members.iter().map(|&p| self.placed_on(sender, p)));
+                let v_on = BoolExpr::any(med.members.iter().map(|&p| self.placed_on(receiver, p)));
                 s_on.and(v_on)
             }
             multi => {
@@ -197,9 +184,7 @@ impl Encoding<'_> {
         let release_jitter = self.tasks.task(sender).release_jitter as i64;
         let mut jitter = BTreeMap::new();
         for &k in &media {
-            let j = self
-                .problem
-                .int_var(release_jitter, release_jitter + delta);
+            let j = self.problem.int_var(release_jitter, release_jitter + delta);
             self.problem
                 .assert(k_used[&k].not().implies(j.expr().eq(release_jitter)));
             jitter.insert(k, j);
@@ -262,15 +247,13 @@ impl Encoding<'_> {
                         // but forced false via ¬K above only if no other
                         // route uses k — force explicitly.
                         for v in vars.values() {
-                            self.problem
-                                .assert(sel.expr().implies(v.expr().not()));
+                            self.problem.assert(sel.expr().implies(v.expr().not()));
                         }
                     }
                     Some(0) => {
                         for (&p, v) in &vars {
                             let src = self.placed_on(sender, p);
-                            self.problem
-                                .assert(sel.expr().implies(v.expr().iff(src)));
+                            self.problem.assert(sel.expr().implies(v.expr().iff(src)));
                         }
                     }
                     Some(pos) => {
@@ -280,8 +263,7 @@ impl Encoding<'_> {
                             .expect("path choices are topology-valid");
                         for (&p, v) in &vars {
                             let want = BoolExpr::constant(p == gw);
-                            self.problem
-                                .assert(sel.expr().implies(v.expr().iff(want)));
+                            self.problem.assert(sel.expr().implies(v.expr().iff(want)));
                         }
                     }
                 }
@@ -341,15 +323,10 @@ impl Encoding<'_> {
                 // On TDMA media interference additionally requires sharing
                 // the forwarding slot.
                 let both = if med.is_tdma() {
-                    let same_slot = BoolExpr::any(
-                        self.msgs[idx].fwd[&k]
-                            .iter()
-                            .filter_map(|(p, v)| {
-                                self.msgs[j].fwd[&k]
-                                    .get(p)
-                                    .map(|w| v.expr().and(w.expr()))
-                            }),
-                    );
+                    let same_slot =
+                        BoolExpr::any(self.msgs[idx].fwd[&k].iter().filter_map(|(p, v)| {
+                            self.msgs[j].fwd[&k].get(p).map(|w| v.expr().and(w.expr()))
+                        }));
                     both.and(same_slot)
                 } else {
                     both
@@ -359,13 +336,14 @@ impl Encoding<'_> {
                 let i_var = self.problem.int_var(0, imax as i64);
                 let oj = self.msgs[j].jitter[&k];
                 let arrival = r.expr() + oj.expr();
-                self.problem.assert(both.implies(
-                    (i_var.expr() * operiod as i64)
-                        .ge(arrival.clone())
-                        .and(((i_var.expr() - 1) * operiod as i64).lt(arrival)),
-                ));
-                self.problem
-                    .assert(both.not().implies(i_var.expr().eq(0)));
+                self.problem.assert(
+                    both.implies(
+                        (i_var.expr() * operiod as i64)
+                            .ge(arrival.clone())
+                            .and(((i_var.expr() - 1) * operiod as i64).lt(arrival)),
+                    ),
+                );
+                self.problem.assert(both.not().implies(i_var.expr().eq(0)));
                 interference.push(i_var.expr() * orho);
             }
 
@@ -395,13 +373,14 @@ impl Encoding<'_> {
                 let osl = IntExpr::sum(osl_terms);
                 let imb_max = (delta as u64).div_ceil(round_lo as u64).max(1);
                 let imb = self.problem.int_var(0, imb_max as i64);
-                self.problem.assert(used.clone().implies(
-                    (imb.expr() * round.clone())
-                        .ge(r.expr())
-                        .and(((imb.expr() - 1) * round.clone()).lt(r.expr())),
-                ));
-                self.problem
-                    .assert(used.not().implies(imb.expr().eq(0)));
+                self.problem.assert(
+                    used.clone().implies(
+                        (imb.expr() * round.clone())
+                            .ge(r.expr())
+                            .and(((imb.expr() - 1) * round.clone()).lt(r.expr())),
+                    ),
+                );
+                self.problem.assert(used.not().implies(imb.expr().eq(0)));
                 imb.expr() * (round - osl)
             } else {
                 IntExpr::constant(0)

@@ -240,21 +240,27 @@ impl<'a> Encoding<'a> {
                 .iter()
                 .map(|&p| (p, self.problem.bool_var()))
                 .collect();
-            let terms: Vec<(BoolExpr, i64)> =
-                vars.values().map(|v| (v.expr(), 1)).collect();
+            let terms: Vec<(BoolExpr, i64)> = vars.values().map(|v| (v.expr(), 1)).collect();
             self.problem.assert_pb(terms, PbOp::Eq, 1);
 
             let t = self.tasks.task(tid);
             let wcet_expr = if allowed.len() == 1 {
                 IntExpr::constant(t.wcet_on(allowed[0]).unwrap() as i64)
             } else {
-                let lo = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).min().unwrap();
-                let hi = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).max().unwrap();
+                let lo = allowed
+                    .iter()
+                    .map(|&p| t.wcet_on(p).unwrap())
+                    .min()
+                    .unwrap();
+                let hi = allowed
+                    .iter()
+                    .map(|&p| t.wcet_on(p).unwrap())
+                    .max()
+                    .unwrap();
                 let w = self.problem.int_var(lo as i64, hi as i64);
                 for &p in &allowed {
                     let c = t.wcet_on(p).unwrap() as i64;
-                    self.problem
-                        .assert(vars[&p].expr().implies(w.expr().eq(c)));
+                    self.problem.assert(vars[&p].expr().implies(w.expr().eq(c)));
                 }
                 w.expr()
             };
@@ -311,10 +317,12 @@ impl<'a> Encoding<'a> {
                 self.resp.push(self.problem.int_var(0, 0));
                 continue;
             }
-            let min_c = allowed.iter().map(|&p| t.wcet_on(p).unwrap()).min().unwrap();
-            let r = self
-                .problem
-                .int_var(min_c as i64, t.deadline as i64);
+            let min_c = allowed
+                .iter()
+                .map(|&p| t.wcet_on(p).unwrap())
+                .min()
+                .unwrap();
+            let r = self.problem.int_var(min_c as i64, t.deadline as i64);
             self.resp.push(r);
         }
         for i in 0..n {
@@ -338,7 +346,8 @@ impl<'a> Encoding<'a> {
                     .filter(|p| self.alloc[j].contains_key(p))
                     .copied()
                     .collect();
-                if shared.is_empty() || t.separation.contains(&jid)
+                if shared.is_empty()
+                    || t.separation.contains(&jid)
                     || self.tasks.task(jid).separation.contains(&tid)
                 {
                     continue;
@@ -352,8 +361,7 @@ impl<'a> Encoding<'a> {
                 };
                 let i_max = (t.deadline + jitter).div_ceil(tj.period).max(1);
                 let i_var = self.problem.int_var(0, i_max as i64);
-                let pc_max = (i_max * tj.wcet.values().copied().max().unwrap())
-                    .min(t.deadline);
+                let pc_max = (i_max * tj.wcet.values().copied().max().unwrap()).min(t.deadline);
                 let pc_var = self.problem.int_var(0, pc_max as i64);
                 let same = self.colocated(tid, jid);
                 let tj_period = tj.period as i64;
@@ -361,11 +369,13 @@ impl<'a> Encoding<'a> {
                 // Eq. (11): ceiling elimination Iᵢⱼ = ⌈(rᵢ + Jⱼ)/tⱼ⌉ when
                 // co-located (Jⱼ = 0 unless the jitter extension is on).
                 let arrival = r.expr() + jitter as i64;
-                self.problem.assert(same.implies(
-                    (i_var.expr() * tj_period)
-                        .ge(arrival.clone())
-                        .and(((i_var.expr() - 1) * tj_period).lt(arrival)),
-                ));
+                self.problem.assert(
+                    same.implies(
+                        (i_var.expr() * tj_period)
+                            .ge(arrival.clone())
+                            .and(((i_var.expr() - 1) * tj_period).lt(arrival)),
+                    ),
+                );
                 // Eq. (12) + eq. (8): no interference across ECUs.
                 self.problem.assert(
                     same.not()
@@ -376,14 +386,12 @@ impl<'a> Encoding<'a> {
                     for &p in &shared {
                         let guard = self.placed_on(tid, p).and(self.placed_on(jid, p));
                         let cjp = tj.wcet_on(p).unwrap() as i64;
-                        self.problem.assert(
-                            guard.implies(pc_var.expr().eq(i_var.expr() * cjp)),
-                        );
+                        self.problem
+                            .assert(guard.implies(pc_var.expr().eq(i_var.expr() * cjp)));
                     }
                 } else {
                     let prod = i_var.expr() * self.wcet[j].clone();
-                    self.problem
-                        .assert(same.implies(pc_var.expr().eq(prod)));
+                    self.problem.assert(same.implies(pc_var.expr().eq(prod)));
                 }
                 preemption_terms.push(pc_var.expr());
             }

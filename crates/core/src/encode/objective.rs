@@ -74,8 +74,7 @@ impl Encoding<'_> {
             let mut hi = 0i64;
             for (tid, t) in self.tasks.iter() {
                 if let Some(var) = self.alloc[tid.index()].get(&pid) {
-                    let coef =
-                        (t.wcet_on(pid).unwrap() * 1000).div_ceil(t.period) as i64;
+                    let coef = (t.wcet_on(pid).unwrap() * 1000).div_ceil(t.period) as i64;
                     hi += coef;
                     let bit = self.b2i(&var.expr());
                     terms.push(bit * coef);
@@ -135,8 +134,7 @@ impl Encoding<'_> {
                     let mid = self.msgs[idx].id;
                     let m = self.tasks.message(mid);
                     let period = self.tasks.task(mid.sender).period;
-                    let coef =
-                        (med.transmission_time(m.size) * 1000).div_ceil(period) as i64;
+                    let coef = (med.transmission_time(m.size) * 1000).div_ceil(period) as i64;
                     hi += coef;
                     let used = self.msgs[idx].k_used_int[k].clone();
                     terms.push(used * coef);

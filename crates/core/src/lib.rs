@@ -63,10 +63,11 @@ mod options;
 
 pub use encode::objective::ObjectiveError;
 pub use optimizer::{AllocationSolution, OptError, OptimizeReport, Optimizer};
-pub use options::{Objective, SolveOptions};
+pub use options::{Objective, SolveOptions, Strategy};
 
 // Facade re-exports so downstream users need a single dependency.
 pub use optalloc_analysis as analysis;
 pub use optalloc_intopt as intopt;
 pub use optalloc_model as model;
+pub use optalloc_portfolio as portfolio;
 pub use optalloc_sat as sat;

@@ -1,12 +1,18 @@
 //! The top-level optimizer: encode → `BIN_SEARCH` → decode → re-validate.
 
+// `OptError::Budget` deliberately carries the best incumbent allocation so
+// callers can use a partial result; errors are rare and never on a hot
+// path, so the large `Err` variant is a fair trade for the simple API.
+#![allow(clippy::result_large_err)]
+
 use crate::decode::decode;
 use crate::encode::objective::{variable_slot_media, ObjectiveError};
 use crate::encode::Encoding;
-use crate::options::{Objective, SolveOptions};
+use crate::options::{Objective, SolveOptions, Strategy};
 use optalloc_analysis::{validate, AnalysisConfig, Report};
 use optalloc_intopt::{EncodeStats, MinimizeOptions, MinimizeStatus};
 use optalloc_model::{Allocation, Architecture, TaskSet};
+use optalloc_portfolio::{minimize_portfolio, PortfolioOptions, WorkerReport};
 use optalloc_sat::SolverStats;
 use std::time::{Duration, Instant};
 
@@ -30,10 +36,13 @@ pub struct OptimizeReport {
     pub encode: EncodeStats,
     /// Number of `SOLVE` calls the binary search issued.
     pub solve_calls: u32,
-    /// Aggregated solver statistics.
+    /// Aggregated solver statistics (summed over all portfolio workers).
     pub stats: SolverStats,
     /// Wall-clock time of the full run (encode + search + decode).
     pub wall: Duration,
+    /// Per-worker execution records when [`Strategy::Portfolio`] ran;
+    /// empty under [`Strategy::Single`].
+    pub workers: Vec<WorkerReport>,
 }
 
 /// Why an optimization run produced no allocation.
@@ -65,7 +74,11 @@ impl std::fmt::Display for OptError {
             ),
             OptError::Objective(e) => write!(f, "objective error: {e}"),
             OptError::ValidationFailed(r) => {
-                write!(f, "solver allocation failed re-validation: {:?}", r.violations)
+                write!(
+                    f,
+                    "solver allocation failed re-validation: {:?}",
+                    r.violations
+                )
             }
         }
     }
@@ -169,11 +182,11 @@ impl<'a> Optimizer<'a> {
                 solve_calls: 1,
                 stats: SolverStats::default(),
                 wall: start.elapsed(),
+                workers: Vec::new(),
             });
         }
 
-        let slot_media =
-            variable_slot_media(self.arch, objective).map_err(OptError::Objective)?;
+        let slot_media = variable_slot_media(self.arch, objective).map_err(OptError::Objective)?;
         let mut enc = Encoding::build(self.arch, self.tasks, &self.opts, &slot_media);
         let cost = enc
             .encode_objective(objective)
@@ -188,13 +201,47 @@ impl<'a> Optimizer<'a> {
             mode: self.opts.mode,
             max_conflicts: self.opts.max_conflicts,
             initial_upper: self.opts.initial_upper,
+            ..MinimizeOptions::default()
         };
-        let outcome = enc.problem.minimize(cost, &min_opts);
+        let (status, solve_calls, encode, stats, workers) = match self.opts.strategy {
+            Strategy::Single => {
+                let outcome = enc.problem.minimize(cost, &min_opts);
+                (
+                    outcome.status,
+                    outcome.solve_calls,
+                    outcome.encode,
+                    outcome.stats,
+                    Vec::new(),
+                )
+            }
+            Strategy::Portfolio {
+                workers,
+                deterministic,
+            } => {
+                let outcome = minimize_portfolio(
+                    &enc.problem,
+                    cost,
+                    &PortfolioOptions {
+                        workers,
+                        deterministic,
+                        base: min_opts,
+                        verbose: false,
+                    },
+                );
+                (
+                    outcome.status,
+                    outcome.solve_calls,
+                    outcome.encode,
+                    outcome.stats,
+                    outcome.workers,
+                )
+            }
+        };
         let wall = start.elapsed();
 
-        match outcome.status {
+        match status {
             MinimizeStatus::Infeasible => Err(OptError::Infeasible),
-            MinimizeStatus::Unknown { incumbent } => {
+            MinimizeStatus::Unknown { incumbent } | MinimizeStatus::Interrupted { incumbent } => {
                 let incumbent = match incumbent {
                     None => None,
                     Some((value, model)) => {
@@ -204,15 +251,25 @@ impl<'a> Optimizer<'a> {
                 };
                 Err(OptError::Budget { incumbent })
             }
+            // The portfolio resolves external optima to concrete models
+            // before returning; a bare ExternalOptimal can only escape a
+            // direct `IntProblem::minimize` with a foreign shared bound,
+            // which the optimizer never configures.
+            MinimizeStatus::ExternalOptimal { .. } => {
+                unreachable!("optimizer never shares bounds outside a portfolio")
+            }
             MinimizeStatus::Optimal { value, model } => {
+                // Every portfolio (or single-search) winner passes the same
+                // independent re-validation gate.
                 let solution = self.check(decode(&enc, &model))?;
                 Ok(OptimizeReport {
                     solution,
                     cost: value,
-                    encode: outcome.encode,
-                    solve_calls: outcome.solve_calls,
-                    stats: outcome.stats,
+                    encode,
+                    solve_calls,
+                    stats,
                     wall,
+                    workers,
                 })
             }
         }

@@ -27,6 +27,25 @@ pub enum Objective {
     Feasibility,
 }
 
+/// How many binary searches attack the encoded problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// One `BIN_SEARCH` run, configured by `mode`/`backend` (the paper's
+    /// setup).
+    Single,
+    /// A portfolio of diversified workers over the same encoding, with
+    /// incumbent-bound sharing and cooperative cancellation (see the
+    /// `optalloc-portfolio` crate).
+    Portfolio {
+        /// Number of workers (worker 0 runs the base configuration).
+        workers: usize,
+        /// `true`: join all workers and pick the lowest-index decisive one
+        /// — bit-stable output. `false`: race, first proven optimum wins
+        /// (equal-cost optima may differ between runs).
+        deterministic: bool,
+    },
+}
+
 /// Encoder and search options.
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
@@ -55,6 +74,8 @@ pub struct SolveOptions {
     /// (`⌈(rᵢ + Jⱼ)/tⱼ⌉`) — one of the "release jitter, blocking factors,
     /// etc." extensions the paper's §2 mentions. Off = the literal eq. (1).
     pub task_jitter: bool,
+    /// Single search vs. diversified portfolio.
+    pub strategy: Strategy,
 }
 
 impl Default for SolveOptions {
@@ -68,6 +89,7 @@ impl Default for SolveOptions {
             max_conflicts: None,
             initial_upper: None,
             task_jitter: false,
+            strategy: Strategy::Single,
         }
     }
 }

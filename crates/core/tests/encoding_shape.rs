@@ -61,12 +61,7 @@ fn encoding_size_grows_with_permission_sets() {
         for i in 0..4 {
             arch.push_ecu(Ecu::new(format!("p{i}")));
         }
-        arch.push_medium(Medium::priority(
-            "can",
-            (0..4).map(EcuId).collect(),
-            1,
-            1,
-        ));
+        arch.push_medium(Medium::priority("can", (0..4).map(EcuId).collect(), 1, 1));
         let mut tasks = TaskSet::new();
         for i in 0..6 {
             let wcet: Vec<_> = (0..ecus_per_task as u32).map(|p| (EcuId(p), 5)).collect();

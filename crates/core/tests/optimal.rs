@@ -4,9 +4,7 @@
 //! independent analysis.
 
 use optalloc::{Objective, Optimizer, SolveOptions};
-use optalloc_analysis::{
-    bus_load_permille, ecu_utilization_permille, validate, AnalysisConfig,
-};
+use optalloc_analysis::{bus_load_permille, ecu_utilization_permille, validate, AnalysisConfig};
 use optalloc_intopt::{Backend, BinSearchMode};
 use optalloc_model::{
     Allocation, Architecture, Ecu, EcuId, Medium, MessageRoute, MsgId, Task, TaskId, TaskSet,
@@ -256,10 +254,14 @@ fn trt_optimum_matches_brute_force_slot_enumeration() {
         for s1 in 1..=16u64 {
             let mut alloc = Allocation::skeleton(&tasks);
             alloc.placement = vec![p0, p1];
-            *alloc.route_mut(MsgId { sender: TaskId(0), index: 0 }) =
-                MessageRoute::single_hop(ring, 25);
-            *alloc.route_mut(MsgId { sender: TaskId(1), index: 0 }) =
-                MessageRoute::single_hop(ring, 30);
+            *alloc.route_mut(MsgId {
+                sender: TaskId(0),
+                index: 0,
+            }) = MessageRoute::single_hop(ring, 25);
+            *alloc.route_mut(MsgId {
+                sender: TaskId(1),
+                index: 0,
+            }) = MessageRoute::single_hop(ring, 30);
             alloc.slot_overrides.insert(ring, vec![s0, s1]);
             if validate(&arch, &tasks, &alloc, &config).is_feasible() {
                 let trt = (s0 + s1) as i64;

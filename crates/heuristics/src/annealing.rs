@@ -191,8 +191,8 @@ fn run_chain(
             let mut cand = current.clone();
             mutate(arch, tasks, &mut cand, params, slots_matter, &mut rng);
             let e = eval(&cand, &mut evaluations);
-            let accept = e <= cur_e
-                || rng.gen_bool((-((e - cur_e) as f64) / temp).exp().clamp(0.0, 1.0));
+            let accept =
+                e <= cur_e || rng.gen_bool((-((e - cur_e) as f64) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 current = cand;
                 cur_e = e;
@@ -357,8 +357,18 @@ mod tests {
     #[test]
     fn is_deterministic_for_fixed_seed() {
         let (arch, tasks) = small_system();
-        let a = anneal(&arch, &tasks, &HeuristicObjective::Feasibility, &quick_params());
-        let b = anneal(&arch, &tasks, &HeuristicObjective::Feasibility, &quick_params());
+        let a = anneal(
+            &arch,
+            &tasks,
+            &HeuristicObjective::Feasibility,
+            &quick_params(),
+        );
+        let b = anneal(
+            &arch,
+            &tasks,
+            &HeuristicObjective::Feasibility,
+            &quick_params(),
+        );
         assert_eq!(a.energy, b.energy);
         assert_eq!(a.allocation, b.allocation);
     }

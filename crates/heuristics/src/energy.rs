@@ -53,9 +53,7 @@ pub fn objective_value(
         HeuristicObjective::TokenRotationTime(k) => {
             optalloc_analysis::token_rotation_time(arch, alloc, *k).unwrap_or(0) as i64
         }
-        HeuristicObjective::SumTokenRotationTimes => {
-            optalloc_analysis::sum_trt(arch, alloc) as i64
-        }
+        HeuristicObjective::SumTokenRotationTimes => optalloc_analysis::sum_trt(arch, alloc) as i64,
         HeuristicObjective::BusLoadPermille(k) => {
             optalloc_analysis::bus_load_permille(arch, tasks, alloc, *k) as i64
         }
@@ -66,11 +64,8 @@ pub fn objective_value(
                 .unwrap_or(&0) as i64
         }
         HeuristicObjective::UtilizationSpreadPermille => {
-            optalloc_analysis::utilization_minmax_spread_permille(
-                tasks,
-                alloc,
-                arch.num_ecus(),
-            ) as i64
+            optalloc_analysis::utilization_minmax_spread_permille(tasks, alloc, arch.num_ecus())
+                as i64
         }
         HeuristicObjective::Feasibility => 0,
     }

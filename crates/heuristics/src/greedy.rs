@@ -19,12 +19,7 @@ pub struct GreedyResult {
 
 /// Response-time check for one ECU: every task currently placed on `ecu`
 /// plus `extra` stays within its deadline under deadline-monotonic order.
-fn ecu_schedulable(
-    tasks: &TaskSet,
-    placed: &[Option<EcuId>],
-    extra: TaskId,
-    ecu: EcuId,
-) -> bool {
+fn ecu_schedulable(tasks: &TaskSet, placed: &[Option<EcuId>], extra: TaskId, ecu: EcuId) -> bool {
     let mut local: Vec<TaskId> = placed
         .iter()
         .enumerate()

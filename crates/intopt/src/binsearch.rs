@@ -27,10 +27,13 @@
 //!   persists across the whole search. This is the paper's §7 extension,
 //!   reported to give ≥2× speedups.
 
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
 use crate::blast::{blast, Backend};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
-use optalloc_sat::{SolveResult, Solver, SolverStats};
+use optalloc_sat::{SolveResult, Solver, SolverConfig, SolverStats};
 
 /// How the sequence of `SOLVE` calls shares work.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -41,8 +44,12 @@ pub enum BinSearchMode {
     Incremental,
 }
 
+/// Callback invoked whenever the search finds a new best (cost, model)
+/// incumbent — before the search has proven it optimal.
+pub type IncumbentCallback = Arc<dyn Fn(i64, &Model) + Send + Sync>;
+
 /// Options for [`IntProblem::minimize`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MinimizeOptions {
     /// Gate encoding backend.
     pub backend: Backend,
@@ -55,6 +62,36 @@ pub struct MinimizeOptions {
     /// incumbent). The first probe is bounded by it, which can skip the
     /// expensive unbounded `SOLVE(φ)` and halve the search range.
     pub initial_upper: Option<i64>,
+    /// Base solver tunables applied to every solver the search creates —
+    /// including the cooperative [`SolverConfig::interrupt`] flag and the
+    /// diversification knobs (`phase_seed`, `restart_unit`, decays) used by
+    /// the portfolio runner. `max_conflicts` above, when set, overrides
+    /// `solver_config.max_conflicts`.
+    pub solver_config: SolverConfig,
+    /// Best cost proven attainable by *any* cooperating search, shared
+    /// between portfolio workers. Read between `SOLVE` calls: the upper
+    /// probe bound tightens to one below the shared incumbent. Written on
+    /// every locally found incumbent (with `fetch_min`). When the search
+    /// bottoms out against an external bound it reports
+    /// [`MinimizeStatus::ExternalOptimal`] since the witnessing model lives
+    /// in another worker.
+    pub shared_bound: Option<Arc<AtomicI64>>,
+    /// Invoked with every new local incumbent (cost, model) as it is found.
+    pub on_incumbent: Option<IncumbentCallback>,
+}
+
+impl std::fmt::Debug for MinimizeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MinimizeOptions")
+            .field("backend", &self.backend)
+            .field("mode", &self.mode)
+            .field("max_conflicts", &self.max_conflicts)
+            .field("initial_upper", &self.initial_upper)
+            .field("solver_config", &self.solver_config)
+            .field("shared_bound", &self.shared_bound)
+            .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl Default for MinimizeOptions {
@@ -64,6 +101,39 @@ impl Default for MinimizeOptions {
             mode: BinSearchMode::Incremental,
             max_conflicts: None,
             initial_upper: None,
+            solver_config: SolverConfig::default(),
+            shared_bound: None,
+            on_incumbent: None,
+        }
+    }
+}
+
+impl MinimizeOptions {
+    /// A fresh solver configured per these options.
+    fn new_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        solver.config = self.solver_config.clone();
+        if self.max_conflicts.is_some() {
+            solver.config.max_conflicts = self.max_conflicts;
+        }
+        solver
+    }
+
+    /// The externally shared incumbent cost, or `i64::MAX` when solo.
+    fn external_bound(&self) -> i64 {
+        self.shared_bound
+            .as_ref()
+            .map(|b| b.load(Ordering::Relaxed))
+            .unwrap_or(i64::MAX)
+    }
+
+    /// Publishes a new local incumbent to the cooperating searches.
+    fn publish(&self, value: i64, model: &Model) {
+        if let Some(bound) = &self.shared_bound {
+            bound.fetch_min(value, Ordering::Relaxed);
+        }
+        if let Some(cb) = &self.on_incumbent {
+            cb(value, model);
         }
     }
 }
@@ -84,6 +154,20 @@ pub enum MinimizeStatus {
     Unknown {
         /// Best (value, model) discovered before giving up.
         incumbent: Option<(i64, Model)>,
+    },
+    /// The cooperative cancellation flag was raised mid-search; carries the
+    /// best incumbent, if any was found before the abort.
+    Interrupted {
+        /// Best (value, model) discovered before the interrupt.
+        incumbent: Option<(i64, Model)>,
+    },
+    /// The search proved no solution cheaper than the externally shared
+    /// incumbent exists, so the optimum equals that value — but the
+    /// witnessing model belongs to the cooperating search that published it
+    /// (see [`MinimizeOptions::shared_bound`]).
+    ExternalOptimal {
+        /// The proven optimal cost, attained by another worker's model.
+        value: i64,
     },
 }
 
@@ -138,8 +222,7 @@ fn minimize_incremental(
     cost: IntVar,
     opts: &MinimizeOptions,
 ) -> MinimizeOutcome {
-    let mut solver = Solver::new();
-    solver.config.max_conflicts = opts.max_conflicts;
+    let mut solver = opts.new_solver();
     let form = problem.triplet_form();
     let mut bl = blast(&form, problem.int_decls(), &mut solver, opts.backend);
     let encode = EncodeStats {
@@ -188,15 +271,28 @@ fn minimize_incremental(
             outcome.status = MinimizeStatus::Unknown { incumbent: None };
             return finish(outcome, &solver);
         }
+        SolveResult::Interrupted => {
+            outcome.status = MinimizeStatus::Interrupted { incumbent: None };
+            return finish(outcome, &solver);
+        }
         SolveResult::Sat => {}
     }
     let mut best_value = bl.int_value(&solver, cost);
     let mut best_model = problem.extract_model(&solver, &bl);
+    opts.publish(best_value, &best_model);
     let mut lower = cost.lo;
     let mut upper = best_value;
 
-    while lower < upper {
-        let mid = lower + (upper - lower) / 2;
+    let external = loop {
+        // Between SOLVE calls, fold in the best cost any cooperating search
+        // has published: nothing at or above `min(upper, external)` needs
+        // probing, somebody already holds a model that cheap.
+        let external = opts.external_bound();
+        let proven_hi = upper.min(external);
+        if lower >= proven_hi {
+            break external;
+        }
+        let mid = lower + (proven_hi - lower) / 2;
         let guard = solver.new_var().positive();
         bl.add_guarded_bounds(&mut solver, cost, lower, mid, guard);
         outcome.solve_calls += 1;
@@ -206,9 +302,15 @@ fn minimize_incremental(
                 debug_assert!(k >= lower && k <= mid);
                 best_value = k;
                 best_model = problem.extract_model(&solver, &bl);
+                opts.publish(best_value, &best_model);
                 upper = k;
             }
             SolveResult::Unsat => {
+                // UNSAT over [L, M] proves the optimum exceeds M, hence
+                // `L := M + 1`. (The paper's §5.2 listing prints `L := M`,
+                // which never terminates once R = L + 1: M = L, the probe
+                // over [L, L] repeats forever. See the regression test
+                // `terminates_from_r_equals_l_plus_one` below.)
                 lower = mid + 1;
             }
             SolveResult::Unknown => {
@@ -217,24 +319,33 @@ fn minimize_incremental(
                 };
                 return finish(outcome, &solver);
             }
+            SolveResult::Interrupted => {
+                outcome.status = MinimizeStatus::Interrupted {
+                    incumbent: Some((best_value, best_model)),
+                };
+                return finish(outcome, &solver);
+            }
         }
         // The guard is never assumed again; close it so the solver can
         // simplify the now-dead bound clauses away.
         solver.add_clause(&[!guard]);
-    }
+    };
 
-    outcome.status = MinimizeStatus::Optimal {
-        value: best_value,
-        model: best_model,
+    outcome.status = if upper <= external {
+        MinimizeStatus::Optimal {
+            value: best_value,
+            model: best_model,
+        }
+    } else {
+        // The search bottomed out against an external incumbent strictly
+        // better than the local one: the optimum is proven to equal it, but
+        // the model lives in the worker that published the bound.
+        MinimizeStatus::ExternalOptimal { value: external }
     };
     finish(outcome, &solver)
 }
 
-fn minimize_fresh(
-    problem: &IntProblem,
-    cost: IntVar,
-    opts: &MinimizeOptions,
-) -> MinimizeOutcome {
+fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) -> MinimizeOutcome {
     let mut outcome = MinimizeOutcome {
         status: MinimizeStatus::Infeasible,
         solve_calls: 0,
@@ -244,10 +355,9 @@ fn minimize_fresh(
 
     // One probe: fresh solver, bounds asserted hard.
     let probe = |bounds: Option<(i64, i64)>,
-                     outcome: &mut MinimizeOutcome|
+                 outcome: &mut MinimizeOutcome|
      -> (SolveResult, Option<(i64, Model)>) {
-        let mut solver = Solver::new();
-        solver.config.max_conflicts = opts.max_conflicts;
+        let mut solver = opts.new_solver();
         let mut p = problem.clone();
         if let Some((lo, hi)) = bounds {
             p.assert(cost.expr().ge(lo).and(cost.expr().le(hi)));
@@ -276,7 +386,10 @@ fn minimize_fresh(
         (r, witness)
     };
 
-    let first_bounds = opts.initial_upper.filter(|&u| u >= cost.lo).map(|u| (cost.lo, u));
+    let first_bounds = opts
+        .initial_upper
+        .filter(|&u| u >= cost.lo)
+        .map(|u| (cost.lo, u));
     let (r0, w0) = match probe(first_bounds, &mut outcome) {
         // A bad warm-start hint must not report Infeasible; retry unbounded.
         (SolveResult::Unsat, _) if first_bounds.is_some() => probe(None, &mut outcome),
@@ -288,13 +401,25 @@ fn minimize_fresh(
             outcome.status = MinimizeStatus::Unknown { incumbent: None };
             return outcome;
         }
+        SolveResult::Interrupted => {
+            outcome.status = MinimizeStatus::Interrupted { incumbent: None };
+            return outcome;
+        }
         SolveResult::Sat => w0.unwrap(),
     };
+    opts.publish(best_value, &best_model);
     let mut lower = cost.lo;
     let mut upper = best_value;
 
-    while lower < upper {
-        let mid = lower + (upper - lower) / 2;
+    let external = loop {
+        // Fold in any externally shared incumbent (see the incremental
+        // variant for the protocol).
+        let external = opts.external_bound();
+        let proven_hi = upper.min(external);
+        if lower >= proven_hi {
+            break external;
+        }
+        let mid = lower + (proven_hi - lower) / 2;
         let (r, w) = probe(Some((lower, mid)), &mut outcome);
         match r {
             SolveResult::Sat => {
@@ -302,8 +427,12 @@ fn minimize_fresh(
                 debug_assert!(k >= lower && k <= mid);
                 best_value = k;
                 best_model = m;
+                opts.publish(best_value, &best_model);
                 upper = k;
             }
+            // UNSAT over [L, M] proves the optimum exceeds M: `L := M + 1`,
+            // not the paper's misprinted `L := M` (which loops forever once
+            // R = L + 1 — see `terminates_from_r_equals_l_plus_one`).
             SolveResult::Unsat => lower = mid + 1,
             SolveResult::Unknown => {
                 outcome.status = MinimizeStatus::Unknown {
@@ -311,12 +440,106 @@ fn minimize_fresh(
                 };
                 return outcome;
             }
+            SolveResult::Interrupted => {
+                outcome.status = MinimizeStatus::Interrupted {
+                    incumbent: Some((best_value, best_model)),
+                };
+                return outcome;
+            }
+        }
+    };
+
+    outcome.status = if upper <= external {
+        MinimizeStatus::Optimal {
+            value: best_value,
+            model: best_model,
+        }
+    } else {
+        MinimizeStatus::ExternalOptimal { value: external }
+    };
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// Regression for the paper's §5.2 off-by-one: from the terminal state
+    /// R = L + 1 (here L = 0, R = 1 with optimum 1) the probe over [L, M] =
+    /// [0, 0] is UNSAT and must advance `L := M + 1 = 1` to terminate. The
+    /// paper's printed `L := M` would re-probe [0, 0] forever. Pins both
+    /// termination and the optimum for both modes.
+    #[test]
+    fn terminates_from_r_equals_l_plus_one() {
+        for mode in [BinSearchMode::Incremental, BinSearchMode::Fresh] {
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, 1);
+            p.assert(x.expr().ge(1));
+            let out = p.minimize(
+                x,
+                &MinimizeOptions {
+                    mode,
+                    ..MinimizeOptions::default()
+                },
+            );
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 1, "{mode:?}"),
+                ref s => panic!("{mode:?}: expected Optimal, got {s:?}"),
+            }
+            // SOLVE(φ) finds x = 1, then exactly one probe over [0, 0]
+            // refutes anything cheaper. A third call would mean the search
+            // revisited the refuted half.
+            assert_eq!(out.solve_calls, 2, "{mode:?}");
         }
     }
 
-    outcome.status = MinimizeStatus::Optimal {
-        value: best_value,
-        model: best_model,
-    };
-    outcome
+    /// A pre-raised interrupt flag aborts before any verdict and carries no
+    /// incumbent; clearing it lets the same options solve to optimality.
+    #[test]
+    fn interrupt_aborts_minimization() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut opts = MinimizeOptions::default();
+        opts.solver_config.interrupt = Some(flag.clone());
+
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 10);
+        p.assert(x.expr().ge(3));
+        match p.minimize(x, &opts).status {
+            MinimizeStatus::Interrupted { incumbent } => assert!(incumbent.is_none()),
+            ref s => panic!("expected Interrupted, got {s:?}"),
+        }
+
+        flag.store(false, Ordering::Relaxed);
+        match p.minimize(x, &opts).status {
+            MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 3),
+            ref s => panic!("expected Optimal, got {s:?}"),
+        }
+    }
+
+    /// A shared bound below the local optimum is picked up between probes:
+    /// the search proves nothing cheaper exists locally and defers to the
+    /// external witness.
+    #[test]
+    fn external_bound_short_circuits() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 100);
+        p.assert(x.expr().ge(7));
+
+        // Another "worker" already holds a model of cost 7.
+        let shared = Arc::new(AtomicI64::new(7));
+        let opts = MinimizeOptions {
+            shared_bound: Some(shared.clone()),
+            ..MinimizeOptions::default()
+        };
+        match p.minimize(x, &opts).status {
+            // Either the local probe also reached 7 (Optimal) or the search
+            // bottomed out against the shared bound first.
+            MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 7),
+            MinimizeStatus::ExternalOptimal { value } => assert_eq!(value, 7),
+            ref s => panic!("unexpected status {s:?}"),
+        }
+        // The local search must never publish anything worse than 7.
+        assert_eq!(shared.load(Ordering::Relaxed), 7);
+    }
 }

@@ -420,9 +420,7 @@ impl Gates<'_> {
         let (a, b) = (self.sext(a, w), self.sext(b, w));
         match op {
             CmpOp::Eq => {
-                let per_bit: Vec<Bit> = (0..w)
-                    .map(|i| self.iff2(a.bits[i], b.bits[i]))
-                    .collect();
+                let per_bit: Vec<Bit> = (0..w).map(|i| self.iff2(a.bits[i], b.bits[i])).collect();
                 self.and_many(&per_bit)
             }
             CmpOp::Le | CmpOp::Lt => {
@@ -519,13 +517,17 @@ pub fn blast(
                 }
                 BoolDef::Not(a) => bool_bits[*a as usize].unwrap().flip(),
                 BoolDef::And(ids) => {
-                    let bits: Vec<Bit> =
-                        ids.iter().map(|&i| bool_bits[i as usize].unwrap()).collect();
+                    let bits: Vec<Bit> = ids
+                        .iter()
+                        .map(|&i| bool_bits[i as usize].unwrap())
+                        .collect();
                     g.and_many(&bits)
                 }
                 BoolDef::Or(ids) => {
-                    let bits: Vec<Bit> =
-                        ids.iter().map(|&i| bool_bits[i as usize].unwrap()).collect();
+                    let bits: Vec<Bit> = ids
+                        .iter()
+                        .map(|&i| bool_bits[i as usize].unwrap())
+                        .collect();
                     g.or_many(&bits)
                 }
                 BoolDef::Iff(a, b) => {
@@ -576,13 +578,7 @@ pub fn blast(
 
 /// Allocates fresh bits for an input variable with range `[lo, hi]` and adds
 /// its range constraints.
-fn fresh_input(
-    out: &mut Blast,
-    solver: &mut Solver,
-    backend: Backend,
-    lo: i64,
-    hi: i64,
-) -> BitVec {
+fn fresh_input(out: &mut Blast, solver: &mut Solver, backend: Backend, lo: i64, hi: i64) -> BitVec {
     if lo == hi {
         return const_bitvec(lo);
     }

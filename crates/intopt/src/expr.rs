@@ -3,14 +3,16 @@
 //! The allocation encoder (paper §3–§4) produces Boolean combinations of
 //! integer (in)equations. This module provides the two expression types —
 //! [`IntExpr`] over bounded integers and [`BoolExpr`] over truth values —
-//! with cheap structural sharing (`Rc` nodes) so that, e.g., a response-time
-//! variable appearing in dozens of constraints is one shared node.
+//! with cheap structural sharing (`Arc` nodes) so that, e.g., a response-time
+//! variable appearing in dozens of constraints is one shared node. The nodes
+//! are atomically counted so a built [`crate::IntProblem`] is `Send + Sync`
+//! and portfolio workers can race over one shared encoding.
 //!
 //! Every integer variable carries its range `[lo, hi]`; ranges of compound
 //! expressions are inferred by interval arithmetic during triplet rewriting.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A bounded integer variable (declared through
 /// [`IntProblem::int_var`](crate::IntProblem::int_var)).
@@ -31,7 +33,7 @@ impl IntVar {
 
     /// This variable as an expression.
     pub fn expr(self) -> IntExpr {
-        IntExpr(Rc::new(IntNode::Var(self)))
+        IntExpr(Arc::new(IntNode::Var(self)))
     }
 }
 
@@ -56,7 +58,7 @@ impl BoolVar {
 
     /// This variable as a Boolean expression.
     pub fn expr(self) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Var(self)))
+        BoolExpr(Arc::new(BoolNode::Var(self)))
     }
 }
 
@@ -74,12 +76,12 @@ pub(crate) enum IntNode {
 /// Cloning is cheap (reference-counted nodes). Use the comparison methods
 /// ([`IntExpr::ge`], [`IntExpr::eq`], …) to obtain [`BoolExpr`] atoms.
 #[derive(Clone, Debug)]
-pub struct IntExpr(pub(crate) Rc<IntNode>);
+pub struct IntExpr(pub(crate) Arc<IntNode>);
 
 impl IntExpr {
     /// A constant expression.
     pub fn constant(v: i64) -> IntExpr {
-        IntExpr(Rc::new(IntNode::Const(v)))
+        IntExpr(Arc::new(IntNode::Const(v)))
     }
 
     pub(crate) fn node(&self) -> &IntNode {
@@ -97,27 +99,27 @@ impl IntExpr {
 
     /// `self ≥ rhs`
     pub fn ge(&self, rhs: impl Into<IntExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Cmp(CmpOp::Le, rhs.into(), self.clone())))
+        BoolExpr(Arc::new(BoolNode::Cmp(CmpOp::Le, rhs.into(), self.clone())))
     }
 
     /// `self > rhs`
     pub fn gt(&self, rhs: impl Into<IntExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Cmp(CmpOp::Lt, rhs.into(), self.clone())))
+        BoolExpr(Arc::new(BoolNode::Cmp(CmpOp::Lt, rhs.into(), self.clone())))
     }
 
     /// `self ≤ rhs`
     pub fn le(&self, rhs: impl Into<IntExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Cmp(CmpOp::Le, self.clone(), rhs.into())))
+        BoolExpr(Arc::new(BoolNode::Cmp(CmpOp::Le, self.clone(), rhs.into())))
     }
 
     /// `self < rhs`
     pub fn lt(&self, rhs: impl Into<IntExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Cmp(CmpOp::Lt, self.clone(), rhs.into())))
+        BoolExpr(Arc::new(BoolNode::Cmp(CmpOp::Lt, self.clone(), rhs.into())))
     }
 
     /// `self = rhs`
     pub fn eq(&self, rhs: impl Into<IntExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Cmp(CmpOp::Eq, self.clone(), rhs.into())))
+        BoolExpr(Arc::new(BoolNode::Cmp(CmpOp::Eq, self.clone(), rhs.into())))
     }
 
     /// `self ≠ rhs`
@@ -176,43 +178,46 @@ macro_rules! int_binop {
         impl std::ops::$trait<IntExpr> for IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: IntExpr) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self, rhs)))
+                IntExpr(Arc::new(IntNode::$node(self, rhs)))
             }
         }
         impl std::ops::$trait<&IntExpr> for IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: &IntExpr) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self, rhs.clone())))
+                IntExpr(Arc::new(IntNode::$node(self, rhs.clone())))
             }
         }
         impl std::ops::$trait<IntExpr> for &IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: IntExpr) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self.clone(), rhs)))
+                IntExpr(Arc::new(IntNode::$node(self.clone(), rhs)))
             }
         }
         impl std::ops::$trait<&IntExpr> for &IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: &IntExpr) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self.clone(), rhs.clone())))
+                IntExpr(Arc::new(IntNode::$node(self.clone(), rhs.clone())))
             }
         }
         impl std::ops::$trait<i64> for IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: i64) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self, IntExpr::constant(rhs))))
+                IntExpr(Arc::new(IntNode::$node(self, IntExpr::constant(rhs))))
             }
         }
         impl std::ops::$trait<i64> for &IntExpr {
             type Output = IntExpr;
             fn $method(self, rhs: i64) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(self.clone(), IntExpr::constant(rhs))))
+                IntExpr(Arc::new(IntNode::$node(
+                    self.clone(),
+                    IntExpr::constant(rhs),
+                )))
             }
         }
         impl std::ops::$trait<IntExpr> for i64 {
             type Output = IntExpr;
             fn $method(self, rhs: IntExpr) -> IntExpr {
-                IntExpr(Rc::new(IntNode::$node(IntExpr::constant(self), rhs)))
+                IntExpr(Arc::new(IntNode::$node(IntExpr::constant(self), rhs)))
             }
         }
     };
@@ -248,12 +253,12 @@ pub(crate) enum BoolNode {
 /// A Boolean-valued expression over integer comparisons and propositional
 /// variables.
 #[derive(Clone, Debug)]
-pub struct BoolExpr(pub(crate) Rc<BoolNode>);
+pub struct BoolExpr(pub(crate) Arc<BoolNode>);
 
 impl BoolExpr {
     /// The constant `true`/`false`.
     pub fn constant(b: bool) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Const(b)))
+        BoolExpr(Arc::new(BoolNode::Const(b)))
     }
 
     pub(crate) fn node(&self) -> &BoolNode {
@@ -263,27 +268,27 @@ impl BoolExpr {
     /// Logical negation.
     #[allow(clippy::should_implement_trait)]
     pub fn not(&self) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Not(self.clone())))
+        BoolExpr(Arc::new(BoolNode::Not(self.clone())))
     }
 
     /// Conjunction.
     pub fn and(&self, rhs: impl Into<BoolExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::And(vec![self.clone(), rhs.into()])))
+        BoolExpr(Arc::new(BoolNode::And(vec![self.clone(), rhs.into()])))
     }
 
     /// Disjunction.
     pub fn or(&self, rhs: impl Into<BoolExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Or(vec![self.clone(), rhs.into()])))
+        BoolExpr(Arc::new(BoolNode::Or(vec![self.clone(), rhs.into()])))
     }
 
     /// Implication `self → rhs`.
     pub fn implies(&self, rhs: impl Into<BoolExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Or(vec![self.not(), rhs.into()])))
+        BoolExpr(Arc::new(BoolNode::Or(vec![self.not(), rhs.into()])))
     }
 
     /// Bi-implication `self ↔ rhs`.
     pub fn iff(&self, rhs: impl Into<BoolExpr>) -> BoolExpr {
-        BoolExpr(Rc::new(BoolNode::Iff(self.clone(), rhs.into())))
+        BoolExpr(Arc::new(BoolNode::Iff(self.clone(), rhs.into())))
     }
 
     /// Exclusive or.
@@ -297,7 +302,7 @@ impl BoolExpr {
         match v.len() {
             0 => BoolExpr::constant(true),
             1 => v.into_iter().next().unwrap(),
-            _ => BoolExpr(Rc::new(BoolNode::And(v))),
+            _ => BoolExpr(Arc::new(BoolNode::And(v))),
         }
     }
 
@@ -307,7 +312,7 @@ impl BoolExpr {
         match v.len() {
             0 => BoolExpr::constant(false),
             1 => v.into_iter().next().unwrap(),
-            _ => BoolExpr(Rc::new(BoolNode::Or(v))),
+            _ => BoolExpr(Arc::new(BoolNode::Or(v))),
         }
     }
 }
@@ -404,9 +409,7 @@ mod tests {
     fn comparisons_evaluate() {
         let x = var(0, 0, 10);
         let c = x.expr().ge(4).and(x.expr().lt(8));
-        let at = |v: i64| {
-            eval_bool(&c, &move |_| v, &|_| unreachable!())
-        };
+        let at = |v: i64| eval_bool(&c, &move |_| v, &|_| unreachable!());
         assert!(!at(3));
         assert!(at(4));
         assert!(at(7));

@@ -48,7 +48,7 @@ mod problem;
 mod triplet;
 
 pub use binsearch::{
-    BinSearchMode, EncodeStats, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
+    BinSearchMode, EncodeStats, IncumbentCallback, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
 };
 pub use blast::{blast, Backend, Blast};
 pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};

@@ -29,8 +29,12 @@ pub struct IntProblem {
     int_decls: Vec<(i64, i64)>,
     bool_decls: u32,
     asserts: Vec<BoolExpr>,
-    pb_asserts: Vec<(Vec<(BoolExpr, i64)>, PbOp, i64)>,
+    pb_asserts: Vec<PbAssert>,
 }
+
+/// A direct pseudo-Boolean constraint: `(terms, op, bound)` with terms
+/// `(literal expression, coefficient)`.
+type PbAssert = (Vec<(BoolExpr, i64)>, PbOp, i64);
 
 /// Concrete values for every declared variable, extracted from a SAT model.
 #[derive(Clone, Debug, Default)]
@@ -135,7 +139,8 @@ impl IntProblem {
 
     /// Decides satisfiability, returning a model if one exists.
     pub fn solve(&self, backend: Backend) -> Option<Model> {
-        self.solve_with_budget(backend, None).expect("no budget set")
+        self.solve_with_budget(backend, None)
+            .expect("no budget set")
     }
 
     /// Like [`solve`](IntProblem::solve) but aborts after `max_conflicts`
@@ -156,7 +161,7 @@ impl IntProblem {
         match solver.solve(&[]) {
             SolveResult::Sat => Ok(Some(self.extract_model(&solver, &bl))),
             SolveResult::Unsat => Ok(None),
-            SolveResult::Unknown => Err(()),
+            SolveResult::Unknown | SolveResult::Interrupted => Err(()),
         }
     }
 
@@ -297,10 +302,13 @@ mod tests {
             let cost = p.int_var(0, 256);
             p.assert(cost.expr().eq(x.expr() * x.expr()));
             p.assert(x.expr().ge(4).or(x.expr().le(-6)));
-            let out = p.minimize(cost, &MinimizeOptions {
-                mode,
-                ..Default::default()
-            });
+            let out = p.minimize(
+                cost,
+                &MinimizeOptions {
+                    mode,
+                    ..Default::default()
+                },
+            );
             match out.status {
                 MinimizeStatus::Optimal { value, ref model } => {
                     assert_eq!(value, 16, "{mode:?}");
@@ -346,10 +354,13 @@ mod tests {
         p.assert(x.expr().ge(1));
         p.assert(y.expr().ge(1));
         let v = |mode| {
-            let out = p.minimize(cost, &MinimizeOptions {
-                mode,
-                ..Default::default()
-            });
+            let out = p.minimize(
+                cost,
+                &MinimizeOptions {
+                    mode,
+                    ..Default::default()
+                },
+            );
             match out.status {
                 MinimizeStatus::Optimal { value, .. } => value,
                 ref s => panic!("unexpected {s:?}"),
@@ -371,11 +382,14 @@ mod tests {
                 let cost = p.int_var(0, 80);
                 p.assert((x.expr() + y.expr()).ge(9));
                 p.assert(cost.expr().eq(x.expr() + y.expr()));
-                let out = p.minimize(cost, &MinimizeOptions {
-                    mode,
-                    initial_upper: hint,
-                    ..Default::default()
-                });
+                let out = p.minimize(
+                    cost,
+                    &MinimizeOptions {
+                        mode,
+                        initial_upper: hint,
+                        ..Default::default()
+                    },
+                );
                 match out.status {
                     MinimizeStatus::Optimal { value, .. } => {
                         assert_eq!(value, 9, "{mode:?} hint {hint:?}")
@@ -393,10 +407,13 @@ mod tests {
         let cost = p.int_var(0, 5);
         p.assert(x.expr().ge(9 - 2)); // impossible
         p.assert(cost.expr().eq(x.expr()));
-        let out = p.minimize(cost, &MinimizeOptions {
-            initial_upper: Some(4),
-            ..Default::default()
-        });
+        let out = p.minimize(
+            cost,
+            &MinimizeOptions {
+                initial_upper: Some(4),
+                ..Default::default()
+            },
+        );
         assert!(matches!(out.status, MinimizeStatus::Infeasible));
     }
 

@@ -22,6 +22,9 @@ use std::collections::HashMap;
 pub type IntId = u32;
 /// Index of a Boolean definition in a [`TripletForm`].
 pub type BoolId = u32;
+/// A direct pseudo-Boolean constraint in triplet form: `(terms, op,
+/// bound)` with terms `(bool id, coefficient)`.
+pub type TripletPb = (Vec<(BoolId, i64)>, optalloc_sat::PbOp, i64);
 
 /// Arithmetic operator of an integer triplet.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -87,7 +90,7 @@ pub struct TripletForm {
     pub asserts: Vec<BoolId>,
     /// Direct pseudo-Boolean constraints over Boolean definitions:
     /// `(terms, op, bound)` with terms `(bool id, coefficient)`.
-    pub pb_asserts: Vec<(Vec<(BoolId, i64)>, optalloc_sat::PbOp, i64)>,
+    pub pb_asserts: Vec<TripletPb>,
 
     int_intern: HashMap<IntDefKind, IntId>,
     bool_intern: HashMap<BoolDef, BoolId>,
@@ -228,9 +231,7 @@ impl TripletForm {
                     let id = self.flatten_bool(item);
                     match self.bools[id as usize] {
                         BoolDef::Const(true) => {}
-                        BoolDef::Const(false) => {
-                            return self.intern_bool(BoolDef::Const(false))
-                        }
+                        BoolDef::Const(false) => return self.intern_bool(BoolDef::Const(false)),
                         _ => ids.push(id),
                     }
                 }
@@ -297,12 +298,7 @@ impl TripletForm {
     }
 
     /// Asserts a pseudo-Boolean constraint directly over Boolean expressions.
-    pub fn assert_pb(
-        &mut self,
-        terms: &[(BoolExpr, i64)],
-        op: optalloc_sat::PbOp,
-        bound: i64,
-    ) {
+    pub fn assert_pb(&mut self, terms: &[(BoolExpr, i64)], op: optalloc_sat::PbOp, bound: i64) {
         let flat: Vec<(BoolId, i64)> = terms
             .iter()
             .map(|(e, c)| (self.flatten_bool(e), *c))

@@ -1,9 +1,7 @@
 //! Budgeted-solving behavior: the conflict budget must degrade gracefully
 //! into `Unknown` verdicts with usable incumbents, never wrong answers.
 
-use optalloc_intopt::{
-    Backend, BinSearchMode, IntProblem, MinimizeOptions, MinimizeStatus,
-};
+use optalloc_intopt::{Backend, BinSearchMode, IntProblem, MinimizeOptions, MinimizeStatus};
 
 /// A moderately hard optimization instance: magic-square-ish constraints.
 fn hard_instance() -> (IntProblem, optalloc_intopt::IntVar) {
@@ -18,7 +16,9 @@ fn hard_instance() -> (IntProblem, optalloc_intopt::IntVar) {
     }
     // Rows sum to 15.
     for row in xs.chunks(3) {
-        let sum = row.iter().fold(optalloc_intopt::IntExpr::constant(0), |a, v| a + v.expr());
+        let sum = row
+            .iter()
+            .fold(optalloc_intopt::IntExpr::constant(0), |a, v| a + v.expr());
         p.assert(sum.eq(15));
     }
     // Minimize the top-left corner.
@@ -63,6 +63,8 @@ fn tiny_budget_yields_unknown_not_wrong_answers() {
             // then the answer must still be the true optimum.
             MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 1, "{mode:?}"),
             MinimizeStatus::Infeasible => panic!("{mode:?}: instance is feasible"),
+            // No interrupt flag or shared bound is configured here.
+            ref s => panic!("{mode:?}: unexpected {s:?}"),
         }
     }
 }
@@ -86,6 +88,8 @@ fn medium_budget_incumbent_is_valid_upper_bound() {
         MinimizeStatus::Unknown { incumbent: None } => {}
         MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 1),
         MinimizeStatus::Infeasible => panic!("feasible instance"),
+        // No interrupt flag or shared bound is configured here.
+        ref s => panic!("unexpected {s:?}"),
     }
 }
 

@@ -15,7 +15,10 @@ fn power_of_two_boundaries() {
             let x = p.int_var(0, bound);
             p.assert(x.expr().ge(bound - 1));
             let m = p.solve(backend).unwrap();
-            assert!(m.int(x) >= bound - 1 && m.int(x) <= bound, "{backend:?} {bound}");
+            assert!(
+                m.int(x) >= bound - 1 && m.int(x) <= bound,
+                "{backend:?} {bound}"
+            );
         }
     }
 }

@@ -41,8 +41,7 @@ fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
                 .prop_map(|(a, b)| ExprRecipe::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| ExprRecipe::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| ExprRecipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| ExprRecipe::Mul(Box::new(a), Box::new(b))),
         ]
     })
 }

@@ -214,7 +214,12 @@ mod tests {
         let ts = small_set();
         let alloc = Allocation::skeleton(&ts);
         assert!(alloc.validate_shape(&ts).is_ok());
-        assert!(alloc.route(MsgId { sender: TaskId(1), index: 0 }).is_colocated());
+        assert!(alloc
+            .route(MsgId {
+                sender: TaskId(1),
+                index: 0
+            })
+            .is_colocated());
     }
 
     #[test]

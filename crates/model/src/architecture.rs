@@ -193,7 +193,10 @@ impl Architecture {
             }
             for &p in &m.members {
                 if p.index() >= self.ecus.len() {
-                    return Err(ArchError::UnknownEcu { medium: mid, ecu: p });
+                    return Err(ArchError::UnknownEcu {
+                        medium: mid,
+                        ecu: p,
+                    });
                 }
             }
             let mut sorted = m.members.clone();
@@ -280,10 +283,7 @@ mod tests {
         let mut a = Architecture::new();
         a.push_ecu(Ecu::new("p0"));
         a.push_medium(Medium::priority("k0", vec![EcuId(0)], 1, 1));
-        assert!(matches!(
-            a.validate(),
-            Err(ArchError::DegenerateMedium(_))
-        ));
+        assert!(matches!(a.validate(), Err(ArchError::DegenerateMedium(_))));
     }
 
     #[test]
@@ -293,7 +293,12 @@ mod tests {
             a.push_ecu(Ecu::new(format!("p{i}")));
         }
         a.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1)], 1, 1));
-        a.push_medium(Medium::priority("k1", vec![EcuId(0), EcuId(1), EcuId(2)], 1, 1));
+        a.push_medium(Medium::priority(
+            "k1",
+            vec![EcuId(0), EcuId(1), EcuId(2)],
+            1,
+            1,
+        ));
         assert!(matches!(
             a.validate(),
             Err(ArchError::MultipleGateways(_, _))

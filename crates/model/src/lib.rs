@@ -33,6 +33,8 @@ pub use allocation::{deadline_monotonic, Allocation, MessageRoute};
 pub use architecture::{ArchError, Architecture, Ecu};
 pub use ids::{EcuId, MediumId, MsgId, TaskId};
 pub use medium::{Medium, MediumKind};
-pub use paths::{endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Path, PathClosure};
+pub use paths::{
+    endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Path, PathClosure,
+};
 pub use task::{Message, Task, TaskSet};
 pub use time::{ms_to_ticks, ticks_to_ms, Time};

@@ -57,14 +57,14 @@ pub fn path_closures(arch: &Architecture) -> Vec<PathClosure> {
     let n = arch.num_media();
     // Adjacency by shared gateway.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for a in 0..n {
+    for (a, row) in adj.iter_mut().enumerate() {
         for b in 0..n {
             if a != b
                 && arch
                     .gateway_between(MediumId(a as u32), MediumId(b as u32))
                     .is_some()
             {
-                adj[a].push(b);
+                row.push(b);
             }
         }
     }
@@ -92,9 +92,7 @@ pub fn path_closures(arch: &Architecture) -> Vec<PathClosure> {
         }
         if !extended {
             let maximal: Path = stack.iter().map(|&i| MediumId(i as u32)).collect();
-            let prefixes = (1..=maximal.len())
-                .map(|l| maximal[..l].to_vec())
-                .collect();
+            let prefixes = (1..=maximal.len()).map(|l| maximal[..l].to_vec()).collect();
             out.push(PathClosure { prefixes });
         }
         on_path[node] = false;
@@ -153,12 +151,7 @@ pub fn gateways_along(arch: &Architecture, path: &[MediumId]) -> Vec<EcuId> {
 
 /// Shortest media path between two ECUs (BFS over the media graph), with
 /// the deadline budget split evenly across hops.
-pub fn shortest_route(
-    arch: &Architecture,
-    from: EcuId,
-    to: EcuId,
-    deadline: Time,
-) -> MessageRoute {
+pub fn shortest_route(arch: &Architecture, from: EcuId, to: EcuId, deadline: Time) -> MessageRoute {
     if from == to {
         return MessageRoute::colocated();
     }
@@ -245,11 +238,11 @@ mod tests {
         // Media indices: k1 = 0, k2 = 1, k3 = 2.
         let expect = |prefixes: Vec<Path>| PathClosure { prefixes };
         let expected = vec![
-            PathClosure::empty(),                                        // ph0
-            expect(vec![path(&[0]), path(&[0, 1])]),                     // ph1: "k1","k1k2"
-            expect(vec![path(&[0]), path(&[0, 2])]),                     // ph2: "k1","k1k3"
-            expect(vec![path(&[1]), path(&[1, 0]), path(&[1, 0, 2])]),   // ph3
-            expect(vec![path(&[2]), path(&[2, 0]), path(&[2, 0, 1])]),   // ph4
+            PathClosure::empty(),                                      // ph0
+            expect(vec![path(&[0]), path(&[0, 1])]),                   // ph1: "k1","k1k2"
+            expect(vec![path(&[0]), path(&[0, 2])]),                   // ph2: "k1","k1k3"
+            expect(vec![path(&[1]), path(&[1, 0]), path(&[1, 0, 2])]), // ph3
+            expect(vec![path(&[2]), path(&[2, 0]), path(&[2, 0, 1])]), // ph4
         ];
         assert_eq!(phs, expected);
     }

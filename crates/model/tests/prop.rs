@@ -2,8 +2,8 @@
 //! closures and routing helpers.
 
 use optalloc_model::{
-    endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Architecture,
-    Ecu, EcuId, Medium, MediumId,
+    endpoints_valid, gateways_along, path_closures, path_exists, shortest_route, Architecture, Ecu,
+    EcuId, Medium, MediumId,
 };
 use proptest::prelude::*;
 
@@ -14,7 +14,9 @@ fn arb_arch() -> impl Strategy<Value = Architecture> {
         let mut arch = Architecture::new();
         let mut rng = seed;
         let mut next = || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) as usize
         };
         // Host ECUs per bus + one gateway between consecutive buses.

@@ -1,0 +1,518 @@
+//! # optalloc-portfolio
+//!
+//! Parallel **portfolio optimization**: N diversified `BIN_SEARCH` workers
+//! race over the *same* encoded [`IntProblem`], and the first to prove an
+//! optimum wins. The portfolio exploits the large run-to-run variance of
+//! CDCL search — different decision phases, restart schedules, encoding
+//! backends and probe-sharing modes explore the cost range in very
+//! different orders — while two cooperation channels make the workers more
+//! than the sum of their parts:
+//!
+//! * **Incumbent-bound sharing** — a worker that finds a model of cost `c`
+//!   publishes it to a shared [`AtomicI64`]; every other worker folds the
+//!   bound in between `SOLVE` calls and probes strictly below `c` from then
+//!   on. A worker that bottoms out against a foreign bound returns
+//!   [`MinimizeStatus::ExternalOptimal`] and the portfolio supplies the
+//!   witnessing model from its shared incumbent registry.
+//! * **Cooperative cancellation** — the first worker reaching a decisive
+//!   verdict (optimal / infeasible) raises a shared [`AtomicBool`]; the
+//!   CDCL search loops of the others observe it at the next conflict or
+//!   decision boundary and abort with
+//!   [`optalloc_sat::SolveResult::Interrupted`].
+//!
+//! ## Determinism contract
+//!
+//! * `deterministic: false` (racing) — minimal wall-clock: the result is
+//!   the first *proven* optimum. The optimal **cost** is always the same,
+//!   but which equal-cost model witnesses it (and which worker wins, and
+//!   how many solve calls are reported) depends on thread timing.
+//! * `deterministic: true` — no sharing, no cancellation; all workers run
+//!   to completion and the lowest-index decisive worker is the winner.
+//!   Output is bit-stable across runs at the price of racing speedups.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use optalloc_intopt::{
+    Backend, BinSearchMode, EncodeStats, IncumbentCallback, IntProblem, IntVar, MinimizeOptions,
+    MinimizeOutcome, MinimizeStatus, Model,
+};
+use optalloc_sat::SolverStats;
+
+/// Options for [`minimize_portfolio`].
+#[derive(Clone, Debug)]
+pub struct PortfolioOptions {
+    /// Number of workers. Worker 0 always runs the base configuration, so a
+    /// 1-worker portfolio degenerates to a plain [`IntProblem::minimize`].
+    pub workers: usize,
+    /// `true` runs every worker to completion without cross-talk and picks
+    /// the lowest-index decisive worker — bit-stable output. `false` races:
+    /// first proven optimum wins, the rest are cancelled.
+    pub deterministic: bool,
+    /// Base minimization options diversified per worker by
+    /// [`worker_options`]. Its own `shared_bound` / `on_incumbent` /
+    /// `solver_config.interrupt` fields are overwritten by the portfolio.
+    pub base: MinimizeOptions,
+    /// Print one stats line per worker to stderr after the run.
+    pub verbose: bool,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> PortfolioOptions {
+        PortfolioOptions {
+            workers: 4,
+            deterministic: false,
+            base: MinimizeOptions::default(),
+            verbose: false,
+        }
+    }
+}
+
+/// What one worker's minimization ended as (model-free summary).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WorkerVerdict {
+    /// Proved the optimum with its own witnessing model.
+    Optimal,
+    /// Proved the constraints infeasible.
+    Infeasible,
+    /// Proved the optimum equals a cost another worker published.
+    ExternalOptimal,
+    /// Conflict budget ran out first.
+    Unknown,
+    /// Cancelled after another worker won the race.
+    Interrupted,
+}
+
+/// Per-worker execution record, for stats lines and ablation tables.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker index (0 = base configuration).
+    pub index: usize,
+    /// Human-readable configuration descriptor, e.g. `incr/pb/seed42`.
+    pub config: String,
+    /// How the worker's search ended.
+    pub verdict: WorkerVerdict,
+    /// The cost the worker proved or last incumbent it held, if any.
+    pub value: Option<i64>,
+    /// `SOLVE` calls the worker issued.
+    pub solve_calls: u32,
+    /// The worker's solver counters.
+    pub stats: SolverStats,
+    /// Wall-clock time of the worker's search.
+    pub wall: Duration,
+    /// Whether this worker decided the portfolio's result.
+    pub winner: bool,
+}
+
+impl fmt::Display for WorkerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker {} [{}]{}: {:?}{} in {:.3}s — {} calls, {} conflicts, {} decisions, {} propagations, {} restarts, {} learned",
+            self.index,
+            self.config,
+            if self.winner { " *winner*" } else { "" },
+            self.verdict,
+            match self.value {
+                Some(v) => format!(" (cost {v})"),
+                None => String::new(),
+            },
+            self.wall.as_secs_f64(),
+            self.solve_calls,
+            self.stats.conflicts,
+            self.stats.decisions,
+            self.stats.propagations,
+            self.stats.restarts,
+            self.stats.learned,
+        )
+    }
+}
+
+/// Result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The combined verdict. An [`MinimizeStatus::ExternalOptimal`] from
+    /// the winning worker is resolved to [`MinimizeStatus::Optimal`] using
+    /// the shared incumbent registry, so callers see external optima and
+    /// locally proven ones uniformly.
+    pub status: MinimizeStatus,
+    /// Total `SOLVE` calls across all workers.
+    pub solve_calls: u32,
+    /// Encoding size reported by the winning worker (worker 0 if no winner).
+    pub encode: EncodeStats,
+    /// Solver counters summed over all workers.
+    pub stats: SolverStats,
+    /// Index of the deciding worker, if any.
+    pub winner: Option<usize>,
+    /// Per-worker execution records, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+}
+
+/// Diversifies `base` for worker `index`; returns the options and a short
+/// descriptor. The table cycles in blocks of four:
+///
+/// | `index % 4` | mode        | backend  | solver tweaks                      |
+/// |-------------|-------------|----------|------------------------------------|
+/// | 0           | base        | base     | none (baseline, incl. warm start)  |
+/// | 1           | Fresh       | base     | no warm start (paper baseline)     |
+/// | 2           | Incremental | base     | random phases, restarts ×½, decay 0.90 |
+/// | 3           | Incremental | flipped  | random phases, restarts ×2         |
+///
+/// Workers ≥ 4 additionally get a distinct phase seed so no two workers are
+/// identical.
+pub fn worker_options(base: &MinimizeOptions, index: usize) -> (MinimizeOptions, String) {
+    let mut o = base.clone();
+    let seed = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1);
+    match index % 4 {
+        0 => {}
+        1 => {
+            o.mode = BinSearchMode::Fresh;
+            o.initial_upper = None;
+        }
+        2 => {
+            o.mode = BinSearchMode::Incremental;
+            o.solver_config.phase_seed = Some(seed);
+            o.solver_config.restart_unit = (base.solver_config.restart_unit / 2).max(1);
+            o.solver_config.var_decay = 0.90;
+        }
+        _ => {
+            o.mode = BinSearchMode::Incremental;
+            o.backend = match base.backend {
+                Backend::PseudoBoolean => Backend::Cnf,
+                Backend::Cnf => Backend::PseudoBoolean,
+            };
+            o.solver_config.phase_seed = Some(seed);
+            o.solver_config.restart_unit = base.solver_config.restart_unit * 2;
+        }
+    }
+    if index >= 4 {
+        o.solver_config.phase_seed = Some(seed);
+    }
+    let mode = match o.mode {
+        BinSearchMode::Incremental => "incr",
+        BinSearchMode::Fresh => "fresh",
+    };
+    let backend = match o.backend {
+        Backend::PseudoBoolean => "pb",
+        Backend::Cnf => "cnf",
+    };
+    let mut desc = format!("{mode}/{backend}/r{}", o.solver_config.restart_unit);
+    if o.solver_config.phase_seed.is_some() {
+        desc.push_str("/rnd");
+    }
+    if o.initial_upper.is_some() {
+        desc.push_str("/warm");
+    }
+    (o, desc)
+}
+
+fn add_stats(total: &mut SolverStats, s: &SolverStats) {
+    total.decisions += s.decisions;
+    total.propagations += s.propagations;
+    total.conflicts += s.conflicts;
+    total.restarts += s.restarts;
+    total.learned += s.learned;
+    total.deleted += s.deleted;
+    total.pb_propagations += s.pb_propagations;
+}
+
+fn verdict_of(status: &MinimizeStatus) -> (WorkerVerdict, Option<i64>) {
+    match status {
+        MinimizeStatus::Optimal { value, .. } => (WorkerVerdict::Optimal, Some(*value)),
+        MinimizeStatus::Infeasible => (WorkerVerdict::Infeasible, None),
+        MinimizeStatus::ExternalOptimal { value } => (WorkerVerdict::ExternalOptimal, Some(*value)),
+        MinimizeStatus::Unknown { incumbent } => {
+            (WorkerVerdict::Unknown, incumbent.as_ref().map(|(v, _)| *v))
+        }
+        MinimizeStatus::Interrupted { incumbent } => (
+            WorkerVerdict::Interrupted,
+            incumbent.as_ref().map(|(v, _)| *v),
+        ),
+    }
+}
+
+fn decisive(status: &MinimizeStatus) -> bool {
+    matches!(
+        status,
+        MinimizeStatus::Optimal { .. }
+            | MinimizeStatus::Infeasible
+            | MinimizeStatus::ExternalOptimal { .. }
+    )
+}
+
+/// Minimizes `cost` over `problem` with a portfolio of diversified
+/// `BIN_SEARCH` workers (see the module docs for the protocol and the
+/// determinism contract).
+pub fn minimize_portfolio(
+    problem: &IntProblem,
+    cost: IntVar,
+    opts: &PortfolioOptions,
+) -> PortfolioOutcome {
+    let n = opts.workers.max(1);
+    let cancel = Arc::new(AtomicBool::new(false));
+    // Best cost any worker has *witnessed*; models for every published
+    // bound live in the registry, so an `ExternalOptimal` verdict can
+    // always be resolved to a concrete model after the join.
+    let shared_bound = Arc::new(AtomicI64::new(i64::MAX));
+    let registry: Arc<Mutex<Option<(i64, Model)>>> = Arc::new(Mutex::new(None));
+    // usize::MAX = no winner yet; first decisive worker claims the slot.
+    let race_winner = Arc::new(AtomicUsize::new(usize::MAX));
+
+    let results: Vec<(MinimizeOutcome, Duration, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let (mut wopts, desc) = worker_options(&opts.base, i);
+                let keep_model: IncumbentCallback = {
+                    let registry = Arc::clone(&registry);
+                    Arc::new(move |value, model: &Model| {
+                        let mut best = registry.lock().unwrap();
+                        if best.as_ref().is_none_or(|(b, _)| value < *b) {
+                            *best = Some((value, model.clone()));
+                        }
+                    })
+                };
+                wopts.on_incumbent = Some(keep_model);
+                if !opts.deterministic {
+                    wopts.shared_bound = Some(Arc::clone(&shared_bound));
+                    wopts.solver_config.interrupt = Some(Arc::clone(&cancel));
+                }
+                let cancel = Arc::clone(&cancel);
+                let race_winner = Arc::clone(&race_winner);
+                let deterministic = opts.deterministic;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let out = problem.minimize(cost, &wopts);
+                    if !deterministic && decisive(&out.status) {
+                        let _ = race_winner.compare_exchange(
+                            usize::MAX,
+                            i,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    (out, start.elapsed(), desc)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Winner: racing mode recorded the first decisive worker; deterministic
+    // mode picks the lowest decisive index, independent of thread timing.
+    let winner = if opts.deterministic {
+        results.iter().position(|(o, _, _)| decisive(&o.status))
+    } else {
+        Some(race_winner.load(Ordering::Acquire)).filter(|&w| w != usize::MAX)
+    };
+
+    let mut stats = SolverStats::default();
+    let mut solve_calls = 0u32;
+    let mut workers = Vec::with_capacity(n);
+    for (i, (out, wall, desc)) in results.iter().enumerate() {
+        add_stats(&mut stats, &out.stats);
+        solve_calls += out.solve_calls;
+        let (verdict, value) = verdict_of(&out.status);
+        workers.push(WorkerReport {
+            index: i,
+            config: desc.clone(),
+            verdict,
+            value,
+            solve_calls: out.solve_calls,
+            stats: out.stats.clone(),
+            wall: *wall,
+            winner: winner == Some(i),
+        });
+    }
+
+    let status = match winner {
+        Some(w) => match results[w].0.status.clone() {
+            MinimizeStatus::ExternalOptimal { value } => {
+                // The winner proved optimality of a bound somebody else
+                // witnessed; the registry holds that worker's model.
+                let best = registry.lock().unwrap().clone();
+                match best {
+                    Some((v, model)) if v == value => MinimizeStatus::Optimal { value, model },
+                    // Registry raced past the proof (should not happen, the
+                    // bound is monotone); degrade soundly.
+                    _ => MinimizeStatus::Unknown {
+                        incumbent: best.filter(|(v, _)| *v <= value),
+                    },
+                }
+            }
+            decisive_status => decisive_status,
+        },
+        None => {
+            // Nobody finished: surface the best incumbent seen anywhere. In
+            // deterministic mode it is recomputed from the joined results so
+            // ties resolve by worker index, not callback timing.
+            let best = if opts.deterministic {
+                let mut best: Option<(i64, Model)> = None;
+                for (out, _, _) in &results {
+                    if let MinimizeStatus::Unknown {
+                        incumbent: Some((v, m)),
+                    }
+                    | MinimizeStatus::Interrupted {
+                        incumbent: Some((v, m)),
+                    } = &out.status
+                    {
+                        if best.as_ref().is_none_or(|(b, _)| *v < *b) {
+                            best = Some((*v, m.clone()));
+                        }
+                    }
+                }
+                best
+            } else {
+                registry.lock().unwrap().clone()
+            };
+            MinimizeStatus::Unknown { incumbent: best }
+        }
+    };
+
+    let encode = results[winner.unwrap_or(0)].0.encode;
+    let outcome = PortfolioOutcome {
+        status,
+        solve_calls,
+        encode,
+        stats,
+        winner,
+        workers,
+    };
+    if opts.verbose {
+        for w in &outcome.workers {
+            eprintln!("{w}");
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small nonlinear instance with a known optimum (see the
+    /// `optalloc-intopt` crate docs): min x·y + x s.t. x + y ≥ 10.
+    fn instance() -> (IntProblem, IntVar) {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 20);
+        let y = p.int_var(0, 20);
+        let cost = p.int_var(0, 400);
+        p.assert((x.expr() + y.expr()).ge(10));
+        p.assert(cost.expr().eq(x.expr() * y.expr() + x.expr()));
+        (p, cost)
+    }
+
+    #[test]
+    fn racing_portfolio_finds_optimum() {
+        let (p, cost) = instance();
+        let out = minimize_portfolio(&p, cost, &PortfolioOptions::default());
+        match out.status {
+            MinimizeStatus::Optimal { value, ref model } => {
+                assert_eq!(value, 0);
+                assert_eq!(model.int(cost), 0);
+            }
+            ref s => panic!("expected Optimal, got {s:?}"),
+        }
+        assert!(out.winner.is_some());
+        assert_eq!(out.workers.len(), 4);
+        assert!(out.workers[out.winner.unwrap()].winner);
+    }
+
+    #[test]
+    fn deterministic_portfolio_is_bit_stable() {
+        let (p, cost) = instance();
+        let opts = PortfolioOptions {
+            deterministic: true,
+            ..PortfolioOptions::default()
+        };
+        let a = minimize_portfolio(&p, cost, &opts);
+        let b = minimize_portfolio(&p, cost, &opts);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.solve_calls, b.solve_calls);
+        assert_eq!(a.stats.conflicts, b.stats.conflicts);
+        assert_eq!(a.stats.decisions, b.stats.decisions);
+        match (&a.status, &b.status) {
+            (
+                MinimizeStatus::Optimal {
+                    value: va,
+                    model: ma,
+                },
+                MinimizeStatus::Optimal {
+                    value: vb,
+                    model: mb,
+                },
+            ) => {
+                assert_eq!(va, vb);
+                assert_eq!(*va, 0);
+                assert_eq!(ma.int(cost), mb.int(cost));
+            }
+            (s, t) => panic!("expected Optimal twice, got {s:?} / {t:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_are_reported() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 5);
+        p.assert(x.expr().ge(3));
+        p.assert(x.expr().le(2));
+        for deterministic in [false, true] {
+            let out = minimize_portfolio(
+                &p,
+                x,
+                &PortfolioOptions {
+                    deterministic,
+                    workers: 3,
+                    ..PortfolioOptions::default()
+                },
+            );
+            assert!(
+                matches!(out.status, MinimizeStatus::Infeasible),
+                "deterministic={deterministic}: got {:?}",
+                out.status
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_plain_minimize() {
+        let (p, cost) = instance();
+        let solo = minimize_portfolio(
+            &p,
+            cost,
+            &PortfolioOptions {
+                workers: 1,
+                deterministic: true,
+                ..PortfolioOptions::default()
+            },
+        );
+        let plain = p.minimize(cost, &MinimizeOptions::default());
+        match (&solo.status, &plain.status) {
+            (
+                MinimizeStatus::Optimal { value: a, .. },
+                MinimizeStatus::Optimal { value: b, .. },
+            ) => assert_eq!(a, b),
+            (s, t) => panic!("got {s:?} / {t:?}"),
+        }
+        assert_eq!(solo.solve_calls, plain.solve_calls);
+    }
+
+    #[test]
+    fn worker_options_cycle_is_diverse() {
+        let base = MinimizeOptions::default();
+        let descs: Vec<String> = (0..6).map(|i| worker_options(&base, i).1).collect();
+        // Worker 0 is the baseline; 1 is fresh-mode; 3 flips the backend.
+        assert!(descs[0].starts_with("incr/pb"));
+        assert!(descs[1].starts_with("fresh/pb"));
+        assert!(descs[3].starts_with("incr/cnf"));
+        // Workers ≥ 4 repeat the cycle but with their own phase seeds.
+        let (o4, _) = worker_options(&base, 4);
+        let (o0, _) = worker_options(&base, 0);
+        assert!(o4.solver_config.phase_seed.is_some());
+        assert!(o0.solver_config.phase_seed.is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Agreement property: on random optimization instances, the paper's two
+//! `BIN_SEARCH` modes and the portfolio (deterministic and racing) all
+//! prove the same optimal cost — the portfolio never trades correctness
+//! for speed.
+
+use optalloc_intopt::{
+    BinSearchMode, BoolExpr, IntExpr, IntProblem, IntVar, MinimizeOptions, MinimizeStatus,
+};
+use optalloc_portfolio::{minimize_portfolio, PortfolioOptions};
+use proptest::prelude::*;
+
+/// Recipe for a random affine-ish expression over 3 variables.
+#[derive(Debug, Clone)]
+enum ExprRecipe {
+    Var(usize),
+    Const(i64),
+    Add(Box<ExprRecipe>, Box<ExprRecipe>),
+    Mul(Box<ExprRecipe>, Box<ExprRecipe>),
+}
+
+fn build(recipe: &ExprRecipe, vars: &[IntVar]) -> IntExpr {
+    match recipe {
+        ExprRecipe::Var(i) => vars[i % vars.len()].expr(),
+        ExprRecipe::Const(v) => IntExpr::constant(*v),
+        ExprRecipe::Add(a, b) => build(a, vars) + build(b, vars),
+        ExprRecipe::Mul(a, b) => build(a, vars) * build(b, vars),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(ExprRecipe::Var),
+        (0i64..=4).prop_map(ExprRecipe::Const),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| ExprRecipe::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Optimal cost per strategy, `None` for infeasible. Panics on any
+/// non-decisive verdict (no budgets or interrupts are configured here).
+fn optimum_single(p: &IntProblem, cost: IntVar, mode: BinSearchMode) -> Option<i64> {
+    let out = p.minimize(
+        cost,
+        &MinimizeOptions {
+            mode,
+            ..MinimizeOptions::default()
+        },
+    );
+    match out.status {
+        MinimizeStatus::Optimal { value, .. } => Some(value),
+        MinimizeStatus::Infeasible => None,
+        ref s => panic!("{mode:?}: unexpected {s:?}"),
+    }
+}
+
+fn optimum_portfolio(p: &IntProblem, cost: IntVar, deterministic: bool) -> Option<i64> {
+    let out = minimize_portfolio(
+        p,
+        cost,
+        &PortfolioOptions {
+            workers: 4,
+            deterministic,
+            ..PortfolioOptions::default()
+        },
+    );
+    match out.status {
+        MinimizeStatus::Optimal { value, ref model } => {
+            // The witnessing model must attain the claimed cost.
+            assert_eq!(
+                model.int(cost),
+                value,
+                "witness does not attain the optimum"
+            );
+            Some(value)
+        }
+        MinimizeStatus::Infeasible => None,
+        ref s => panic!("portfolio(det={deterministic}): unexpected {s:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_strategies_agree_on_the_optimum(
+        objective in arb_expr(),
+        bound in 2i64..=10,
+        sum_lo in 0i64..=8,
+    ) {
+        let mut p = IntProblem::new();
+        let vars: Vec<IntVar> = (0..3).map(|_| p.int_var(0, bound)).collect();
+        let exprs: Vec<BoolExpr> = vec![
+            vars.iter().fold(IntExpr::constant(0), |a, v| a + v.expr()).ge(sum_lo),
+        ];
+        for e in &exprs {
+            p.assert(e.clone());
+        }
+        let obj = build(&objective, &vars);
+        let (_, obj_hi) = obj.range();
+        let cost = p.int_var(0, obj_hi.max(0));
+        p.assert(cost.expr().eq(obj));
+
+        let fresh = optimum_single(&p, cost, BinSearchMode::Fresh);
+        let incremental = optimum_single(&p, cost, BinSearchMode::Incremental);
+        let det = optimum_portfolio(&p, cost, true);
+        let racing = optimum_portfolio(&p, cost, false);
+
+        prop_assert_eq!(fresh, incremental, "fresh vs incremental");
+        prop_assert_eq!(incremental, det, "incremental vs deterministic portfolio");
+        prop_assert_eq!(det, racing, "deterministic vs racing portfolio");
+    }
+}

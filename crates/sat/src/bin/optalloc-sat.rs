@@ -45,7 +45,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let is_cnf = path.ends_with(".cnf") || input.lines().any(|l| l.trim_start().starts_with("p cnf"));
+    let is_cnf =
+        path.ends_with(".cnf") || input.lines().any(|l| l.trim_start().starts_with("p cnf"));
     let formula = match if is_cnf {
         Formula::parse_dimacs(&input)
     } else {
@@ -86,7 +87,7 @@ fn main() -> ExitCode {
                 match solver.solve(&[]) {
                     SolveResult::Sat => continue,
                     SolveResult::Unsat => break,
-                    SolveResult::Unknown => {
+                    SolveResult::Unknown | SolveResult::Interrupted => {
                         println!("s UNKNOWN");
                         return ExitCode::from(0);
                     }
@@ -108,7 +109,7 @@ fn main() -> ExitCode {
             println!("s UNSATISFIABLE");
             ExitCode::from(20)
         }
-        SolveResult::Unknown => {
+        SolveResult::Unknown | SolveResult::Interrupted => {
             println!("s UNKNOWN");
             ExitCode::SUCCESS
         }
@@ -119,7 +120,14 @@ fn print_model(solver: &optalloc_sat::Solver, vars: &[Var]) {
     print!("v");
     for (i, v) in vars.iter().enumerate() {
         let val = solver.model_value(v.positive());
-        print!(" {}", if val { (i + 1) as i64 } else { -((i + 1) as i64) });
+        print!(
+            " {}",
+            if val {
+                (i + 1) as i64
+            } else {
+                -((i + 1) as i64)
+            }
+        );
     }
     println!(" 0");
 }

@@ -12,6 +12,10 @@ use crate::solver::Solver;
 use crate::types::{Lit, Var};
 use std::fmt::Write as _;
 
+/// A PB constraint as parsed: terms of `(coefficient, signed 1-based
+/// var)`, the relational operator, and the right-hand side.
+pub type ParsedPb = (Vec<(i64, i64)>, PbOp, i64);
+
 /// A parsed problem: clauses plus PB constraints plus an optional
 /// minimization objective (OPB `min:` line).
 #[derive(Debug, Default, Clone)]
@@ -21,7 +25,7 @@ pub struct Formula {
     /// Clauses as signed 1-based indices (DIMACS convention).
     pub clauses: Vec<Vec<i64>>,
     /// PB constraints: terms of `(coefficient, signed 1-based var)`.
-    pub pbs: Vec<(Vec<(i64, i64)>, PbOp, i64)>,
+    pub pbs: Vec<ParsedPb>,
     /// Optional objective to minimize: terms `(coefficient, signed var)`.
     pub minimize: Option<Vec<(i64, i64)>>,
 }
@@ -68,9 +72,7 @@ impl Formula {
                 if parts.len() != 3 || parts[0] != "cnf" {
                     return Err(err(n, "malformed problem line (want `p cnf V C`)"));
                 }
-                f.n_vars = parts[1]
-                    .parse()
-                    .map_err(|_| err(n, "bad variable count"))?;
+                f.n_vars = parts[1].parse().map_err(|_| err(n, "bad variable count"))?;
                 seen_header = true;
                 continue;
             }
@@ -78,7 +80,9 @@ impl Formula {
                 return Err(err(n, "clause before `p cnf` header"));
             }
             for tok in line.split_whitespace() {
-                let v: i64 = tok.parse().map_err(|_| err(n, format!("bad literal {tok}")))?;
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|_| err(n, format!("bad literal {tok}")))?;
                 if v == 0 {
                     f.clauses.push(std::mem::take(&mut current));
                 } else {
@@ -120,8 +124,7 @@ impl Formula {
                 // Optional size hints in the standard comment header.
                 if let Some(idx) = header.find("#variable=") {
                     let rest = header[idx + "#variable=".len()..].trim_start();
-                    let num: String =
-                        rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    let num: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
                     if let Ok(v) = num.parse() {
                         f.n_vars = v;
                     }

@@ -37,9 +37,7 @@ impl VarOrderHeap {
 
     /// `true` if `v` is currently in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.positions
-            .get(v.index())
-            .is_some_and(|&p| p != ABSENT)
+        self.positions.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Inserts `v` (no-op if present), restoring heap order by `activity`.

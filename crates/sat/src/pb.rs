@@ -144,10 +144,7 @@ pub fn to_ge_constraints(terms: &[PbTerm], op: PbOp, bound: i64) -> Vec<(Vec<PbT
     match op {
         PbOp::Ge => vec![(terms.to_vec(), bound)],
         PbOp::Le => {
-            let flipped: Vec<PbTerm> = terms
-                .iter()
-                .map(|t| PbTerm::new(t.lit, -t.coef))
-                .collect();
+            let flipped: Vec<PbTerm> = terms.iter().map(|t| PbTerm::new(t.lit, -t.coef)).collect();
             vec![(flipped, -bound)]
         }
         PbOp::Eq => {

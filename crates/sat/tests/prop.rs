@@ -12,8 +12,11 @@ struct Problem {
     /// Clauses as signed var indices (1-based, negative = negated).
     clauses: Vec<Vec<i32>>,
     /// PB constraints: (terms of (signed var, coef), op, bound).
-    pbs: Vec<(Vec<(i32, i64)>, PbOp, i64)>,
+    pbs: Vec<PbSpec>,
 }
+
+/// One PB constraint in plain data form.
+type PbSpec = (Vec<(i32, i64)>, PbOp, i64);
 
 fn lit_of(vars: &[Var], signed: i32) -> optalloc_sat::Lit {
     let v = vars[signed.unsigned_abs() as usize - 1];
@@ -36,10 +39,7 @@ fn eval(p: &Problem, m: u32) -> bool {
         }
     }
     for (terms, op, bound) in &p.pbs {
-        let sum: i64 = terms
-            .iter()
-            .map(|&(l, a)| if val(l) { a } else { 0 })
-            .sum();
+        let sum: i64 = terms.iter().map(|&(l, a)| if val(l) { a } else { 0 }).sum();
         let ok = match op {
             PbOp::Ge => sum >= *bound,
             PbOp::Le => sum <= *bound,

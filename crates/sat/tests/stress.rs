@@ -49,6 +49,7 @@ fn restarts_fire_on_hard_instances() {
         let lits: Vec<_> = row.iter().map(|v| v.positive()).collect();
         s.add_clause(&lits);
     }
+    #[allow(clippy::needless_range_loop)] // `hole` indexes two rows at once
     for hole in 0..6 {
         for i in 0..7 {
             for j in (i + 1)..7 {
@@ -84,7 +85,10 @@ fn long_incremental_session_with_growing_constraints() {
         if now_sat != last_sat {
             flips += 1;
             // Satisfiability can only degrade as constraints accumulate.
-            assert!(last_sat && !now_sat, "UNSAT became SAT after adding constraints");
+            assert!(
+                last_sat && !now_sat,
+                "UNSAT became SAT after adding constraints"
+            );
         }
         last_sat = now_sat;
         if !now_sat {
@@ -106,12 +110,11 @@ fn phase_saving_keeps_models_stable_across_resolves() {
     // With phase saving and no new constraints the model should rarely
     // change; identical resolves must at minimum stay valid.
     s.debug_check_model();
-    let differing = first
-        .iter()
-        .zip(&second)
-        .filter(|(a, b)| a != b)
-        .count();
-    assert!(differing <= vars.len() / 2, "model thrashing: {differing} flips");
+    let differing = first.iter().zip(&second).filter(|(a, b)| a != b).count();
+    assert!(
+        differing <= vars.len() / 2,
+        "model thrashing: {differing} flips"
+    );
 }
 
 #[test]

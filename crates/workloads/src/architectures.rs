@@ -80,10 +80,7 @@ pub fn figure2(which: Fig2, slot: Time) -> Architecture {
                 a.push_ecu(Ecu::new(format!("p{i}")));
             }
             let lower: Vec<EcuId> = (0..4).map(EcuId).collect();
-            let upper: Vec<EcuId> = [EcuId(0)]
-                .into_iter()
-                .chain((4..8).map(EcuId))
-                .collect();
+            let upper: Vec<EcuId> = [EcuId(0)].into_iter().chain((4..8).map(EcuId)).collect();
             a.push_medium(ring("ring-low", lower));
             a.push_medium(ring("ring-high", upper));
         }
@@ -105,7 +102,7 @@ pub fn table4_workload(which: Fig2, params: &GenParams) -> Workload {
         name: format!("{}-arch{:?}", params.name, which),
         ..params.clone()
     });
-    let arch = figure2(which, 24);
+    let mut arch = figure2(which, 24);
     let mut tasks = base.tasks;
 
     // Remap: the generator used ECUs 0..n_hosts on one bus; those ids are
@@ -122,7 +119,7 @@ pub fn table4_workload(which: Fig2, params: &GenParams) -> Workload {
     planted.priorities = optalloc_model::deadline_monotonic(&tasks);
 
     // Planted feasibility on the new topology may need roomier deadlines.
-    crate::gen::relax_message_deadlines(&arch, &mut tasks, &mut planted);
+    crate::gen::relax_message_deadlines(&mut arch, &mut tasks, &mut planted);
 
     Workload {
         name: format!("tindell-arch{which:?}"),
@@ -132,10 +129,7 @@ pub fn table4_workload(which: Fig2, params: &GenParams) -> Workload {
     }
 }
 
-fn route_mut(
-    alloc: &mut Allocation,
-    msg: optalloc_model::MsgId,
-) -> &mut MessageRoute {
+fn route_mut(alloc: &mut Allocation, msg: optalloc_model::MsgId) -> &mut MessageRoute {
     alloc.route_mut(msg)
 }
 
@@ -197,11 +191,7 @@ mod tests {
                 &w.planted,
                 &optalloc_analysis::AnalysisConfig::default(),
             );
-            assert!(
-                report.is_feasible(),
-                "{which:?}: {:?}",
-                report.violations
-            );
+            assert!(report.is_feasible(), "{which:?}: {:?}", report.violations);
         }
     }
 }

@@ -16,8 +16,8 @@
 //! All times are in ticks of 50 µs (see `optalloc_model::ms_to_ticks`).
 
 use optalloc_model::{
-    Allocation, Architecture, Ecu, EcuId, Medium, MessageRoute, MsgId, Task, TaskId, TaskSet,
-    Time,
+    Allocation, Architecture, Ecu, EcuId, Medium, MediumKind, MessageRoute, MsgId, Task, TaskId,
+    TaskSet, Time,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -198,12 +198,55 @@ pub fn generate(params: &GenParams) -> Workload {
     let per_byte: Time = 1;
     let frame_time = |size: u32| frame_overhead + per_byte * size as Time;
 
-    // Slot table: each ECU's slot fits its largest planted frame.
+    // Calibrate bus load: random sizes can push the single backbone toward
+    // Σ ρ/t ≈ 1, which no slot table or deadline relaxation can repair
+    // (TDMA additionally loses the other ECUs' slots each round). Scale
+    // payload sizes until the planted-placement bus utilization is bounded.
+    const BUS_UTIL_TARGET: f64 = 0.5;
+    for _ in 0..4 {
+        let util: f64 = msgs
+            .iter()
+            .filter(|m| planted_ecu[m.from] != planted_ecu[m.to])
+            .map(|m| frame_time(m.size) as f64 / periods[m.from] as f64)
+            .sum();
+        if util <= BUS_UTIL_TARGET {
+            break;
+        }
+        let scale = BUS_UTIL_TARGET / util;
+        for m in msgs.iter_mut() {
+            m.size = ((m.size as f64 * scale).floor() as u32).max(1);
+        }
+    }
+
+    // Slot table: each ECU's slot must fit its largest planted frame AND
+    // carry its aggregate frame load — eq. (3)'s blocking term leaves an
+    // ECU only the λ/Λ share of the bus, so `λ_p/Λ ≳ Σ ρ/t` is required
+    // for its message backlog to drain. Proportional fitting converges
+    // because the calibrated total load (with headroom) is below 1.
     let medium = if params.token_ring {
         let mut slots: Vec<Time> = vec![1; ecus];
+        let mut load = vec![0f64; ecus];
         for m in &msgs {
-            let sender_ecu = planted_ecu[m.from].index();
-            slots[sender_ecu] = slots[sender_ecu].max(frame_time(m.size));
+            if planted_ecu[m.from] == planted_ecu[m.to] {
+                continue;
+            }
+            let e = planted_ecu[m.from].index();
+            slots[e] = slots[e].max(frame_time(m.size));
+            load[e] += frame_time(m.size) as f64 / periods[m.from] as f64;
+        }
+        for _ in 0..32 {
+            let round: Time = slots.iter().sum();
+            let mut changed = false;
+            for e in 0..ecus {
+                let need = (SLOT_HEADROOM * load[e] * round as f64).ceil() as Time;
+                if slots[e] < need {
+                    slots[e] = need;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
         }
         Medium::tdma("ring0", members.clone(), slots, frame_overhead, per_byte)
     } else {
@@ -265,10 +308,10 @@ pub fn generate(params: &GenParams) -> Workload {
         planted.priorities = optalloc_model::deadline_monotonic(&ts);
         let rts = optalloc_analysis::all_task_response_times(&ts, &planted, false);
         let mut changed = false;
-        for i in 0..n {
-            let r = rts[i].unwrap_or(ts.tasks[i].period);
-            let d = (((r as f64) * params.deadline_slack).ceil() as Time)
-                .clamp(1, ts.tasks[i].period);
+        for (i, rt) in rts.iter().enumerate().take(n) {
+            let r = rt.unwrap_or(ts.tasks[i].period);
+            let d =
+                (((r as f64) * params.deadline_slack).ceil() as Time).clamp(1, ts.tasks[i].period);
             if ts.tasks[i].deadline != d {
                 ts.tasks[i].deadline = d;
                 changed = true;
@@ -282,7 +325,7 @@ pub fn generate(params: &GenParams) -> Workload {
 
     // Relax message deadlines/budgets until the planted witness validates
     // (TDMA blocking can exceed the naive period/2 budgets).
-    relax_message_deadlines(&arch, &mut ts, &mut planted);
+    relax_message_deadlines(&mut arch, &mut ts, &mut planted);
 
     Workload {
         name: params.name.clone(),
@@ -292,12 +335,13 @@ pub fn generate(params: &GenParams) -> Workload {
     }
 }
 
-/// Grows message deadlines and per-hop budgets monotonically until the
-/// planted allocation passes full validation (or a generous cap of 4×period
-/// is hit). Growing a deadline only lowers that message's own priority, so
-/// the iteration is monotone and terminates.
+/// Grows message deadlines, per-hop budgets and TDMA slots monotonically
+/// until the planted allocation passes full validation (or a generous cap
+/// of 4×period is hit). Growing a deadline only lowers that message's own
+/// priority, and slots only ever widen, so the iteration is monotone and
+/// terminates.
 pub(crate) fn relax_message_deadlines(
-    arch: &Architecture,
+    arch: &mut Architecture,
     tasks: &mut TaskSet,
     planted: &mut Allocation,
 ) {
@@ -307,11 +351,15 @@ pub(crate) fn relax_message_deadlines(
         if report.is_feasible() {
             return;
         }
-        // Grow the local budget of every unschedulable (message, medium)
-        // pair, then re-derive each message's end-to-end deadline from its
-        // budgets plus gateway service.
+        // Repair every unschedulable (message, medium) pair on two axes:
+        // widen the forwarding ECU's TDMA slot (its bandwidth share λ/Λ
+        // must cover the ECU's aggregate frame load — max-frame sizing
+        // alone does not guarantee that), and grow the local deadline
+        // budget. Then re-derive each end-to-end deadline from its budgets
+        // plus gateway service.
         for v in &report.violations {
             if let optalloc_analysis::Violation::MessageUnschedulable(mid, k) = v {
+                widen_slot_on_deficit(arch, tasks, planted, *mid, *k);
                 let cap = 4 * tasks.task(mid.sender).period;
                 let route = planted.route_mut(*mid);
                 let pos = route
@@ -327,8 +375,8 @@ pub(crate) fn relax_message_deadlines(
             let period = tasks.tasks[ti].period;
             for mi in 0..tasks.tasks[ti].messages.len() {
                 let route = &planted.routes[ti][mi];
-                let service = config.gateway_service
-                    * (route.media.len() as Time).saturating_sub(1);
+                let service =
+                    config.gateway_service * (route.media.len() as Time).saturating_sub(1);
                 let budget: Time = route.local_deadlines.iter().sum();
                 let needed = budget + service;
                 let m = &mut tasks.tasks[ti].messages[mi];
@@ -347,6 +395,54 @@ fn planted_route(alloc: &mut Allocation, msg: MsgId) -> &mut MessageRoute {
     alloc.route_mut(msg)
 }
 
+/// Bandwidth headroom factor for TDMA slot sizing: a slot gets 1.5× the
+/// share its ECU's frame load strictly requires, absorbing ceiling effects
+/// and release jitter in eq. (3).
+const SLOT_HEADROOM: f64 = 1.5;
+
+/// If `msg`'s trouble on TDMA medium `k` is a *bandwidth* deficit — the
+/// forwarding ECU's slot share `λ/Λ` is below its aggregate frame load —
+/// widen that slot to the headroom target. Latency-only deficits are left
+/// to deadline growth: widening slots inflates the round for everyone, so
+/// it must only happen when throughput genuinely falls short.
+fn widen_slot_on_deficit(
+    arch: &mut Architecture,
+    tasks: &TaskSet,
+    planted: &Allocation,
+    msg: MsgId,
+    k: optalloc_model::MediumId,
+) {
+    let Some(fw) = optalloc_analysis::forwarder(arch, planted, msg, k) else {
+        return;
+    };
+    let (idx, load) = {
+        let med = arch.medium(k);
+        if !med.is_tdma() {
+            return;
+        }
+        let Some(idx) = med.members.iter().position(|&p| p == fw) else {
+            return;
+        };
+        let mut load = 0f64;
+        for (omid, om) in tasks.messages() {
+            if planted.route(omid).media.contains(&k)
+                && optalloc_analysis::forwarder(arch, planted, omid, k) == Some(fw)
+            {
+                load +=
+                    med.transmission_time(om.size) as f64 / tasks.task(omid.sender).period as f64;
+            }
+        }
+        (idx, load)
+    };
+    if let MediumKind::Tdma { slots } = &mut arch.media[k.index()].kind {
+        let round: Time = slots.iter().sum();
+        let need = (SLOT_HEADROOM * load * round as f64).ceil() as Time;
+        if slots[idx] < need {
+            slots[idx] = need;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,7 +456,10 @@ mod tests {
         assert_eq!(w.arch.num_media(), 1);
         assert!(w.arch.medium(optalloc_model::MediumId(0)).is_tdma());
         let n_msgs = w.tasks.messages().count();
-        assert!(n_msgs >= 12, "expected at least 12 chain messages, got {n_msgs}");
+        assert!(
+            n_msgs >= 12,
+            "expected at least 12 chain messages, got {n_msgs}"
+        );
         assert!(w.tasks.validate().is_ok());
         assert!(w.arch.validate().is_ok());
     }
@@ -408,8 +507,7 @@ mod tests {
                 ..GenParams::tindell43()
             };
             let w = generate(&params);
-            let report =
-                validate(&w.arch, &w.tasks, &w.planted, &AnalysisConfig::default());
+            let report = validate(&w.arch, &w.tasks, &w.planted, &AnalysisConfig::default());
             assert!(
                 report.is_feasible(),
                 "{tasks}/{ecus}: {:?}",

@@ -14,9 +14,7 @@
 //! ```
 
 use optalloc::{Objective, Optimizer, SolveOptions};
-use optalloc_model::{
-    gateways_along, Architecture, Ecu, Medium, Task, TaskId, TaskSet,
-};
+use optalloc_model::{gateways_along, Architecture, Ecu, Medium, Task, TaskId, TaskSet};
 
 fn main() {
     // ---- platform ----------------------------------------------------------
@@ -49,15 +47,21 @@ fn main() {
     let t_gearbox = TaskId(1);
     let t_airbag = TaskId(3);
 
-    tasks.push(
-        Task::new("engine-speed", 120, 90, vec![(engine, 20)]).sends(t_gearbox, 4, 60),
-    );
+    tasks.push(Task::new("engine-speed", 120, 90, vec![(engine, 20)]).sends(t_gearbox, 4, 60));
     tasks.push(Task::new("gearbox", 120, 110, vec![(trans, 30)]));
-    tasks.push(
-        Task::new("crash-sensor", 240, 80, vec![(esp, 15)]).sends(t_airbag, 8, 100),
-    );
-    tasks.push(Task::new("airbag", 240, 200, vec![(body1, 25), (body2, 25)]));
-    tasks.push(Task::new("door-lock", 240, 240, vec![(body1, 30), (body2, 30)]));
+    tasks.push(Task::new("crash-sensor", 240, 80, vec![(esp, 15)]).sends(t_airbag, 8, 100));
+    tasks.push(Task::new(
+        "airbag",
+        240,
+        200,
+        vec![(body1, 25), (body2, 25)],
+    ));
+    tasks.push(Task::new(
+        "door-lock",
+        240,
+        240,
+        vec![(body1, 30), (body2, 30)],
+    ));
 
     // ---- optimize ΣTRT ------------------------------------------------------
     let result = Optimizer::new(&arch, &tasks)
@@ -78,7 +82,10 @@ fn main() {
         println!("{:<14} -> {}", task.name, arch.ecu(alloc.ecu_of(tid)).name);
     }
 
-    println!("\nring slot table (ticks): {:?}", alloc.slot_overrides[&ring]);
+    println!(
+        "\nring slot table (ticks): {:?}",
+        alloc.slot_overrides[&ring]
+    );
 
     for (mid, msg) in tasks.messages() {
         let route = alloc.route(mid);

@@ -25,9 +25,7 @@ fn tasks_for(arch: &Architecture) -> TaskSet {
 
     let mut tasks = TaskSet::new();
     tasks.push(Task::new("sample", 200, 100, vec![(sensor_node, 15)]).sends(proc, 6, 100));
-    tasks.push(
-        Task::new("process", 200, 160, vec![(proc_node, 40)]).sends(act, 4, 100),
-    );
+    tasks.push(Task::new("process", 200, 160, vec![(proc_node, 40)]).sends(act, 4, 100));
     tasks.push(Task::new("actuate", 200, 200, vec![(act_node, 20)]));
     tasks
 }

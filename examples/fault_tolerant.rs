@@ -52,7 +52,10 @@ fn main() {
         .expect("feasible with 4 nodes");
 
     let alloc = &result.solution.allocation;
-    println!("placement (max utilization {:.1}%):", result.cost as f64 / 10.0);
+    println!(
+        "placement (max utilization {:.1}%):",
+        result.cost as f64 / 10.0
+    );
     for (tid, task) in tasks.iter() {
         println!("  {:<8} -> {}", task.name, arch.ecu(alloc.ecu_of(tid)).name);
     }

@@ -26,12 +26,8 @@ fn main() {
     let mut tasks = TaskSet::new();
     let filter = TaskId(1);
     let actuator = TaskId(2);
-    tasks.push(
-        Task::new("sensor", 100, 60, vec![(p0, 12), (p1, 15)]).sends(filter, 6, 40),
-    );
-    tasks.push(
-        Task::new("filter", 100, 80, vec![(p0, 25), (p1, 22)]).sends(actuator, 4, 40),
-    );
+    tasks.push(Task::new("sensor", 100, 60, vec![(p0, 12), (p1, 15)]).sends(filter, 6, 40));
+    tasks.push(Task::new("filter", 100, 80, vec![(p0, 25), (p1, 22)]).sends(actuator, 4, 40));
     tasks.push(Task::new("actuator", 100, 100, vec![(p0, 18), (p1, 18)]));
 
     // ---- optimize ----------------------------------------------------------
@@ -39,7 +35,10 @@ fn main() {
         .minimize(&Objective::MaxUtilizationPermille)
         .expect("the system is schedulable");
 
-    println!("optimal max ECU utilization: {:.1}%", result.cost as f64 / 10.0);
+    println!(
+        "optimal max ECU utilization: {:.1}%",
+        result.cost as f64 / 10.0
+    );
     println!(
         "encoding: {} propositional variables, {} literals, {} SOLVE calls\n",
         result.encode.bool_vars, result.encode.literals, result.solve_calls

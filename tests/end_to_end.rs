@@ -100,13 +100,15 @@ fn returned_allocation_revalidates_under_fresh_config() {
     let w = generate(&small(21));
     let opt = Optimizer::new(&w.arch, &w.tasks);
     let sol = opt.find_feasible().expect("planted-feasible");
-    let report = validate(&w.arch, &w.tasks, &sol.allocation, &AnalysisConfig::default());
+    let report = validate(
+        &w.arch,
+        &w.tasks,
+        &sol.allocation,
+        &AnalysisConfig::default(),
+    );
     assert!(report.is_feasible(), "{:?}", report.violations);
     // Response times in the returned report match a recomputation.
-    assert_eq!(
-        report.task_response_times,
-        sol.report.task_response_times
-    );
+    assert_eq!(report.task_response_times, sol.report.task_response_times);
 }
 
 #[test]

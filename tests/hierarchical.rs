@@ -4,9 +4,7 @@
 
 use optalloc::{Objective, Optimizer, SolveOptions};
 use optalloc_model::Task;
-use optalloc_model::{
-    gateways_along, Architecture, Ecu, EcuId, Medium, MsgId, TaskId, TaskSet,
-};
+use optalloc_model::{gateways_along, Architecture, Ecu, EcuId, Medium, MsgId, TaskId, TaskSet};
 
 /// Two CAN buses joined by a dedicated gateway: p0,p1 on k0; p2,p3 on k1;
 /// gw (p4) on both.
@@ -58,7 +56,12 @@ fn colocation_preferred_under_bus_load_objective() {
     let arch = two_bus_arch();
     let mut tasks = TaskSet::new();
     // Both tasks can live anywhere; minimizing k0 load should avoid k0.
-    let everywhere = vec![(EcuId(0), 10), (EcuId(1), 10), (EcuId(2), 10), (EcuId(3), 10)];
+    let everywhere = vec![
+        (EcuId(0), 10),
+        (EcuId(1), 10),
+        (EcuId(2), 10),
+        (EcuId(3), 10),
+    ];
     tasks.push(Task::new("src", 200, 200, everywhere.clone()).sends(TaskId(1), 4, 100));
     tasks.push(Task::new("dst", 200, 180, everywhere));
 
@@ -75,12 +78,7 @@ fn gateway_only_node_hosts_no_tasks() {
     let arch = two_bus_arch();
     let mut tasks = TaskSet::new();
     // The task *claims* it can run on the gateway; the platform forbids it.
-    tasks.push(Task::new(
-        "t",
-        100,
-        100,
-        vec![(EcuId(4), 5), (EcuId(0), 5)],
-    ));
+    tasks.push(Task::new("t", 100, 100, vec![(EcuId(4), 5), (EcuId(0), 5)]));
     let sol = Optimizer::new(&arch, &tasks).find_feasible().unwrap();
     assert_eq!(sol.allocation.ecu_of(TaskId(0)), EcuId(0));
 }
@@ -105,9 +103,19 @@ fn three_bus_chain_routes_over_two_gateways() {
     }
     arch.push_ecu(Ecu::new("gw4").gateway_only());
     arch.push_ecu(Ecu::new("gw5").gateway_only());
-    arch.push_medium(Medium::priority("k0", vec![EcuId(0), EcuId(1), EcuId(4)], 1, 1));
+    arch.push_medium(Medium::priority(
+        "k0",
+        vec![EcuId(0), EcuId(1), EcuId(4)],
+        1,
+        1,
+    ));
     arch.push_medium(Medium::priority("k1", vec![EcuId(4), EcuId(5)], 1, 1));
-    arch.push_medium(Medium::priority("k2", vec![EcuId(2), EcuId(3), EcuId(5)], 1, 1));
+    arch.push_medium(Medium::priority(
+        "k2",
+        vec![EcuId(2), EcuId(3), EcuId(5)],
+        1,
+        1,
+    ));
 
     let mut tasks = TaskSet::new();
     tasks.push(Task::new("src", 400, 400, vec![(EcuId(0), 10)]).sends(TaskId(1), 4, 200));
@@ -152,7 +160,12 @@ fn tdma_ring_pair_with_sum_trt_objective() {
     // One forced crossing on ring0 (p1 → p2), everything else free.
     tasks.push(Task::new("a", 300, 300, vec![(EcuId(1), 10)]).sends(TaskId(1), 4, 150));
     tasks.push(Task::new("b", 300, 250, vec![(EcuId(2), 10)]));
-    tasks.push(Task::new("c", 300, 200, vec![(EcuId(3), 10), (EcuId(4), 10)]));
+    tasks.push(Task::new(
+        "c",
+        300,
+        200,
+        vec![(EcuId(3), 10), (EcuId(4), 10)],
+    ));
 
     let result = Optimizer::new(&arch, &tasks)
         .with_options(SolveOptions {

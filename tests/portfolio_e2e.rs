@@ -1,0 +1,135 @@
+//! End-to-end portfolio strategy tests: the diversified workers must agree
+//! with the single search on the optimal cost, every portfolio winner must
+//! pass the independent analysis re-validation, and the SA-incumbent warm
+//! start must compose with the portfolio.
+
+use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
+use optalloc_heuristics::{anneal, HeuristicObjective, SaParams};
+use optalloc_model::MediumId;
+use optalloc_workloads::{generate, GenParams};
+
+fn small(seed: u64) -> GenParams {
+    GenParams {
+        name: format!("pf-{seed}"),
+        n_tasks: 9,
+        n_chains: 3,
+        n_ecus: 3,
+        seed,
+        utilization: 0.35,
+        restricted_fraction: 0.2,
+        redundant_pairs: 1,
+        token_ring: true,
+        deadline_slack: 1.5,
+    }
+}
+
+fn options(strategy: Strategy) -> SolveOptions {
+    SolveOptions {
+        max_slot: 16,
+        strategy,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_single_and_revalidates() {
+    let ring = MediumId(0);
+    for seed in [1u64, 2, 3] {
+        let w = generate(&small(seed));
+        let single = Optimizer::new(&w.arch, &w.tasks)
+            .with_options(options(Strategy::Single))
+            .minimize(&Objective::TokenRotationTime(ring))
+            .unwrap_or_else(|e| panic!("seed {seed} single: {e}"));
+
+        for deterministic in [true, false] {
+            let portfolio = Optimizer::new(&w.arch, &w.tasks)
+                .with_options(options(Strategy::Portfolio {
+                    workers: 4,
+                    deterministic,
+                }))
+                .minimize(&Objective::TokenRotationTime(ring))
+                .unwrap_or_else(|e| panic!("seed {seed} det={deterministic}: {e}"));
+
+            // Same proven optimum, and the winner's allocation passed the
+            // optimizer's built-in re-validation (minimize errors out with
+            // ValidationFailed otherwise) — assert feasibility anyway.
+            assert_eq!(
+                portfolio.cost, single.cost,
+                "seed {seed} det={deterministic}: portfolio disagrees with single"
+            );
+            assert!(
+                portfolio.solution.report.is_feasible(),
+                "seed {seed} det={deterministic}"
+            );
+            assert_eq!(portfolio.workers.len(), 4);
+            assert_eq!(
+                portfolio.workers.iter().filter(|w| w.winner).count(),
+                1,
+                "seed {seed} det={deterministic}: expected exactly one winner"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_portfolio_reports_are_stable() {
+    let ring = MediumId(0);
+    let w = generate(&small(7));
+    let opts = options(Strategy::Portfolio {
+        workers: 3,
+        deterministic: true,
+    });
+    let a = Optimizer::new(&w.arch, &w.tasks)
+        .with_options(opts.clone())
+        .minimize(&Objective::TokenRotationTime(ring))
+        .expect("feasible");
+    let b = Optimizer::new(&w.arch, &w.tasks)
+        .with_options(opts)
+        .minimize(&Objective::TokenRotationTime(ring))
+        .expect("feasible");
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.solve_calls, b.solve_calls);
+    assert_eq!(a.stats.conflicts, b.stats.conflicts);
+    assert_eq!(
+        a.solution.allocation.placement, b.solution.allocation.placement,
+        "deterministic portfolio returned different allocations"
+    );
+}
+
+#[test]
+fn sa_warm_start_composes_with_portfolio() {
+    let ring = MediumId(0);
+    let w = generate(&small(4));
+    let sa = anneal(
+        &w.arch,
+        &w.tasks,
+        &HeuristicObjective::TokenRotationTime(ring),
+        &SaParams {
+            restarts: 2,
+            iters_per_stage: 150,
+            stages: 30,
+            max_slot: 16,
+            ..Default::default()
+        },
+    );
+    let mut opts = options(Strategy::Portfolio {
+        workers: 4,
+        deterministic: false,
+    });
+    if sa.feasible {
+        opts.initial_upper = Some(sa.objective);
+    }
+    let result = Optimizer::new(&w.arch, &w.tasks)
+        .with_options(opts)
+        .minimize(&Objective::TokenRotationTime(ring))
+        .expect("feasible");
+    assert!(result.solution.report.is_feasible());
+    if sa.feasible {
+        assert!(
+            result.cost <= sa.objective,
+            "optimum {} worse than SA incumbent {}",
+            result.cost,
+            sa.objective
+        );
+    }
+}

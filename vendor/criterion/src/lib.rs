@@ -1,0 +1,193 @@
+#![allow(clippy::all)] // vendored stub — lint-exempt
+
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`) with a simple timing loop:
+//! one warm-up run, then `sample_size` timed iterations, reporting the
+//! median per-iteration wall time. No statistics, plots, or baselines —
+//! just enough to run `cargo bench` offline and compare numbers by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under test; drives the timing loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running one warm-up plus `sample_size` measured samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.last {
+        Some(t) => println!(
+            "bench: {id:<44} {:>12.3?} /iter (median of {})",
+            t, b.samples
+        ),
+        None => println!("bench: {id:<44} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores the target time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 10,
+            last: None,
+        };
+        f(&mut b);
+        report(&id.id, &b);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

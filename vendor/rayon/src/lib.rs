@@ -1,0 +1,119 @@
+#![allow(clippy::all)] // vendored stub — lint-exempt
+
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the tiny slice of the rayon API this workspace uses —
+//! `into_par_iter().map(..).collect()` — with real `std::thread` fan-out.
+//! Items are materialized eagerly, the mapped closure runs on
+//! `available_parallelism()` scoped worker threads over contiguous chunks,
+//! and results are reassembled in input order, so the observable behavior
+//! (ordering, determinism) matches rayon's.
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a (stub) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self`, materializing the items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range!(u32, u64, usize, i32, i64);
+
+/// An eager "parallel" iterator over a materialized item vector.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item on scoped worker threads, preserving input
+    /// order in the result.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        if workers <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let chunk = self.items.len().div_ceil(workers);
+        // Split the input into owned chunks; each worker maps one chunk and
+        // returns its results, which are reassembled in chunk order.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mapped: Vec<R> = std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        ParIter { items: mapped }
+    }
+
+    /// Collects the items into any `FromIterator` container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|i: i32| format!("#{i}"))
+            .collect();
+        assert_eq!(out, vec!["#1", "#2", "#3"]);
+    }
+}

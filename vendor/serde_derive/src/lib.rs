@@ -1,0 +1,433 @@
+#![allow(clippy::all)] // vendored stub — lint-exempt
+
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` stub's `Serialize` / `Deserialize` traits
+//! (which convert through `serde::Value`). Because the build environment is
+//! offline, this macro parses the item's `TokenStream` by hand instead of
+//! using `syn`, and emits the impl as source text.
+//!
+//! Supported item shapes (everything this workspace derives):
+//! - structs with named fields
+//! - tuple structs (arity 1 serializes transparently, like serde newtypes)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged)
+//!
+//! Not supported: generics, field/variant attributes (`#[serde(...)]`),
+//! unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// A parsed field list.
+enum Fields {
+    Unit,
+    /// Tuple fields; the arity.
+    Tuple(usize),
+    /// Named field identifiers, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips leading `#[...]` attribute groups starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past one type (or expression) to the next top-level `,`,
+/// tracking `<`/`>` nesting. Bracketed groups are single token trees, so
+/// only angle brackets need explicit depth counting. Returns the index of
+/// the `,` (or `tokens.len()`).
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a brace-group body of named fields into their identifiers.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive stub: expected field name, got {:?}",
+                tokens[i]
+            );
+        };
+        names.push(name.to_string());
+        i += 1; // name
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field name"
+        );
+        i = skip_to_comma(&tokens, i + 1) + 1;
+    }
+    names
+}
+
+/// Counts the fields of a paren-group (tuple struct / tuple variant) body.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        arity += 1;
+        i = skip_to_comma(&tokens, i) + 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive stub: expected variant name, got {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(tuple_arity(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        i = skip_to_comma(&tokens, i) + 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic items are not supported (derive on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+/// `Value::Array(vec![to_value(f0), ...])` for bound tuple fields, or the
+/// inner value directly for arity 1 (newtype transparency).
+fn ser_tuple_bindings(arity: usize) -> String {
+    if arity == 1 {
+        return "serde::Serialize::to_value(f0)".to_string();
+    }
+    let items: Vec<String> = (0..arity)
+        .map(|k| format!("serde::Serialize::to_value(f{k})"))
+        .collect();
+    format!("serde::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn ser_named_bindings(fields: &[String]) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Object(vec![{}])", items.join(", "))
+                }
+            };
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}\n"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => write!(
+                        arms,
+                        "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n"
+                    )
+                    .unwrap(),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = ser_tuple_bindings(*n);
+                        write!(
+                            arms,
+                            "{name}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(fields) => {
+                        let inner = ser_named_bindings(fields);
+                        write!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_string(), {inner})]),\n",
+                            fields.join(", ")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n{arms}        }}\n    }}\n}}\n"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Deserialization expression for an `arity`-tuple from the value expr `$v`.
+fn de_tuple(ctor: &str, arity: usize, v: &str) -> String {
+    if arity == 1 {
+        return format!("return Ok({ctor}(serde::Deserialize::from_value({v})?));");
+    }
+    let fields: Vec<String> = (0..arity)
+        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+        .collect();
+    format!(
+        "match {v}.as_array() {{\n            Some(items) if items.len() == {arity} => return Ok({ctor}({})),\n            _ => return Err(serde::DeError::expected(\"{arity}-element array\", {v})),\n        }}",
+        fields.join(", ")
+    )
+}
+
+fn de_named(ctor: &str, fields: &[String], v: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::field({v}, {f:?})?"))
+        .collect();
+    format!("return Ok({ctor} {{ {} }});", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let fields: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v.as_array() {{\n            Some(items) if items.len() == {n} => Ok({name}({})),\n            _ => Err(serde::DeError::expected(\"{n}-element array\", v)),\n        }}",
+                        fields.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: serde::field(v, {f:?})?"))
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+            };
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n        {body}\n    }}\n}}\n"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            // Externally tagged: unit variants are bare strings, payload
+            // variants are single-key objects.
+            let mut body = String::new();
+            body.push_str("if let serde::Value::Str(s) = v {\n            match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    write!(body, "                {vn:?} => return Ok({name}::{vn}),\n").unwrap();
+                }
+            }
+            body.push_str("                _ => {}\n            }\n        }\n");
+            body.push_str(
+                "        if let Some([(tag, inner)]) = v.as_object() {\n            match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                let ctor = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(n) => write!(
+                        body,
+                        "                {vn:?} => {{ {} }}\n",
+                        de_tuple(&ctor, *n, "inner")
+                    )
+                    .unwrap(),
+                    Fields::Named(fields) => write!(
+                        body,
+                        "                {vn:?} => {{ {} }}\n",
+                        de_named(&ctor, fields, "inner")
+                    )
+                    .unwrap(),
+                }
+            }
+            body.push_str("                _ => {}\n            }\n        }\n");
+            write!(
+                body,
+                "        Err(serde::DeError::custom(format!(\"no variant of {name} matches {{v:?}}\")))"
+            )
+            .unwrap();
+            write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n        {body}\n    }}\n}}\n"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Derives the stub `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derives the stub `serde::Deserialize` (value-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
