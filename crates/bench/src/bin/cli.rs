@@ -12,8 +12,12 @@
 //!               (trt/busload use medium 0 unless --medium <k> is given)
 //!   --medium <k>            target medium index for trt/busload
 //!   --max-conflicts <n>     solver budget
-//!   --portfolio <n>         race n diversified workers instead of one search
-//!   --deterministic         bit-stable portfolio (join all, lowest index wins)
+//!   --portfolio <n|auto>    race n diversified workers instead of one search
+//!                           (auto = one per host core)
+//!   --window <n|auto>       parallel window search: n workers over disjoint
+//!                           cost sub-windows (auto = one per host core)
+//!   --deterministic         bit-stable parallel mode (barrier rounds /
+//!                           join all, lowest index wins)
 //!   --out <alloc.json>      write the allocation as JSON
 //! ```
 //!
@@ -32,9 +36,26 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
-         [--max-conflicts n] [--portfolio n] [--deterministic] [--out alloc.json]"
+         [--max-conflicts n] [--portfolio n|auto] [--window n|auto] \
+         [--deterministic] [--out alloc.json]"
     );
     ExitCode::from(2)
+}
+
+/// `n` workers, or one per host core for `auto`.
+fn parse_workers(arg: Option<&String>) -> Option<usize> {
+    let arg = arg?;
+    if arg == "auto" {
+        return Some(host_cores());
+    }
+    arg.parse().ok()
+}
+
+/// Number of cores the host exposes (1 when undetectable).
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bundled(name: &str) -> Option<Workload> {
@@ -93,6 +114,7 @@ fn main() -> ExitCode {
             let mut max_conflicts = None;
             let mut out_path: Option<String> = None;
             let mut portfolio: Option<usize> = None;
+            let mut window: Option<usize> = None;
             let mut deterministic = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
@@ -100,7 +122,8 @@ fn main() -> ExitCode {
                     "--objective" => objective_name = it.next().cloned().unwrap_or_default(),
                     "--medium" => medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
                     "--max-conflicts" => max_conflicts = it.next().and_then(|s| s.parse().ok()),
-                    "--portfolio" => portfolio = it.next().and_then(|s| s.parse().ok()),
+                    "--portfolio" => portfolio = parse_workers(it.next()),
+                    "--window" => window = parse_workers(it.next()),
                     "--deterministic" => deterministic = true,
                     "--out" => out_path = it.next().cloned(),
                     other => {
@@ -148,12 +171,16 @@ fn main() -> ExitCode {
 
             let opts = SolveOptions {
                 max_conflicts,
-                strategy: match portfolio {
-                    Some(workers) => Strategy::Portfolio {
+                strategy: match (window, portfolio) {
+                    (Some(workers), _) => Strategy::WindowSearch {
                         workers,
                         deterministic,
                     },
-                    None => Strategy::Single,
+                    (None, Some(workers)) => Strategy::Portfolio {
+                        workers,
+                        deterministic,
+                    },
+                    (None, None) => Strategy::Single,
                 },
                 ..Default::default()
             };

@@ -1,27 +1,33 @@
-//! **Portfolio ablation** — one plain search vs N diversified racing workers.
+//! **Portfolio ablation** — one plain search vs N parallel workers, in both
+//! parallel flavours (diversified racing and disjoint window search).
 //!
 //! Table-3-style instances (token-ring task-set scaling), TRT objective.
 //! The 1-worker row is the plain incremental binary search
 //! ([`Strategy::Single`], no heuristic seeding) — the configuration a user
 //! gets with the portfolio subsystem off. The N-worker rows run the full
 //! portfolio pipeline: a short simulated-annealing pass seeds the shared
-//! incumbent (`initial_upper`), then N diversified workers race with
-//! cooperative cancellation and incumbent-bound sharing; the SA wall time
-//! is charged to the portfolio. On a single-core host the workers time-slice
-//! one CPU, so any speedup is algorithmic (warm start + bound sharing +
-//! configuration diversity), not hardware parallelism.
+//! incumbent (`initial_upper`), then N workers attack the encoding — either
+//! as a diversified race (mode `racing`: cooperative cancellation,
+//! two-sided bound sharing, learned-clause sharing) or as a disjoint window
+//! search (mode `window`: the remaining cost interval partitioned across
+//! workers, see [`Strategy::WindowSearch`]); the SA wall time is charged to
+//! the parallel run. On a single-core host the workers time-slice one CPU,
+//! so any measured speedup is algorithmic (warm start + bound sharing +
+//! configuration diversity / work partitioning), not hardware parallelism.
 //!
 //! Emits a machine-readable JSON array on stdout (and to `--json <path>`):
-//! per instance × worker count, the proven optimum, wall time, solver
-//! totals, the winning worker's configuration, the measured speedup over
-//! the 1-worker baseline, and — because on one core the racing workers
-//! time-slice a single CPU — a projected speedup for a host with one core
-//! per worker (`single / (sa + race_wall / workers)`; with fair
+//! per instance × mode × worker count, the proven optimum, wall time,
+//! solver totals, the winning worker's configuration, the measured speedup
+//! over the 1-worker baseline, and — because on one core the parallel
+//! workers time-slice a single CPU — a projected speedup for a host with
+//! one core per worker (`single / (sa + race_wall / workers)`; with fair
 //! time-slicing, `race_wall / workers` approximates the winner's solo
 //! time, which is its wall time when it owns a core).
 //!
-//! `OPTALLOC_ABLATION_SIZES` (comma-separated task counts) overrides the
-//! instance grid, e.g. `OPTALLOC_ABLATION_SIZES=30,43`.
+//! The peak worker count defaults to `--workers auto` (one per host core,
+//! via `std::thread::available_parallelism()`); pass `--workers <n>` to pin
+//! it. `OPTALLOC_ABLATION_SIZES` (comma-separated task counts) overrides
+//! the instance grid, e.g. `OPTALLOC_ABLATION_SIZES=30,43`.
 
 use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
 use optalloc_bench::{parse_cli, solve_options};
@@ -36,6 +42,9 @@ use std::time::Instant;
 struct AblationRow {
     instance: String,
     tasks: usize,
+    /// Search mode: `single` (plain binary search), `racing` (diversified
+    /// portfolio), or `window` (disjoint parallel window search).
+    mode: &'static str,
     workers: usize,
     /// CPUs available to the process — racing workers beyond this count
     /// time-slice cores, capping the *measured* speedup at ~1×.
@@ -77,8 +86,18 @@ fn main() {
         Err(_) => default_sizes.to_vec(),
     };
     // workers = 1 runs both cold (the Strategy::Single baseline) and
-    // SA-warm-started, decomposing the pipeline's two levers.
-    let grid: &[(usize, bool)] = &[(1, false), (1, true), (2, true), (4, true)];
+    // SA-warm-started, decomposing the pipeline's two levers; the parallel
+    // rows then sweep both modes up to the `--workers` peak (auto = one per
+    // host core).
+    let peak = cli.max_workers().max(2);
+    let mut counts: Vec<usize> = vec![2, 4.min(peak), peak];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut grid: Vec<(usize, bool, &'static str)> =
+        vec![(1, false, "single"), (1, true, "single")];
+    for mode in ["racing", "window"] {
+        grid.extend(counts.iter().map(|&workers| (workers, true, mode)));
+    }
 
     let mut rows: Vec<AblationRow> = Vec::new();
     for &n in &sizes {
@@ -87,7 +106,7 @@ fn main() {
         let mut single_time = f64::NAN;
         let mut single_cost = 0i64;
 
-        for &(workers, warm) in grid {
+        for &(workers, warm, mode) in &grid {
             let start = Instant::now();
             let (sa_time, sa_incumbent) = if warm {
                 let sa = anneal(
@@ -110,13 +129,16 @@ fn main() {
                 (0.0, None)
             };
             let opts = SolveOptions {
-                strategy: if workers == 1 {
-                    Strategy::Single
-                } else {
-                    Strategy::Portfolio {
+                strategy: match mode {
+                    _ if workers == 1 => Strategy::Single,
+                    "window" => Strategy::WindowSearch {
                         workers,
                         deterministic: false,
-                    }
+                    },
+                    _ => Strategy::Portfolio {
+                        workers,
+                        deterministic: false,
+                    },
                 },
                 initial_upper: sa_incumbent,
                 ..base_opts.clone()
@@ -124,7 +146,7 @@ fn main() {
             let r = Optimizer::new(&w.arch, &w.tasks)
                 .with_options(opts)
                 .minimize(&objective)
-                .unwrap_or_else(|e| panic!("{n} tasks, {workers} workers: {e}"));
+                .unwrap_or_else(|e| panic!("{n} tasks, {workers} {mode} workers: {e}"));
             let total = start.elapsed().as_secs_f64();
             if workers == 1 && !warm {
                 single_time = total;
@@ -132,13 +154,13 @@ fn main() {
             }
             assert_eq!(
                 r.cost, single_cost,
-                "{n} tasks: portfolio optimum diverged from the single search"
+                "{n} tasks: {mode} optimum diverged from the single search"
             );
             let race_wall = total - sa_time;
             let projected = single_time / (sa_time + race_wall / workers as f64);
             let winner = r.workers.iter().position(|w| w.winner);
             eprintln!(
-                "{n} tasks, {workers} worker(s){}: TRT = {} in {total:.2}s \
+                "{n} tasks, {workers} {mode} worker(s){}: TRT = {} in {total:.2}s \
                  ({sa_time:.2}s SA) — speedup {:.2}x measured, {projected:.2}x \
                  projected at one core/worker",
                 if warm { ", warm" } else { ", cold" },
@@ -151,8 +173,9 @@ fn main() {
             rows.push(AblationRow {
                 instance: w.name.clone(),
                 tasks: n,
+                mode,
                 workers,
-                host_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+                host_cores: optalloc_bench::host_cores(),
                 warm,
                 cost: r.cost,
                 time_s: total,

@@ -31,9 +31,28 @@ pub struct Cli {
     pub full: bool,
     /// Dump rows as JSON to this path.
     pub json: Option<PathBuf>,
+    /// Peak worker count for the parallel ablations; `None` = `auto`
+    /// (one per host core). Resolve with [`Cli::max_workers`].
+    pub workers: Option<usize>,
 }
 
-/// Parses `--full` and `--json <path>` from `std::env::args`.
+impl Cli {
+    /// The largest worker count an ablation grid should reach: the
+    /// `--workers` override, or one per host core (the `auto` default).
+    pub fn max_workers(&self) -> usize {
+        self.workers.unwrap_or_else(host_cores)
+    }
+}
+
+/// CPUs available to the process (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses `--full`, `--json <path>` and `--workers <n|auto>` from
+/// `std::env::args`.
 pub fn parse_cli() -> Cli {
     let mut cli = Cli::default();
     let mut args = std::env::args().skip(1);
@@ -41,8 +60,18 @@ pub fn parse_cli() -> Cli {
         match a.as_str() {
             "--full" => cli.full = true,
             "--json" => cli.json = args.next().map(PathBuf::from),
+            "--workers" => {
+                cli.workers = match args.next().as_deref() {
+                    Some("auto") | None => None,
+                    Some(n) => n.parse().ok(),
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("options: --full (paper-scale), --json <path>");
+                eprintln!(
+                    "options: --full (paper-scale), --json <path>, \
+                     --workers <n|auto> (peak parallel worker count; \
+                     auto = one per host core)"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -161,5 +190,17 @@ mod tests {
         let cli = Cli::default();
         assert!(!cli.full);
         assert!(cli.json.is_none());
+    }
+
+    #[test]
+    fn workers_default_to_host_cores() {
+        let cli = Cli::default();
+        assert_eq!(cli.max_workers(), host_cores());
+        assert!(host_cores() >= 1);
+        let pinned = Cli {
+            workers: Some(3),
+            ..Cli::default()
+        };
+        assert_eq!(pinned.max_workers(), 3);
     }
 }

@@ -12,7 +12,9 @@ use crate::options::{Objective, SolveOptions, Strategy};
 use optalloc_analysis::{validate, AnalysisConfig, Report};
 use optalloc_intopt::{EncodeStats, MinimizeOptions, MinimizeStatus};
 use optalloc_model::{Allocation, Architecture, TaskSet};
-use optalloc_portfolio::{minimize_portfolio, PortfolioOptions, WorkerReport};
+use optalloc_portfolio::{
+    minimize_portfolio, minimize_window_search, PortfolioOptions, WorkerReport,
+};
 use optalloc_sat::SolverStats;
 use std::time::{Duration, Instant};
 
@@ -40,8 +42,8 @@ pub struct OptimizeReport {
     pub stats: SolverStats,
     /// Wall-clock time of the full run (encode + search + decode).
     pub wall: Duration,
-    /// Per-worker execution records when [`Strategy::Portfolio`] ran;
-    /// empty under [`Strategy::Single`].
+    /// Per-worker execution records when [`Strategy::Portfolio`] or
+    /// [`Strategy::WindowSearch`] ran; empty under [`Strategy::Single`].
     pub workers: Vec<WorkerReport>,
 }
 
@@ -217,17 +219,22 @@ impl<'a> Optimizer<'a> {
             Strategy::Portfolio {
                 workers,
                 deterministic,
+            }
+            | Strategy::WindowSearch {
+                workers,
+                deterministic,
             } => {
-                let outcome = minimize_portfolio(
-                    &enc.problem,
-                    cost,
-                    &PortfolioOptions {
-                        workers,
-                        deterministic,
-                        base: min_opts,
-                        verbose: false,
-                    },
-                );
+                let popts = PortfolioOptions {
+                    workers,
+                    deterministic,
+                    base: min_opts,
+                    verbose: false,
+                };
+                let outcome = if matches!(self.opts.strategy, Strategy::WindowSearch { .. }) {
+                    minimize_window_search(&enc.problem, cost, &popts)
+                } else {
+                    minimize_portfolio(&enc.problem, cost, &popts)
+                };
                 (
                     outcome.status,
                     outcome.solve_calls,

@@ -34,14 +34,27 @@ pub enum Strategy {
     /// setup).
     Single,
     /// A portfolio of diversified workers over the same encoding, with
-    /// incumbent-bound sharing and cooperative cancellation (see the
-    /// `optalloc-portfolio` crate).
+    /// two-sided bound sharing, learned-clause sharing, and cooperative
+    /// cancellation (see the `optalloc-portfolio` crate).
     Portfolio {
         /// Number of workers (worker 0 runs the base configuration).
         workers: usize,
         /// `true`: join all workers and pick the lowest-index decisive one
         /// — bit-stable output. `false`: race, first proven optimum wins
         /// (equal-cost optima may differ between runs).
+        deterministic: bool,
+    },
+    /// A parallel window search: workers probe **disjoint** sub-windows of
+    /// the remaining cost interval, so the terminal UNSAT certification is
+    /// divided across workers instead of repeated per worker (see the
+    /// `optalloc-portfolio` crate's `window` module).
+    WindowSearch {
+        /// Number of workers (a 1-worker search degenerates to sequential
+        /// interval bisection).
+        workers: usize,
+        /// `true`: barrier-synchronised rounds with an index-ordered fold —
+        /// bit-stable output. `false`: racing reassignment, minimal
+        /// wall-clock.
         deterministic: bool,
     },
 }

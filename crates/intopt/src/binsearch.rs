@@ -27,10 +27,11 @@
 //!   persists across the whole search. This is the paper's §7 extension,
 //!   reported to give ≥2× speedups.
 
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use crate::blast::{blast, Backend};
+use crate::bounds::BoundLattice;
+use crate::prober::{CostProber, Probe};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
 use optalloc_sat::{SolveResult, Solver, SolverConfig, SolverStats};
@@ -68,14 +69,17 @@ pub struct MinimizeOptions {
     /// the portfolio runner. `max_conflicts` above, when set, overrides
     /// `solver_config.max_conflicts`.
     pub solver_config: SolverConfig,
-    /// Best cost proven attainable by *any* cooperating search, shared
-    /// between portfolio workers. Read between `SOLVE` calls: the upper
-    /// probe bound tightens to one below the shared incumbent. Written on
-    /// every locally found incumbent (with `fetch_min`). When the search
-    /// bottoms out against an external bound it reports
+    /// Two-sided cost bounds shared between cooperating searches (portfolio
+    /// or window-search workers). Both sides are folded in between `SOLVE`
+    /// calls: the probe range tightens to `[max(L, lattice.lower),
+    /// min(U, lattice.upper))`. Written on every move — locally found
+    /// incumbents tighten the upper side (`fetch_min`), UNSAT probes
+    /// certify `mid + 1` into the lower side (`fetch_max`), so any worker's
+    /// refutation shrinks everyone's window. When the search bottoms out
+    /// against an external upper bound it reports
     /// [`MinimizeStatus::ExternalOptimal`] since the witnessing model lives
     /// in another worker.
-    pub shared_bound: Option<Arc<AtomicI64>>,
+    pub bounds: Option<Arc<BoundLattice>>,
     /// Invoked with every new local incumbent (cost, model) as it is found.
     pub on_incumbent: Option<IncumbentCallback>,
 }
@@ -88,7 +92,7 @@ impl std::fmt::Debug for MinimizeOptions {
             .field("max_conflicts", &self.max_conflicts)
             .field("initial_upper", &self.initial_upper)
             .field("solver_config", &self.solver_config)
-            .field("shared_bound", &self.shared_bound)
+            .field("bounds", &self.bounds)
             .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| ".."))
             .finish()
     }
@@ -102,7 +106,7 @@ impl Default for MinimizeOptions {
             max_conflicts: None,
             initial_upper: None,
             solver_config: SolverConfig::default(),
-            shared_bound: None,
+            bounds: None,
             on_incumbent: None,
         }
     }
@@ -110,7 +114,7 @@ impl Default for MinimizeOptions {
 
 impl MinimizeOptions {
     /// A fresh solver configured per these options.
-    fn new_solver(&self) -> Solver {
+    pub(crate) fn new_solver(&self) -> Solver {
         let mut solver = Solver::new();
         solver.config = self.solver_config.clone();
         if self.max_conflicts.is_some() {
@@ -120,20 +124,33 @@ impl MinimizeOptions {
     }
 
     /// The externally shared incumbent cost, or `i64::MAX` when solo.
-    fn external_bound(&self) -> i64 {
-        self.shared_bound
-            .as_ref()
-            .map(|b| b.load(Ordering::Relaxed))
-            .unwrap_or(i64::MAX)
+    fn external_upper(&self) -> i64 {
+        self.bounds.as_ref().map(|b| b.upper()).unwrap_or(i64::MAX)
+    }
+
+    /// The externally certified lower bound, or `i64::MIN` when solo.
+    fn external_lower(&self) -> i64 {
+        self.bounds.as_ref().map(|b| b.lower()).unwrap_or(i64::MIN)
     }
 
     /// Publishes a new local incumbent to the cooperating searches.
     fn publish(&self, value: i64, model: &Model) {
-        if let Some(bound) = &self.shared_bound {
-            bound.fetch_min(value, Ordering::Relaxed);
+        if let Some(bounds) = &self.bounds {
+            bounds.publish_upper(value);
         }
         if let Some(cb) = &self.on_incumbent {
             cb(value, model);
+        }
+    }
+
+    /// Publishes a certified lower bound (an UNSAT proof over the range
+    /// below it) to the cooperating searches. Sound because every local
+    /// lower bound is the join of globally valid facts: the chain of local
+    /// UNSAT windows is anchored at `cost.lo` and each fold of the lattice
+    /// lower bound is itself globally certified.
+    fn publish_lower(&self, bound: i64) {
+        if let Some(bounds) = &self.bounds {
+            bounds.publish_lower(bound);
         }
     }
 }
@@ -196,16 +213,6 @@ pub struct MinimizeOutcome {
     pub stats: SolverStats,
 }
 
-fn accumulate(total: &mut SolverStats, s: &SolverStats) {
-    total.decisions += s.decisions;
-    total.propagations += s.propagations;
-    total.conflicts += s.conflicts;
-    total.restarts += s.restarts;
-    total.learned += s.learned;
-    total.deleted += s.deleted;
-    total.pb_propagations += s.pb_propagations;
-}
-
 pub(crate) fn minimize(
     problem: &IntProblem,
     cost: IntVar,
@@ -222,113 +229,95 @@ fn minimize_incremental(
     cost: IntVar,
     opts: &MinimizeOptions,
 ) -> MinimizeOutcome {
-    let mut solver = opts.new_solver();
-    let form = problem.triplet_form();
-    let mut bl = blast(&form, problem.int_decls(), &mut solver, opts.backend);
-    let encode = EncodeStats {
-        bool_vars: solver.num_vars() as u64,
-        literals: solver.num_literals(),
-        constraints: solver.num_constraints(),
-    };
+    let mut prober = CostProber::new(problem, cost, opts);
     let mut outcome = MinimizeOutcome {
         status: MinimizeStatus::Infeasible,
         solve_calls: 0,
-        encode,
+        encode: prober.encode(),
         stats: SolverStats::default(),
     };
-    let finish = |mut o: MinimizeOutcome, solver: &Solver| {
-        o.stats = solver.stats.clone();
+    let finish = |mut o: MinimizeOutcome, prober: &CostProber| {
+        o.solve_calls = prober.solve_calls();
+        o.stats = prober.stats().clone();
         o
     };
 
-    if bl.trivially_unsat() {
+    if prober.trivially_unsat() {
         return outcome;
     }
 
     // R := SOLVE(φ), optionally warm-started with a known upper bound:
     // R := SOLVE(φ ∧ cost ≤ U) — falling back to the unbounded call if the
     // hint turns out infeasible.
-    outcome.solve_calls += 1;
     let first = match opts.initial_upper {
-        Some(u) if u >= cost.lo => {
-            let guard = solver.new_var().positive();
-            bl.add_guarded_bounds(&mut solver, cost, cost.lo, u, guard);
-            let r = solver.solve(&[guard]);
-            solver.add_clause(&[!guard]);
-            if r == SolveResult::Unsat {
-                // Bad hint; retry unbounded.
-                outcome.solve_calls += 1;
-                solver.solve(&[])
-            } else {
-                r
-            }
-        }
-        _ => solver.solve(&[]),
+        Some(u) if u >= cost.lo => match prober.probe(Some((cost.lo, u))) {
+            // Bad hint; retry unbounded.
+            Probe::Unsat => prober.probe(None),
+            r => r,
+        },
+        _ => prober.probe(None),
     };
-    match first {
-        SolveResult::Unsat => return finish(outcome, &solver),
-        SolveResult::Unknown => {
+    let (mut best_value, mut best_model) = match first {
+        Probe::Unsat => return finish(outcome, &prober),
+        Probe::Unknown => {
             outcome.status = MinimizeStatus::Unknown { incumbent: None };
-            return finish(outcome, &solver);
+            return finish(outcome, &prober);
         }
-        SolveResult::Interrupted => {
+        Probe::Interrupted => {
             outcome.status = MinimizeStatus::Interrupted { incumbent: None };
-            return finish(outcome, &solver);
+            return finish(outcome, &prober);
         }
-        SolveResult::Sat => {}
-    }
-    let mut best_value = bl.int_value(&solver, cost);
-    let mut best_model = problem.extract_model(&solver, &bl);
+        Probe::Sat { value, model } => (value, model),
+    };
     opts.publish(best_value, &best_model);
     let mut lower = cost.lo;
     let mut upper = best_value;
 
     let external = loop {
-        // Between SOLVE calls, fold in the best cost any cooperating search
-        // has published: nothing at or above `min(upper, external)` needs
-        // probing, somebody already holds a model that cheap.
-        let external = opts.external_bound();
+        // Between SOLVE calls, fold in both sides of the shared lattice:
+        // nothing at or above `min(upper, external upper)` needs probing
+        // (somebody already holds a model that cheap), and nothing below
+        // the external lower bound can exist (somebody refuted it). The
+        // lower bound may overtake the upper mid-probe — that simply means
+        // the window is exhausted, and the loop terminates.
+        let external = opts.external_upper();
         let proven_hi = upper.min(external);
+        lower = lower.max(opts.external_lower());
         if lower >= proven_hi {
             break external;
         }
         let mid = lower + (proven_hi - lower) / 2;
-        let guard = solver.new_var().positive();
-        bl.add_guarded_bounds(&mut solver, cost, lower, mid, guard);
-        outcome.solve_calls += 1;
-        match solver.solve(&[guard]) {
-            SolveResult::Sat => {
-                let k = bl.int_value(&solver, cost);
+        match prober.probe(Some((lower, mid))) {
+            Probe::Sat { value: k, model } => {
                 debug_assert!(k >= lower && k <= mid);
                 best_value = k;
-                best_model = problem.extract_model(&solver, &bl);
+                best_model = model;
                 opts.publish(best_value, &best_model);
                 upper = k;
             }
-            SolveResult::Unsat => {
+            Probe::Unsat => {
                 // UNSAT over [L, M] proves the optimum exceeds M, hence
                 // `L := M + 1`. (The paper's §5.2 listing prints `L := M`,
                 // which never terminates once R = L + 1: M = L, the probe
                 // over [L, L] repeats forever. See the regression test
-                // `terminates_from_r_equals_l_plus_one` below.)
+                // `terminates_from_r_equals_l_plus_one` below.) The new
+                // lower bound is globally certified: share it.
                 lower = mid + 1;
+                opts.publish_lower(lower);
             }
-            SolveResult::Unknown => {
+            Probe::Unknown => {
                 outcome.status = MinimizeStatus::Unknown {
                     incumbent: Some((best_value, best_model)),
                 };
-                return finish(outcome, &solver);
+                return finish(outcome, &prober);
             }
-            SolveResult::Interrupted => {
+            Probe::Interrupted => {
                 outcome.status = MinimizeStatus::Interrupted {
                     incumbent: Some((best_value, best_model)),
                 };
-                return finish(outcome, &solver);
+                return finish(outcome, &prober);
             }
         }
-        // The guard is never assumed again; close it so the solver can
-        // simplify the now-dead bound clauses away.
-        solver.add_clause(&[!guard]);
     };
 
     outcome.status = if upper <= external {
@@ -342,7 +331,7 @@ fn minimize_incremental(
         // the model lives in the worker that published the bound.
         MinimizeStatus::ExternalOptimal { value: external }
     };
-    finish(outcome, &solver)
+    finish(outcome, &prober)
 }
 
 fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) -> MinimizeOutcome {
@@ -376,7 +365,7 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
             return (SolveResult::Unsat, None);
         }
         let r = solver.solve(&[]);
-        accumulate(&mut outcome.stats, &solver.stats);
+        outcome.stats.absorb(&solver.stats);
         let witness = (r == SolveResult::Sat).then(|| {
             (
                 bl.int_value(&solver, cost),
@@ -412,10 +401,11 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
     let mut upper = best_value;
 
     let external = loop {
-        // Fold in any externally shared incumbent (see the incremental
+        // Fold in both sides of the shared lattice (see the incremental
         // variant for the protocol).
-        let external = opts.external_bound();
+        let external = opts.external_upper();
         let proven_hi = upper.min(external);
+        lower = lower.max(opts.external_lower());
         if lower >= proven_hi {
             break external;
         }
@@ -433,7 +423,10 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
             // UNSAT over [L, M] proves the optimum exceeds M: `L := M + 1`,
             // not the paper's misprinted `L := M` (which loops forever once
             // R = L + 1 — see `terminates_from_r_equals_l_plus_one`).
-            SolveResult::Unsat => lower = mid + 1,
+            SolveResult::Unsat => {
+                lower = mid + 1;
+                opts.publish_lower(lower);
+            }
             SolveResult::Unknown => {
                 outcome.status = MinimizeStatus::Unknown {
                     incumbent: Some((best_value, best_model)),
@@ -463,7 +456,7 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     /// Regression for the paper's §5.2 off-by-one: from the terminal state
     /// R = L + 1 (here L = 0, R = 1 with optimum 1) the probe over [L, M] =
@@ -527,9 +520,10 @@ mod tests {
         p.assert(x.expr().ge(7));
 
         // Another "worker" already holds a model of cost 7.
-        let shared = Arc::new(AtomicI64::new(7));
+        let shared = Arc::new(BoundLattice::new());
+        shared.publish_upper(7);
         let opts = MinimizeOptions {
-            shared_bound: Some(shared.clone()),
+            bounds: Some(shared.clone()),
             ..MinimizeOptions::default()
         };
         match p.minimize(x, &opts).status {
@@ -539,7 +533,82 @@ mod tests {
             MinimizeStatus::ExternalOptimal { value } => assert_eq!(value, 7),
             ref s => panic!("unexpected status {s:?}"),
         }
-        // The local search must never publish anything worse than 7.
-        assert_eq!(shared.load(Ordering::Relaxed), 7);
+        // The local search must never publish anything worse than 7, and it
+        // certifies the matching lower bound (UNSAT below 7).
+        assert_eq!(shared.upper(), 7);
+        assert!(shared.lower() <= 7);
+    }
+
+    /// An externally certified lower bound skips the cheap half outright:
+    /// with `lower = optimum` pre-seeded, the search needs no refutation
+    /// probes at all — one SAT call lands on the optimum and the fold
+    /// closes the window.
+    #[test]
+    fn external_lower_bound_prunes_probes() {
+        for mode in [BinSearchMode::Incremental, BinSearchMode::Fresh] {
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, 100);
+            p.assert(x.expr().ge(7));
+
+            let shared = Arc::new(BoundLattice::new());
+            shared.publish_lower(7);
+            let opts = MinimizeOptions {
+                mode,
+                bounds: Some(shared.clone()),
+                // Warm-start the incumbent at the optimum so the remaining
+                // window [7, 7) is empty after the first fold.
+                initial_upper: Some(7),
+                ..MinimizeOptions::default()
+            };
+            let out = p.minimize(x, &opts);
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 7, "{mode:?}"),
+                ref s => panic!("{mode:?}: expected Optimal, got {s:?}"),
+            }
+            assert_eq!(out.solve_calls, 1, "{mode:?}: expected a single probe");
+        }
+    }
+
+    /// Bound-crossing race: the `fetch_max` lower bound overtaking the
+    /// `fetch_min` upper bound must terminate the search, not loop or
+    /// panic. Covers both a *pre-crossed* lattice and a crossing that lands
+    /// *mid-search* (published from the incumbent callback, i.e. while the
+    /// search holds a model but has not folded the lattice yet).
+    #[test]
+    fn bound_crossing_terminates() {
+        for mode in [BinSearchMode::Incremental, BinSearchMode::Fresh] {
+            // Pre-crossed: lower = 50 > upper = 3 before the search starts.
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, 100);
+            p.assert(x.expr().ge(7));
+            let crossed = Arc::new(BoundLattice::with_bounds(50, 3));
+            let opts = MinimizeOptions {
+                mode,
+                bounds: Some(crossed),
+                ..MinimizeOptions::default()
+            };
+            // Must return; any verdict is acceptable under a (deliberately
+            // unsound) pre-crossed lattice, panics and hangs are not.
+            let _ = p.minimize(x, &opts);
+
+            // Mid-search crossing: as soon as the first incumbent appears,
+            // "another worker" slams the lower bound far above it.
+            let lattice = Arc::new(BoundLattice::new());
+            let cb_lattice = Arc::clone(&lattice);
+            let opts = MinimizeOptions {
+                mode,
+                bounds: Some(Arc::clone(&lattice)),
+                on_incumbent: Some(Arc::new(move |value, _| {
+                    cb_lattice.publish_lower(value + 10);
+                })),
+                ..MinimizeOptions::default()
+            };
+            let out = p.minimize(x, &opts);
+            // The next fold sees lower > upper and stops with the incumbent.
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => assert!(value >= 7, "{mode:?}"),
+                ref s => panic!("{mode:?}: expected Optimal, got {s:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,152 @@
+//! Two-sided shared bound lattice for cooperating minimization searches.
+//!
+//! PR 1's portfolio shared only the *upper* incumbent bound (an `AtomicI64`
+//! tightened with `fetch_min`). That leaves the terminal UNSAT certification
+//! serial: every worker re-proves the same lower bound. [`BoundLattice`]
+//! pairs the incumbent bound with a certified *lower* bound tightened with
+//! `fetch_max`, so any worker's UNSAT proof over `[L, M]` shrinks everyone's
+//! remaining window from below.
+//!
+//! The two sides form a lattice in the order-theoretic sense: `lower` only
+//! ever rises, `upper` only ever falls, and both moves are monotone atomic
+//! folds — concurrent publications commute, so no ordering between workers
+//! is needed for soundness. The optimum (when one exists) always satisfies
+//! `lower ≤ opt ≤ upper`; once `lower ≥ upper` the incumbent is proven
+//! optimal and the search is over.
+//!
+//! A worker may observe the lower bound *overtake* the upper bound
+//! mid-probe (another worker certified `L > U` while this one was solving a
+//! now-stale window). That is not an inconsistency — it simply means the
+//! window is exhausted — and every consumer must treat `lower > upper` as
+//! "done", never as an error (see the bound-crossing tests).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A shared pair of monotone cost bounds (see the module docs).
+///
+/// `lower` carries *certified* knowledge (UNSAT proofs: no solution cheaper
+/// than `lower` exists); `upper` carries *witnessed* knowledge (some worker
+/// holds a model of cost `upper`). Reads and writes use relaxed ordering —
+/// the bounds are pure optimization hints folded between probes, and every
+/// terminal verdict is re-derived from a probe result, not from the lattice.
+pub struct BoundLattice {
+    lower: AtomicI64,
+    upper: AtomicI64,
+}
+
+impl std::fmt::Debug for BoundLattice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundLattice")
+            .field("lower", &self.lower())
+            .field("upper", &self.upper())
+            .finish()
+    }
+}
+
+impl Default for BoundLattice {
+    fn default() -> BoundLattice {
+        BoundLattice::new()
+    }
+}
+
+impl BoundLattice {
+    /// A lattice with both sides at their vacuous extremes.
+    pub fn new() -> BoundLattice {
+        BoundLattice {
+            lower: AtomicI64::new(i64::MIN),
+            upper: AtomicI64::new(i64::MAX),
+        }
+    }
+
+    /// A lattice pre-seeded with `lower ≥ lo` and `upper ≤ hi`.
+    pub fn with_bounds(lo: i64, hi: i64) -> BoundLattice {
+        BoundLattice {
+            lower: AtomicI64::new(lo),
+            upper: AtomicI64::new(hi),
+        }
+    }
+
+    /// Certified lower bound: no solution cheaper than this exists.
+    pub fn lower(&self) -> i64 {
+        self.lower.load(Ordering::Relaxed)
+    }
+
+    /// Witnessed upper bound: some worker holds a model this cheap.
+    pub fn upper(&self) -> i64 {
+        self.upper.load(Ordering::Relaxed)
+    }
+
+    /// Both sides, read independently (no cross-side atomicity — callers
+    /// must tolerate `lower > upper`, which means "search exhausted").
+    pub fn snapshot(&self) -> (i64, i64) {
+        (self.lower(), self.upper())
+    }
+
+    /// Folds in a certified lower bound (`fetch_max`); returns the lattice
+    /// lower bound after the fold.
+    pub fn publish_lower(&self, bound: i64) -> i64 {
+        self.lower.fetch_max(bound, Ordering::Relaxed).max(bound)
+    }
+
+    /// Folds in a witnessed upper bound (`fetch_min`); returns the lattice
+    /// upper bound after the fold.
+    pub fn publish_upper(&self, bound: i64) -> i64 {
+        self.upper.fetch_min(bound, Ordering::Relaxed).min(bound)
+    }
+
+    /// True once the window is exhausted: `lower ≥ upper` means the
+    /// incumbent (if any) is proven optimal.
+    pub fn closed(&self) -> bool {
+        self.lower() >= self.upper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn folds_are_monotone() {
+        let b = BoundLattice::new();
+        assert_eq!(b.publish_lower(3), 3);
+        assert_eq!(b.publish_lower(1), 3); // lower never regresses
+        assert_eq!(b.publish_upper(10), 10);
+        assert_eq!(b.publish_upper(12), 10); // upper never regresses
+        assert_eq!(b.snapshot(), (3, 10));
+        assert!(!b.closed());
+        b.publish_lower(10);
+        assert!(b.closed());
+    }
+
+    #[test]
+    fn crossing_is_terminal_not_fatal() {
+        // Another worker certifies L = 9 while we hold an incumbent of 5:
+        // can only happen through unsound use OR a stale read, but the
+        // lattice itself must stay well-defined and report "closed".
+        let b = BoundLattice::with_bounds(9, 5);
+        assert!(b.closed());
+        assert_eq!(b.snapshot(), (9, 5));
+    }
+
+    #[test]
+    fn concurrent_folds_commute() {
+        let b = Arc::new(BoundLattice::new());
+        let handles: Vec<_> = (0..4i64)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        b.publish_lower(t * 1_000 + i);
+                        b.publish_upper(100_000 - (t * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.lower(), 3_999);
+        assert_eq!(b.upper(), 96_001);
+    }
+}

@@ -43,7 +43,9 @@
 
 mod binsearch;
 mod blast;
+mod bounds;
 mod expr;
+mod prober;
 mod problem;
 mod triplet;
 
@@ -51,7 +53,9 @@ pub use binsearch::{
     BinSearchMode, EncodeStats, IncumbentCallback, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
 };
 pub use blast::{blast, Backend, Blast};
+pub use bounds::BoundLattice;
 pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};
+pub use prober::{CostProber, Probe};
 pub use problem::{IntProblem, Model};
 pub use triplet::{ArithOp, BoolDef, BoolId, IntDef, IntDefKind, IntId, TripletForm};
 

@@ -1,0 +1,197 @@
+//! A reusable cost-window probe engine.
+//!
+//! [`CostProber`] owns one incremental solver with the problem encoded once
+//! and answers `SOLVE(φ ∧ lo ≤ cost ≤ hi)` queries against arbitrary
+//! windows, carrying every learned clause across probes (the paper's §7
+//! reuse). It is the engine under both the sequential `BIN_SEARCH` loop
+//! ([`crate::BinSearchMode::Incremental`]) and the portfolio's parallel
+//! window scheduler, which assigns each worker's prober a disjoint
+//! sub-window of the remaining cost range.
+//!
+//! Each bounded probe allocates a fresh guard literal, attaches the window
+//! bounds guarded by it, assumes the guard for the solve, and closes the
+//! guard afterwards so the dead bound clauses simplify away. Guards are
+//! therefore always allocated *above* the base encoding, which is what
+//! makes cross-worker clause sharing sound (see
+//! [`optalloc_sat::ClauseExchange`]): when the solver configuration carries
+//! an exchange, the prober pins `share_var_limit` to the base encoding size
+//! so no guard-dependent clause can leak out.
+
+use crate::binsearch::{EncodeStats, MinimizeOptions};
+use crate::blast::{blast, Blast};
+use crate::problem::{IntProblem, Model};
+use crate::IntVar;
+use optalloc_sat::{SolveResult, Solver, SolverStats};
+
+/// Verdict of a single window probe.
+#[derive(Clone, Debug)]
+pub enum Probe {
+    /// A model inside the window, with the cost it attains.
+    Sat {
+        /// Value of the cost variable in the witnessing model.
+        value: i64,
+        /// The witnessing model.
+        model: Model,
+    },
+    /// No model inside the window (an exhaustive refutation).
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+    /// The cooperative interrupt flag was raised mid-solve.
+    Interrupted,
+}
+
+/// An incremental solver bound to one problem, answering cost-window
+/// queries (see the module docs).
+pub struct CostProber<'p> {
+    problem: &'p IntProblem,
+    cost: IntVar,
+    solver: Solver,
+    bl: Blast,
+    encode: EncodeStats,
+    solve_calls: u32,
+}
+
+impl std::fmt::Debug for CostProber<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostProber")
+            .field("cost", &self.cost)
+            .field("encode", &self.encode)
+            .field("solve_calls", &self.solve_calls)
+            .finish()
+    }
+}
+
+impl<'p> CostProber<'p> {
+    /// Encodes `problem` once into a solver configured per `opts`.
+    pub fn new(problem: &'p IntProblem, cost: IntVar, opts: &MinimizeOptions) -> CostProber<'p> {
+        let mut solver = opts.new_solver();
+        let form = problem.triplet_form();
+        let bl = blast(&form, problem.int_decls(), &mut solver, opts.backend);
+        // Clause sharing may only cover the base encoding: guard variables
+        // for window bounds are allocated from here on up.
+        if solver.config.share_var_limit == 0 {
+            solver.config.share_var_limit = solver.num_vars();
+        }
+        let encode = EncodeStats {
+            bool_vars: solver.num_vars() as u64,
+            literals: solver.num_literals(),
+            constraints: solver.num_constraints(),
+        };
+        CostProber {
+            problem,
+            cost,
+            solver,
+            bl,
+            encode,
+            solve_calls: 0,
+        }
+    }
+
+    /// The cost variable this prober windows over.
+    pub fn cost(&self) -> IntVar {
+        self.cost
+    }
+
+    /// Size of the propositional encoding.
+    pub fn encode(&self) -> EncodeStats {
+        self.encode
+    }
+
+    /// Number of `SOLVE` calls issued so far.
+    pub fn solve_calls(&self) -> u32 {
+        self.solve_calls
+    }
+
+    /// Statistics accumulated by the underlying solver.
+    pub fn stats(&self) -> &SolverStats {
+        &self.solver.stats
+    }
+
+    /// True when the encoding already refuted the problem (no probe needed).
+    pub fn trivially_unsat(&self) -> bool {
+        self.bl.trivially_unsat()
+    }
+
+    /// Probes the window `lo ≤ cost ≤ hi` (or the unbounded problem when
+    /// `window` is `None`). An empty window (`lo > hi`) or a trivially
+    /// refuted encoding is vacuously [`Probe::Unsat`] without touching the
+    /// solver.
+    pub fn probe(&mut self, window: Option<(i64, i64)>) -> Probe {
+        if self.bl.trivially_unsat() {
+            return Probe::Unsat;
+        }
+        let result = match window {
+            Some((lo, hi)) => {
+                if lo > hi {
+                    return Probe::Unsat;
+                }
+                let guard = self.solver.new_var().positive();
+                self.bl
+                    .add_guarded_bounds(&mut self.solver, self.cost, lo, hi, guard);
+                self.solve_calls += 1;
+                let r = self.solver.solve(&[guard]);
+                // Close the guard: it is never assumed again, so the dead
+                // bound clauses can simplify away.
+                self.solver.add_clause(&[!guard]);
+                r
+            }
+            None => {
+                self.solve_calls += 1;
+                self.solver.solve(&[])
+            }
+        };
+        match result {
+            SolveResult::Sat => {
+                let value = self.bl.int_value(&self.solver, self.cost);
+                let model = self.problem.extract_model(&self.solver, &self.bl);
+                Probe::Sat { value, model }
+            }
+            SolveResult::Unsat => Probe::Unsat,
+            SolveResult::Unknown => Probe::Unknown,
+            SolveResult::Interrupted => Probe::Interrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geq7() -> (IntProblem, IntVar) {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 100);
+        p.assert(x.expr().ge(7));
+        (p, x)
+    }
+
+    #[test]
+    fn windows_partition_the_range() {
+        let (p, x) = geq7();
+        let opts = MinimizeOptions::default();
+        let mut prober = CostProber::new(&p, x, &opts);
+        assert!(matches!(prober.probe(Some((0, 6))), Probe::Unsat));
+        match prober.probe(Some((7, 20))) {
+            Probe::Sat { value, model } => {
+                assert!((7..=20).contains(&value));
+                assert_eq!(model.int(x), value);
+            }
+            ref r => panic!("expected Sat, got {r:?}"),
+        }
+        // Empty window: vacuous refutation, no solve call.
+        let calls = prober.solve_calls();
+        assert!(matches!(prober.probe(Some((9, 3))), Probe::Unsat));
+        assert_eq!(prober.solve_calls(), calls);
+    }
+
+    #[test]
+    fn unbounded_probe_yields_some_model() {
+        let (p, x) = geq7();
+        let opts = MinimizeOptions::default();
+        let mut prober = CostProber::new(&p, x, &opts);
+        match prober.probe(None) {
+            Probe::Sat { value, .. } => assert!(value >= 7),
+            ref r => panic!("expected Sat, got {r:?}"),
+        }
+    }
+}

@@ -1,19 +1,33 @@
 //! # optalloc-portfolio
 //!
-//! Parallel **portfolio optimization**: N diversified `BIN_SEARCH` workers
-//! race over the *same* encoded [`IntProblem`], and the first to prove an
-//! optimum wins. The portfolio exploits the large run-to-run variance of
-//! CDCL search — different decision phases, restart schedules, encoding
-//! backends and probe-sharing modes explore the cost range in very
-//! different orders — while two cooperation channels make the workers more
-//! than the sum of their parts:
+//! Parallel **portfolio optimization** in two flavours over the *same*
+//! encoded [`IntProblem`]:
 //!
-//! * **Incumbent-bound sharing** — a worker that finds a model of cost `c`
-//!   publishes it to a shared [`AtomicI64`]; every other worker folds the
-//!   bound in between `SOLVE` calls and probes strictly below `c` from then
-//!   on. A worker that bottoms out against a foreign bound returns
+//! * [`minimize_portfolio`] — N diversified `BIN_SEARCH` workers race full
+//!   binary searches; the first to prove an optimum wins. Exploits the
+//!   run-to-run variance of CDCL search (decision phases, restart
+//!   schedules, encoding backends, probe-sharing modes).
+//! * [`minimize_window_search`] — N identical workers split the remaining
+//!   cost interval into **disjoint sub-windows**, so the terminal UNSAT
+//!   certification — which racing repeats N times — is solved once,
+//!   divided across workers (see the [`window`] module docs).
+//!
+//! Three cooperation channels make the workers more than the sum of their
+//! parts:
+//!
+//! * **Two-sided bound sharing** — a [`BoundLattice`] carries the best
+//!   *witnessed* upper bound (a worker that finds a model of cost `c`
+//!   publishes it with `fetch_min`) and the best *certified* lower bound
+//!   (an UNSAT probe over `[L, M]` publishes `M + 1` with `fetch_max`).
+//!   Every worker folds both sides in between `SOLVE` calls, so any
+//!   worker's refutation shrinks everyone's window. A worker that bottoms
+//!   out against a foreign bound returns
 //!   [`MinimizeStatus::ExternalOptimal`] and the portfolio supplies the
 //!   witnessing model from its shared incumbent registry.
+//! * **Learned-clause sharing** — workers that solve the *same base
+//!   encoding* (incremental mode, same backend) exchange short, low-glue
+//!   learned clauses over a lock-free [`ClauseExchange`] ring — the
+//!   multi-thread analogue of the paper's §7 incremental clause reuse.
 //! * **Cooperative cancellation** — the first worker reaching a decisive
 //!   verdict (optimal / infeasible) raises a shared [`AtomicBool`]; the
 //!   CDCL search loops of the others observe it at the next conflict or
@@ -26,22 +40,29 @@
 //!   the first *proven* optimum. The optimal **cost** is always the same,
 //!   but which equal-cost model witnesses it (and which worker wins, and
 //!   how many solve calls are reported) depends on thread timing.
-//! * `deterministic: true` — no sharing, no cancellation; all workers run
-//!   to completion and the lowest-index decisive worker is the winner.
-//!   Output is bit-stable across runs at the price of racing speedups.
+//! * `deterministic: true` — no bound sharing, no clause sharing, no
+//!   cancellation; all workers run to completion and the lowest-index
+//!   decisive worker is the winner. Output is bit-stable across runs at
+//!   the price of racing speedups. (For the window-search variant's
+//!   deterministic protocol — barrier rounds with an index-ordered fold —
+//!   see the [`window`] module docs.)
 
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use optalloc_intopt::{
-    Backend, BinSearchMode, EncodeStats, IncumbentCallback, IntProblem, IntVar, MinimizeOptions,
-    MinimizeOutcome, MinimizeStatus, Model,
+    Backend, BinSearchMode, BoundLattice, EncodeStats, IncumbentCallback, IntProblem, IntVar,
+    MinimizeOptions, MinimizeOutcome, MinimizeStatus, Model,
 };
-use optalloc_sat::SolverStats;
+use optalloc_sat::{ClauseExchange, SolverStats};
+
+pub mod window;
+
+pub use window::minimize_window_search;
 
 /// Options for [`minimize_portfolio`].
 #[derive(Clone, Debug)]
@@ -54,8 +75,9 @@ pub struct PortfolioOptions {
     /// first proven optimum wins, the rest are cancelled.
     pub deterministic: bool,
     /// Base minimization options diversified per worker by
-    /// [`worker_options`]. Its own `shared_bound` / `on_incumbent` /
-    /// `solver_config.interrupt` fields are overwritten by the portfolio.
+    /// [`worker_options`]. Its own `bounds` / `on_incumbent` /
+    /// `solver_config.interrupt` / `solver_config.exchange` fields are
+    /// overwritten by the portfolio.
     pub base: MinimizeOptions,
     /// Print one stats line per worker to stderr after the run.
     pub verbose: bool,
@@ -106,6 +128,10 @@ pub struct WorkerReport {
     pub wall: Duration,
     /// Whether this worker decided the portfolio's result.
     pub winner: bool,
+    /// Cost windows this worker probed, in order (window-search mode only;
+    /// empty for racing workers, whose probes follow their own binary
+    /// search).
+    pub windows: Vec<(i64, i64)>,
 }
 
 impl fmt::Display for WorkerReport {
@@ -128,7 +154,11 @@ impl fmt::Display for WorkerReport {
             self.stats.propagations,
             self.stats.restarts,
             self.stats.learned,
-        )
+        )?;
+        if !self.windows.is_empty() {
+            write!(f, ", {} windows", self.windows.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -210,16 +240,6 @@ pub fn worker_options(base: &MinimizeOptions, index: usize) -> (MinimizeOptions,
     (o, desc)
 }
 
-fn add_stats(total: &mut SolverStats, s: &SolverStats) {
-    total.decisions += s.decisions;
-    total.propagations += s.propagations;
-    total.conflicts += s.conflicts;
-    total.restarts += s.restarts;
-    total.learned += s.learned;
-    total.deleted += s.deleted;
-    total.pb_propagations += s.pb_propagations;
-}
-
 fn verdict_of(status: &MinimizeStatus) -> (WorkerVerdict, Option<i64>) {
     match status {
         MinimizeStatus::Optimal { value, .. } => (WorkerVerdict::Optimal, Some(*value)),
@@ -254,13 +274,22 @@ pub fn minimize_portfolio(
 ) -> PortfolioOutcome {
     let n = opts.workers.max(1);
     let cancel = Arc::new(AtomicBool::new(false));
-    // Best cost any worker has *witnessed*; models for every published
-    // bound live in the registry, so an `ExternalOptimal` verdict can
-    // always be resolved to a concrete model after the join.
-    let shared_bound = Arc::new(AtomicI64::new(i64::MAX));
+    // Two-sided bound lattice: witnessed upper bounds and certified lower
+    // bounds, folded by every worker between SOLVE calls. Models for every
+    // published upper bound live in the registry, so an `ExternalOptimal`
+    // verdict can always be resolved to a concrete model after the join.
+    let lattice = Arc::new(BoundLattice::new());
     let registry: Arc<Mutex<Option<(i64, Model)>>> = Arc::new(Mutex::new(None));
     // usize::MAX = no winner yet; first decisive worker claims the slot.
     let race_winner = Arc::new(AtomicUsize::new(usize::MAX));
+    // Learned-clause ring shared by the workers that solve the same base
+    // encoding (incremental mode, base backend — fresh-mode and
+    // flipped-backend workers number their variables differently and must
+    // not participate). Disabled in deterministic mode: import order is
+    // timing-dependent.
+    let exchange = (!opts.deterministic && n >= 2)
+        .then(ClauseExchange::new)
+        .map(Arc::new);
 
     let results: Vec<(MinimizeOutcome, Duration, String)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
@@ -277,8 +306,14 @@ pub fn minimize_portfolio(
                 };
                 wopts.on_incumbent = Some(keep_model);
                 if !opts.deterministic {
-                    wopts.shared_bound = Some(Arc::clone(&shared_bound));
+                    wopts.bounds = Some(Arc::clone(&lattice));
                     wopts.solver_config.interrupt = Some(Arc::clone(&cancel));
+                }
+                if wopts.mode == BinSearchMode::Incremental && wopts.backend == opts.base.backend {
+                    if let Some(ex) = &exchange {
+                        wopts.solver_config.exchange = Some(Arc::clone(ex));
+                        wopts.solver_config.share_writer = i as u32;
+                    }
                 }
                 let cancel = Arc::clone(&cancel);
                 let race_winner = Arc::clone(&race_winner);
@@ -314,7 +349,7 @@ pub fn minimize_portfolio(
     let mut solve_calls = 0u32;
     let mut workers = Vec::with_capacity(n);
     for (i, (out, wall, desc)) in results.iter().enumerate() {
-        add_stats(&mut stats, &out.stats);
+        stats.absorb(&out.stats);
         solve_calls += out.solve_calls;
         let (verdict, value) = verdict_of(&out.status);
         workers.push(WorkerReport {
@@ -326,6 +361,7 @@ pub fn minimize_portfolio(
             stats: out.stats.clone(),
             wall: *wall,
             winner: winner == Some(i),
+            windows: Vec::new(),
         });
     }
 

@@ -1,12 +1,12 @@
 //! Agreement property: on random optimization instances, the paper's two
-//! `BIN_SEARCH` modes and the portfolio (deterministic and racing) all
-//! prove the same optimal cost — the portfolio never trades correctness
-//! for speed.
+//! `BIN_SEARCH` modes, the portfolio (deterministic and racing), and the
+//! parallel window search (deterministic and racing) all prove the same
+//! optimal cost — neither parallel flavour trades correctness for speed.
 
 use optalloc_intopt::{
     BinSearchMode, BoolExpr, IntExpr, IntProblem, IntVar, MinimizeOptions, MinimizeStatus,
 };
-use optalloc_portfolio::{minimize_portfolio, PortfolioOptions};
+use optalloc_portfolio::{minimize_portfolio, minimize_window_search, PortfolioOptions};
 use proptest::prelude::*;
 
 /// Recipe for a random affine-ish expression over 3 variables.
@@ -83,6 +83,30 @@ fn optimum_portfolio(p: &IntProblem, cost: IntVar, deterministic: bool) -> Optio
     }
 }
 
+fn optimum_window(p: &IntProblem, cost: IntVar, deterministic: bool) -> Option<i64> {
+    let out = minimize_window_search(
+        p,
+        cost,
+        &PortfolioOptions {
+            workers: 4,
+            deterministic,
+            ..PortfolioOptions::default()
+        },
+    );
+    match out.status {
+        MinimizeStatus::Optimal { value, ref model } => {
+            assert_eq!(
+                model.int(cost),
+                value,
+                "window-search witness does not attain the optimum"
+            );
+            Some(value)
+        }
+        MinimizeStatus::Infeasible => None,
+        ref s => panic!("window(det={deterministic}): unexpected {s:?}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -109,9 +133,13 @@ proptest! {
         let incremental = optimum_single(&p, cost, BinSearchMode::Incremental);
         let det = optimum_portfolio(&p, cost, true);
         let racing = optimum_portfolio(&p, cost, false);
+        let window_det = optimum_window(&p, cost, true);
+        let window_racing = optimum_window(&p, cost, false);
 
         prop_assert_eq!(fresh, incremental, "fresh vs incremental");
         prop_assert_eq!(incremental, det, "incremental vs deterministic portfolio");
         prop_assert_eq!(det, racing, "deterministic vs racing portfolio");
+        prop_assert_eq!(racing, window_det, "racing portfolio vs deterministic window search");
+        prop_assert_eq!(window_det, window_racing, "deterministic vs racing window search");
     }
 }

@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod clause;
+mod exchange;
 mod formula;
 mod heap;
 mod pb;
 mod solver;
 mod types;
 
+pub use exchange::{ClauseExchange, EXCHANGE_SLOTS, MAX_SHARED_LITS};
 pub use formula::{Formula, ParseError};
 pub use pb::{normalize_ge, to_ge_constraints, Normalized, PbOp, PbTerm};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

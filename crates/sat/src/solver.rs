@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::exchange::{ClauseExchange, MAX_SHARED_LITS};
 use crate::heap::VarOrderHeap;
 use crate::pb::{normalize_ge, to_ge_constraints, Normalized, PbConstraint, PbOp, PbTerm};
 use crate::types::{LBool, Lit, Var};
@@ -95,6 +96,23 @@ pub struct SolverConfig {
     /// returns [`SolveResult::Interrupted`] at the next conflict or
     /// decision boundary. The solver stays sound and reusable.
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// Cross-solver learned-clause exchange. When set, short learned
+    /// clauses passing the share filters are published to the ring, and
+    /// foreign clauses are imported at every `solve` entry and restart.
+    /// All participating solvers **must** hold the same base encoding (see
+    /// the soundness contract in [`crate::ClauseExchange`]'s module docs).
+    pub exchange: Option<Arc<ClauseExchange>>,
+    /// This solver's id on the exchange; its own clauses are not re-imported.
+    pub share_writer: u32,
+    /// Only clauses whose variables all have `index <` this limit are
+    /// exported — set it to the variable count of the shared base encoding
+    /// so clauses involving solver-local guard/bound variables stay local.
+    /// The default `0` exports nothing.
+    pub share_var_limit: usize,
+    /// Maximum length of an exported clause (clamped to the slot capacity).
+    pub share_max_len: usize,
+    /// Maximum LBD (glue) of an exported clause.
+    pub share_max_lbd: u32,
 }
 
 impl Default for SolverConfig {
@@ -109,6 +127,11 @@ impl Default for SolverConfig {
             default_phase: false,
             phase_seed: None,
             interrupt: None,
+            exchange: None,
+            share_writer: 0,
+            share_var_limit: 0,
+            share_max_len: MAX_SHARED_LITS,
+            share_max_lbd: 6,
         }
     }
 }
@@ -130,6 +153,26 @@ pub struct SolverStats {
     pub deleted: u64,
     /// Propagations caused by PB constraints.
     pub pb_propagations: u64,
+    /// Learned clauses published to the cross-solver exchange.
+    pub exported: u64,
+    /// Foreign clauses imported from the exchange.
+    pub imported: u64,
+}
+
+impl SolverStats {
+    /// Adds every counter of `other` into `self` — for aggregating the
+    /// per-call or per-worker statistics of cooperating solvers.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+        self.deleted += other.deleted;
+        self.pb_propagations += other.pb_propagations;
+        self.exported += other.exported;
+        self.imported += other.imported;
+    }
 }
 
 /// CDCL SAT solver with native pseudo-Boolean constraints.
@@ -178,6 +221,9 @@ pub struct Solver {
     input_literals: u64,
     input_clauses: u64,
 
+    /// Read position on the clause exchange, if one is configured.
+    exchange_cursor: u64,
+
     /// Execution counters.
     pub stats: SolverStats,
 }
@@ -217,6 +263,7 @@ impl Solver {
             model: Vec::new(),
             input_literals: 0,
             input_clauses: 0,
+            exchange_cursor: 0,
             stats: SolverStats::default(),
         }
     }
@@ -890,6 +937,10 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
+        self.import_shared();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
 
         let mut restarts = 0u64;
         let mut conflicts_this_call = 0u64;
@@ -905,6 +956,13 @@ impl Solver {
                 SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    // Restart boundaries are the one safe point inside a
+                    // solve call to pull in foreign clauses (level 0, no
+                    // pending conflict).
+                    self.import_shared();
+                    if !self.ok {
+                        break SolveResult::Unsat;
+                    }
                 }
                 SearchOutcome::Budget => break SolveResult::Unknown,
                 SearchOutcome::Interrupted => break SolveResult::Interrupted,
@@ -1024,7 +1082,10 @@ impl Solver {
         self.stats.learned += 1;
         match learnt.len() {
             0 => self.ok = false,
-            1 => self.assign(learnt[0], Reason::None),
+            1 => {
+                self.assign(learnt[0], Reason::None);
+                self.maybe_export(learnt, 1);
+            }
             _ => {
                 let cref = self.db.alloc(learnt, true);
                 let lbd = self.lbd(learnt);
@@ -1033,6 +1094,98 @@ impl Solver {
                 self.attach(cref);
                 self.learnts.push(cref);
                 self.assign(learnt[0], Reason::Clause(cref));
+                self.maybe_export(learnt, lbd);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-solver clause exchange
+    // ------------------------------------------------------------------
+
+    /// Publishes a freshly learned clause to the exchange when it passes
+    /// the share filters: short, low-glue, and — critically for soundness —
+    /// confined to the shared base encoding (`share_var_limit`), so clauses
+    /// that depend on solver-local guarded bounds never leave this solver.
+    fn maybe_export(&mut self, lits: &[Lit], lbd: u32) {
+        let Some(ex) = &self.config.exchange else {
+            return;
+        };
+        if lits.len() > self.config.share_max_len || lbd > self.config.share_max_lbd {
+            return;
+        }
+        if lits
+            .iter()
+            .any(|l| l.var().index() >= self.config.share_var_limit)
+        {
+            return;
+        }
+        if ex.publish(self.config.share_writer, lits) {
+            self.stats.exported += 1;
+        }
+    }
+
+    /// Imports clauses other workers published since the last call. Must
+    /// run outside search or at a restart boundary; backtracks to level 0
+    /// (assumptions are re-decided by the next `pick_next` pass).
+    fn import_shared(&mut self) {
+        let Some(ex) = self.config.exchange.clone() else {
+            return;
+        };
+        self.backtrack_to(0);
+        let mut incoming: Vec<Vec<Lit>> = Vec::new();
+        self.exchange_cursor = ex.drain(self.config.share_writer, self.exchange_cursor, |c| {
+            incoming.push(c.to_vec());
+        });
+        for lits in incoming {
+            if !self.ok {
+                return;
+            }
+            self.import_clause(&lits);
+        }
+    }
+
+    /// Installs one foreign clause as a (deletable) learned clause,
+    /// simplifying against the level-0 assignment first.
+    fn import_clause(&mut self, lits: &[Lit]) {
+        // Defensive: a clause from a differently-sized encoding is dropped.
+        if lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+            return;
+        }
+        let mut cl: Vec<Lit> = lits.to_vec();
+        cl.sort_unstable();
+        cl.dedup();
+        let mut write = 0;
+        for i in 0..cl.len() {
+            let l = cl[i];
+            if i + 1 < cl.len() && cl[i + 1] == !l {
+                return; // tautology
+            }
+            match self.value_lit(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => {
+                    cl[write] = l;
+                    write += 1;
+                }
+            }
+        }
+        cl.truncate(write);
+        self.stats.imported += 1;
+        match cl.len() {
+            0 => self.ok = false,
+            1 => {
+                self.assign(cl[0], Reason::None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.db.alloc(&cl, true);
+                self.db.set_lbd(cref, cl.len() as u32);
+                self.db.set_activity(cref, self.cla_inc);
+                self.attach(cref);
+                self.learnts.push(cref);
             }
         }
     }
