@@ -18,6 +18,11 @@
 //!                           cost sub-windows (auto = one per host core)
 //!   --deterministic         bit-stable parallel mode (barrier rounds /
 //!                           join all, lowest index wins)
+//!   --no-encoder-opt        disable the encoder optimization layer (gate
+//!                           hash-consing, interval narrowing, SAT
+//!                           preprocessing) — the pre-optimization baseline;
+//!                           OPTALLOC_ENCODER_OPT=0 in the environment does
+//!                           the same
 //!   --out <alloc.json>      write the allocation as JSON
 //! ```
 //!
@@ -25,7 +30,7 @@
 //! `optalloc_workloads::Workload` (architecture + task set + a feasibility
 //! witness); the output is the optimal `optalloc_model::Allocation`.
 
-use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
+use optalloc::{EncoderOpt, Objective, Optimizer, SolveOptions, Strategy};
 use optalloc_model::{ticks_to_ms, MediumId};
 use optalloc_workloads::{
     architecture_scaling, generate, table4_workload, task_scaling, Fig2, GenParams, Workload,
@@ -37,7 +42,7 @@ fn usage() -> ExitCode {
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
          [--max-conflicts n] [--portfolio n|auto] [--window n|auto] \
-         [--deterministic] [--out alloc.json]"
+         [--deterministic] [--no-encoder-opt] [--out alloc.json]"
     );
     ExitCode::from(2)
 }
@@ -116,6 +121,11 @@ fn main() -> ExitCode {
             let mut portfolio: Option<usize> = None;
             let mut window: Option<usize> = None;
             let mut deterministic = false;
+            let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
+                EncoderOpt::none()
+            } else {
+                EncoderOpt::default()
+            };
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -125,6 +135,7 @@ fn main() -> ExitCode {
                     "--portfolio" => portfolio = parse_workers(it.next()),
                     "--window" => window = parse_workers(it.next()),
                     "--deterministic" => deterministic = true,
+                    "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
                     "--out" => out_path = it.next().cloned(),
                     other => {
                         eprintln!("unknown option {other}");
@@ -182,6 +193,7 @@ fn main() -> ExitCode {
                     },
                     (None, None) => Strategy::Single,
                 },
+                encoder_opt,
                 ..Default::default()
             };
             let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);

@@ -1,0 +1,278 @@
+//! **Encoder-optimization ablation** — how much does each stage of the
+//! encode-and-solve optimization layer shrink the formula and speed up the
+//! sequential binary search?
+//!
+//! Table-3-style instances (token-ring task-set scaling), TRT objective,
+//! plain incremental binary search ([`optalloc::Strategy::Single`]) so the
+//! measured wall-clock is a true single-core number. Four cumulative stages
+//! per instance:
+//!
+//! - `baseline` — [`EncoderOpt::none`]: the pre-optimization encoder;
+//! - `+hash-consing` — structural gate cache and algebraic rewrites in the
+//!   blaster;
+//! - `+narrowing` — plus forward–backward interval tightening, decided
+//!   comparison folding, dead-definition sweeping and truncated adders;
+//! - `+preprocess` — plus the SAT solver's level-0 input preprocessing
+//!   (the full [`EncoderOpt::default`] configuration).
+//!
+//! The harness asserts the proven optimum is identical across all stages
+//! and reports literal reduction and wall-clock speedup relative to the
+//! baseline. Results go to `results/encoding_opt_ablation.{json,txt}` (or
+//! the `--json` path).
+//!
+//! Environment knobs:
+//!
+//! - `OPTALLOC_ABLATION_SIZES=20,30` — override the task-count grid;
+//! - `OPTALLOC_ABLATION_REPS=3` — wall-clock repetitions per stage (the
+//!   minimum is reported; conflict counts are deterministic across reps,
+//!   only the wall clock is noisy). Default 3 quick, 1 with `--full`;
+//! - `OPTALLOC_ENCODER_OPT=0` — (other binaries) run everything unoptimized;
+//! - `OPTALLOC_CHECK_REF=<ref.json>` — regression mode: compare this run's
+//!   var/lit counts per (tasks, stage) against the committed reference rows
+//!   and exit non-zero if any count drifts by more than ±5%. Used by the CI
+//!   encoding-size smoke job.
+
+use optalloc::{EncoderOpt, Objective, Optimizer, SolveOptions};
+use optalloc_bench::parse_cli;
+use optalloc_model::MediumId;
+use optalloc_workloads::task_scaling;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One (instance, stage) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OptRow {
+    instance: String,
+    tasks: usize,
+    /// `baseline`, `+hash-consing`, `+narrowing`, or `+preprocess`.
+    stage: String,
+    /// Proven optimal TRT in ticks (identical across stages — asserted).
+    cost: i64,
+    vars: u64,
+    lits: u64,
+    constraints: u64,
+    conflicts: u64,
+    /// Wall-clock ms spent encoding, summed over all `SOLVE` calls.
+    encode_ms: f64,
+    /// Wall-clock ms spent inside the SAT search, summed over all calls.
+    solve_ms: f64,
+    /// End-to-end wall time of the whole minimization.
+    time_s: f64,
+    /// `100 · (1 − lits / lits(baseline))` for the same instance.
+    lit_reduction_pct: f64,
+    /// `time_s(baseline) / time_s(this row)` for the same instance.
+    speedup_vs_baseline: f64,
+}
+
+/// The cumulative stage grid, in measurement order.
+fn stages() -> [(&'static str, EncoderOpt); 4] {
+    let none = EncoderOpt::none();
+    [
+        ("baseline", none),
+        (
+            "+hash-consing",
+            EncoderOpt {
+                hash_consing: true,
+                ..none
+            },
+        ),
+        (
+            "+narrowing",
+            EncoderOpt {
+                hash_consing: true,
+                narrowing: true,
+                ..none
+            },
+        ),
+        ("+preprocess", EncoderOpt::default()),
+    ]
+}
+
+fn render(rows: &[OptRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>14} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>8}\n",
+        "instance",
+        "stage",
+        "cost",
+        "vars",
+        "lits",
+        "constr",
+        "conflicts",
+        "encode_ms",
+        "solve_s",
+        "lits_red%",
+        "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>14} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10.1} {:>8.2} {:>9.1} {:>7.2}x\n",
+            r.instance,
+            r.stage,
+            r.cost,
+            r.vars,
+            r.lits,
+            r.constraints,
+            r.conflicts,
+            r.encode_ms,
+            r.solve_ms / 1e3,
+            r.lit_reduction_pct,
+            r.speedup_vs_baseline
+        ));
+    }
+    out
+}
+
+/// Regression mode: every (tasks, stage) row present in the reference must
+/// match this run's var/lit counts within ±5%.
+fn check_reference(rows: &[OptRow], ref_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(ref_path)
+        .map_err(|e| format!("cannot read reference {ref_path}: {e}"))?;
+    let reference: Vec<OptRow> =
+        serde_json::from_str(&text).map_err(|e| format!("bad reference {ref_path}: {e}"))?;
+    let within = |now: u64, reference: u64| {
+        let lo = reference as f64 * 0.95;
+        let hi = reference as f64 * 1.05;
+        (lo..=hi).contains(&(now as f64))
+    };
+    let mut failures = Vec::new();
+    let mut checked = 0;
+    for r in &reference {
+        let Some(now) = rows
+            .iter()
+            .find(|x| x.tasks == r.tasks && x.stage == r.stage)
+        else {
+            failures.push(format!("missing row: {} tasks, {}", r.tasks, r.stage));
+            continue;
+        };
+        checked += 1;
+        if !within(now.vars, r.vars) {
+            failures.push(format!(
+                "{} tasks, {}: vars {} vs reference {} (> ±5%)",
+                r.tasks, r.stage, now.vars, r.vars
+            ));
+        }
+        if !within(now.lits, r.lits) {
+            failures.push(format!(
+                "{} tasks, {}: lits {} vs reference {} (> ±5%)",
+                r.tasks, r.stage, now.lits, r.lits
+            ));
+        }
+    }
+    if checked == 0 {
+        failures.push(format!("no comparable rows in {ref_path}"));
+    }
+    if failures.is_empty() {
+        eprintln!("encoding-size check: {checked} rows within ±5% of {ref_path}");
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let objective = Objective::TokenRotationTime(MediumId(0));
+    let default_sizes: &[usize] = if cli.full { &[20, 30, 43] } else { &[20, 30] };
+    let sizes: Vec<usize> = match std::env::var("OPTALLOC_ABLATION_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default_sizes.to_vec(),
+    };
+    let reps: usize = std::env::var("OPTALLOC_ABLATION_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(if cli.full { 1 } else { 3 });
+
+    let mut rows: Vec<OptRow> = Vec::new();
+    for &n in &sizes {
+        let w = task_scaling(n);
+        let mut baseline: Option<(i64, u64, f64)> = None; // (cost, lits, time)
+        for (stage, encoder_opt) in stages() {
+            let opts = SolveOptions {
+                max_conflicts: if cli.full { None } else { Some(3_000_000) },
+                max_slot: if cli.full { 48 } else { 24 },
+                encoder_opt,
+                ..Default::default()
+            };
+            // The search is deterministic — conflicts and optimum repeat
+            // exactly — so repetitions only de-noise the wall clock; keep
+            // the fastest.
+            let mut best: Option<(optalloc::OptimizeReport, f64)> = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = Optimizer::new(&w.arch, &w.tasks)
+                    .with_options(opts.clone())
+                    .minimize(&objective)
+                    .unwrap_or_else(|e| panic!("{n} tasks, {stage}: {e}"));
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some((prev, _)) = &best {
+                    assert_eq!(
+                        prev.cost, r.cost,
+                        "{n} tasks, {stage}: nondeterministic cost"
+                    );
+                }
+                if best.as_ref().is_none_or(|(_, t)| elapsed < *t) {
+                    best = Some((r, elapsed));
+                }
+            }
+            let (r, time_s) = best.expect("reps >= 1");
+            let (base_cost, base_lits, base_time) =
+                *baseline.get_or_insert((r.cost, r.encode.literals, time_s));
+            assert_eq!(
+                r.cost, base_cost,
+                "{n} tasks: {stage} optimum diverged from the baseline encoder"
+            );
+            let row = OptRow {
+                instance: w.name.clone(),
+                tasks: n,
+                stage: stage.to_string(),
+                cost: r.cost,
+                vars: r.encode.bool_vars,
+                lits: r.encode.literals,
+                constraints: r.encode.constraints,
+                conflicts: r.stats.conflicts,
+                encode_ms: r.encode.encode_ms,
+                solve_ms: r.stats.solve_ms,
+                time_s,
+                lit_reduction_pct: 100.0 * (1.0 - r.encode.literals as f64 / base_lits as f64),
+                speedup_vs_baseline: base_time / time_s,
+            };
+            eprintln!(
+                "{n} tasks, {stage}: TRT = {} | {} vars, {} lits, {} conflicts | \
+                 encode {:.1}ms, solve {:.2}s, total {:.2}s ({:.1}% fewer lits, {:.2}x)",
+                row.cost,
+                row.vars,
+                row.lits,
+                row.conflicts,
+                row.encode_ms,
+                row.solve_ms / 1e3,
+                row.time_s,
+                row.lit_reduction_pct,
+                row.speedup_vs_baseline
+            );
+            rows.push(row);
+        }
+    }
+
+    let table = render(&rows);
+    println!("\n== encoder-optimization ablation (identical optima asserted) ==");
+    print!("{table}");
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = &cli.json {
+        std::fs::write(path, &json).expect("write json");
+        eprintln!("(rows written to {})", path.display());
+    } else if std::fs::create_dir_all("results").is_ok() {
+        std::fs::write("results/encoding_opt_ablation.json", &json).expect("write json");
+        std::fs::write("results/encoding_opt_ablation.txt", &table).expect("write txt");
+        eprintln!("(rows written to results/encoding_opt_ablation.{{json,txt}})");
+    }
+
+    if let Ok(ref_path) = std::env::var("OPTALLOC_CHECK_REF") {
+        if let Err(msg) = check_reference(&rows, &ref_path) {
+            eprintln!("encoding-size check FAILED:\n{msg}");
+            std::process::exit(1);
+        }
+    }
+}

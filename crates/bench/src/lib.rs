@@ -70,7 +70,10 @@ pub fn parse_cli() -> Cli {
                 eprintln!(
                     "options: --full (paper-scale), --json <path>, \
                      --workers <n|auto> (peak parallel worker count; \
-                     auto = one per host core)"
+                     auto = one per host core)\n\
+                     env: OPTALLOC_ENCODER_OPT=0 disables the encoder \
+                     optimization layer (gate hash-consing, interval \
+                     narrowing, SAT preprocessing)"
                 );
                 std::process::exit(0);
             }
@@ -162,14 +165,31 @@ pub fn emit(title: &str, rows: &[Row], cli: &Cli) {
     }
 }
 
+/// True when `OPTALLOC_ENCODER_OPT` is set to `0`, `false` or `off`: the
+/// bench binaries then run with the encoder optimization layer disabled
+/// (the pre-optimization baseline encoding).
+pub fn encoder_opt_disabled() -> bool {
+    matches!(
+        std::env::var("OPTALLOC_ENCODER_OPT").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
 /// Solve options for the harnesses: quick mode bounds conflicts so a
 /// too-hard probe degrades into a reported incumbent instead of hanging.
+/// Honors the `OPTALLOC_ENCODER_OPT=0` override (see
+/// [`encoder_opt_disabled`]).
 pub fn solve_options(full: bool) -> optalloc::SolveOptions {
     optalloc::SolveOptions {
         max_conflicts: if full { None } else { Some(3_000_000) },
         // Generated frames are ≤ 9 ticks, so 24 leaves ample headroom while
         // keeping the slot decision space small in quick mode.
         max_slot: if full { 48 } else { 24 },
+        encoder_opt: if encoder_opt_disabled() {
+            optalloc::EncoderOpt::none()
+        } else {
+            optalloc::EncoderOpt::default()
+        },
         ..Default::default()
     }
 }

@@ -65,6 +65,9 @@ pub use encode::objective::ObjectiveError;
 pub use optimizer::{AllocationSolution, OptError, OptimizeReport, Optimizer};
 pub use options::{Objective, SolveOptions, Strategy};
 
+// The encoder-optimization switch travels with `SolveOptions`.
+pub use optalloc_intopt::EncoderOpt;
+
 // Facade re-exports so downstream users need a single dependency.
 pub use optalloc_analysis as analysis;
 pub use optalloc_intopt as intopt;

@@ -160,10 +160,11 @@ impl<'a> Optimizer<'a> {
         if enc.infeasible {
             return Err(OptError::Infeasible);
         }
-        match enc
-            .problem
-            .solve_with_budget(self.opts.backend, self.opts.max_conflicts)
-        {
+        match enc.problem.solve_with_options(
+            self.opts.backend,
+            self.opts.max_conflicts,
+            &self.opts.encoder_opt,
+        ) {
             Err(()) => Err(OptError::Budget { incumbent: None }),
             Ok(None) => Err(OptError::Infeasible),
             Ok(Some(model)) => self.check(decode(&enc, &model)),
@@ -203,6 +204,7 @@ impl<'a> Optimizer<'a> {
             mode: self.opts.mode,
             max_conflicts: self.opts.max_conflicts,
             initial_upper: self.opts.initial_upper,
+            encoder_opt: self.opts.encoder_opt,
             ..MinimizeOptions::default()
         };
         let (status, solve_calls, encode, stats, workers) = match self.opts.strategy {

@@ -1,6 +1,6 @@
 //! Configuration of the encoder and optimizer.
 
-use optalloc_intopt::{Backend, BinSearchMode};
+use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt};
 use optalloc_model::{MediumId, Time};
 
 /// What the optimizer minimizes (paper §6).
@@ -89,6 +89,10 @@ pub struct SolveOptions {
     pub task_jitter: bool,
     /// Single search vs. diversified portfolio.
     pub strategy: Strategy,
+    /// Encoder-level optimizations (gate hash-consing, interval narrowing,
+    /// SAT preprocessing). Default all-on; [`EncoderOpt::none`] reproduces
+    /// the unoptimized baseline encoding for ablations.
+    pub encoder_opt: EncoderOpt,
 }
 
 impl Default for SolveOptions {
@@ -103,6 +107,7 @@ impl Default for SolveOptions {
             initial_upper: None,
             task_jitter: false,
             strategy: Strategy::Single,
+            encoder_opt: EncoderOpt::default(),
         }
     }
 }

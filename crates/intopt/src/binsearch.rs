@@ -29,7 +29,7 @@
 
 use std::sync::Arc;
 
-use crate::blast::{blast, Backend};
+use crate::blast::{blast_with, Backend, EncoderOpt};
 use crate::bounds::BoundLattice;
 use crate::prober::{CostProber, Probe};
 use crate::problem::{IntProblem, Model};
@@ -82,6 +82,11 @@ pub struct MinimizeOptions {
     pub bounds: Option<Arc<BoundLattice>>,
     /// Invoked with every new local incumbent (cost, model) as it is found.
     pub on_incumbent: Option<IncumbentCallback>,
+    /// Encoder-level optimizations (hash-consing, interval narrowing, SAT
+    /// preprocessing) applied to every encoding the search builds. All on
+    /// by default; [`EncoderOpt::none`] reproduces the unoptimized baseline
+    /// for ablations.
+    pub encoder_opt: EncoderOpt,
 }
 
 impl std::fmt::Debug for MinimizeOptions {
@@ -94,6 +99,7 @@ impl std::fmt::Debug for MinimizeOptions {
             .field("solver_config", &self.solver_config)
             .field("bounds", &self.bounds)
             .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| ".."))
+            .field("encoder_opt", &self.encoder_opt)
             .finish()
     }
 }
@@ -108,6 +114,7 @@ impl Default for MinimizeOptions {
             solver_config: SolverConfig::default(),
             bounds: None,
             on_incumbent: None,
+            encoder_opt: EncoderOpt::default(),
         }
     }
 }
@@ -119,6 +126,11 @@ impl MinimizeOptions {
         solver.config = self.solver_config.clone();
         if self.max_conflicts.is_some() {
             solver.config.max_conflicts = self.max_conflicts;
+        }
+        // The encoder-opt switch masters the preprocessing stage so one
+        // knob disables the whole optimization layer for ablations.
+        if !self.encoder_opt.preprocess {
+            solver.config.preprocess = false;
         }
         solver
     }
@@ -198,6 +210,11 @@ pub struct EncodeStats {
     pub literals: u64,
     /// Constraints (clauses + PB).
     pub constraints: u64,
+    /// Wall-clock milliseconds spent encoding (triplet rewriting, interval
+    /// narrowing, and bit-blasting), accumulated over every `SOLVE` call —
+    /// split out from [`SolverStats::solve_ms`] so ablation rows attribute
+    /// time to the right stage.
+    pub encode_ms: f64,
 }
 
 /// Full result of a minimization run.
@@ -351,15 +368,19 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
         if let Some((lo, hi)) = bounds {
             p.assert(cost.expr().ge(lo).and(cost.expr().le(hi)));
         }
-        let form = p.triplet_form();
-        let bl = blast(&form, p.int_decls(), &mut solver, opts.backend);
+        let encode_start = std::time::Instant::now();
+        let (form, decls) = p.prepare(&opts.encoder_opt);
+        let bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
+        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
         if outcome.solve_calls == 0 {
             outcome.encode = EncodeStats {
                 bool_vars: solver.num_vars() as u64,
                 literals: solver.num_literals(),
                 constraints: solver.num_constraints(),
+                encode_ms: 0.0,
             };
         }
+        outcome.encode.encode_ms += encode_ms;
         outcome.solve_calls += 1;
         if bl.trivially_unsat() {
             return (SolveResult::Unsat, None);

@@ -33,6 +33,73 @@ pub enum Backend {
     PseudoBoolean,
 }
 
+/// Which encode-and-solve optimization stages run (all default-on).
+///
+/// Each stage is independently toggleable so ablations can isolate it:
+///
+/// * `hash_consing` — structural gate cache in the blaster: `and2`, `or2`,
+///   `xor2` and the full-adder carry return the existing literal for a
+///   repeated subcircuit instead of re-emitting it, plus the algebraic
+///   rewrites (`maj(x,x,z) → x`, `maj(x,x̄,z) → z`) the cache lookups enable.
+/// * `narrowing` — forward–backward interval tightening on the triplet form
+///   ([`crate::TripletForm::optimize`]) and truncation of adder widths to the
+///   forward intervals.
+/// * `preprocess` — the SAT solver's level-0 input preprocessing (duplicate/
+///   subsumed clause removal and self-subsuming resolution) before the first
+///   search.
+///
+/// All stages are deterministic: variable numbering depends only on the
+/// encounter order of cache misses, never on hash-map iteration, so the
+/// deterministic portfolio/window modes stay bit-stable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EncoderOpt {
+    /// Structural hashing of gates during bit-blasting.
+    pub hash_consing: bool,
+    /// Interval narrowing on the triplet form + adder width truncation.
+    pub narrowing: bool,
+    /// Solver-side level-0 clause preprocessing.
+    pub preprocess: bool,
+}
+
+impl Default for EncoderOpt {
+    fn default() -> EncoderOpt {
+        EncoderOpt {
+            hash_consing: true,
+            narrowing: true,
+            preprocess: true,
+        }
+    }
+}
+
+impl EncoderOpt {
+    /// All optimization stages disabled (the ablation baseline).
+    pub fn none() -> EncoderOpt {
+        EncoderOpt {
+            hash_consing: false,
+            narrowing: false,
+            preprocess: false,
+        }
+    }
+}
+
+/// Canonical key of a structurally hashed gate. Operand canonicalization
+/// folds the free symmetries: commutative operands sort, XOR inputs are
+/// reduced to positive polarity (output polarity compensates), and the
+/// self-dual majority flips all inputs when two or more are negated.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GateKey {
+    And(Lit, Lit),
+    Xor(Lit, Lit),
+    AndMany(Vec<Lit>),
+    Maj(Lit, Lit, Lit),
+    /// One comparator-chain stage `(x̄ ∧ y) ∨ ((x ↔ y) ∧ prev)`, keyed on
+    /// `(x, y, prev)` after canonicalization via
+    /// `¬step(x, y, p) = step(y, x, ¬p)`.
+    CmpStep(Lit, Lit, Lit),
+}
+
+type GateCache = HashMap<GateKey, Lit>;
+
 /// A propositional bit: either a known constant or a solver literal.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Bit {
@@ -89,6 +156,12 @@ pub struct Blast {
     /// Set when an assertion folded to `false` during blasting.
     trivially_unsat: bool,
     true_lit: Option<Lit>,
+    /// Structural gate cache (`None` disables hash-consing). Kept for the
+    /// blast's lifetime so incremental bound probes share comparator gates
+    /// across windows — sound because gate-defining clauses are unguarded.
+    cache: Option<GateCache>,
+    /// Truncate adder widths to the inferred result intervals.
+    narrow: bool,
 }
 
 impl Blast {
@@ -160,6 +233,7 @@ impl Blast {
             solver,
             backend: self.backend,
             true_lit: &mut self.true_lit,
+            cache: &mut self.cache,
         };
         let ge = g.cmp(CmpOp::Le, &const_bitvec(lo), &bv);
         let le = g.cmp(CmpOp::Le, &bv, &const_bitvec(hi));
@@ -182,6 +256,7 @@ struct Gates<'a> {
     solver: &'a mut Solver,
     backend: Backend,
     true_lit: &'a mut Option<Lit>,
+    cache: &'a mut Option<GateCache>,
 }
 
 impl Gates<'_> {
@@ -219,10 +294,17 @@ impl Gates<'_> {
                 if x == !y {
                     return Bit::Const(false);
                 }
+                let key = GateKey::And(x.min(y), x.max(y));
+                if let Some(&g) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+                    return Bit::Lit(g);
+                }
                 let g = self.fresh();
                 self.solver.add_clause(&[!g, x]);
                 self.solver.add_clause(&[!g, y]);
                 self.solver.add_clause(&[g, !x, !y]);
+                if let Some(c) = self.cache.as_mut() {
+                    c.insert(key, g);
+                }
                 Bit::Lit(g)
             }
         }
@@ -243,6 +325,27 @@ impl Gates<'_> {
                 }
                 if x == !y {
                     return Bit::Const(true);
+                }
+                if self.cache.is_some() {
+                    // Canonicalize to positive inputs: x ⊕ y, x̄ ⊕ y, x ⊕ ȳ
+                    // and x̄ ⊕ ȳ all share one gate, the output polarity
+                    // absorbs the input signs.
+                    let parity = x.is_negative() ^ y.is_negative();
+                    let (px, py) = (x.var().positive(), y.var().positive());
+                    let key = GateKey::Xor(px.min(py), px.max(py));
+                    let g = match self.cache.as_ref().and_then(|c| c.get(&key)) {
+                        Some(&g) => g,
+                        None => {
+                            let g = self.fresh();
+                            self.solver.add_clause(&[!g, px, py]);
+                            self.solver.add_clause(&[!g, !px, !py]);
+                            self.solver.add_clause(&[g, !px, py]);
+                            self.solver.add_clause(&[g, px, !py]);
+                            self.cache.as_mut().unwrap().insert(key, g);
+                            g
+                        }
+                    };
+                    return Bit::Lit(if parity { !g } else { g });
                 }
                 let g = self.fresh();
                 self.solver.add_clause(&[!g, x, y]);
@@ -275,7 +378,13 @@ impl Gates<'_> {
         match lits.len() {
             0 => Bit::Const(true),
             1 => Bit::Lit(lits[0]),
+            // Binary conjunctions share the and2 cache entry.
+            2 if self.cache.is_some() => self.and2(Bit::Lit(lits[0]), Bit::Lit(lits[1])),
             _ => {
+                let key = GateKey::AndMany(lits.clone());
+                if let Some(&g) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+                    return Bit::Lit(g);
+                }
                 let g = self.fresh();
                 for &l in &lits {
                     self.solver.add_clause(&[!g, l]);
@@ -283,6 +392,9 @@ impl Gates<'_> {
                 let mut long: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                 long.push(g);
                 self.solver.add_clause(&long);
+                if let Some(c) = self.cache.as_mut() {
+                    c.insert(key, g);
+                }
                 Bit::Lit(g)
             }
         }
@@ -305,6 +417,7 @@ impl Gates<'_> {
             (Bit::Const(true), x, y) | (x, Bit::Const(true), y) | (x, y, Bit::Const(true)) => {
                 self.or2(x, y)
             }
+            (Bit::Lit(x), Bit::Lit(y), Bit::Lit(z)) if self.cache.is_some() => self.maj3(x, y, z),
             (Bit::Lit(x), Bit::Lit(y), Bit::Lit(z)) => {
                 let g = self.fresh();
                 match self.backend {
@@ -346,6 +459,126 @@ impl Gates<'_> {
         (sum, cout)
     }
 
+    /// Hash-consed majority gate for the full-adder carry. Applies the
+    /// algebraic rewrites `maj(x, x, z) = x` and `maj(x, x̄, z) = z`, then
+    /// canonicalizes via the self-duality `maj(x̄, ȳ, z̄) = ¬maj(x, y, z)`
+    /// (flip all inputs when at least two are negated, so at most one
+    /// canonical input carries a sign) and sorts the operands.
+    fn maj3(&mut self, x: Lit, y: Lit, z: Lit) -> Bit {
+        for (a, b, c) in [(x, y, z), (x, z, y), (y, z, x)] {
+            if a == b {
+                return Bit::Lit(a);
+            }
+            if a == !b {
+                return Bit::Lit(c);
+            }
+        }
+        let negs = [x, y, z].iter().filter(|l| l.is_negative()).count();
+        let flip = negs >= 2;
+        let mut lits = if flip { [!x, !y, !z] } else { [x, y, z] };
+        lits.sort_unstable();
+        let [a, b, c] = lits;
+        let key = GateKey::Maj(a, b, c);
+        let g = match self.cache.as_ref().and_then(|m| m.get(&key)) {
+            Some(&g) => g,
+            None => {
+                let g = self.fresh();
+                match self.backend {
+                    Backend::PseudoBoolean => {
+                        self.solver.add_pb(
+                            &[
+                                PbTerm::new(!g, 2),
+                                PbTerm::new(a, 1),
+                                PbTerm::new(b, 1),
+                                PbTerm::new(c, 1),
+                            ],
+                            PbOp::Ge,
+                            2,
+                        );
+                        self.solver.add_pb(
+                            &[
+                                PbTerm::new(g, 2),
+                                PbTerm::new(!a, 1),
+                                PbTerm::new(!b, 1),
+                                PbTerm::new(!c, 1),
+                            ],
+                            PbOp::Ge,
+                            2,
+                        );
+                    }
+                    Backend::Cnf => {
+                        self.solver.add_clause(&[!a, !b, g]);
+                        self.solver.add_clause(&[!a, !c, g]);
+                        self.solver.add_clause(&[!b, !c, g]);
+                        self.solver.add_clause(&[a, b, !g]);
+                        self.solver.add_clause(&[a, c, !g]);
+                        self.solver.add_clause(&[b, c, !g]);
+                    }
+                }
+                self.cache.as_mut().unwrap().insert(key, g);
+                g
+            }
+        };
+        Bit::Lit(if flip { !g } else { g })
+    }
+
+    /// One stage of the unsigned comparator chain:
+    /// `step(x, y, prev) = (x̄ ∧ y) ∨ ((x ↔ y) ∧ prev)` — "strictly below at
+    /// this bit, or equal here and already ≤/< on the lower bits". Encoded
+    /// as a single six-clause mux gate with **one** auxiliary variable,
+    /// replacing the four gates (`lt`, `eq`, `keep`, `or`) of the naive
+    /// expansion. Constant operands fold to binary gates; the identity
+    /// `¬step(x, y, p) = step(y, x, ¬p)` canonicalizes the cache key so a
+    /// comparison and its converse share one gate.
+    fn cmp_step(&mut self, x: Bit, y: Bit, prev: Bit) -> Bit {
+        match (x, y, prev) {
+            // A constant bit reduces the mux to a binary gate:
+            // x = 0 → y ∨ p; x = 1 → y ∧ p; y = 0 → x̄ ∧ p; y = 1 → x̄ ∨ p;
+            // p = 0 → x̄ ∧ y (strictly-less here); p = 1 → x̄ ∨ y (≤ here).
+            (Bit::Const(false), y, p) => self.or2(y, p),
+            (Bit::Const(true), y, p) => self.and2(y, p),
+            (x, Bit::Const(false), p) => self.and2(x.flip(), p),
+            (x, Bit::Const(true), p) => self.or2(x.flip(), p),
+            (x, y, Bit::Const(false)) => self.and2(x.flip(), y),
+            (x, y, Bit::Const(true)) => self.or2(x.flip(), y),
+            (Bit::Lit(x), Bit::Lit(y), Bit::Lit(p)) => {
+                if x == y {
+                    // Equal bits: the verdict comes from below.
+                    return Bit::Lit(p);
+                }
+                if x == !y {
+                    // Unequal bits: x̄ ∧ y = x̄ decides outright.
+                    return Bit::Lit(!x);
+                }
+                let (cx, cy, cp, flip) = if x < y {
+                    (x, y, p, false)
+                } else {
+                    (y, x, !p, true)
+                };
+                let key = GateKey::CmpStep(cx, cy, cp);
+                let g = match self.cache.as_ref().and_then(|c| c.get(&key)) {
+                    Some(&g) => g,
+                    None => {
+                        let g = self.fresh();
+                        // cx=0, cy=1 forces g; cx=1, cy=0 forbids it; equal
+                        // bits pass cp through.
+                        self.solver.add_clause(&[cx, !cy, g]);
+                        self.solver.add_clause(&[!cx, cy, !g]);
+                        self.solver.add_clause(&[cx, cy, !cp, g]);
+                        self.solver.add_clause(&[cx, cy, cp, !g]);
+                        self.solver.add_clause(&[!cx, !cy, !cp, g]);
+                        self.solver.add_clause(&[!cx, !cy, cp, !g]);
+                        if let Some(c) = self.cache.as_mut() {
+                            c.insert(key, g);
+                        }
+                        g
+                    }
+                };
+                Bit::Lit(if flip { !g } else { g })
+            }
+        }
+    }
+
     /// Sign-extends to exactly `w` bits.
     fn sext(&self, bv: &BitVec, w: usize) -> BitVec {
         debug_assert!(w >= bv.width());
@@ -366,6 +599,36 @@ impl Gates<'_> {
     fn sub(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
         let w = a.width().max(b.width()) + 1;
         let (a, b) = (self.sext(a, w), self.sext(b, w));
+        let nb: Vec<Bit> = b.bits.iter().map(|x| x.flip()).collect();
+        self.ripple(&a.bits, &nb, Bit::Const(true))
+    }
+
+    /// Sign-extends or truncates to exactly `w` bits. Truncation is the
+    /// low-bits slice: two's complement arithmetic mod `2^w` is exact
+    /// whenever the true result fits in `w` bits.
+    fn fit(&self, bv: &BitVec, w: usize) -> BitVec {
+        if bv.width() > w {
+            BitVec {
+                bits: bv.bits[..w].to_vec(),
+            }
+        } else {
+            self.sext(bv, w)
+        }
+    }
+
+    /// `a + b` truncated to the width of its inferred interval `[lo, hi]`.
+    /// Sound because `[lo, hi]` bounds the true sum in every admitted
+    /// assignment, so the dropped high bits never carry information.
+    fn add_narrow(&mut self, a: &BitVec, b: &BitVec, lo: i64, hi: i64) -> BitVec {
+        let w = width_for(lo, hi);
+        let (a, b) = (self.fit(a, w), self.fit(b, w));
+        self.ripple(&a.bits, &b.bits, Bit::Const(false))
+    }
+
+    /// `a - b` truncated like [`Gates::add_narrow`].
+    fn sub_narrow(&mut self, a: &BitVec, b: &BitVec, lo: i64, hi: i64) -> BitVec {
+        let w = width_for(lo, hi);
+        let (a, b) = (self.fit(a, w), self.fit(b, w));
         let nb: Vec<Bit> = b.bits.iter().map(|x| x.flip()).collect();
         self.ripple(&a.bits, &nb, Bit::Const(true))
     }
@@ -430,6 +693,13 @@ impl Gates<'_> {
                 x[w - 1] = x[w - 1].flip();
                 y[w - 1] = y[w - 1].flip();
                 let mut acc = Bit::Const(op == CmpOp::Le);
+                if self.cache.is_some() {
+                    // Optimized chain: one mux gate per bit (see cmp_step).
+                    for i in 0..w {
+                        acc = self.cmp_step(x[i], y[i], acc);
+                    }
+                    return acc;
+                }
                 for i in 0..w {
                     let lt = self.and2(x[i].flip(), y[i]);
                     let eq = self.iff2(x[i], y[i]);
@@ -442,14 +712,27 @@ impl Gates<'_> {
     }
 }
 
-/// Encodes a triplet form into `solver` using the chosen backend.
-///
-/// Returns the [`Blast`] mapping for bound injection and model extraction.
+/// Encodes a triplet form into `solver` using the chosen backend and the
+/// default optimization stages. See [`blast_with`].
 pub fn blast(
     form: &TripletForm,
     decls: &[(i64, i64)],
     solver: &mut Solver,
     backend: Backend,
+) -> Blast {
+    blast_with(form, decls, solver, backend, &EncoderOpt::default())
+}
+
+/// Encodes a triplet form into `solver` using the chosen backend and
+/// [`EncoderOpt`] stages.
+///
+/// Returns the [`Blast`] mapping for bound injection and model extraction.
+pub fn blast_with(
+    form: &TripletForm,
+    decls: &[(i64, i64)],
+    solver: &mut Solver,
+    backend: Backend,
+    opt: &EncoderOpt,
 ) -> Blast {
     let mut out = Blast {
         backend,
@@ -457,7 +740,13 @@ pub fn blast(
         bool_inputs: HashMap::new(),
         trivially_unsat: false,
         true_lit: None,
+        cache: opt.hash_consing.then(GateCache::new),
+        narrow: opt.narrowing,
     };
+    if form.infeasible() {
+        out.trivially_unsat = true;
+        return out;
+    }
     let mut int_bits: Vec<Option<BitVec>> = vec![None; form.ints.len()];
     let mut bool_bits: Vec<Option<Bit>> = vec![None; form.bools.len()];
 
@@ -476,12 +765,16 @@ pub fn blast(
                     int_bits[*a as usize].clone().unwrap(),
                     int_bits[*b as usize].clone().unwrap(),
                 );
+                let narrow = out.narrow;
                 let mut g = Gates {
                     solver,
                     backend,
                     true_lit: &mut out.true_lit,
+                    cache: &mut out.cache,
                 };
                 match op {
+                    ArithOp::Add if narrow => g.add_narrow(&a, &b, def.lo, def.hi),
+                    ArithOp::Sub if narrow => g.sub_narrow(&a, &b, def.lo, def.hi),
                     ArithOp::Add => g.add(&a, &b),
                     ArithOp::Sub => g.sub(&a, &b),
                     ArithOp::Mul => g.mul(&a, &b, def.lo, def.hi),
@@ -498,6 +791,7 @@ pub fn blast(
                 solver,
                 backend,
                 true_lit: &mut out.true_lit,
+                cache: &mut out.cache,
             };
             match def {
                 BoolDef::Const(b) => Bit::Const(*b),
@@ -559,6 +853,7 @@ pub fn blast(
             solver,
             backend,
             true_lit: &mut out.true_lit,
+            cache: &mut out.cache,
         };
         let pb_terms: Vec<PbTerm> = terms
             .iter()
@@ -620,6 +915,7 @@ fn fresh_input(out: &mut Blast, solver: &mut Solver, backend: Backend, lo: i64, 
                 solver,
                 backend,
                 true_lit: &mut out.true_lit,
+                cache: &mut out.cache,
             };
             if need_lo {
                 let ok = g.cmp(CmpOp::Le, &const_bitvec(lo), &bv);
@@ -649,6 +945,176 @@ mod tests {
         assert_eq!(width_for(0, 127), 8);
         assert_eq!(width_for(0, 128), 9);
         assert_eq!(width_for(-128, 127), 8);
+    }
+
+    #[test]
+    fn hash_consing_reuses_gates() {
+        let mut solver = Solver::new();
+        let mut tl = None;
+        let mut cache = Some(GateCache::new());
+        let mut g = Gates {
+            solver: &mut solver,
+            backend: Backend::Cnf,
+            true_lit: &mut tl,
+            cache: &mut cache,
+        };
+        let x = g.fresh();
+        let y = g.fresh();
+        let a1 = g.and2(Bit::Lit(x), Bit::Lit(y));
+        let a2 = g.and2(Bit::Lit(y), Bit::Lit(x));
+        assert_eq!(a1, a2, "commuted and2 must hit the cache");
+        // or2(x̄, ȳ) = ¬and2(x, y): shares the same gate.
+        let o = g.or2(Bit::Lit(!x), Bit::Lit(!y));
+        assert_eq!(o, a1.flip());
+        // XOR polarity canonicalization: all four sign combinations share
+        // one gate, with the output sign absorbing the input signs.
+        let x1 = g.xor2(Bit::Lit(x), Bit::Lit(y));
+        let x2 = g.xor2(Bit::Lit(!x), Bit::Lit(y));
+        let x3 = g.xor2(Bit::Lit(!x), Bit::Lit(!y));
+        assert_eq!(x2, x1.flip());
+        assert_eq!(x3, x1);
+        let before = g.solver.num_vars();
+        let x4 = g.xor2(Bit::Lit(y), Bit::Lit(!x));
+        assert_eq!(x4, x1.flip());
+        assert_eq!(g.solver.num_vars(), before, "cache hit allocated a var");
+    }
+
+    #[test]
+    fn majority_rewrites_and_self_duality() {
+        let mut solver = Solver::new();
+        let mut tl = None;
+        let mut cache = Some(GateCache::new());
+        let mut g = Gates {
+            solver: &mut solver,
+            backend: Backend::Cnf,
+            true_lit: &mut tl,
+            cache: &mut cache,
+        };
+        let x = g.fresh();
+        let y = g.fresh();
+        let z = g.fresh();
+        assert_eq!(g.maj3(x, x, z), Bit::Lit(x));
+        assert_eq!(g.maj3(x, !x, z), Bit::Lit(z));
+        let m = g.maj3(x, y, z);
+        // maj(x̄, ȳ, z̄) = ¬maj(x, y, z) via the flip canonicalization.
+        assert_eq!(g.maj3(!x, !y, !z), m.flip());
+        // Any permutation hits the same entry.
+        assert_eq!(g.maj3(z, x, y), m);
+    }
+
+    #[test]
+    fn narrowed_addition_truncates_but_stays_exact() {
+        use crate::expr::IntVar;
+        // x + y with x, y ∈ [0, 200] but the sum asserted ≤ 9: the narrowed
+        // encoding uses 5-bit adders yet must agree with the wide one.
+        for opt in [EncoderOpt::none(), EncoderOpt::default()] {
+            let x = IntVar {
+                id: 0,
+                lo: 0,
+                hi: 200,
+            };
+            let y = IntVar {
+                id: 1,
+                lo: 0,
+                hi: 200,
+            };
+            let sum = x.expr() + y.expr();
+            let mut tf = TripletForm::new();
+            tf.assert(&sum.le(9));
+            tf.assert(&sum.ge(9));
+            tf.assert(&x.expr().ge(4));
+            let mut decls = vec![(0, 200), (0, 200)];
+            if opt.narrowing {
+                tf.optimize(&mut decls);
+            }
+            let mut solver = Solver::new();
+            let bl = blast_with(&tf, &decls, &mut solver, Backend::Cnf, &opt);
+            assert!(!bl.trivially_unsat());
+            assert!(matches!(solver.solve(&[]), optalloc_sat::SolveResult::Sat));
+            let xv = bl.int_value(&solver, x);
+            let yv = bl.int_value(&solver, y);
+            assert_eq!(xv + yv, 9, "opt {opt:?}");
+            assert!((4..=9).contains(&xv), "opt {opt:?}: x = {xv}");
+        }
+    }
+
+    #[test]
+    fn mux_comparator_agrees_with_naive_chain() {
+        use crate::expr::IntVar;
+        // Exhaustive check of the single-gate-per-bit comparator: for every
+        // (a, b) pair the optimized chain must decide a ≤ b and a < b
+        // exactly like the unoptimized one. Narrowing is off so the Cmp
+        // runs over real literal bit-vectors, not folded constants.
+        let gates_only = EncoderOpt {
+            hash_consing: true,
+            narrowing: false,
+            preprocess: false,
+        };
+        for a in -3i64..=4 {
+            for b in -3i64..=4 {
+                for op in [CmpOp::Le, CmpOp::Lt] {
+                    let x = IntVar {
+                        id: 0,
+                        lo: -3,
+                        hi: 4,
+                    };
+                    let y = IntVar {
+                        id: 1,
+                        lo: -3,
+                        hi: 4,
+                    };
+                    let expected = match op {
+                        CmpOp::Le => a <= b,
+                        CmpOp::Lt => a < b,
+                        CmpOp::Eq => unreachable!(),
+                    };
+                    for opt in [EncoderOpt::none(), gates_only] {
+                        let mut tf = TripletForm::new();
+                        tf.assert(&x.expr().eq(a));
+                        tf.assert(&y.expr().eq(b));
+                        let cmp = match op {
+                            CmpOp::Le => x.expr().le(y.expr()),
+                            CmpOp::Lt => x.expr().lt(y.expr()),
+                            CmpOp::Eq => unreachable!(),
+                        };
+                        tf.assert(&cmp);
+                        let mut solver = Solver::new();
+                        let bl =
+                            blast_with(&tf, &[(-3, 4), (-3, 4)], &mut solver, Backend::Cnf, &opt);
+                        let sat = !bl.trivially_unsat()
+                            && matches!(solver.solve(&[]), optalloc_sat::SolveResult::Sat);
+                        assert_eq!(
+                            sat, expected,
+                            "{a} {op:?} {b} with {opt:?}: expected {expected}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_form_blasts_to_trivially_unsat() {
+        use crate::expr::IntVar;
+        let x = IntVar {
+            id: 0,
+            lo: 0,
+            hi: 9,
+        };
+        let mut tf = TripletForm::new();
+        tf.assert(&x.expr().ge(5));
+        tf.assert(&x.expr().lt(5));
+        let mut decls = vec![(0, 9)];
+        tf.optimize(&mut decls);
+        let mut solver = Solver::new();
+        let bl = blast_with(
+            &tf,
+            &decls,
+            &mut solver,
+            Backend::Cnf,
+            &EncoderOpt::default(),
+        );
+        assert!(bl.trivially_unsat());
     }
 
     #[test]

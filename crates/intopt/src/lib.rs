@@ -52,7 +52,7 @@ mod triplet;
 pub use binsearch::{
     BinSearchMode, EncodeStats, IncumbentCallback, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
 };
-pub use blast::{blast, Backend, Blast};
+pub use blast::{blast, blast_with, Backend, Blast, EncoderOpt};
 pub use bounds::BoundLattice;
 pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};
 pub use prober::{CostProber, Probe};

@@ -18,7 +18,7 @@
 //! so no guard-dependent clause can leak out.
 
 use crate::binsearch::{EncodeStats, MinimizeOptions};
-use crate::blast::{blast, Blast};
+use crate::blast::{blast_with, Blast};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
 use optalloc_sat::{SolveResult, Solver, SolverStats};
@@ -66,8 +66,10 @@ impl<'p> CostProber<'p> {
     /// Encodes `problem` once into a solver configured per `opts`.
     pub fn new(problem: &'p IntProblem, cost: IntVar, opts: &MinimizeOptions) -> CostProber<'p> {
         let mut solver = opts.new_solver();
-        let form = problem.triplet_form();
-        let bl = blast(&form, problem.int_decls(), &mut solver, opts.backend);
+        let encode_start = std::time::Instant::now();
+        let (form, decls) = problem.prepare(&opts.encoder_opt);
+        let bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
+        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
         // Clause sharing may only cover the base encoding: guard variables
         // for window bounds are allocated from here on up.
         if solver.config.share_var_limit == 0 {
@@ -77,6 +79,7 @@ impl<'p> CostProber<'p> {
             bool_vars: solver.num_vars() as u64,
             literals: solver.num_literals(),
             constraints: solver.num_constraints(),
+            encode_ms,
         };
         CostProber {
             problem,

@@ -2,7 +2,7 @@
 //! satisfiability checking and optimization.
 
 use crate::binsearch::{minimize, MinimizeOptions, MinimizeOutcome};
-use crate::blast::{blast, Backend};
+use crate::blast::{blast_with, Backend, EncoderOpt};
 use crate::expr::{BoolExpr, BoolVar, IntVar};
 use crate::triplet::TripletForm;
 use optalloc_sat::{PbOp, SolveResult, Solver};
@@ -114,6 +114,22 @@ impl IntProblem {
         tf
     }
 
+    /// Triplet form plus declaration ranges, ready for
+    /// [`blast_with`](crate::blast_with). With `opt.narrowing` on, the form
+    /// is interval-tightened (bounds flow *down* from asserted comparisons,
+    /// not just up from leaves), decided comparisons fold to constants, and
+    /// dead definitions are swept. The returned declaration table carries
+    /// the narrowed input ranges and must be the one handed to the blaster —
+    /// widths are only sound against the ranges actually asserted.
+    pub fn prepare(&self, opt: &EncoderOpt) -> (TripletForm, Vec<(i64, i64)>) {
+        let mut form = self.triplet_form();
+        let mut decls = self.int_decls.clone();
+        if opt.narrowing {
+            form.optimize(&mut decls);
+        }
+        (form, decls)
+    }
+
     pub(crate) fn extract_model(&self, solver: &Solver, bl: &crate::blast::Blast) -> Model {
         Model {
             ints: self
@@ -151,10 +167,23 @@ impl IntProblem {
         backend: Backend,
         max_conflicts: Option<u64>,
     ) -> Result<Option<Model>, ()> {
+        self.solve_with_options(backend, max_conflicts, &EncoderOpt::default())
+    }
+
+    /// Like [`solve_with_budget`](IntProblem::solve_with_budget) with an
+    /// explicit encoder-optimization configuration (ablation hook).
+    #[allow(clippy::result_unit_err)]
+    pub fn solve_with_options(
+        &self,
+        backend: Backend,
+        max_conflicts: Option<u64>,
+        opt: &EncoderOpt,
+    ) -> Result<Option<Model>, ()> {
         let mut solver = Solver::new();
         solver.config.max_conflicts = max_conflicts;
-        let form = self.triplet_form();
-        let bl = blast(&form, &self.int_decls, &mut solver, backend);
+        solver.config.preprocess = opt.preprocess;
+        let (form, decls) = self.prepare(opt);
+        let bl = blast_with(&form, &decls, &mut solver, backend, opt);
         if bl.trivially_unsat() {
             return Ok(None);
         }

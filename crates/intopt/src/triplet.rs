@@ -18,6 +18,54 @@
 use crate::expr::{BoolExpr, BoolNode, CmpOp, IntExpr, IntNode};
 use std::collections::HashMap;
 
+/// Interval arithmetic for one operator (the bottom-up direction).
+fn op_interval(op: ArithOp, (al, ah): (i64, i64), (bl, bh): (i64, i64)) -> (i64, i64) {
+    match op {
+        ArithOp::Add => (al + bl, ah + bh),
+        ArithOp::Sub => (al - bh, ah - bl),
+        ArithOp::Mul => {
+            let p = [al * bl, al * bh, ah * bl, ah * bh];
+            (
+                p.iter().copied().min().unwrap(),
+                p.iter().copied().max().unwrap(),
+            )
+        }
+    }
+}
+
+/// Decides a comparison from operand intervals alone, if possible.
+fn decide_cmp(op: CmpOp, (al, ah): (i64, i64), (bl, bh): (i64, i64)) -> Option<bool> {
+    match op {
+        CmpOp::Le => {
+            if ah <= bl {
+                Some(true)
+            } else if al > bh {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Lt => {
+            if ah < bl {
+                Some(true)
+            } else if al >= bh {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Eq => {
+            if al == ah && bl == bh && al == bl {
+                Some(true)
+            } else if ah < bl || bh < al {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// Index of an integer definition in a [`TripletForm`].
 pub type IntId = u32;
 /// Index of a Boolean definition in a [`TripletForm`].
@@ -94,6 +142,7 @@ pub struct TripletForm {
 
     int_intern: HashMap<IntDefKind, IntId>,
     bool_intern: HashMap<BoolDef, BoolId>,
+    infeasible: bool,
 }
 
 impl TripletForm {
@@ -157,19 +206,9 @@ impl TripletForm {
             };
             return self.intern_int(IntDefKind::Const(v), v, v);
         }
-        let (al, ah) = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
-        let (bl, bh) = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
-        let (lo, hi) = match op {
-            ArithOp::Add => (al + bl, ah + bh),
-            ArithOp::Sub => (al - bh, ah - bl),
-            ArithOp::Mul => {
-                let p = [al * bl, al * bh, ah * bl, ah * bh];
-                (
-                    p.iter().copied().min().unwrap(),
-                    p.iter().copied().max().unwrap(),
-                )
-            }
-        };
+        let ra = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
+        let rb = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
+        let (lo, hi) = op_interval(op, ra, rb);
         self.intern_int(IntDefKind::Op(op, ia, ib), lo, hi)
     }
 
@@ -182,38 +221,9 @@ impl TripletForm {
                 let ia = self.flatten_int(a);
                 let ib = self.flatten_int(b);
                 // Fold comparisons decidable from ranges alone.
-                let (al, ah) = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
-                let (bl, bh) = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
-                let decided = match op {
-                    CmpOp::Le => {
-                        if ah <= bl {
-                            Some(true)
-                        } else if al > bh {
-                            Some(false)
-                        } else {
-                            None
-                        }
-                    }
-                    CmpOp::Lt => {
-                        if ah < bl {
-                            Some(true)
-                        } else if al >= bh {
-                            Some(false)
-                        } else {
-                            None
-                        }
-                    }
-                    CmpOp::Eq => {
-                        if al == ah && bl == bh && al == bl {
-                            Some(true)
-                        } else if ah < bl || bh < al {
-                            Some(false)
-                        } else {
-                            None
-                        }
-                    }
-                };
-                match decided {
+                let ra = (self.ints[ia as usize].lo, self.ints[ia as usize].hi);
+                let rb = (self.ints[ib as usize].lo, self.ints[ib as usize].hi);
+                match decide_cmp(*op, ra, rb) {
                     Some(b) => self.intern_bool(BoolDef::Const(b)),
                     None => self.intern_bool(BoolDef::Cmp(*op, ia, ib)),
                 }
@@ -305,6 +315,328 @@ impl TripletForm {
             .collect();
         self.pb_asserts.push((flat, op, bound));
     }
+
+    /// `true` when narrowing proved the form unsatisfiable (some required
+    /// interval became empty). The blaster short-circuits to UNSAT.
+    pub fn infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Forward–backward interval tightening plus dead-definition elimination
+    /// (the "narrowing" stage of `EncoderOpt`).
+    ///
+    /// Root-asserted comparisons imply bounds on their operands; those bounds
+    /// propagate *backward* through `+`/`-` definitions down to the input
+    /// declarations in `decls`, which are tightened in place. Because the
+    /// blaster *asserts* every input range, a tightened declaration is sound:
+    /// the implied bound is a consequence of the constraints, so no model is
+    /// lost, and every model still satisfies it. Definition intervals are then
+    /// recomputed bottom-up from the narrowed declarations — only these
+    /// forward intervals are safe for bit-width truncation, since a
+    /// backward-implied interval on an intermediate term does not bound the
+    /// term's value in arbitrary (e.g. guard-relaxed) assignments.
+    ///
+    /// After narrowing, comparisons decided by the new ranges fold to
+    /// constants and definitions feeding no assertion are swept. Input
+    /// definitions always stay live so windowed bound probes keep their
+    /// variables materialized.
+    pub fn optimize(&mut self, decls: &mut [(i64, i64)]) {
+        if self.infeasible {
+            return;
+        }
+        if !self.narrow(decls) {
+            self.infeasible = true;
+            return;
+        }
+        self.fold_decided_cmps();
+        self.sweep();
+    }
+
+    /// Root-level comparison facts: `(op, a, b, positive)` for every
+    /// comparison the assertions force to hold (or to be violated).
+    fn root_facts(&self) -> Vec<(CmpOp, IntId, IntId, bool)> {
+        let mut facts = Vec::new();
+        let mut stack: Vec<(BoolId, bool)> = self.asserts.iter().map(|&r| (r, true)).collect();
+        while let Some((id, pos)) = stack.pop() {
+            match &self.bools[id as usize] {
+                BoolDef::Cmp(op, a, b) => facts.push((*op, *a, *b, pos)),
+                BoolDef::Not(x) => stack.push((*x, !pos)),
+                // An asserted conjunction forces every member; a refuted
+                // disjunction refutes every member.
+                BoolDef::And(ids) if pos => stack.extend(ids.iter().map(|&i| (i, true))),
+                BoolDef::Or(ids) if !pos => stack.extend(ids.iter().map(|&i| (i, false))),
+                _ => {}
+            }
+        }
+        facts
+    }
+
+    /// Runs the interval fixpoint; returns `false` on an empty interval
+    /// (the form is unsatisfiable). See [`TripletForm::optimize`].
+    fn narrow(&mut self, decls: &mut [(i64, i64)]) -> bool {
+        let n = self.ints.len();
+        // Implied intervals, seeded with the bottom-up inference. Candidate
+        // bounds are computed in i128 so extreme ranges cannot overflow.
+        let mut imp: Vec<(i64, i64)> = self.ints.iter().map(|d| (d.lo, d.hi)).collect();
+        fn clip(imp: &mut [(i64, i64)], i: usize, lo: i128, hi: i128) -> Option<bool> {
+            let cur = imp[i];
+            let lo = lo.max(cur.0 as i128);
+            let hi = hi.min(cur.1 as i128);
+            if lo > hi {
+                return None;
+            }
+            let next = (lo as i64, hi as i64);
+            let changed = next != cur;
+            imp[i] = next;
+            Some(changed)
+        }
+        let facts = self.root_facts();
+        for _pass in 0..4 {
+            let mut changed = false;
+            macro_rules! clip_or_fail {
+                ($i:expr, $lo:expr, $hi:expr) => {
+                    match clip(&mut imp, $i, $lo, $hi) {
+                        None => return false,
+                        Some(c) => changed |= c,
+                    }
+                };
+            }
+            // Asserted comparisons bound their operands.
+            for &(op, a, b, pos) in &facts {
+                let (a, b) = (a as usize, b as usize);
+                match (op, pos) {
+                    (CmpOp::Le, true) => {
+                        let hi = imp[b].1 as i128;
+                        clip_or_fail!(a, i128::MIN, hi);
+                        let lo = imp[a].0 as i128;
+                        clip_or_fail!(b, lo, i128::MAX);
+                    }
+                    (CmpOp::Lt, true) => {
+                        let hi = imp[b].1 as i128 - 1;
+                        clip_or_fail!(a, i128::MIN, hi);
+                        let lo = imp[a].0 as i128 + 1;
+                        clip_or_fail!(b, lo, i128::MAX);
+                    }
+                    (CmpOp::Eq, true) => {
+                        let (lo, hi) = (imp[b].0 as i128, imp[b].1 as i128);
+                        clip_or_fail!(a, lo, hi);
+                        let (lo, hi) = (imp[a].0 as i128, imp[a].1 as i128);
+                        clip_or_fail!(b, lo, hi);
+                    }
+                    // ¬(a ≤ b) ⇔ b < a and ¬(a < b) ⇔ b ≤ a.
+                    (CmpOp::Le, false) => {
+                        let lo = imp[b].0 as i128 + 1;
+                        clip_or_fail!(a, lo, i128::MAX);
+                        let hi = imp[a].1 as i128 - 1;
+                        clip_or_fail!(b, i128::MIN, hi);
+                    }
+                    (CmpOp::Lt, false) => {
+                        let lo = imp[b].0 as i128;
+                        clip_or_fail!(a, lo, i128::MAX);
+                        let hi = imp[a].1 as i128;
+                        clip_or_fail!(b, i128::MIN, hi);
+                    }
+                    (CmpOp::Eq, false) => {}
+                }
+            }
+            // Backward through arithmetic: a parent's interval bounds its
+            // children (`c = a + b` implies `a ∈ [c.lo - b.hi, c.hi - b.lo]`).
+            for idx in (0..n).rev() {
+                if let IntDefKind::Op(op, a, b) = self.ints[idx].kind {
+                    let (a, b) = (a as usize, b as usize);
+                    let c = (imp[idx].0 as i128, imp[idx].1 as i128);
+                    let ia = (imp[a].0 as i128, imp[a].1 as i128);
+                    let ib = (imp[b].0 as i128, imp[b].1 as i128);
+                    match op {
+                        ArithOp::Add => {
+                            clip_or_fail!(a, c.0 - ib.1, c.1 - ib.0);
+                            clip_or_fail!(b, c.0 - ia.1, c.1 - ia.0);
+                        }
+                        ArithOp::Sub => {
+                            clip_or_fail!(a, c.0 + ib.0, c.1 + ib.1);
+                            clip_or_fail!(b, ia.0 - c.1, ia.1 - c.0);
+                        }
+                        // Division-free backward rules for products are not
+                        // worth their edge cases; skip.
+                        ArithOp::Mul => {}
+                    }
+                }
+            }
+            // Forward sweep: recompute bottom-up and intersect.
+            for idx in 0..n {
+                match self.ints[idx].kind {
+                    IntDefKind::Input(d) => {
+                        let (lo, hi) = decls[d as usize];
+                        clip_or_fail!(idx, lo as i128, hi as i128);
+                        // Adopt implied input bounds into the declaration;
+                        // the blaster asserts them, which is what makes every
+                        // other use of the narrowed intervals sound.
+                        decls[d as usize] = imp[idx];
+                    }
+                    IntDefKind::Const(v) => clip_or_fail!(idx, v as i128, v as i128),
+                    IntDefKind::Op(op, a, b) => {
+                        let (lo, hi) = op_interval(op, imp[a as usize], imp[b as usize]);
+                        clip_or_fail!(idx, lo as i128, hi as i128);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Final intervals: forward-only from the narrowed declarations, in
+        // topological order. These bound the value of each definition in
+        // *every* assignment the encoding admits, so the blaster may truncate
+        // adder widths to them.
+        for idx in 0..n {
+            let (lo, hi) = match self.ints[idx].kind {
+                IntDefKind::Input(d) => decls[d as usize],
+                IntDefKind::Const(v) => (v, v),
+                IntDefKind::Op(op, a, b) => {
+                    let a = &self.ints[a as usize];
+                    let b = &self.ints[b as usize];
+                    op_interval(op, (a.lo, a.hi), (b.lo, b.hi))
+                }
+            };
+            if lo > hi {
+                return false;
+            }
+            self.ints[idx].lo = lo;
+            self.ints[idx].hi = hi;
+        }
+        true
+    }
+
+    /// Replaces comparisons decided by the (narrowed, asserted) operand
+    /// ranges with constants. Sound because every admitted assignment keeps
+    /// each operand inside its forward interval.
+    fn fold_decided_cmps(&mut self) {
+        for i in 0..self.bools.len() {
+            if let BoolDef::Cmp(op, a, b) = self.bools[i] {
+                let a = &self.ints[a as usize];
+                let b = &self.ints[b as usize];
+                if let Some(v) = decide_cmp(op, (a.lo, a.hi), (b.lo, b.hi)) {
+                    self.bools[i] = BoolDef::Const(v);
+                }
+            }
+        }
+    }
+
+    /// Dead-definition elimination: drops definitions that feed no assertion.
+    /// Input definitions always survive, so the blaster's variable tables —
+    /// and with them windowed bound probes and model extraction — are
+    /// unaffected. Invalidates the intern maps; call only on finalized forms.
+    fn sweep(&mut self) {
+        let (ni, nb) = (self.ints.len(), self.bools.len());
+        let mut live_i = vec![false; ni];
+        let mut live_b = vec![false; nb];
+        for &r in &self.asserts {
+            live_b[r as usize] = true;
+        }
+        for (terms, _, _) in &self.pb_asserts {
+            for &(id, _) in terms {
+                live_b[id as usize] = true;
+            }
+        }
+        for (i, d) in self.ints.iter().enumerate() {
+            if matches!(d.kind, IntDefKind::Input(_)) {
+                live_i[i] = true;
+            }
+        }
+        for (i, d) in self.bools.iter().enumerate() {
+            if matches!(d, BoolDef::Input(_)) {
+                live_b[i] = true;
+            }
+        }
+        // Children precede parents, so one reverse pass closes liveness.
+        for i in (0..nb).rev() {
+            if !live_b[i] {
+                continue;
+            }
+            match &self.bools[i] {
+                BoolDef::Cmp(_, a, b) => {
+                    live_i[*a as usize] = true;
+                    live_i[*b as usize] = true;
+                }
+                BoolDef::Not(a) => live_b[*a as usize] = true,
+                BoolDef::And(v) | BoolDef::Or(v) => {
+                    for &a in v {
+                        live_b[a as usize] = true;
+                    }
+                }
+                BoolDef::Iff(a, b) => {
+                    live_b[*a as usize] = true;
+                    live_b[*b as usize] = true;
+                }
+                BoolDef::Input(_) | BoolDef::Const(_) => {}
+            }
+        }
+        for i in (0..ni).rev() {
+            if live_i[i] {
+                if let IntDefKind::Op(_, a, b) = self.ints[i].kind {
+                    live_i[a as usize] = true;
+                    live_i[b as usize] = true;
+                }
+            }
+        }
+        if live_i.iter().all(|&l| l) && live_b.iter().all(|&l| l) {
+            return;
+        }
+        // Compact and remap.
+        let mut imap = vec![u32::MAX; ni];
+        let mut bmap = vec![u32::MAX; nb];
+        let mut ints = Vec::with_capacity(ni);
+        for (i, d) in self.ints.drain(..).enumerate() {
+            if live_i[i] {
+                imap[i] = ints.len() as u32;
+                ints.push(d);
+            }
+        }
+        let mut bools = Vec::with_capacity(nb);
+        for (i, d) in self.bools.drain(..).enumerate() {
+            if live_b[i] {
+                bmap[i] = bools.len() as u32;
+                bools.push(d);
+            }
+        }
+        for d in &mut ints {
+            if let IntDefKind::Op(_, a, b) = &mut d.kind {
+                *a = imap[*a as usize];
+                *b = imap[*b as usize];
+            }
+        }
+        for d in &mut bools {
+            match d {
+                BoolDef::Cmp(_, a, b) => {
+                    *a = imap[*a as usize];
+                    *b = imap[*b as usize];
+                }
+                BoolDef::Not(a) => *a = bmap[*a as usize],
+                BoolDef::And(v) | BoolDef::Or(v) => {
+                    for a in v {
+                        *a = bmap[*a as usize];
+                    }
+                }
+                BoolDef::Iff(a, b) => {
+                    *a = bmap[*a as usize];
+                    *b = bmap[*b as usize];
+                }
+                BoolDef::Input(_) | BoolDef::Const(_) => {}
+            }
+        }
+        for r in &mut self.asserts {
+            *r = bmap[*r as usize];
+        }
+        for (terms, _, _) in &mut self.pb_asserts {
+            for (id, _) in terms {
+                *id = bmap[*id as usize];
+            }
+        }
+        self.ints = ints;
+        self.bools = bools;
+        self.int_intern.clear();
+        self.bool_intern.clear();
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +725,112 @@ mod tests {
         let id = tf.flatten_int(&(&x * &y - 7));
         let d = &tf.ints[id as usize];
         assert_eq!((d.lo, d.hi), (-5 - 7, 5 * 3 - 7));
+    }
+
+    #[test]
+    fn narrowing_tightens_input_declarations() {
+        // x ∈ [0, 100] with x ≥ 40 and x + y ≤ 50, y ∈ [0, 100]:
+        // narrowing must derive x ∈ [40, 50] and y ∈ [0, 10].
+        let x = ivar(0, 0, 100).expr();
+        let y = ivar(1, 0, 100).expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&x.ge(40));
+        tf.assert(&(&x + &y).le(50));
+        let mut decls = vec![(0, 100), (0, 100)];
+        tf.optimize(&mut decls);
+        assert!(!tf.infeasible());
+        assert_eq!(decls[0], (40, 50));
+        assert_eq!(decls[1], (0, 10));
+        // Definition intervals are the forward recomputation.
+        for d in &tf.ints {
+            if let IntDefKind::Op(ArithOp::Add, _, _) = d.kind {
+                assert_eq!((d.lo, d.hi), (40, 60));
+            }
+        }
+    }
+
+    #[test]
+    fn narrowing_through_subtraction_and_negated_cmp() {
+        // z = x - y with z ≤ 5 asserted, plus ¬(x ≤ 20) ⇒ x ≥ 21.
+        let x = ivar(0, 0, 100).expr();
+        let y = ivar(1, 0, 100).expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&(&x - &y).le(5));
+        tf.assert(&x.le(20).not());
+        let mut decls = vec![(0, 100), (0, 100)];
+        tf.optimize(&mut decls);
+        assert!(!tf.infeasible());
+        assert_eq!(decls[0], (21, 100));
+        // x - y ≤ 5 with x ≥ 21 forces y ≥ 16.
+        assert_eq!(decls[1], (16, 100));
+    }
+
+    #[test]
+    fn narrowing_detects_empty_intervals() {
+        let x = ivar(0, 0, 10).expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&x.ge(4));
+        tf.assert(&x.lt(4));
+        let mut decls = vec![(0, 10)];
+        tf.optimize(&mut decls);
+        assert!(tf.infeasible());
+    }
+
+    #[test]
+    fn sweep_drops_dead_definitions_but_keeps_inputs() {
+        let x = ivar(0, 0, 10).expr();
+        let y = ivar(1, 0, 10).expr();
+        // (x * y) is flattened but never asserted; x ≤ 5 is the only root.
+        let mut tf = TripletForm::new();
+        tf.flatten_int(&(&x * &y));
+        tf.assert(&x.le(5));
+        let mut decls = vec![(0, 10), (0, 10)];
+        tf.optimize(&mut decls);
+        assert!(tf
+            .ints
+            .iter()
+            .all(|d| !matches!(d.kind, IntDefKind::Op(ArithOp::Mul, _, _))));
+        // Both inputs survive even though y is now unused.
+        let inputs: Vec<u32> = tf
+            .ints
+            .iter()
+            .filter_map(|d| match d.kind {
+                IntDefKind::Input(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(inputs, vec![0, 1]);
+        // Remapped ids stay in-bounds and children precede parents.
+        for (i, d) in tf.ints.iter().enumerate() {
+            if let IntDefKind::Op(_, a, b) = d.kind {
+                assert!((a as usize) < i && (b as usize) < i);
+            }
+        }
+        for r in &tf.asserts {
+            assert!((*r as usize) < tf.bools.len());
+        }
+    }
+
+    #[test]
+    fn narrowing_folds_newly_decided_comparisons() {
+        // With x narrowed to [8, 10] by the first assert, x ≥ 3 becomes
+        // decidable and folds away, leaving nothing but the inputs.
+        let x = ivar(0, 0, 10).expr();
+        let mut tf = TripletForm::new();
+        tf.assert(&x.ge(8));
+        tf.assert(&x.ge(3));
+        let mut decls = vec![(0, 10)];
+        tf.optimize(&mut decls);
+        assert!(!tf.infeasible());
+        assert_eq!(decls[0], (8, 10));
+        let cmps = tf
+            .bools
+            .iter()
+            .filter(|d| matches!(d, BoolDef::Cmp(..)))
+            .count();
+        // Both comparisons are implied by the narrowed declaration: the
+        // asserted roots fold to constants.
+        assert_eq!(cmps, 0);
     }
 
     #[test]

@@ -618,7 +618,7 @@ mod tests {
 
     #[test]
     fn subtract_and_split_cover_without_overlap() {
-        let unknown = subtract(0, 99, &mut vec![(10, 19), (40, 59)]);
+        let unknown = subtract(0, 99, &mut [(10, 19), (40, 59)]);
         assert_eq!(unknown, vec![(0, 9), (20, 39), (60, 99)]);
         let chunks = split(&unknown, 4);
         // Chunks tile the unknown region exactly, in ascending order.
@@ -628,9 +628,9 @@ mod tests {
             assert!(w[0].1 < w[1].0);
         }
         // Degenerate cases.
-        assert!(subtract(5, 4, &mut vec![]).is_empty());
-        assert_eq!(subtract(0, 9, &mut vec![]), vec![(0, 9)]);
-        assert!(subtract(0, 9, &mut vec![(0, 9)]).is_empty());
+        assert!(subtract(5, 4, &mut []).is_empty());
+        assert_eq!(subtract(0, 9, &mut []), vec![(0, 9)]);
+        assert!(subtract(0, 9, &mut [(0, 9)]).is_empty());
     }
 
     #[test]
@@ -725,8 +725,10 @@ mod tests {
         let x = p.int_var(0, 50);
         p.assert(x.expr().ge(12));
         for deterministic in [false, true] {
-            let mut base = MinimizeOptions::default();
-            base.initial_upper = Some(5);
+            let base = MinimizeOptions {
+                initial_upper: Some(5),
+                ..MinimizeOptions::default()
+            };
             let out = minimize_window_search(
                 &p,
                 x,

@@ -1,10 +1,13 @@
 //! Agreement property: on random optimization instances, the paper's two
-//! `BIN_SEARCH` modes, the portfolio (deterministic and racing), and the
-//! parallel window search (deterministic and racing) all prove the same
-//! optimal cost — neither parallel flavour trades correctness for speed.
+//! `BIN_SEARCH` modes (each with the encoder optimization layer on and
+//! off), the portfolio (deterministic and racing), and the parallel window
+//! search (deterministic and racing) all prove the same optimal cost —
+//! neither parallel flavour nor the optimized encoder trades correctness
+//! for speed.
 
 use optalloc_intopt::{
-    BinSearchMode, BoolExpr, IntExpr, IntProblem, IntVar, MinimizeOptions, MinimizeStatus,
+    BinSearchMode, BoolExpr, EncoderOpt, IntExpr, IntProblem, IntVar, MinimizeOptions,
+    MinimizeStatus,
 };
 use optalloc_portfolio::{minimize_portfolio, minimize_window_search, PortfolioOptions};
 use proptest::prelude::*;
@@ -43,18 +46,24 @@ fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
 
 /// Optimal cost per strategy, `None` for infeasible. Panics on any
 /// non-decisive verdict (no budgets or interrupts are configured here).
-fn optimum_single(p: &IntProblem, cost: IntVar, mode: BinSearchMode) -> Option<i64> {
+fn optimum_single(
+    p: &IntProblem,
+    cost: IntVar,
+    mode: BinSearchMode,
+    encoder_opt: EncoderOpt,
+) -> Option<i64> {
     let out = p.minimize(
         cost,
         &MinimizeOptions {
             mode,
+            encoder_opt,
             ..MinimizeOptions::default()
         },
     );
     match out.status {
         MinimizeStatus::Optimal { value, .. } => Some(value),
         MinimizeStatus::Infeasible => None,
-        ref s => panic!("{mode:?}: unexpected {s:?}"),
+        ref s => panic!("{mode:?} ({encoder_opt:?}): unexpected {s:?}"),
     }
 }
 
@@ -129,15 +138,24 @@ proptest! {
         let cost = p.int_var(0, obj_hi.max(0));
         p.assert(cost.expr().eq(obj));
 
-        let fresh = optimum_single(&p, cost, BinSearchMode::Fresh);
-        let incremental = optimum_single(&p, cost, BinSearchMode::Incremental);
+        let fresh = optimum_single(&p, cost, BinSearchMode::Fresh, EncoderOpt::default());
+        let incremental =
+            optimum_single(&p, cost, BinSearchMode::Incremental, EncoderOpt::default());
+        let fresh_unopt = optimum_single(&p, cost, BinSearchMode::Fresh, EncoderOpt::none());
+        let incremental_unopt =
+            optimum_single(&p, cost, BinSearchMode::Incremental, EncoderOpt::none());
         let det = optimum_portfolio(&p, cost, true);
         let racing = optimum_portfolio(&p, cost, false);
         let window_det = optimum_window(&p, cost, true);
         let window_racing = optimum_window(&p, cost, false);
 
         prop_assert_eq!(fresh, incremental, "fresh vs incremental");
-        prop_assert_eq!(incremental, det, "incremental vs deterministic portfolio");
+        prop_assert_eq!(incremental, fresh_unopt, "optimized vs unoptimized fresh encoder");
+        prop_assert_eq!(
+            fresh_unopt, incremental_unopt,
+            "unoptimized fresh vs unoptimized incremental"
+        );
+        prop_assert_eq!(incremental_unopt, det, "incremental vs deterministic portfolio");
         prop_assert_eq!(det, racing, "deterministic vs racing portfolio");
         prop_assert_eq!(racing, window_det, "racing portfolio vs deterministic window search");
         prop_assert_eq!(window_det, window_racing, "deterministic vs racing window search");

@@ -113,6 +113,11 @@ pub struct SolverConfig {
     pub share_max_len: usize,
     /// Maximum LBD (glue) of an exported clause.
     pub share_max_lbd: u32,
+    /// Run the level-0 input preprocessing pass (duplicate/subsumed clause
+    /// removal and self-subsuming resolution) once, at the first `solve`
+    /// call. Equivalence-preserving, so sound under incremental reuse,
+    /// assumptions, and clause exchange.
+    pub preprocess: bool,
 }
 
 impl Default for SolverConfig {
@@ -132,6 +137,7 @@ impl Default for SolverConfig {
             share_var_limit: 0,
             share_max_len: MAX_SHARED_LITS,
             share_max_lbd: 6,
+            preprocess: true,
         }
     }
 }
@@ -157,6 +163,16 @@ pub struct SolverStats {
     pub exported: u64,
     /// Foreign clauses imported from the exchange.
     pub imported: u64,
+    /// Input clauses removed by preprocessing (satisfied, duplicate or
+    /// subsumed).
+    pub pp_removed: u64,
+    /// Literals removed from input clauses by self-subsuming resolution.
+    pub pp_strengthened: u64,
+    /// Variables fixed at level 0 by preprocessing.
+    pub pp_fixed: u64,
+    /// Wall-clock milliseconds spent inside `solve` calls (search only;
+    /// encoding time is tracked separately by the callers).
+    pub solve_ms: f64,
 }
 
 impl SolverStats {
@@ -172,6 +188,10 @@ impl SolverStats {
         self.pb_propagations += other.pb_propagations;
         self.exported += other.exported;
         self.imported += other.imported;
+        self.pp_removed += other.pp_removed;
+        self.pp_strengthened += other.pp_strengthened;
+        self.pp_fixed += other.pp_fixed;
+        self.solve_ms += other.solve_ms;
     }
 }
 
@@ -224,6 +244,9 @@ pub struct Solver {
     /// Read position on the clause exchange, if one is configured.
     exchange_cursor: u64,
 
+    /// Whether the one-shot input preprocessing pass has run.
+    preprocessed: bool,
+
     /// Execution counters.
     pub stats: SolverStats,
 }
@@ -264,6 +287,7 @@ impl Solver {
             input_literals: 0,
             input_clauses: 0,
             exchange_cursor: 0,
+            preprocessed: false,
             stats: SolverStats::default(),
         }
     }
@@ -916,6 +940,278 @@ impl Solver {
     }
 
     // ------------------------------------------------------------------
+    // Input preprocessing (SatELite-style, level 0, one-shot)
+    // ------------------------------------------------------------------
+
+    /// Clears the reason of every level-0 trail literal. Root facts never
+    /// need explaining (conflict analysis stops above level 0), and a `None`
+    /// reason lets preprocessing delete or relocate any input clause without
+    /// leaving a dangling reference.
+    fn clear_root_reasons(&mut self) {
+        let end = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for i in 0..end {
+            self.reason[self.trail[i].var().index()] = Reason::None;
+        }
+    }
+
+    /// Assigns a preprocessing-derived unit fact and propagates. Returns
+    /// `false` (and clears `ok`) on a contradiction.
+    fn pp_assign_unit(&mut self, l: Lit) -> bool {
+        match self.value_lit(l) {
+            LBool::True => true,
+            LBool::False => {
+                self.ok = false;
+                false
+            }
+            LBool::Undef => {
+                self.stats.pp_fixed += 1;
+                self.assign(l, Reason::None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// One-shot input preprocessing at level 0: removes clauses satisfied by
+    /// root facts, strips falsified literals, deletes duplicate and subsumed
+    /// clauses, and applies self-subsuming resolution (if `C∖{l} ⊆ D` and
+    /// `¬l ∈ D`, the resolvent strengthens `D` to `D∖{¬l}`).
+    ///
+    /// Every step is equivalence-preserving over the input clauses (removed
+    /// clauses are implied by the rest, strengthened clauses are resolvents),
+    /// so assumptions, guard literals added later, incremental reuse, and the
+    /// cross-solver clause exchange all stay sound. PB constraints are left
+    /// untouched. Iteration follows arena/occurrence order, so the pass is
+    /// deterministic.
+    fn preprocess_input(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.clear_root_reasons();
+
+        // Working copies of the live input clauses, simplified against the
+        // current root assignment.
+        struct Pc {
+            cref: ClauseRef,
+            lits: Vec<Lit>,
+            sig: u64,
+            dead: bool,
+            changed: bool,
+        }
+        fn signature(lits: &[Lit]) -> u64 {
+            lits.iter()
+                .fold(0u64, |s, l| s | 1u64 << (l.var().index() & 63))
+        }
+        let crefs: Vec<ClauseRef> = self
+            .db
+            .iter_refs()
+            .filter(|&c| !self.db.is_learnt(c))
+            .collect();
+        let mut pcs: Vec<Pc> = Vec::with_capacity(crefs.len());
+        let mut doomed: Vec<ClauseRef> = Vec::new();
+        for cref in crefs {
+            let orig_len = self.db.len(cref);
+            let mut lits: Vec<Lit> = Vec::with_capacity(orig_len);
+            let mut satisfied = false;
+            for i in 0..orig_len {
+                let l = self.db.lits(cref)[i];
+                match self.value_lit(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {}
+                    LBool::Undef => lits.push(l),
+                }
+            }
+            if satisfied {
+                doomed.push(cref);
+                self.stats.pp_removed += 1;
+                continue;
+            }
+            match lits.len() {
+                // All-false clauses would have conflicted during propagation.
+                0 => {
+                    self.ok = false;
+                    return;
+                }
+                1 => {
+                    doomed.push(cref);
+                    if !self.pp_assign_unit(lits[0]) {
+                        return;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            lits.sort_unstable();
+            let sig = signature(&lits);
+            let changed = lits.len() != orig_len;
+            pcs.push(Pc {
+                cref,
+                lits,
+                sig,
+                dead: false,
+                changed,
+            });
+        }
+
+        // Occurrence lists over the copies, by literal index.
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); 2 * self.num_vars()];
+        for (i, pc) in pcs.iter().enumerate() {
+            for &l in &pc.lits {
+                occ[l.index()].push(i as u32);
+            }
+        }
+
+        // Returns Some(None) if a ⊆ b, Some(Some(l)) if a∖{l} ⊆ b with
+        // ¬l ∈ b (self-subsumption resolving on l), None otherwise. Both
+        // inputs are sorted.
+        fn sub_check(a: &[Lit], b: &[Lit]) -> Option<Option<Lit>> {
+            let mut flipped = None;
+            for &l in a {
+                if b.binary_search(&l).is_ok() {
+                    continue;
+                }
+                if flipped.is_none() && b.binary_search(&!l).is_ok() {
+                    flipped = Some(l);
+                    continue;
+                }
+                return None;
+            }
+            Some(flipped)
+        }
+
+        // Forward subsumption with the short clauses as subsumers, cheapest
+        // occurrence list first, bounded by a global step budget.
+        const SUBSUMER_MAX_LEN: usize = 16;
+        let mut budget: u64 = 20_000_000;
+        let mut order: Vec<u32> = (0..pcs.len() as u32).collect();
+        order.sort_by_key(|&i| (pcs[i as usize].lits.len(), i));
+        let mut worklist: std::collections::VecDeque<u32> = order.into();
+        while let Some(ci) = worklist.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            let (c_lits, c_sig) = {
+                let c = &pcs[ci as usize];
+                if c.dead || c.lits.len() > SUBSUMER_MAX_LEN {
+                    continue;
+                }
+                (c.lits.clone(), c.sig)
+            };
+            // Candidates must contain the subsumer's least-occurring literal
+            // in either polarity.
+            let best = c_lits
+                .iter()
+                .min_by_key(|l| occ[l.index()].len() + occ[(!**l).index()].len())
+                .copied()
+                .unwrap();
+            for side in [best, !best] {
+                for &dj in &occ[side.index()] {
+                    if dj == ci || pcs[dj as usize].dead {
+                        continue;
+                    }
+                    let d = &pcs[dj as usize];
+                    if d.lits.len() < c_lits.len() || c_sig & !d.sig != 0 {
+                        continue;
+                    }
+                    budget = budget.saturating_sub(d.lits.len() as u64);
+                    match sub_check(&c_lits, &d.lits) {
+                        None => {}
+                        Some(None) => {
+                            pcs[dj as usize].dead = true;
+                            self.stats.pp_removed += 1;
+                        }
+                        Some(Some(l)) => {
+                            let d = &mut pcs[dj as usize];
+                            d.lits.retain(|&x| x != !l);
+                            d.sig = signature(&d.lits);
+                            d.changed = true;
+                            self.stats.pp_strengthened += 1;
+                            if d.lits.len() == 1 {
+                                let unit = d.lits[0];
+                                d.dead = true;
+                                if !self.pp_assign_unit(unit) {
+                                    return;
+                                }
+                            } else {
+                                // A stronger clause subsumes more; requeue.
+                                worklist.push_back(dj);
+                            }
+                        }
+                    }
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Write results back into the solver: drop dead clauses, re-allocate
+        // strengthened ones (watches must move to the new literal set).
+        for cref in doomed {
+            self.detach(cref);
+            self.db.delete(cref);
+        }
+        for pc in &pcs {
+            if pc.dead {
+                self.detach(pc.cref);
+                self.db.delete(pc.cref);
+                continue;
+            }
+            if !pc.changed {
+                continue;
+            }
+            // Re-simplify against the final root assignment so the new
+            // clause's watched literals are all unassigned.
+            let mut lits: Vec<Lit> = Vec::with_capacity(pc.lits.len());
+            let mut satisfied = false;
+            for &l in &pc.lits {
+                match self.value_lit(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {}
+                    LBool::Undef => lits.push(l),
+                }
+            }
+            self.detach(pc.cref);
+            self.db.delete(pc.cref);
+            if satisfied {
+                continue;
+            }
+            match lits.len() {
+                0 => {
+                    self.ok = false;
+                    return;
+                }
+                1 => {
+                    if !self.pp_assign_unit(lits[0]) {
+                        return;
+                    }
+                }
+                _ => {
+                    let cref = self.db.alloc(&lits, false);
+                    self.attach(cref);
+                }
+            }
+        }
+        // Propagation during preprocessing may have set clause reasons on
+        // root facts; clear them again so none points at a deleted clause.
+        self.clear_root_reasons();
+        if self.db.wasted * 4 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Main search
     // ------------------------------------------------------------------
 
@@ -925,6 +1221,13 @@ impl Solver {
     /// All constraints and learned clauses persist across calls, which is
     /// what makes the binary-search optimization loop incremental.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let start = std::time::Instant::now();
+        let result = self.solve_inner(assumptions);
+        self.stats.solve_ms += start.elapsed().as_secs_f64() * 1e3;
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.backtrack_to(0);
         if !self.ok {
             return SolveResult::Unsat;
@@ -940,6 +1243,13 @@ impl Solver {
         self.import_shared();
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        if self.config.preprocess && !self.preprocessed {
+            self.preprocessed = true;
+            self.preprocess_input();
+            if !self.ok {
+                return SolveResult::Unsat;
+            }
         }
 
         let mut restarts = 0u64;
@@ -1625,6 +1935,107 @@ mod tests {
             .count();
         assert_eq!(plain_trues, 0);
         assert!(seeded_trues > 8 && seeded_trues < 56);
+    }
+
+    #[test]
+    fn preprocessing_removes_subsumed_and_duplicate_clauses() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        add(&mut s, &mut ids, &[1, 2]);
+        add(&mut s, &mut ids, &[1, 2, 3]); // subsumed by (1 2)
+        add(&mut s, &mut ids, &[1, 2]); // duplicate
+        add(&mut s, &mut ids, &[-1, 4]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(
+            s.stats.pp_removed >= 2,
+            "expected subsumed + duplicate removal, got {}",
+            s.stats.pp_removed
+        );
+    }
+
+    #[test]
+    fn preprocessing_self_subsuming_resolution() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        // (1 2) and (-1 2 3): resolving on 1 strengthens the second to (2 3).
+        add(&mut s, &mut ids, &[1, 2]);
+        add(&mut s, &mut ids, &[-1, 2, 3]);
+        add(&mut s, &mut ids, &[4, 5]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(
+            s.stats.pp_strengthened >= 1,
+            "expected a self-subsumption strengthening, got {}",
+            s.stats.pp_strengthened
+        );
+    }
+
+    #[test]
+    fn preprocessing_strengthening_to_unit_fixes_variable() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        // (1 2) and (-1 2) resolve to the unit (2).
+        add(&mut s, &mut ids, &[1, 2]);
+        add(&mut s, &mut ids, &[-1, 2]);
+        add(&mut s, &mut ids, &[-2, 3]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.model_value(ids[1].positive()));
+        assert!(s.model_value(ids[2].positive()));
+        assert!(s.stats.pp_fixed >= 1);
+    }
+
+    #[test]
+    fn preprocessing_agrees_with_unpreprocessed_solver() {
+        // Random-ish 3-SAT instances: verdicts must match with the pass on
+        // and off, and incremental reuse under assumptions must survive it.
+        for seed in 0..20u64 {
+            let mut clauses = Vec::new();
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let nv = 12i32;
+            for _ in 0..40 {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nv as u64) as i32 + 1;
+                    let sign = if next() & 1 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                clauses.push(c);
+            }
+            let mut on = Solver::new();
+            let mut off = Solver::new();
+            off.config.preprocess = false;
+            let (mut ids_on, mut ids_off) = (Vec::new(), Vec::new());
+            for c in &clauses {
+                add(&mut on, &mut ids_on, c);
+                add(&mut off, &mut ids_off, c);
+            }
+            let (r_on, r_off) = (on.solve(&[]), off.solve(&[]));
+            assert_eq!(r_on, r_off, "seed {seed}: verdicts diverge");
+            if r_on == SolveResult::Sat && !ids_on.is_empty() {
+                // Re-solving under an assumption must agree too.
+                let a_on = on.solve(&[ids_on[0].negative()]);
+                let a_off = off.solve(&[ids_off[0].negative()]);
+                assert_eq!(a_on, a_off, "seed {seed}: assumption verdicts diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_preserves_incremental_clause_addition() {
+        let mut s = Solver::new();
+        let mut ids = Vec::new();
+        add(&mut s, &mut ids, &[1, 2]);
+        add(&mut s, &mut ids, &[1, 2, 3]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Clauses added after the pass ran are still honored.
+        add(&mut s, &mut ids, &[-1]);
+        add(&mut s, &mut ids, &[-2]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 
     #[test]
