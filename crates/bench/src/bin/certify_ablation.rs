@@ -1,0 +1,175 @@
+//! **Certification ablation** — what does DRAT proof logging cost, and do
+//! the certificates actually check out?
+//!
+//! Table-3-style instances (token-ring task-set scaling), TRT objective,
+//! cold start. Four modes per instance:
+//!
+//! - `single` — plain incremental binary search, certification **off**:
+//!   the baseline the overhead column divides by (and a check that the
+//!   zero-cost path stays zero-cost: no proofs, no certificate);
+//! - `single+certify` — the same search with `--certify`: every probe is
+//!   proof-logged, the optimum ships with a verified certificate;
+//! - `portfolio+certify` — 2 deterministic racing workers, per-worker
+//!   traces stitched into one certificate;
+//! - `window+certify` — 2 deterministic window-search workers, the
+//!   refutation region partitioned across workers and re-assembled.
+//!
+//! For every certified mode the harness **re-verifies** the certificate
+//! itself (it does not trust the optimizer's internal check), asserts the
+//! optimum matches the uncertified baseline, and records the checker's
+//! workload (trace steps, RUP-verified additions). `overhead_vs_single`
+//! is the wall-clock ratio against the uncertified single search — the
+//! acceptance bar is < 2.5× for `single+certify`.
+//!
+//! Deterministic parallel modes are used so two runs of this harness
+//! produce bit-identical certificates (checked in the portfolio test
+//! suite); here determinism just keeps the measurement stable.
+//!
+//! `OPTALLOC_ABLATION_SIZES` (comma-separated task counts) overrides the
+//! instance grid, e.g. `OPTALLOC_ABLATION_SIZES=12`.
+
+use optalloc::{Objective, Optimizer, SolveOptions, Strategy};
+use optalloc_bench::{parse_cli, solve_options};
+use optalloc_model::MediumId;
+use optalloc_workloads::task_scaling;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measurement of the certification grid.
+#[derive(Debug, Serialize)]
+struct CertifyRow {
+    instance: String,
+    tasks: usize,
+    /// `single`, `single+certify`, `portfolio+certify`, `window+certify`.
+    mode: &'static str,
+    workers: usize,
+    /// Proven optimal TRT in ticks (identical across all modes — asserted).
+    cost: i64,
+    time_s: f64,
+    solve_calls: u32,
+    conflicts: u64,
+    /// `time_s / time_s(single)` — the proof-logging overhead.
+    overhead_vs_single: f64,
+    /// Whether a certificate was produced and re-verified by this harness
+    /// (always `false` for the uncertified baseline).
+    certified: bool,
+    /// DRAT traces in the certificate (one per contributing solver).
+    proofs: usize,
+    /// Certified UNSAT cost windows across all traces.
+    windows: usize,
+    /// Total trace steps the forward checker replayed.
+    proof_steps: usize,
+    /// Derived clause additions that passed the RUP check.
+    adds_verified: usize,
+}
+
+fn main() {
+    let cli = parse_cli();
+    let ring = MediumId(0);
+    let objective = Objective::TokenRotationTime(ring);
+    let default_sizes: &[usize] = if cli.full { &[12, 20, 30] } else { &[12, 20] };
+    let sizes: Vec<usize> = match std::env::var("OPTALLOC_ABLATION_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default_sizes.to_vec(),
+    };
+    let grid: &[(&'static str, bool, usize)] = &[
+        ("single", false, 1),
+        ("single+certify", true, 1),
+        ("portfolio+certify", true, 2),
+        ("window+certify", true, 2),
+    ];
+
+    let mut rows: Vec<CertifyRow> = Vec::new();
+    for &n in &sizes {
+        let w = task_scaling(n);
+        let base_opts = solve_options(cli.full);
+        let mut single_time = f64::NAN;
+        let mut single_cost = 0i64;
+
+        for &(mode, certify, workers) in grid {
+            let opts = SolveOptions {
+                certify,
+                strategy: match mode {
+                    "portfolio+certify" => Strategy::Portfolio {
+                        workers,
+                        deterministic: true,
+                    },
+                    "window+certify" => Strategy::WindowSearch {
+                        workers,
+                        deterministic: true,
+                    },
+                    _ => Strategy::Single,
+                },
+                ..base_opts.clone()
+            };
+            let start = Instant::now();
+            let r = Optimizer::new(&w.arch, &w.tasks)
+                .with_options(opts)
+                .minimize(&objective)
+                .unwrap_or_else(|e| panic!("{n} tasks, {mode}: {e}"));
+            let total = start.elapsed().as_secs_f64();
+            if mode == "single" {
+                single_time = total;
+                single_cost = r.cost;
+                assert!(
+                    r.certificate.is_none(),
+                    "{n} tasks: uncertified run must not carry a certificate"
+                );
+            }
+            assert_eq!(
+                r.cost, single_cost,
+                "{n} tasks: {mode} optimum diverged from the uncertified search"
+            );
+
+            let (proofs, windows, steps, adds) = match &r.certificate {
+                Some(report) => {
+                    // Independent re-check: don't trust the optimizer's
+                    // internal verification.
+                    let summary = report
+                        .certificate
+                        .verify()
+                        .unwrap_or_else(|e| panic!("{n} tasks, {mode}: certificate rejected: {e}"));
+                    (
+                        summary.proofs,
+                        summary.windows,
+                        summary.steps,
+                        summary.adds_verified,
+                    )
+                }
+                None => {
+                    assert!(!certify, "{n} tasks: {mode} produced no certificate");
+                    (0, 0, 0, 0)
+                }
+            };
+            let overhead = total / single_time;
+            eprintln!(
+                "{n} tasks, {mode}: TRT = {} in {total:.2}s ({overhead:.2}x single); \
+                 {proofs} proof(s), {windows} window(s), {adds} RUP-checked adds",
+                r.cost,
+            );
+            rows.push(CertifyRow {
+                instance: w.name.clone(),
+                tasks: n,
+                mode,
+                workers,
+                cost: r.cost,
+                time_s: total,
+                solve_calls: r.solve_calls,
+                conflicts: r.stats.conflicts,
+                overhead_vs_single: overhead,
+                certified: r.certificate.is_some(),
+                proofs,
+                windows,
+                proof_steps: steps,
+                adds_verified: adds,
+            });
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    println!("{json}");
+    if let Some(path) = &cli.json {
+        std::fs::write(path, &json).expect("write json");
+        eprintln!("(rows written to {})", path.display());
+    }
+}

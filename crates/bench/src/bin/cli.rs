@@ -23,6 +23,13 @@
 //!                           preprocessing) — the pre-optimization baseline;
 //!                           OPTALLOC_ENCODER_OPT=0 in the environment does
 //!                           the same
+//!   --certify               record DRAT proof traces, assemble an optimality
+//!                           certificate, and verify it (built-in forward
+//!                           checker + independent witness replay); exits
+//!                           nonzero if the certificate is rejected
+//!   --proof <file>          write the certificate's DRAT traces to <file>
+//!                           (text DRAT with `c` comments; implies --certify)
+//!   --max-slot <n>          upper bound for TDMA slot decision variables
 //!   --out <alloc.json>      write the allocation as JSON
 //! ```
 //!
@@ -42,7 +49,8 @@ fn usage() -> ExitCode {
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
          [--max-conflicts n] [--portfolio n|auto] [--window n|auto] \
-         [--deterministic] [--no-encoder-opt] [--out alloc.json]"
+         [--deterministic] [--no-encoder-opt] [--certify] [--proof file] \
+         [--max-slot n] [--out alloc.json]"
     );
     ExitCode::from(2)
 }
@@ -86,6 +94,29 @@ fn bundled(name: &str) -> Option<Workload> {
     }
 }
 
+/// Dump every DRAT trace of a verified certificate to one text file.
+///
+/// Each per-worker proof is prefixed with `c` comment lines naming the
+/// cost windows it certifies, so an external checker can be pointed at
+/// the matching section.
+fn write_proofs(path: &str, cert: &optalloc::intopt::Certificate) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        "c optalloc optimality certificate: optimum {}, cost range lower bound {}",
+        cert.optimum, cert.cost_lo
+    )?;
+    for (i, p) in cert.proofs.iter().enumerate() {
+        writeln!(f, "c proof {i}: {} certified window(s)", p.windows.len())?;
+        for w in &p.windows {
+            writeln!(f, "c   window [{}, {}]", w.lo, w.hi)?;
+        }
+        p.log.write_drat(&mut f)?;
+    }
+    f.flush()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -121,6 +152,9 @@ fn main() -> ExitCode {
             let mut portfolio: Option<usize> = None;
             let mut window: Option<usize> = None;
             let mut deterministic = false;
+            let mut certify = false;
+            let mut proof_path: Option<String> = None;
+            let mut max_slot: Option<u64> = None;
             let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
                 EncoderOpt::none()
             } else {
@@ -135,6 +169,12 @@ fn main() -> ExitCode {
                     "--portfolio" => portfolio = parse_workers(it.next()),
                     "--window" => window = parse_workers(it.next()),
                     "--deterministic" => deterministic = true,
+                    "--certify" => certify = true,
+                    "--proof" => {
+                        proof_path = it.next().cloned();
+                        certify = true;
+                    }
+                    "--max-slot" => max_slot = it.next().and_then(|s| s.parse().ok()),
                     "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
                     "--out" => out_path = it.next().cloned(),
                     other => {
@@ -180,7 +220,7 @@ fn main() -> ExitCode {
                 }
             };
 
-            let opts = SolveOptions {
+            let mut opts = SolveOptions {
                 max_conflicts,
                 strategy: match (window, portfolio) {
                     (Some(workers), _) => Strategy::WindowSearch {
@@ -194,8 +234,12 @@ fn main() -> ExitCode {
                     (None, None) => Strategy::Single,
                 },
                 encoder_opt,
+                certify,
                 ..Default::default()
             };
+            if let Some(ms) = max_slot {
+                opts.max_slot = ms;
+            }
             let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
             let (allocation, cost_line) = if matches!(objective, Objective::Feasibility) {
                 match optimizer.find_feasible() {
@@ -227,6 +271,22 @@ fn main() -> ExitCode {
                         );
                         for worker in &r.workers {
                             println!("  {worker}");
+                        }
+                        if let Some(cert) = &r.certificate {
+                            println!(
+                                "certificate VERIFIED: {} — refutations cover [{}, {}], \
+                                 witness replayed through independent analysis",
+                                cert.summary,
+                                cert.certificate.cost_lo,
+                                cert.certificate.optimum - 1
+                            );
+                            if let Some(pp) = &proof_path {
+                                if let Err(e) = write_proofs(pp, &cert.certificate) {
+                                    eprintln!("cannot write {pp}: {e}");
+                                    return ExitCode::from(2);
+                                }
+                                println!("DRAT traces written to {pp}");
+                            }
                         }
                         (r.solution.allocation, line)
                     }

@@ -62,7 +62,7 @@ mod optimizer;
 mod options;
 
 pub use encode::objective::ObjectiveError;
-pub use optimizer::{AllocationSolution, OptError, OptimizeReport, Optimizer};
+pub use optimizer::{AllocationSolution, CertificateReport, OptError, OptimizeReport, Optimizer};
 pub use options::{Objective, SolveOptions, Strategy};
 
 // The encoder-optimization switch travels with `SolveOptions`.

@@ -9,8 +9,13 @@ use crate::decode::decode;
 use crate::encode::objective::{variable_slot_media, ObjectiveError};
 use crate::encode::Encoding;
 use crate::options::{Objective, SolveOptions, Strategy};
-use optalloc_analysis::{validate, AnalysisConfig, Report};
-use optalloc_intopt::{EncodeStats, MinimizeOptions, MinimizeStatus};
+use optalloc_analysis::{
+    bus_load_permille, ecu_utilization_permille, sum_trt, token_rotation_time,
+    utilization_minmax_spread_permille, validate, AnalysisConfig, Report,
+};
+use optalloc_intopt::{
+    Certificate, CertificateSummary, EncodeStats, MinimizeOptions, MinimizeStatus,
+};
 use optalloc_model::{Allocation, Architecture, TaskSet};
 use optalloc_portfolio::{
     minimize_portfolio, minimize_window_search, PortfolioOptions, WorkerReport,
@@ -45,6 +50,21 @@ pub struct OptimizeReport {
     /// Per-worker execution records when [`Strategy::Portfolio`] or
     /// [`Strategy::WindowSearch`] ran; empty under [`Strategy::Single`].
     pub workers: Vec<WorkerReport>,
+    /// The verified optimality certificate when
+    /// [`SolveOptions::certify`](crate::SolveOptions::certify) was set.
+    /// Verification already succeeded by the time the report exists; the
+    /// certificate is retained so callers can re-check it or dump the DRAT
+    /// traces (`--proof` in the CLI).
+    pub certificate: Option<CertificateReport>,
+}
+
+/// A checked optimality certificate attached to an [`OptimizeReport`].
+#[derive(Clone, Debug)]
+pub struct CertificateReport {
+    /// Checker aggregates (proof steps, verified additions, windows).
+    pub summary: CertificateSummary,
+    /// The full certificate: witness model plus per-solver DRAT traces.
+    pub certificate: Certificate,
 }
 
 /// Why an optimization run produced no allocation.
@@ -63,6 +83,14 @@ pub enum OptError {
     /// Internal consistency failure: the solver's allocation did not pass
     /// independent re-validation (a bug, never expected).
     ValidationFailed(Report),
+    /// Certification was requested but the optimality certificate failed
+    /// verification — a rejected DRAT trace, a coverage gap below the
+    /// optimum, or an objective value the independent analysis does not
+    /// reproduce. Indicates a solver or encoder bug, never expected.
+    CertificationFailed {
+        /// Human-readable description of the failed check.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for OptError {
@@ -81,6 +109,9 @@ impl std::fmt::Display for OptError {
                     "solver allocation failed re-validation: {:?}",
                     r.violations
                 )
+            }
+            OptError::CertificationFailed { reason } => {
+                write!(f, "optimality certificate rejected: {reason}")
             }
         }
     }
@@ -154,6 +185,68 @@ impl<'a> Optimizer<'a> {
         }
     }
 
+    /// Recomputes the objective value of a decoded allocation through the
+    /// independent analysis layer — no encoder artifacts involved, so a
+    /// match between this and the solver's claimed optimum closes the
+    /// encoder out of the trusted base.
+    fn recompute_objective(&self, objective: &Objective, alloc: &Allocation) -> i64 {
+        match objective {
+            Objective::TokenRotationTime(m) => {
+                token_rotation_time(self.arch, alloc, *m).unwrap_or(0) as i64
+            }
+            Objective::SumTokenRotationTimes => sum_trt(self.arch, alloc) as i64,
+            Objective::BusLoadPermille(m) => {
+                bus_load_permille(self.arch, self.tasks, alloc, *m) as i64
+            }
+            Objective::MaxUtilizationPermille => {
+                ecu_utilization_permille(self.tasks, alloc, self.arch.num_ecus())
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0) as i64
+            }
+            Objective::UtilizationSpreadPermille => {
+                utilization_minmax_spread_permille(self.tasks, alloc, self.arch.num_ecus()) as i64
+            }
+            Objective::Feasibility => 0,
+        }
+    }
+
+    /// Verifies the optimality certificate end to end: DRAT traces checked
+    /// and windows covering everything below the optimum
+    /// ([`Certificate::verify`]), plus the independent witness replay —
+    /// the decoded allocation's objective value, recomputed by the
+    /// analysis layer, must equal the claimed optimum. (Feasibility of the
+    /// witness was already re-validated by [`Optimizer::check`].)
+    fn certify(
+        &self,
+        objective: &Objective,
+        value: i64,
+        alloc: &Allocation,
+        certificate: Option<Certificate>,
+    ) -> Result<CertificateReport, OptError> {
+        let certificate = certificate.ok_or_else(|| OptError::CertificationFailed {
+            reason: "the search produced no certificate".into(),
+        })?;
+        let summary = certificate
+            .verify()
+            .map_err(|e| OptError::CertificationFailed {
+                reason: e.to_string(),
+            })?;
+        let recomputed = self.recompute_objective(objective, alloc);
+        if recomputed != value {
+            return Err(OptError::CertificationFailed {
+                reason: format!(
+                    "claimed optimum {value}, but independent analysis recomputes \
+                     the witness objective as {recomputed}"
+                ),
+            });
+        }
+        Ok(CertificateReport {
+            summary,
+            certificate,
+        })
+    }
+
     /// Finds any feasible allocation (no objective), or proves none exists.
     pub fn find_feasible(&self) -> Result<AllocationSolution, OptError> {
         let enc = Encoding::build(self.arch, self.tasks, &self.opts, &[]);
@@ -186,6 +279,7 @@ impl<'a> Optimizer<'a> {
                 stats: SolverStats::default(),
                 wall: start.elapsed(),
                 workers: Vec::new(),
+                certificate: None,
             });
         }
 
@@ -205,9 +299,10 @@ impl<'a> Optimizer<'a> {
             max_conflicts: self.opts.max_conflicts,
             initial_upper: self.opts.initial_upper,
             encoder_opt: self.opts.encoder_opt,
+            certify: self.opts.certify,
             ..MinimizeOptions::default()
         };
-        let (status, solve_calls, encode, stats, workers) = match self.opts.strategy {
+        let (status, solve_calls, encode, stats, workers, certificate) = match self.opts.strategy {
             Strategy::Single => {
                 let outcome = enc.problem.minimize(cost, &min_opts);
                 (
@@ -216,6 +311,7 @@ impl<'a> Optimizer<'a> {
                     outcome.encode,
                     outcome.stats,
                     Vec::new(),
+                    outcome.certificate,
                 )
             }
             Strategy::Portfolio {
@@ -243,6 +339,7 @@ impl<'a> Optimizer<'a> {
                     outcome.encode,
                     outcome.stats,
                     outcome.workers,
+                    outcome.certificate,
                 )
             }
         };
@@ -271,6 +368,11 @@ impl<'a> Optimizer<'a> {
                 // Every portfolio (or single-search) winner passes the same
                 // independent re-validation gate.
                 let solution = self.check(decode(&enc, &model))?;
+                let certificate = if self.opts.certify {
+                    Some(self.certify(objective, value, &solution.allocation, certificate)?)
+                } else {
+                    None
+                };
                 Ok(OptimizeReport {
                     solution,
                     cost: value,
@@ -279,6 +381,7 @@ impl<'a> Optimizer<'a> {
                     stats,
                     wall,
                     workers,
+                    certificate,
                 })
             }
         }

@@ -93,6 +93,14 @@ pub struct SolveOptions {
     /// SAT preprocessing). Default all-on; [`EncoderOpt::none`] reproduces
     /// the unoptimized baseline encoding for ablations.
     pub encoder_opt: EncoderOpt,
+    /// Produce and check an optimality certificate: every solver records a
+    /// DRAT proof trace, the optimum ships with refutations of all cheaper
+    /// cost windows, and the optimizer verifies the proofs with the
+    /// built-in forward checker plus an independent witness replay (the
+    /// decoded allocation is re-analyzed and its objective value recomputed
+    /// without the encoder). Adds proof-logging overhead to the search and
+    /// disables cross-worker clause *imports* (exports still flow).
+    pub certify: bool,
 }
 
 impl Default for SolveOptions {
@@ -108,6 +116,7 @@ impl Default for SolveOptions {
             task_jitter: false,
             strategy: Strategy::Single,
             encoder_opt: EncoderOpt::default(),
+            certify: false,
         }
     }
 }

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use crate::blast::{blast_with, Backend, EncoderOpt};
 use crate::bounds::BoundLattice;
+use crate::certificate::{Certificate, CertifiedWindow, WindowProof};
 use crate::prober::{CostProber, Probe};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
@@ -87,6 +88,14 @@ pub struct MinimizeOptions {
     /// by default; [`EncoderOpt::none`] reproduces the unoptimized baseline
     /// for ablations.
     pub encoder_opt: EncoderOpt,
+    /// Record DRAT proof traces in every solver and assemble an optimality
+    /// [`Certificate`] on [`MinimizeStatus::Optimal`] (witness model plus
+    /// refutations of every cheaper cost window; see
+    /// [`crate::certificate`]). Implies [`SolverConfig::proof`], which
+    /// disables importing foreign shared clauses — exporting still works —
+    /// so cooperating certified workers trade some sharing for
+    /// checkability.
+    pub certify: bool,
 }
 
 impl std::fmt::Debug for MinimizeOptions {
@@ -100,6 +109,7 @@ impl std::fmt::Debug for MinimizeOptions {
             .field("bounds", &self.bounds)
             .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| ".."))
             .field("encoder_opt", &self.encoder_opt)
+            .field("certify", &self.certify)
             .finish()
     }
 }
@@ -115,6 +125,7 @@ impl Default for MinimizeOptions {
             bounds: None,
             on_incumbent: None,
             encoder_opt: EncoderOpt::default(),
+            certify: false,
         }
     }
 }
@@ -131,6 +142,9 @@ impl MinimizeOptions {
         // knob disables the whole optimization layer for ablations.
         if !self.encoder_opt.preprocess {
             solver.config.preprocess = false;
+        }
+        if self.certify {
+            solver.config.proof = true;
         }
         solver
     }
@@ -228,6 +242,16 @@ pub struct MinimizeOutcome {
     pub encode: EncodeStats,
     /// Aggregated solver statistics over all calls.
     pub stats: SolverStats,
+    /// Proof traces recorded when [`MinimizeOptions::certify`] is set —
+    /// present on *every* status (an interrupted worker still contributes
+    /// its certified windows to a cooperating run's stitched certificate).
+    pub proofs: Vec<WindowProof>,
+    /// The assembled optimality certificate; `Some` only for a certified
+    /// run that ended [`MinimizeStatus::Optimal`]. A solo run's certificate
+    /// is self-contained; a cooperating worker's may have coverage gaps
+    /// filled by other workers (the portfolio layer stitches the merged
+    /// certificate from all workers' `proofs`).
+    pub certificate: Option<Certificate>,
 }
 
 pub(crate) fn minimize(
@@ -252,10 +276,27 @@ fn minimize_incremental(
         solve_calls: 0,
         encode: prober.encode(),
         stats: SolverStats::default(),
+        proofs: Vec::new(),
+        certificate: None,
     };
-    let finish = |mut o: MinimizeOutcome, prober: &CostProber| {
+    let finish = |mut o: MinimizeOutcome, prober: &mut CostProber, cost_lo: i64| {
         o.solve_calls = prober.solve_calls();
         o.stats = prober.stats().clone();
+        // Guard-bound emission accrues per probe; refresh the snapshot.
+        o.encode = prober.encode();
+        if let Some(proof) = prober.take_proof() {
+            o.proofs.push(proof);
+        }
+        if opts.certify {
+            if let MinimizeStatus::Optimal { value, model } = &o.status {
+                o.certificate = Some(Certificate {
+                    optimum: *value,
+                    cost_lo,
+                    witness: model.clone(),
+                    proofs: o.proofs.clone(),
+                });
+            }
+        }
         o
     };
 
@@ -275,14 +316,14 @@ fn minimize_incremental(
         _ => prober.probe(None),
     };
     let (mut best_value, mut best_model) = match first {
-        Probe::Unsat => return finish(outcome, &prober),
+        Probe::Unsat => return finish(outcome, &mut prober, cost.lo),
         Probe::Unknown => {
             outcome.status = MinimizeStatus::Unknown { incumbent: None };
-            return finish(outcome, &prober);
+            return finish(outcome, &mut prober, cost.lo);
         }
         Probe::Interrupted => {
             outcome.status = MinimizeStatus::Interrupted { incumbent: None };
-            return finish(outcome, &prober);
+            return finish(outcome, &mut prober, cost.lo);
         }
         Probe::Sat { value, model } => (value, model),
     };
@@ -326,13 +367,13 @@ fn minimize_incremental(
                 outcome.status = MinimizeStatus::Unknown {
                     incumbent: Some((best_value, best_model)),
                 };
-                return finish(outcome, &prober);
+                return finish(outcome, &mut prober, cost.lo);
             }
             Probe::Interrupted => {
                 outcome.status = MinimizeStatus::Interrupted {
                     incumbent: Some((best_value, best_model)),
                 };
-                return finish(outcome, &prober);
+                return finish(outcome, &mut prober, cost.lo);
             }
         }
     };
@@ -348,7 +389,7 @@ fn minimize_incremental(
         // the model lives in the worker that published the bound.
         MinimizeStatus::ExternalOptimal { value: external }
     };
-    finish(outcome, &prober)
+    finish(outcome, &mut prober, cost.lo)
 }
 
 fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) -> MinimizeOutcome {
@@ -357,20 +398,36 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
         solve_calls: 0,
         encode: EncodeStats::default(),
         stats: SolverStats::default(),
+        proofs: Vec::new(),
+        certificate: None,
     };
 
-    // One probe: fresh solver, bounds asserted hard.
+    // One probe: fresh solver, bounds asserted hard — except under
+    // certification, where window bounds enter through a guard literal
+    // instead: hard-asserted bounds are folded into the encoding by
+    // interval narrowing, which can refute the window *before* the solver
+    // runs and leave no proof trace. The guard keeps the refutation inside
+    // the trace, certified by the failed-assumption clause ¬guard.
     let probe = |bounds: Option<(i64, i64)>,
                  outcome: &mut MinimizeOutcome|
      -> (SolveResult, Option<(i64, Model)>) {
+        let use_guard = opts.certify && bounds.is_some();
         let mut solver = opts.new_solver();
         let mut p = problem.clone();
-        if let Some((lo, hi)) = bounds {
-            p.assert(cost.expr().ge(lo).and(cost.expr().le(hi)));
+        if !use_guard {
+            if let Some((lo, hi)) = bounds {
+                p.assert(cost.expr().ge(lo).and(cost.expr().le(hi)));
+            }
         }
         let encode_start = std::time::Instant::now();
         let (form, decls) = p.prepare(&opts.encoder_opt);
-        let bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
+        let mut bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
+        let guard = use_guard.then(|| {
+            let (lo, hi) = bounds.unwrap();
+            let guard = solver.new_var().positive();
+            bl.add_guarded_bounds(&mut solver, cost, lo, hi, guard);
+            guard
+        });
         let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
         if outcome.solve_calls == 0 {
             outcome.encode = EncodeStats {
@@ -385,8 +442,30 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
         if bl.trivially_unsat() {
             return (SolveResult::Unsat, None);
         }
-        let r = solver.solve(&[]);
+        let r = match guard {
+            Some(g) => solver.solve(&[g]),
+            None => solver.solve(&[]),
+        };
         outcome.stats.absorb(&solver.stats);
+        if opts.certify && r == SolveResult::Unsat {
+            if let Some(log) = solver.take_proof() {
+                // Bounded refutation: claim ¬guard over the window. An
+                // unbounded one means overall infeasibility — keep the
+                // trace (it proves UNSAT outright) with no window.
+                let windows = match (bounds, guard) {
+                    (Some((lo, hi)), Some(g)) => vec![CertifiedWindow {
+                        lo,
+                        hi,
+                        claim: vec![!g],
+                    }],
+                    _ => Vec::new(),
+                };
+                outcome.proofs.push(WindowProof {
+                    log: Arc::new(log),
+                    windows,
+                });
+            }
+        }
         let witness = (r == SolveResult::Sat).then(|| {
             (
                 bl.int_value(&solver, cost),
@@ -471,6 +550,16 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
     } else {
         MinimizeStatus::ExternalOptimal { value: external }
     };
+    if opts.certify {
+        if let MinimizeStatus::Optimal { value, model } = &outcome.status {
+            outcome.certificate = Some(Certificate {
+                optimum: *value,
+                cost_lo: cost.lo,
+                witness: model.clone(),
+                proofs: outcome.proofs.clone(),
+            });
+        }
+    }
     outcome
 }
 
@@ -505,6 +594,63 @@ mod tests {
             // refutes anything cheaper. A third call would mean the search
             // revisited the refuted half.
             assert_eq!(out.solve_calls, 2, "{mode:?}");
+        }
+    }
+
+    /// End-to-end certification in both modes: the optimum comes with a
+    /// certificate whose DRAT refutations cover every cheaper cost value,
+    /// and `verify()` accepts it. Without `certify` nothing is recorded.
+    #[test]
+    fn certified_optimum_verifies_in_both_modes() {
+        for mode in [BinSearchMode::Incremental, BinSearchMode::Fresh] {
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, 100);
+            p.assert(x.expr().ge(7));
+            let opts = MinimizeOptions {
+                mode,
+                certify: true,
+                ..MinimizeOptions::default()
+            };
+            let out = p.minimize(x, &opts);
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 7, "{mode:?}"),
+                ref s => panic!("{mode:?}: expected Optimal, got {s:?}"),
+            }
+            let cert = out.certificate.as_ref().expect("certificate assembled");
+            assert_eq!(cert.optimum, 7, "{mode:?}");
+            assert_eq!(cert.cost_lo, 0, "{mode:?}");
+            assert_eq!(cert.witness.int(x), 7, "{mode:?}");
+            let summary = cert.verify().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert!(summary.windows > 0, "{mode:?}: refutations recorded");
+
+            // Off by default: no traces, no certificate.
+            let out = p.minimize(x, &MinimizeOptions::default());
+            assert!(out.proofs.is_empty());
+            assert!(out.certificate.is_none());
+        }
+    }
+
+    /// A certified warm start whose hint is below the true optimum records
+    /// the failed warm-start window too, keeping coverage gap-free.
+    #[test]
+    fn certified_bad_warm_start_still_covers() {
+        for mode in [BinSearchMode::Incremental, BinSearchMode::Fresh] {
+            let mut p = IntProblem::new();
+            let x = p.int_var(0, 50);
+            p.assert(x.expr().ge(20));
+            let opts = MinimizeOptions {
+                mode,
+                certify: true,
+                initial_upper: Some(5), // infeasible hint: [0, 5] is UNSAT
+                ..MinimizeOptions::default()
+            };
+            let out = p.minimize(x, &opts);
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => assert_eq!(value, 20, "{mode:?}"),
+                ref s => panic!("{mode:?}: expected Optimal, got {s:?}"),
+            }
+            let cert = out.certificate.as_ref().expect("certificate assembled");
+            cert.verify().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }
 

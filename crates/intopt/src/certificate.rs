@@ -1,0 +1,389 @@
+//! Optimality certificates for `BIN_SEARCH`.
+//!
+//! A [`Certificate`] packages the two halves of an optimality claim for a
+//! minimized cost variable:
+//!
+//! 1. a **witness** — the SAT model attaining the optimum, replayable
+//!    through an independent feasibility checker without touching the
+//!    encoder, and
+//! 2. **refutation proofs** — per-solver extended DRAT traces
+//!    ([`optalloc_sat::ProofLog`]) each certifying one or more cost
+//!    *windows* as unsatisfiable, whose union must cover every cost value
+//!    strictly below the optimum down to the variable's lower range bound.
+//!
+//! Window claims come in two shapes. An incremental prober probes
+//! `lo ≤ cost ≤ hi` under a fresh guard assumption; an UNSAT answer is
+//! certified by the derived clause `¬guard` in that solver's trace (the
+//! failed-assumption clause). A fresh-solver probe asserts the bounds
+//! outright, so its UNSAT answer is certified by the trace proving global
+//! unsatisfiability — recorded as an empty claim.
+//!
+//! [`Certificate::verify`] re-checks every trace with the built-in forward
+//! DRAT checker ([`optalloc_sat::check_proof`]), confirms each window's
+//! claim is actually proved by its trace, rejects any certified window that
+//! contains the claimed optimum (it would refute the witness), and finally
+//! checks that the certified windows, merged, cover `[cost_lo, optimum − 1]`
+//! without gaps. Witness replay lives a layer up (in `optalloc-core`), where
+//! the domain semantics are known.
+//!
+//! For parallel runs (portfolio racing, window search) each worker
+//! contributes a [`WindowProof`]; soundness of stitching follows from the
+//! bound-lattice publication discipline — a worker only publishes a lower
+//! bound after an exhaustive UNSAT verdict on a window anchored at the
+//! then-global lower bound, so the union of all workers' certified windows
+//! is gap-free whenever the race reached `Optimal`. `verify` does not trust
+//! that argument: it re-checks coverage from the recorded windows alone.
+
+use crate::problem::Model;
+use optalloc_sat::{check_proof, CheckError, Lit};
+use std::sync::Arc;
+
+/// One cost window `lo ≤ cost ≤ hi` refuted by a proof trace, together
+/// with the clause that certifies the refutation inside that trace.
+#[derive(Clone, Debug)]
+pub struct CertifiedWindow {
+    /// Inclusive window lower bound.
+    pub lo: i64,
+    /// Inclusive window upper bound.
+    pub hi: i64,
+    /// The claim clause the trace must prove: `[¬guard]` for a guarded
+    /// incremental probe, empty for a fresh solver that proved its whole
+    /// formula (base problem plus hard window bounds) unsatisfiable.
+    pub claim: Vec<Lit>,
+}
+
+/// One solver's proof trace plus the cost windows it certifies. A single
+/// incremental solver certifies many windows in one trace; a fresh-mode
+/// probe certifies exactly one.
+#[derive(Clone, Debug)]
+pub struct WindowProof {
+    /// The extended DRAT trace recorded by the solver.
+    pub log: Arc<optalloc_sat::ProofLog>,
+    /// Windows this trace refutes, in probe order.
+    pub windows: Vec<CertifiedWindow>,
+}
+
+/// A complete optimality certificate: witness at the optimum plus DRAT
+/// refutations covering every smaller cost (see the module docs).
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The claimed optimal cost.
+    pub optimum: i64,
+    /// Lower end of the cost variable's declared range; refutation
+    /// coverage must start here.
+    pub cost_lo: i64,
+    /// The model attaining `optimum`, for independent replay.
+    pub witness: Model,
+    /// Refutation proofs from every participating solver.
+    pub proofs: Vec<WindowProof>,
+}
+
+/// Aggregate numbers from a successful [`Certificate::verify`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CertificateSummary {
+    /// Proof traces checked.
+    pub proofs: usize,
+    /// Certified windows confirmed.
+    pub windows: usize,
+    /// Total proof steps across all traces.
+    pub steps: usize,
+    /// Derived clauses that passed their RUP check, across all traces.
+    pub adds_verified: usize,
+    /// Clause deletions applied across all traces.
+    pub deletions: usize,
+}
+
+impl std::fmt::Display for CertificateSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} proof(s), {} window(s), {} steps, {} adds verified, {} deletions",
+            self.proofs, self.windows, self.steps, self.adds_verified, self.deletions
+        )
+    }
+}
+
+/// Why a certificate failed verification.
+#[derive(Clone, Debug)]
+pub enum CertificateError {
+    /// A proof trace failed the forward DRAT check.
+    ProofRejected {
+        /// Index into [`Certificate::proofs`].
+        proof: usize,
+        /// The checker's rejection.
+        error: CheckError,
+    },
+    /// A trace checked out but does not prove the claim attached to one of
+    /// its windows.
+    ClaimUnproved {
+        /// Index into [`Certificate::proofs`].
+        proof: usize,
+        /// The window whose claim is missing from the trace.
+        window: (i64, i64),
+    },
+    /// A certified-UNSAT window contains the claimed optimum, refuting the
+    /// witness.
+    OptimumRefuted {
+        /// The offending window.
+        window: (i64, i64),
+    },
+    /// The certified windows do not cover `[cost_lo, optimum − 1]`.
+    CoverageGap {
+        /// Smallest cost value with no covering refutation.
+        uncovered: i64,
+    },
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::ProofRejected { proof, error } => {
+                write!(f, "proof {proof} rejected by the DRAT checker: {error}")
+            }
+            CertificateError::ClaimUnproved { proof, window } => write!(
+                f,
+                "proof {proof} does not prove the claim for window [{}, {}]",
+                window.0, window.1
+            ),
+            CertificateError::OptimumRefuted { window } => write!(
+                f,
+                "certified-UNSAT window [{}, {}] contains the claimed optimum",
+                window.0, window.1
+            ),
+            CertificateError::CoverageGap { uncovered } => write!(
+                f,
+                "no refutation covers cost value {uncovered} below the optimum"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+impl Certificate {
+    /// Checks the certificate end to end: every trace forward-checked,
+    /// every window claim proved, no certified window containing the
+    /// optimum, and gap-free coverage of `[cost_lo, optimum − 1]`.
+    ///
+    /// This validates *optimality of the cost value* given the encoded
+    /// formula. Feasibility of the witness itself is validated separately
+    /// by replaying the model through the domain analysis (see
+    /// `optalloc-core`), which also closes the encoder out of the trusted
+    /// base.
+    pub fn verify(&self) -> Result<CertificateSummary, CertificateError> {
+        let mut summary = CertificateSummary::default();
+        // (lo, hi) pairs clipped to the range that matters for coverage.
+        let mut covered: Vec<(i64, i64)> = Vec::new();
+        for (pi, proof) in self.proofs.iter().enumerate() {
+            let checked = check_proof(&proof.log)
+                .map_err(|error| CertificateError::ProofRejected { proof: pi, error })?;
+            summary.proofs += 1;
+            summary.steps += checked.steps;
+            summary.adds_verified += checked.adds_verified;
+            summary.deletions += checked.deletions;
+            for w in &proof.windows {
+                if w.lo > w.hi {
+                    continue; // vacuous window, nothing to certify
+                }
+                if !checked.proves_clause(&w.claim) {
+                    return Err(CertificateError::ClaimUnproved {
+                        proof: pi,
+                        window: (w.lo, w.hi),
+                    });
+                }
+                if w.lo <= self.optimum && self.optimum <= w.hi {
+                    return Err(CertificateError::OptimumRefuted {
+                        window: (w.lo, w.hi),
+                    });
+                }
+                summary.windows += 1;
+                if w.lo < self.optimum {
+                    covered.push((w.lo, w.hi.min(self.optimum - 1)));
+                }
+            }
+        }
+        // Merge-sweep: the certified windows must cover [cost_lo, optimum-1].
+        if self.optimum > self.cost_lo {
+            covered.sort_unstable();
+            let mut up_to = self.cost_lo - 1; // highest covered value so far
+            for (lo, hi) in covered {
+                if lo > up_to + 1 {
+                    break; // gap at up_to + 1
+                }
+                up_to = up_to.max(hi);
+            }
+            if up_to < self.optimum - 1 {
+                return Err(CertificateError::CoverageGap {
+                    uncovered: up_to + 1,
+                });
+            }
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_sat::ProofLog;
+
+    fn lit(i: i64) -> Lit {
+        let v = optalloc_sat::Var::from_index(i.unsigned_abs() as usize - 1);
+        if i > 0 {
+            v.positive()
+        } else {
+            v.negative()
+        }
+    }
+
+    /// A trace deriving `claim` by RUP from inputs (x1) and (¬x1 ∨ claim);
+    /// an empty claim yields a globally UNSAT trace instead.
+    fn proof_deriving(claim: &[Lit], windows: Vec<CertifiedWindow>) -> WindowProof {
+        let mut log = ProofLog::new();
+        if claim.is_empty() {
+            log.input_clause(&[lit(1)]);
+            log.input_clause(&[lit(-1)]);
+            log.add(&[]);
+        } else {
+            log.input_clause(&[lit(1)]);
+            let mut implied = vec![lit(-1)];
+            implied.extend_from_slice(claim);
+            log.input_clause(&implied);
+            if claim.len() == 1 {
+                log.add(claim);
+            }
+        }
+        WindowProof {
+            log: Arc::new(log),
+            windows,
+        }
+    }
+
+    fn cert(optimum: i64, cost_lo: i64, proofs: Vec<WindowProof>) -> Certificate {
+        Certificate {
+            optimum,
+            cost_lo,
+            witness: Model::default(),
+            proofs,
+        }
+    }
+
+    fn win(lo: i64, hi: i64, claim: &[Lit]) -> CertifiedWindow {
+        CertifiedWindow {
+            lo,
+            hi,
+            claim: claim.to_vec(),
+        }
+    }
+
+    #[test]
+    fn contiguous_windows_verify() {
+        let claim = [lit(2)];
+        let c = cert(
+            10,
+            0,
+            vec![
+                proof_deriving(&claim, vec![win(0, 4, &claim)]),
+                proof_deriving(&claim, vec![win(5, 9, &claim)]),
+            ],
+        );
+        let s = c.verify().expect("contiguous coverage");
+        assert_eq!(s.proofs, 2);
+        assert_eq!(s.windows, 2);
+    }
+
+    #[test]
+    fn overlapping_windows_verify() {
+        let claim = [lit(2)];
+        let c = cert(
+            7,
+            2,
+            vec![proof_deriving(
+                &claim,
+                vec![win(2, 5, &claim), win(4, 6, &claim)],
+            )],
+        );
+        c.verify().expect("overlap is fine");
+    }
+
+    #[test]
+    fn gap_is_rejected() {
+        let claim = [lit(2)];
+        let c = cert(
+            10,
+            0,
+            vec![
+                proof_deriving(&claim, vec![win(0, 3, &claim)]),
+                proof_deriving(&claim, vec![win(5, 9, &claim)]),
+            ],
+        );
+        match c.verify() {
+            Err(CertificateError::CoverageGap { uncovered }) => assert_eq!(uncovered, 4),
+            r => panic!("expected coverage gap, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn window_containing_optimum_is_rejected() {
+        let claim = [lit(2)];
+        let c = cert(5, 0, vec![proof_deriving(&claim, vec![win(0, 5, &claim)])]);
+        assert!(matches!(
+            c.verify(),
+            Err(CertificateError::OptimumRefuted { window: (0, 5) })
+        ));
+    }
+
+    #[test]
+    fn unproved_claim_is_rejected() {
+        // The trace derives x2 but the window claims x3.
+        let derived = [lit(2)];
+        let mut proof = proof_deriving(&derived, vec![]);
+        proof.windows.push(win(0, 4, &[lit(3)]));
+        let c = cert(5, 0, vec![proof]);
+        assert!(matches!(
+            c.verify(),
+            Err(CertificateError::ClaimUnproved {
+                proof: 0,
+                window: (0, 4)
+            })
+        ));
+    }
+
+    #[test]
+    fn global_unsat_trace_certifies_any_window() {
+        // Fresh-mode shape: empty claim, trace proves UNSAT outright.
+        let c = cert(3, 0, vec![proof_deriving(&[], vec![win(0, 2, &[])])]);
+        c.verify().expect("unsat trace covers its window");
+    }
+
+    #[test]
+    fn optimum_at_range_lower_bound_needs_no_proofs() {
+        let c = cert(0, 0, vec![]);
+        let s = c.verify().expect("nothing below the optimum");
+        assert_eq!(s.windows, 0);
+    }
+
+    #[test]
+    fn missing_proofs_fail_when_range_extends_below() {
+        let c = cert(3, 0, vec![]);
+        assert!(matches!(
+            c.verify(),
+            Err(CertificateError::CoverageGap { uncovered: 0 })
+        ));
+    }
+
+    #[test]
+    fn vacuous_windows_are_skipped() {
+        let claim = [lit(2)];
+        let c = cert(
+            4,
+            0,
+            vec![proof_deriving(
+                &claim,
+                vec![win(9, 3, &claim), win(0, 3, &claim)],
+            )],
+        );
+        let s = c.verify().expect("empty window ignored");
+        assert_eq!(s.windows, 1);
+    }
+}

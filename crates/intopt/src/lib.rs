@@ -44,6 +44,7 @@
 mod binsearch;
 mod blast;
 mod bounds;
+mod certificate;
 mod expr;
 mod prober;
 mod problem;
@@ -54,6 +55,9 @@ pub use binsearch::{
 };
 pub use blast::{blast, blast_with, Backend, Blast, EncoderOpt};
 pub use bounds::BoundLattice;
+pub use certificate::{
+    Certificate, CertificateError, CertificateSummary, CertifiedWindow, WindowProof,
+};
 pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};
 pub use prober::{CostProber, Probe};
 pub use problem::{IntProblem, Model};

@@ -19,9 +19,11 @@
 
 use crate::binsearch::{EncodeStats, MinimizeOptions};
 use crate::blast::{blast_with, Blast};
+use crate::certificate::{CertifiedWindow, WindowProof};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
 use optalloc_sat::{SolveResult, Solver, SolverStats};
+use std::sync::Arc;
 
 /// Verdict of a single window probe.
 #[derive(Clone, Debug)]
@@ -50,6 +52,9 @@ pub struct CostProber<'p> {
     bl: Blast,
     encode: EncodeStats,
     solve_calls: u32,
+    /// Windows refuted so far, when proof logging is on; paired with the
+    /// solver's trace by [`CostProber::take_proof`].
+    certified: Vec<CertifiedWindow>,
 }
 
 impl std::fmt::Debug for CostProber<'_> {
@@ -88,6 +93,7 @@ impl<'p> CostProber<'p> {
             bl,
             encode,
             solve_calls: 0,
+            certified: Vec::new(),
         }
     }
 
@@ -116,6 +122,19 @@ impl<'p> CostProber<'p> {
         self.bl.trivially_unsat()
     }
 
+    /// Takes the solver's proof trace together with every window it
+    /// refuted, for certificate assembly. `None` unless the solver was
+    /// configured with proof logging ([`optalloc_sat::SolverConfig::proof`],
+    /// set by `MinimizeOptions::certify`). Draining: a second call returns
+    /// `None`.
+    pub fn take_proof(&mut self) -> Option<WindowProof> {
+        let log = self.solver.take_proof()?;
+        Some(WindowProof {
+            log: Arc::new(log),
+            windows: std::mem::take(&mut self.certified),
+        })
+    }
+
     /// Probes the window `lo ≤ cost ≤ hi` (or the unbounded problem when
     /// `window` is `None`). An empty window (`lo > hi`) or a trivially
     /// refuted encoding is vacuously [`Probe::Unsat`] without touching the
@@ -129,11 +148,25 @@ impl<'p> CostProber<'p> {
                 if lo > hi {
                     return Probe::Unsat;
                 }
+                // Guard-clause emission is encoding work: attribute it to
+                // encode_ms so solve_ms stays pure search time even across
+                // many reused probes.
+                let encode_start = std::time::Instant::now();
                 let guard = self.solver.new_var().positive();
                 self.bl
                     .add_guarded_bounds(&mut self.solver, self.cost, lo, hi, guard);
+                self.encode.encode_ms += encode_start.elapsed().as_secs_f64() * 1e3;
                 self.solve_calls += 1;
                 let r = self.solver.solve(&[guard]);
+                if r == SolveResult::Unsat && self.solver.config.proof {
+                    // The failed-assumption clause ¬guard in the trace
+                    // certifies "no model with lo ≤ cost ≤ hi".
+                    self.certified.push(CertifiedWindow {
+                        lo,
+                        hi,
+                        claim: vec![!guard],
+                    });
+                }
                 // Close the guard: it is never assumed again, so the dead
                 // bound clauses can simplify away.
                 self.solver.add_clause(&[!guard]);
@@ -141,7 +174,17 @@ impl<'p> CostProber<'p> {
             }
             None => {
                 self.solve_calls += 1;
-                self.solver.solve(&[])
+                let r = self.solver.solve(&[]);
+                if r == SolveResult::Unsat && self.solver.config.proof {
+                    // Unbounded refutation: the trace proves the base
+                    // formula UNSAT outright (empty claim).
+                    self.certified.push(CertifiedWindow {
+                        lo: self.cost.lo,
+                        hi: self.cost.hi,
+                        claim: Vec::new(),
+                    });
+                }
+                r
             }
         };
         match result {
@@ -185,6 +228,60 @@ mod tests {
         let calls = prober.solve_calls();
         assert!(matches!(prober.probe(Some((9, 3))), Probe::Unsat));
         assert_eq!(prober.solve_calls(), calls);
+    }
+
+    #[test]
+    fn stats_are_per_call_monotone_and_attributed() {
+        // Regression: guard-bound emission during `probe` must accrue to
+        // encode_ms (not be dropped, not pollute solve_ms), and both
+        // timers must be non-decreasing across reused probes.
+        let (p, x) = geq7();
+        let opts = MinimizeOptions::default();
+        let mut prober = CostProber::new(&p, x, &opts);
+        let mut last_encode = prober.encode().encode_ms;
+        let mut last_solve = prober.stats().solve_ms;
+        assert!(last_encode >= 0.0);
+        for window in [Some((0, 6)), Some((7, 50)), Some((0, 3)), None] {
+            prober.probe(window);
+            let e = prober.encode().encode_ms;
+            let s = prober.stats().solve_ms;
+            assert!(e >= last_encode, "encode_ms regressed: {e} < {last_encode}");
+            assert!(s >= last_solve, "solve_ms regressed: {s} < {last_solve}");
+            last_encode = e;
+            last_solve = s;
+        }
+    }
+
+    #[test]
+    fn independent_probers_do_not_share_stats() {
+        let (p, x) = geq7();
+        let opts = MinimizeOptions::default();
+        let mut a = CostProber::new(&p, x, &opts);
+        let mut b = CostProber::new(&p, x, &opts);
+        a.probe(Some((0, 6)));
+        a.probe(Some((7, 30)));
+        assert_eq!(a.solve_calls(), 2);
+        assert_eq!(b.solve_calls(), 0);
+        assert_eq!(b.stats().solve_ms, 0.0);
+        b.probe(Some((0, 6)));
+        assert_eq!(a.solve_calls(), 2, "a unchanged by b's probe");
+        assert_eq!(b.solve_calls(), 1);
+    }
+
+    #[test]
+    fn certified_windows_pair_with_the_trace() {
+        let (p, x) = geq7();
+        let mut opts = MinimizeOptions::default();
+        opts.certify = true;
+        let mut prober = CostProber::new(&p, x, &opts);
+        assert!(matches!(prober.probe(Some((0, 6))), Probe::Unsat));
+        assert!(matches!(prober.probe(Some((7, 100))), Probe::Sat { .. }));
+        let proof = prober.take_proof().expect("certify records a trace");
+        assert_eq!(proof.windows.len(), 1, "only the UNSAT probe is certified");
+        assert_eq!((proof.windows[0].lo, proof.windows[0].hi), (0, 6));
+        let checked = optalloc_sat::check_proof(&proof.log).expect("trace verifies");
+        assert!(checked.proves_clause(&proof.windows[0].claim));
+        assert!(prober.take_proof().is_none(), "take_proof drains");
     }
 
     #[test]

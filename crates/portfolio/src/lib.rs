@@ -55,8 +55,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use optalloc_intopt::{
-    Backend, BinSearchMode, BoundLattice, EncodeStats, IncumbentCallback, IntProblem, IntVar,
-    MinimizeOptions, MinimizeOutcome, MinimizeStatus, Model,
+    Backend, BinSearchMode, BoundLattice, Certificate, EncodeStats, IncumbentCallback, IntProblem,
+    IntVar, MinimizeOptions, MinimizeOutcome, MinimizeStatus, Model,
 };
 use optalloc_sat::{ClauseExchange, SolverStats};
 
@@ -180,6 +180,13 @@ pub struct PortfolioOutcome {
     pub winner: Option<usize>,
     /// Per-worker execution records, indexed by worker.
     pub workers: Vec<WorkerReport>,
+    /// Optimality certificate stitched from *every* worker's proof traces
+    /// — present when [`MinimizeOptions::certify`] was set on the base
+    /// options and the run ended [`MinimizeStatus::Optimal`]. The winner
+    /// alone may not cover the whole range (it folds lower bounds other
+    /// workers refuted), so the merged set of certified windows is what
+    /// [`Certificate::verify`] checks for gap-free coverage.
+    pub certificate: Option<Certificate>,
 }
 
 /// Diversifies `base` for worker `index`; returns the options and a short
@@ -410,6 +417,18 @@ pub fn minimize_portfolio(
     };
 
     let encode = results[winner.unwrap_or(0)].0.encode;
+    let certificate = match &status {
+        MinimizeStatus::Optimal { value, model } if opts.base.certify => Some(Certificate {
+            optimum: *value,
+            cost_lo: cost.lo,
+            witness: model.clone(),
+            proofs: results
+                .iter()
+                .flat_map(|(o, _, _)| o.proofs.iter().cloned())
+                .collect(),
+        }),
+        _ => None,
+    };
     let outcome = PortfolioOutcome {
         status,
         solve_calls,
@@ -417,6 +436,7 @@ pub fn minimize_portfolio(
         stats,
         winner,
         workers,
+        certificate,
     };
     if opts.verbose {
         for w in &outcome.workers {
@@ -535,6 +555,44 @@ mod tests {
             (s, t) => panic!("got {s:?} / {t:?}"),
         }
         assert_eq!(solo.solve_calls, plain.solve_calls);
+    }
+
+    /// Certified racing and deterministic portfolios: the stitched
+    /// certificate (winner's witness + every worker's refutations) passes
+    /// verification, covering all costs below the optimum.
+    #[test]
+    fn certified_portfolio_verifies() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 100);
+        p.assert(x.expr().ge(7));
+        for deterministic in [false, true] {
+            let opts = PortfolioOptions {
+                deterministic,
+                base: MinimizeOptions {
+                    certify: true,
+                    ..MinimizeOptions::default()
+                },
+                ..PortfolioOptions::default()
+            };
+            let out = minimize_portfolio(&p, x, &opts);
+            match out.status {
+                MinimizeStatus::Optimal { value, .. } => {
+                    assert_eq!(value, 7, "det={deterministic}")
+                }
+                ref s => panic!("det={deterministic}: expected Optimal, got {s:?}"),
+            }
+            let cert = out.certificate.as_ref().expect("certificate stitched");
+            assert_eq!(cert.optimum, 7);
+            assert_eq!(cert.cost_lo, 0);
+            let summary = cert
+                .verify()
+                .unwrap_or_else(|e| panic!("det={deterministic}: {e}"));
+            assert!(summary.windows > 0, "det={deterministic}");
+        }
+        // Without certify: no certificate even on Optimal.
+        let out = minimize_portfolio(&p, x, &PortfolioOptions::default());
+        assert!(matches!(out.status, MinimizeStatus::Optimal { .. }));
+        assert!(out.certificate.is_none());
     }
 
     #[test]

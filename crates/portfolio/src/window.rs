@@ -48,8 +48,8 @@ use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use optalloc_intopt::{
-    BinSearchMode, BoundLattice, CostProber, EncodeStats, IntProblem, IntVar, MinimizeOptions,
-    MinimizeStatus, Model, Probe,
+    BinSearchMode, BoundLattice, Certificate, CostProber, EncodeStats, IntProblem, IntVar,
+    MinimizeOptions, MinimizeStatus, Model, Probe, WindowProof,
 };
 use optalloc_sat::{ClauseExchange, SolverStats};
 
@@ -364,6 +364,8 @@ struct WorkerRun {
     stats: SolverStats,
     wall: Duration,
     encode: EncodeStats,
+    /// The worker's proof trace and certified windows (certify mode only).
+    proof: Option<WindowProof>,
 }
 
 /// Minimizes `cost` over `problem` with a parallel window search (see the
@@ -445,6 +447,15 @@ pub fn minimize_window_search(
         });
     }
 
+    let certificate = match &status {
+        MinimizeStatus::Optimal { value, model } if opts.base.certify => Some(Certificate {
+            optimum: *value,
+            cost_lo: cost.lo,
+            witness: model.clone(),
+            proofs: runs.iter().filter_map(|r| r.proof.clone()).collect(),
+        }),
+        _ => None,
+    };
     let outcome = PortfolioOutcome {
         status,
         solve_calls,
@@ -452,6 +463,7 @@ pub fn minimize_window_search(
         stats,
         winner,
         workers,
+        certificate,
     };
     if opts.verbose {
         for w in &outcome.workers {
@@ -495,6 +507,7 @@ fn run_racing(
                         stats: prober.stats().clone(),
                         wall: start.elapsed(),
                         encode: prober.encode(),
+                        proof: prober.take_proof(),
                     }
                 })
             })
@@ -581,6 +594,7 @@ fn run_deterministic(
                         stats: prober.stats().clone(),
                         wall: start.elapsed(),
                         encode: prober.encode(),
+                        proof: prober.take_proof(),
                     }
                 })
             })
@@ -744,6 +758,60 @@ mod tests {
                 ref s => panic!("det={deterministic}: got {s:?}"),
             }
         }
+    }
+
+    /// Certified window search: the UNSAT fragments the scheduler
+    /// coalesced are exactly the certified windows, stitched across
+    /// workers into a gap-free covering certificate. Deterministic runs
+    /// produce bit-identical certificates.
+    #[test]
+    fn certified_window_search_verifies() {
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 100);
+        p.assert(x.expr().ge(7));
+        let base = MinimizeOptions {
+            certify: true,
+            ..MinimizeOptions::default()
+        };
+        for deterministic in [false, true] {
+            for workers in [1, 3] {
+                let opts = PortfolioOptions {
+                    workers,
+                    deterministic,
+                    base: base.clone(),
+                    ..PortfolioOptions::default()
+                };
+                let out = minimize_window_search(&p, x, &opts);
+                match out.status {
+                    MinimizeStatus::Optimal { value, .. } => {
+                        assert_eq!(value, 7, "det={deterministic} workers={workers}")
+                    }
+                    ref s => panic!("det={deterministic} workers={workers}: got {s:?}"),
+                }
+                let cert = out.certificate.as_ref().expect("certificate stitched");
+                let summary = cert
+                    .verify()
+                    .unwrap_or_else(|e| panic!("det={deterministic} workers={workers}: {e}"));
+                assert!(summary.windows > 0);
+            }
+        }
+        // Deterministic certificates are bit-stable: same windows, same
+        // proof steps, run to run.
+        let opts = PortfolioOptions {
+            workers: 3,
+            deterministic: true,
+            base,
+            ..PortfolioOptions::default()
+        };
+        let a = minimize_window_search(&p, x, &opts);
+        let b = minimize_window_search(&p, x, &opts);
+        let (sa, sb) = (
+            a.certificate.unwrap().verify().unwrap(),
+            b.certificate.unwrap().verify().unwrap(),
+        );
+        assert_eq!(sa.windows, sb.windows);
+        assert_eq!(sa.steps, sb.steps);
+        assert_eq!(sa.adds_verified, sb.adds_verified);
     }
 
     #[test]

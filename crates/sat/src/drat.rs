@@ -1,0 +1,702 @@
+//! DRAT-style proof logging and a self-contained forward proof checker.
+//!
+//! With [`SolverConfig::proof`](crate::SolverConfig::proof) enabled the
+//! solver records every input constraint and every derived clause into an
+//! in-memory [`ProofLog`]. The log is an *extended* DRAT trace: besides
+//! clause additions and deletions it carries the original inputs (clauses
+//! and normalized pseudo-Boolean constraints), so the trace is fully
+//! self-contained — a checker needs no separate copy of the formula, and
+//! incremental solving (constraints added between SOLVE calls) falls out
+//! naturally from the chronological interleaving.
+//!
+//! [`check_proof`] is the matching forward checker: a miniature unit
+//! propagation engine — two watched literals per clause, counter
+//! propagation for PB constraints, **no decisions, no learning** — that
+//! verifies each added clause by RUP (reverse unit propagation: assert
+//! the clause's negation, propagate, expect a conflict). Because learned
+//! clauses may be derived through PB reasons, propagation over the PB
+//! inputs is part of the RUP closure; plain clause-only DRAT would
+//! reject such steps.
+//!
+//! Deletions only ever weaken the formula the checker reasons from, so an
+//! unmatched deletion is ignored (counted, not rejected) — the standard
+//! lenient forward-checking semantics, sound for UNSAT certification.
+
+use crate::types::{LBool, Lit};
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+/// One step of an extended DRAT trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An input clause, exactly as handed to the solver (pre-simplification).
+    InputClause(Vec<Lit>),
+    /// An input pseudo-Boolean constraint in normalized `≥` form:
+    /// `Σ coefs[i]·lits[i] ≥ bound` with positive coefficients.
+    InputPb {
+        /// Distinct literals, paired with `coefs`.
+        lits: Vec<Lit>,
+        /// Positive coefficients.
+        coefs: Vec<u64>,
+        /// Right-hand side of the `≥`.
+        bound: u64,
+    },
+    /// A derived clause; must pass the RUP check against everything before it.
+    Add(Vec<Lit>),
+    /// A clause removed from the active set (clause-DB reduction or
+    /// preprocessing). Always sound to ignore.
+    Delete(Vec<Lit>),
+}
+
+/// Chronological record of a solver run, suitable for [`check_proof`].
+#[derive(Clone, Debug, Default)]
+pub struct ProofLog {
+    steps: Vec<ProofStep>,
+}
+
+impl ProofLog {
+    /// An empty trace.
+    pub fn new() -> ProofLog {
+        ProofLog::default()
+    }
+
+    /// Records an input clause.
+    pub fn input_clause(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::InputClause(lits.to_vec()));
+    }
+
+    /// Records an input PB constraint `Σ coefs[i]·lits[i] ≥ bound`.
+    pub fn input_pb(&mut self, lits: &[Lit], coefs: &[u64], bound: u64) {
+        self.steps.push(ProofStep::InputPb {
+            lits: lits.to_vec(),
+            coefs: coefs.to_vec(),
+            bound,
+        });
+    }
+
+    /// Records a derived clause (the empty slice is the empty clause).
+    pub fn add(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Add(lits.to_vec()));
+    }
+
+    /// Records a clause deletion.
+    pub fn delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(lits.to_vec()));
+    }
+
+    /// The recorded steps, in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Writes the trace as text. Derived clauses and deletions use plain
+    /// DRAT syntax (`<lits> 0` / `d <lits> 0`, DIMACS numbering); the
+    /// self-containment extensions are prefixed lines: `i <lits> 0` for
+    /// input clauses and `p <coef> <lit> ... >= <bound> 0` for PB inputs.
+    pub fn write_drat<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        fn dimacs(l: Lit) -> i64 {
+            let v = l.var().index() as i64 + 1;
+            if l.is_positive() {
+                v
+            } else {
+                -v
+            }
+        }
+        for step in &self.steps {
+            match step {
+                ProofStep::InputClause(lits) => {
+                    write!(w, "i")?;
+                    for &l in lits {
+                        write!(w, " {}", dimacs(l))?;
+                    }
+                    writeln!(w, " 0")?;
+                }
+                ProofStep::InputPb { lits, coefs, bound } => {
+                    write!(w, "p")?;
+                    for (&l, &c) in lits.iter().zip(coefs) {
+                        write!(w, " {} {}", c, dimacs(l))?;
+                    }
+                    writeln!(w, " >= {bound} 0")?;
+                }
+                ProofStep::Add(lits) => {
+                    let mut first = true;
+                    for &l in lits {
+                        if first {
+                            write!(w, "{}", dimacs(l))?;
+                            first = false;
+                        } else {
+                            write!(w, " {}", dimacs(l))?;
+                        }
+                    }
+                    if first {
+                        writeln!(w, "0")?;
+                    } else {
+                        writeln!(w, " 0")?;
+                    }
+                }
+                ProofStep::Delete(lits) => {
+                    write!(w, "d")?;
+                    for &l in lits {
+                        write!(w, " {}", dimacs(l))?;
+                    }
+                    writeln!(w, " 0")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    /// The clause added at `step` is not RUP with respect to everything
+    /// logged before it.
+    RupFailed {
+        /// Index of the offending step in the trace.
+        step: usize,
+        /// The clause that failed its RUP check.
+        clause: Vec<Lit>,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::RupFailed { step, clause } => {
+                write!(f, "step {step}: clause of {} lits failed RUP", clause.len())
+            }
+        }
+    }
+}
+
+/// Result of a successful [`check_proof`] run.
+#[derive(Clone, Debug, Default)]
+pub struct CheckedProof {
+    /// Total steps processed.
+    pub steps: usize,
+    /// Input clauses + PB constraints.
+    pub inputs: usize,
+    /// Derived clauses that passed their RUP check.
+    pub adds_verified: usize,
+    /// Deletions applied.
+    pub deletions: usize,
+    /// Deletions with no matching active clause (ignored, not an error).
+    pub ignored_deletions: usize,
+    unsat: bool,
+    derived: std::collections::HashSet<Vec<Lit>>,
+    input_set: std::collections::HashSet<Vec<Lit>>,
+}
+
+impl CheckedProof {
+    /// True when the trace establishes unsatisfiability of its inputs
+    /// (a verified empty clause, or a root-level propagation conflict).
+    pub fn proves_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// True when `lits` (as a set) follows from the trace: it is among the
+    /// verified derived clauses, it is an input clause (inputs hold
+    /// trivially), or the whole formula was proved unsatisfiable (which
+    /// subsumes any clause).
+    pub fn proves_clause(&self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return true;
+        }
+        let key = canon(lits);
+        self.derived.contains(&key) || self.input_set.contains(&key)
+    }
+}
+
+/// Sorted, deduplicated literal set — the canonical clause key.
+fn canon(lits: &[Lit]) -> Vec<Lit> {
+    let mut v = lits.to_vec();
+    v.sort_by_key(|l| l.index());
+    v.dedup();
+    v
+}
+
+fn is_tautology(sorted: &[Lit]) -> bool {
+    sorted.windows(2).any(|w| w[0] == !w[1])
+}
+
+struct Pb {
+    lits: Vec<Lit>,
+    coefs: Vec<u64>,
+    /// `Σ_{lᵢ not false} coefs[i] − bound` under the current assignment.
+    slack: i64,
+    max_coef: u64,
+}
+
+/// The checker's propagation engine: clauses under two-watched-literal
+/// propagation, PB constraints with counter (slack) propagation, a single
+/// trail shared by the persistent root level and the temporary RUP probes.
+///
+/// The watch invariant leans on two facts of forward checking: the root
+/// trail never retracts (so a permanently false watch is repaired — or
+/// turned into a root unit/conflict — the moment it becomes false), and
+/// RUP probes always undo their assignments before the next install (so
+/// probe-local watch moves can only ever land watches on lits that are
+/// undef again after the undo, which keeps them valid).
+#[derive(Default)]
+struct Engine {
+    assigns: Vec<LBool>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Active clauses; slots 0 and 1 hold the two watched literals
+    /// (clauses of length < 2 never propagate through watches: empty is a
+    /// root conflict, units are folded into the persistent trail).
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// `lit.index()` → ids of clauses currently watching that literal;
+    /// visited when the literal becomes false. Stale ids (deleted
+    /// clauses, moved watches) are purged lazily.
+    watches: Vec<Vec<u32>>,
+    /// Canonical lits → active clause ids, for deletion matching.
+    by_lits: HashMap<Vec<Lit>, Vec<u32>>,
+    pbs: Vec<Pb>,
+    /// `lit.index()` → `(pb id, coef)` for constraints containing that
+    /// literal; consulted when the literal becomes false.
+    pb_occ: Vec<Vec<(u32, u64)>>,
+    /// A conflict in the persistent (root) closure: the inputs are UNSAT.
+    root_conflict: bool,
+}
+
+impl Engine {
+    fn ensure(&mut self, lits: &[Lit]) {
+        let max = lits
+            .iter()
+            .map(|l| l.var().index())
+            .max()
+            .map_or(0, |m| m + 1);
+        if self.assigns.len() < max {
+            self.assigns.resize(max, LBool::Undef);
+            self.watches.resize(max * 2, Vec::new());
+            self.pb_occ.resize(max * 2, Vec::new());
+        }
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn assign(&mut self, l: Lit) {
+        self.assigns[l.var().index()] = LBool::from_bool(l.is_positive());
+        self.trail.push(l);
+        for &(pi, c) in &self.pb_occ[(!l).index()] {
+            self.pbs[pi as usize].slack -= c as i64;
+        }
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let l = self.trail.pop().unwrap();
+            self.assigns[l.var().index()] = LBool::Undef;
+            for &(pi, c) in &self.pb_occ[(!l).index()] {
+                self.pbs[pi as usize].slack += c as i64;
+            }
+        }
+        self.qhead = mark;
+    }
+
+    /// Unit propagation to fixpoint from the current queue head.
+    /// Returns `true` on conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let fw = !p; // the literal that just became false
+            let neg = fw.index();
+            // Clauses watching ¬p: satisfied, re-watched, unit, or conflicting.
+            let mut i = 0;
+            while i < self.watches[neg].len() {
+                let cid = self.watches[neg][i] as usize;
+                let Some(mut cl) = self.clauses[cid].take() else {
+                    self.watches[neg].swap_remove(i);
+                    continue;
+                };
+                if cl[0] == fw {
+                    cl.swap(0, 1);
+                }
+                if self.value(cl[0]) == LBool::True {
+                    self.clauses[cid] = Some(cl);
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false literal to take over the watch.
+                let repl = (2..cl.len()).find(|&k| self.value(cl[k]) != LBool::False);
+                if let Some(k) = repl {
+                    cl.swap(1, k);
+                    let nw = cl[1];
+                    self.clauses[cid] = Some(cl);
+                    self.watches[neg].swap_remove(i);
+                    self.watches[nw.index()].push(cid as u32);
+                    continue;
+                }
+                // Every other literal is false: unit on cl[0], or conflict.
+                let w0 = cl[0];
+                self.clauses[cid] = Some(cl);
+                match self.value(w0) {
+                    LBool::False => return true,
+                    LBool::Undef => self.assign(w0),
+                    LBool::True => {}
+                }
+                i += 1;
+            }
+            // PB constraints in which ¬p just became false: the slack was
+            // already decremented by `assign`; here we detect violation and
+            // force literals whose coefficient exceeds the remaining slack.
+            let mut j = 0;
+            while j < self.pb_occ[neg].len() {
+                let pi = self.pb_occ[neg][j].0 as usize;
+                j += 1;
+                let (slack, max_coef) = (self.pbs[pi].slack, self.pbs[pi].max_coef);
+                if slack < 0 {
+                    return true;
+                }
+                if (max_coef as i64) > slack {
+                    let forced: Vec<Lit> = {
+                        let pb = &self.pbs[pi];
+                        pb.lits
+                            .iter()
+                            .zip(&pb.coefs)
+                            .filter(|&(&l, &c)| (c as i64) > slack && self.value(l) == LBool::Undef)
+                            .map(|(&l, _)| l)
+                            .collect()
+                    };
+                    for l in forced {
+                        self.assign(l);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Installs a clause into the persistent formula and propagates any
+    /// consequence at root level.
+    ///
+    /// Watch choice: two non-false literals when the clause has them (the
+    /// only case where it can still propagate); otherwise it is satisfied,
+    /// unit or conflicting at root — root facts are permanent, so such a
+    /// clause never propagates again and any two slots do as watches.
+    fn install_clause(&mut self, lits: &[Lit]) {
+        let mut cl = canon(lits);
+        if is_tautology(&cl) {
+            return; // never propagates; keeping it would only bloat watch lists
+        }
+        self.ensure(&cl);
+        if cl.is_empty() {
+            self.root_conflict = true;
+            return;
+        }
+        let key = cl.clone();
+        // Root-level status, and the best two watch candidates: prefer
+        // non-false literals (undef before true keeps `unit` meaningful).
+        let mut sat = false;
+        let mut n = 0usize;
+        let mut unit = None;
+        for k in 0..cl.len() {
+            match self.value(cl[k]) {
+                LBool::True => sat = true,
+                LBool::Undef => unit = Some(cl[k]),
+                LBool::False => continue,
+            }
+            if n < 2 {
+                cl.swap(n, k);
+            }
+            n += 1;
+        }
+        let id = self.clauses.len() as u32;
+        if cl.len() >= 2 {
+            self.watches[cl[0].index()].push(id);
+            self.watches[cl[1].index()].push(id);
+        }
+        self.by_lits.entry(key).or_default().push(id);
+        self.clauses.push(Some(cl));
+        if self.root_conflict || sat || n > 1 {
+            return;
+        }
+        match unit {
+            None => self.root_conflict = true,
+            Some(l) => {
+                self.assign(l);
+                if self.propagate() {
+                    self.root_conflict = true;
+                }
+            }
+        }
+    }
+
+    fn install_pb(&mut self, lits: &[Lit], coefs: &[u64], bound: u64) {
+        self.ensure(lits);
+        let id = self.pbs.len() as u32;
+        let total: i64 = coefs.iter().map(|&c| c as i64).sum();
+        let mut slack = total - bound as i64;
+        for (&l, &c) in lits.iter().zip(coefs) {
+            self.pb_occ[l.index()].push((id, c));
+            if self.value(l) == LBool::False {
+                slack -= c as i64;
+            }
+        }
+        let max_coef = coefs.iter().copied().max().unwrap_or(0);
+        self.pbs.push(Pb {
+            lits: lits.to_vec(),
+            coefs: coefs.to_vec(),
+            slack,
+            max_coef,
+        });
+        if self.root_conflict {
+            return;
+        }
+        if slack < 0 {
+            self.root_conflict = true;
+            return;
+        }
+        if (max_coef as i64) > slack {
+            let forced: Vec<Lit> = {
+                let pb = &self.pbs[id as usize];
+                pb.lits
+                    .iter()
+                    .zip(&pb.coefs)
+                    .filter(|&(&l, &c)| (c as i64) > pb.slack && self.value(l) == LBool::Undef)
+                    .map(|(&l, _)| l)
+                    .collect()
+            };
+            for l in forced {
+                self.assign(l);
+            }
+            if self.propagate() {
+                self.root_conflict = true;
+            }
+        }
+    }
+
+    /// RUP check: assert the clause's negation, propagate, expect conflict.
+    /// Leaves the persistent state untouched.
+    fn rup(&mut self, cl: &[Lit]) -> bool {
+        if self.root_conflict {
+            return true;
+        }
+        self.ensure(cl);
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in cl {
+            match self.value(l) {
+                // The clause is satisfied at root — implied outright.
+                LBool::True => {
+                    conflict = true;
+                    break;
+                }
+                LBool::False => {}
+                LBool::Undef => self.assign(!l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate();
+        }
+        self.undo_to(mark);
+        conflict
+    }
+
+    /// Deletes one active clause matching `lits`; false when none does.
+    fn delete(&mut self, lits: &[Lit]) -> bool {
+        let key = canon(lits);
+        if let Some(ids) = self.by_lits.get_mut(&key) {
+            if let Some(id) = ids.pop() {
+                if ids.is_empty() {
+                    self.by_lits.remove(&key);
+                }
+                self.clauses[id as usize] = None;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Forward-checks an extended DRAT trace. Every `Add` step must be RUP
+/// with respect to the inputs, the earlier verified additions, and the
+/// not-yet-deleted clauses; on success the returned [`CheckedProof`]
+/// answers which clauses the trace proves.
+pub fn check_proof(log: &ProofLog) -> Result<CheckedProof, CheckError> {
+    let mut eng = Engine::default();
+    let mut out = CheckedProof {
+        steps: log.len(),
+        ..CheckedProof::default()
+    };
+    for (i, step) in log.steps().iter().enumerate() {
+        match step {
+            ProofStep::InputClause(lits) => {
+                eng.install_clause(lits);
+                out.input_set.insert(canon(lits));
+                out.inputs += 1;
+            }
+            ProofStep::InputPb { lits, coefs, bound } => {
+                eng.install_pb(lits, coefs, *bound);
+                out.inputs += 1;
+            }
+            ProofStep::Add(lits) => {
+                let key = canon(lits);
+                if !is_tautology(&key) && !eng.rup(&key) {
+                    return Err(CheckError::RupFailed {
+                        step: i,
+                        clause: lits.clone(),
+                    });
+                }
+                eng.install_clause(lits);
+                out.derived.insert(key);
+                out.adds_verified += 1;
+            }
+            ProofStep::Delete(lits) => {
+                if eng.delete(lits) {
+                    out.deletions += 1;
+                } else {
+                    out.ignored_deletions += 1;
+                }
+            }
+        }
+    }
+    out.unsat = eng.root_conflict;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn l(i: i32) -> Lit {
+        let v = Var::from_index((i.unsigned_abs() - 1) as usize);
+        if i > 0 {
+            v.positive()
+        } else {
+            v.negative()
+        }
+    }
+
+    fn cl(ls: &[i32]) -> Vec<Lit> {
+        ls.iter().map(|&i| l(i)).collect()
+    }
+
+    #[test]
+    fn accepts_valid_rup_chain() {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ x2) ⊢ (x2) by RUP; then (¬x2) makes it UNSAT.
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1, 2]));
+        log.input_clause(&cl(&[-1, 2]));
+        log.add(&cl(&[2]));
+        log.input_clause(&cl(&[-2]));
+        log.add(&[]);
+        let checked = check_proof(&log).expect("valid proof");
+        assert!(checked.proves_unsat());
+        assert!(checked.proves_clause(&cl(&[2])));
+        assert_eq!(checked.inputs, 3);
+        assert_eq!(checked.adds_verified, 2);
+    }
+
+    #[test]
+    fn rejects_non_rup_addition() {
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1, 2]));
+        log.add(&cl(&[1])); // not implied by UP
+        match check_proof(&log) {
+            Err(CheckError::RupFailed { step, .. }) => assert_eq!(step, 1),
+            other => panic!("expected RUP failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deletion_weakens_the_formula() {
+        // After deleting (¬x1 ∨ x2), the unit (x2) is no longer RUP.
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1, 2]));
+        log.input_clause(&cl(&[-1, 2]));
+        log.delete(&cl(&[-1, 2]));
+        log.add(&cl(&[2]));
+        assert!(check_proof(&log).is_err());
+    }
+
+    #[test]
+    fn unknown_deletion_is_ignored() {
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1, 2]));
+        log.delete(&cl(&[3, 4]));
+        let checked = check_proof(&log).expect("lenient deletes");
+        assert_eq!(checked.deletions, 0);
+        assert_eq!(checked.ignored_deletions, 1);
+    }
+
+    #[test]
+    fn pb_counter_propagation_in_rup() {
+        // 2·x1 + 1·x2 + 1·x3 ≥ 3 forces x1 once either x2 or x3 is false:
+        // the clause (x2 ∨ x1) is RUP only through the PB constraint.
+        let mut log = ProofLog::new();
+        log.input_pb(&cl(&[1, 2, 3]), &[2, 1, 1], 3);
+        log.add(&cl(&[2, 1]));
+        let checked = check_proof(&log).expect("PB-aware RUP");
+        assert!(checked.proves_clause(&cl(&[1, 2])));
+        assert!(!checked.proves_unsat());
+    }
+
+    #[test]
+    fn pb_violation_detected() {
+        // x1 + x2 ≥ 2 with ¬x1 as input is UNSAT at root.
+        let mut log = ProofLog::new();
+        log.input_pb(&cl(&[1, 2]), &[1, 1], 2);
+        log.input_clause(&cl(&[-1]));
+        let checked = check_proof(&log).expect("checks");
+        assert!(checked.proves_unsat());
+    }
+
+    #[test]
+    fn unsat_subsumes_any_claim() {
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1]));
+        log.input_clause(&cl(&[-1]));
+        let checked = check_proof(&log).expect("checks");
+        assert!(checked.proves_unsat());
+        assert!(checked.proves_clause(&cl(&[7])));
+    }
+
+    #[test]
+    fn satisfied_at_root_is_implied() {
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1]));
+        log.add(&cl(&[1, 2]));
+        let checked = check_proof(&log).expect("checks");
+        assert!(checked.proves_clause(&cl(&[1, 2])));
+    }
+
+    #[test]
+    fn drat_text_roundtrip_format() {
+        let mut log = ProofLog::new();
+        log.input_clause(&cl(&[1, -2]));
+        log.input_pb(&cl(&[1, 2]), &[2, 1], 2);
+        log.add(&cl(&[1]));
+        log.delete(&cl(&[1, -2]));
+        log.add(&[]);
+        let mut buf = Vec::new();
+        log.write_drat(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["i 1 -2 0", "p 2 1 1 2 >= 2 0", "1 0", "d 1 -2 0", "0"]
+        );
+    }
+}

@@ -206,6 +206,120 @@ mod tests {
     }
 
     #[test]
+    fn ring_wrap_around_drops_oldest_keeps_newest() {
+        let ex = ClauseExchange::new();
+        let extra = 100usize;
+        for i in 0..EXCHANGE_SLOTS + extra {
+            assert!(ex.publish(0, &clause(&[2 * i])));
+        }
+        // A reader whose cursor predates the last full revolution only sees
+        // the surviving ring contents: exactly the newest EXCHANGE_SLOTS
+        // clauses, in publication order.
+        let mut seen: Vec<usize> = Vec::new();
+        let cursor = ex.drain(1, 0, |c| seen.push(c[0].var().index()));
+        assert_eq!(cursor, (EXCHANGE_SLOTS + extra) as u64);
+        assert_eq!(seen.len(), EXCHANGE_SLOTS);
+        assert_eq!(seen.first().copied(), Some(extra));
+        assert_eq!(seen.last().copied(), Some(EXCHANGE_SLOTS + extra - 1));
+        assert!(seen.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn share_var_limit_gates_the_export_path() {
+        use crate::solver::{SolveResult, Solver, SolverConfig};
+
+        // Pigeonhole 5→4: UNSAT, learns plenty of short clauses.
+        fn build(solver: &mut Solver) {
+            let vars: Vec<Vec<crate::types::Var>> = (0..5)
+                .map(|_| (0..4).map(|_| solver.new_var()).collect())
+                .collect();
+            for p in &vars {
+                let cl: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+                solver.add_clause(&cl);
+            }
+            for h in 0..4 {
+                for a in 0..5 {
+                    for b in a + 1..5 {
+                        solver.add_clause(&[vars[a][h].negative(), vars[b][h].negative()]);
+                    }
+                }
+            }
+        }
+
+        let run = |limit: usize| {
+            let ex = Arc::new(ClauseExchange::new());
+            let mut solver = Solver::new();
+            solver.config = SolverConfig {
+                exchange: Some(Arc::clone(&ex)),
+                share_writer: 0,
+                share_var_limit: limit,
+                ..SolverConfig::default()
+            };
+            build(&mut solver);
+            assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+            (solver.stats.exported, ex)
+        };
+
+        // The default limit of 0 exports nothing.
+        let (exported, ex) = run(0);
+        assert_eq!(exported, 0);
+        assert_eq!(ex.published(), 0);
+
+        // With the limit at the full encoding size, short clauses flow.
+        let (exported, ex) = run(20);
+        assert!(exported > 0);
+        assert_eq!(ex.published(), exported);
+
+        // A partial limit: everything drained respects it.
+        let (_, ex) = run(10);
+        ex.drain(u32::MAX, 0, |c| {
+            assert!(c.iter().all(|l| l.var().index() < 10));
+        });
+    }
+
+    #[test]
+    fn two_thread_torn_reads_are_rejected() {
+        // One writer recycling the ring at full speed, one reader draining
+        // concurrently: every clause the reader accepts must be internally
+        // consistent (all lits share one variable tag, length derived from
+        // it), i.e. the seqlock validation rejected every torn slot.
+        let ex = Arc::new(ClauseExchange::new());
+        let writer = {
+            let ex = Arc::clone(&ex);
+            std::thread::spawn(move || {
+                for i in 0..20 * EXCHANGE_SLOTS {
+                    let len = i % MAX_SHARED_LITS + 1;
+                    let l = Var::from_index(i).positive();
+                    let lits = vec![l; len];
+                    ex.publish(0, &lits);
+                }
+            })
+        };
+        let reader = {
+            let ex = Arc::clone(&ex);
+            std::thread::spawn(move || {
+                let mut cursor = 0;
+                let mut seen = 0usize;
+                for _ in 0..400 {
+                    cursor = ex.drain(1, cursor, |c| {
+                        let tag = c[0].var().index();
+                        assert_eq!(c.len(), tag % MAX_SHARED_LITS + 1, "torn length");
+                        assert!(
+                            c.iter().all(|&l| l == Lit::from_index(2 * tag)),
+                            "torn literal mix"
+                        );
+                        seen += 1;
+                    });
+                    std::thread::yield_now();
+                }
+                seen
+            })
+        };
+        writer.join().unwrap();
+        assert!(reader.join().unwrap() > 0);
+    }
+
+    #[test]
     fn concurrent_publish_drain_is_safe_and_untorn() {
         let ex = Arc::new(ClauseExchange::new());
         let writers: Vec<_> = (0..4u32)

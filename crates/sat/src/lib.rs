@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod clause;
+mod drat;
 mod exchange;
 mod formula;
 mod heap;
@@ -52,6 +53,7 @@ mod pb;
 mod solver;
 mod types;
 
+pub use drat::{check_proof, CheckError, CheckedProof, ProofLog, ProofStep};
 pub use exchange::{ClauseExchange, EXCHANGE_SLOTS, MAX_SHARED_LITS};
 pub use formula::{Formula, ParseError};
 pub use pb::{normalize_ge, to_ge_constraints, Normalized, PbOp, PbTerm};

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::drat::ProofLog;
 use crate::exchange::{ClauseExchange, MAX_SHARED_LITS};
 use crate::heap::VarOrderHeap;
 use crate::pb::{normalize_ge, to_ge_constraints, Normalized, PbConstraint, PbOp, PbTerm};
@@ -118,6 +119,12 @@ pub struct SolverConfig {
     /// call. Equivalence-preserving, so sound under incremental reuse,
     /// assumptions, and clause exchange.
     pub preprocess: bool,
+    /// Record an extended DRAT trace ([`crate::ProofLog`]) of every input
+    /// constraint and every derived clause, retrievable with
+    /// [`Solver::take_proof`]. Implies that foreign clauses from the
+    /// exchange are **not imported** (they have no local derivation, so
+    /// they could not be justified in the proof); exporting still works.
+    pub proof: bool,
 }
 
 impl Default for SolverConfig {
@@ -138,6 +145,7 @@ impl Default for SolverConfig {
             share_max_len: MAX_SHARED_LITS,
             share_max_lbd: 6,
             preprocess: true,
+            proof: false,
         }
     }
 }
@@ -247,6 +255,9 @@ pub struct Solver {
     /// Whether the one-shot input preprocessing pass has run.
     preprocessed: bool,
 
+    /// Extended DRAT trace, lazily created when `config.proof` is set.
+    proof: Option<ProofLog>,
+
     /// Execution counters.
     pub stats: SolverStats,
 }
@@ -288,8 +299,36 @@ impl Solver {
             input_clauses: 0,
             exchange_cursor: 0,
             preprocessed: false,
+            proof: None,
             stats: SolverStats::default(),
         }
+    }
+
+    /// The proof recorded so far, if `config.proof` is enabled and at least
+    /// one constraint was added.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
+    }
+
+    /// Takes ownership of the recorded proof, leaving the solver logging
+    /// into a fresh (empty) trace from here on.
+    pub fn take_proof(&mut self) -> Option<ProofLog> {
+        self.proof.take()
+    }
+
+    #[inline]
+    fn proof_log(&mut self) -> &mut ProofLog {
+        self.proof.get_or_insert_with(ProofLog::new)
+    }
+
+    /// Marks the constraint set unconditionally contradictory, logging the
+    /// empty clause (which is RUP at this point: the checker's root-level
+    /// closure over the logged steps contains the same conflict).
+    fn set_unsat(&mut self) {
+        if self.config.proof {
+            self.proof_log().add(&[]);
+        }
+        self.ok = false;
     }
 
     /// Allocates a fresh variable.
@@ -383,6 +422,9 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        if self.config.proof {
+            self.proof_log().input_clause(lits);
+        }
         let mut cl: Vec<Lit> = lits.to_vec();
         cl.sort_unstable();
         cl.dedup();
@@ -407,12 +449,14 @@ impl Solver {
         self.input_literals += lits.len() as u64;
         match cl.len() {
             0 => {
-                self.ok = false;
+                self.set_unsat();
                 false
             }
             1 => {
                 self.assign(cl[0], Reason::None);
-                self.ok = self.propagate().is_none();
+                if self.propagate().is_some() {
+                    self.set_unsat();
+                }
                 self.ok
             }
             _ => {
@@ -436,26 +480,37 @@ impl Solver {
             match normalize_ge(&ge_terms, ge_bound) {
                 Normalized::TriviallyTrue => {}
                 Normalized::TriviallyFalse => {
-                    self.ok = false;
+                    if self.config.proof {
+                        self.proof_log().input_clause(&[]);
+                    }
+                    self.set_unsat();
                     return false;
                 }
-                Normalized::Unit(l) => match self.value_lit(l) {
-                    LBool::True => {}
-                    LBool::False => {
-                        self.ok = false;
-                        return false;
+                Normalized::Unit(l) => {
+                    if self.config.proof {
+                        self.proof_log().input_clause(&[l]);
                     }
-                    LBool::Undef => {
-                        self.assign(l, Reason::None);
-                        if self.propagate().is_some() {
-                            self.ok = false;
+                    match self.value_lit(l) {
+                        LBool::True => {}
+                        LBool::False => {
+                            self.set_unsat();
                             return false;
                         }
+                        LBool::Undef => {
+                            self.assign(l, Reason::None);
+                            if self.propagate().is_some() {
+                                self.set_unsat();
+                                return false;
+                            }
+                        }
                     }
-                },
+                }
                 Normalized::Constraint { lits, coefs, bound } => {
+                    if self.config.proof {
+                        self.proof_log().input_pb(&lits, &coefs, bound);
+                    }
                     if !self.install_pb(lits, coefs, bound) {
-                        self.ok = false;
+                        self.set_unsat();
                         return false;
                     }
                 }
@@ -896,6 +951,10 @@ impl Solver {
                     && self.value_lit(first) == LBool::True
             };
             if i < target && !locked && self.db.lbd(c) > 2 {
+                if self.config.proof {
+                    let lits = self.db.lits(c).to_vec();
+                    self.proof_log().delete(&lits);
+                }
                 self.detach(c);
                 self.db.delete(c);
                 removed += 1;
@@ -957,17 +1016,23 @@ impl Solver {
     /// Assigns a preprocessing-derived unit fact and propagates. Returns
     /// `false` (and clears `ok`) on a contradiction.
     fn pp_assign_unit(&mut self, l: Lit) -> bool {
+        // The unit is a resolvent of clauses still present in the trace
+        // (its source clause is only deleted later, at write-back), so it
+        // is RUP here.
+        if self.config.proof {
+            self.proof_log().add(&[l]);
+        }
         match self.value_lit(l) {
             LBool::True => true,
             LBool::False => {
-                self.ok = false;
+                self.set_unsat();
                 false
             }
             LBool::Undef => {
                 self.stats.pp_fixed += 1;
                 self.assign(l, Reason::None);
                 if self.propagate().is_some() {
-                    self.ok = false;
+                    self.set_unsat();
                     false
                 } else {
                     true
@@ -999,6 +1064,12 @@ impl Solver {
             sig: u64,
             dead: bool,
             changed: bool,
+            /// Last working copy logged into the proof trace. Strengthened
+            /// copies are logged the moment they are derived — while both
+            /// resolution parents are still present, so the step is RUP —
+            /// never at write-back, where the parents may already have been
+            /// deleted (a subsumer can itself be strengthened or subsumed).
+            logged: Option<Vec<Lit>>,
         }
         fn signature(lits: &[Lit]) -> u64 {
             lits.iter()
@@ -1034,7 +1105,7 @@ impl Solver {
             match lits.len() {
                 // All-false clauses would have conflicted during propagation.
                 0 => {
-                    self.ok = false;
+                    self.set_unsat();
                     return;
                 }
                 1 => {
@@ -1055,6 +1126,7 @@ impl Solver {
                 sig,
                 dead: false,
                 changed,
+                logged: None,
             });
         }
 
@@ -1126,14 +1198,32 @@ impl Solver {
                             self.stats.pp_removed += 1;
                         }
                         Some(Some(l)) => {
-                            let d = &mut pcs[dj as usize];
-                            d.lits.retain(|&x| x != !l);
-                            d.sig = signature(&d.lits);
-                            d.changed = true;
+                            {
+                                let d = &mut pcs[dj as usize];
+                                d.lits.retain(|&x| x != !l);
+                                d.sig = signature(&d.lits);
+                                d.changed = true;
+                            }
                             self.stats.pp_strengthened += 1;
-                            if d.lits.len() == 1 {
-                                let unit = d.lits[0];
-                                d.dead = true;
+                            // Proof: the new copy is the resolvent of the
+                            // current copies of `d` and the subsumer, both
+                            // present right now (their originals are only
+                            // deleted at write-back, their own strengthened
+                            // copies were logged when derived) — so it is
+                            // RUP *here*. The superseded copy is deleted
+                            // after: it is subsumed by the new one, so the
+                            // deletion never weakens propagation.
+                            if self.config.proof {
+                                let new = pcs[dj as usize].lits.clone();
+                                let prev = pcs[dj as usize].logged.replace(new.clone());
+                                self.proof_log().add(&new);
+                                if let Some(prev) = prev {
+                                    self.proof_log().delete(&prev);
+                                }
+                            }
+                            if pcs[dj as usize].lits.len() == 1 {
+                                let unit = pcs[dj as usize].lits[0];
+                                pcs[dj as usize].dead = true;
                                 if !self.pp_assign_unit(unit) {
                                     return;
                                 }
@@ -1156,11 +1246,27 @@ impl Solver {
         // Write results back into the solver: drop dead clauses, re-allocate
         // strengthened ones (watches must move to the new literal set).
         for cref in doomed {
+            if self.config.proof {
+                let old = self.db.lits(cref).to_vec();
+                self.proof_log().delete(&old);
+            }
             self.detach(cref);
             self.db.delete(cref);
         }
         for pc in &pcs {
             if pc.dead {
+                if self.config.proof {
+                    let old = self.db.lits(pc.cref).to_vec();
+                    self.proof_log().delete(&old);
+                    // Drop the logged working copy too (units stay: they
+                    // carry a root fact).
+                    if let Some(lg) = &pc.logged {
+                        if lg.len() > 1 {
+                            let lg = lg.clone();
+                            self.proof_log().delete(&lg);
+                        }
+                    }
+                }
                 self.detach(pc.cref);
                 self.db.delete(pc.cref);
                 continue;
@@ -1182,6 +1288,26 @@ impl Solver {
                     LBool::Undef => lits.push(l),
                 }
             }
+            // Proof: strengthened copies were already logged when derived
+            // (see the worklist arm). Here only root-simplification remains:
+            // the final clause is the last copy minus root-false literals,
+            // which is RUP through the persistent root facts. Log it before
+            // deleting the original and the superseded copy.
+            if self.config.proof {
+                let already = pc.logged.as_deref() == Some(&lits[..]);
+                if !satisfied && !lits.is_empty() && !already {
+                    let new = lits.clone();
+                    self.proof_log().add(&new);
+                }
+                let old = self.db.lits(pc.cref).to_vec();
+                self.proof_log().delete(&old);
+                if let Some(lg) = &pc.logged {
+                    if !already {
+                        let lg = lg.clone();
+                        self.proof_log().delete(&lg);
+                    }
+                }
+            }
             self.detach(pc.cref);
             self.db.delete(pc.cref);
             if satisfied {
@@ -1189,7 +1315,7 @@ impl Solver {
             }
             match lits.len() {
                 0 => {
-                    self.ok = false;
+                    self.set_unsat();
                     return;
                 }
                 1 => {
@@ -1237,7 +1363,7 @@ impl Solver {
         }
         if let Some(c) = self.propagate() {
             let _ = c;
-            self.ok = false;
+            self.set_unsat();
             return SolveResult::Unsat;
         }
         self.import_shared();
@@ -1320,7 +1446,7 @@ impl Solver {
                 conflicts_since_restart += 1;
                 *conflicts_this_call += 1;
                 if self.decision_level() == 0 {
-                    self.ok = false;
+                    self.set_unsat();
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
@@ -1367,7 +1493,17 @@ impl Solver {
                     // that level i ≤ |assumptions| corresponds to assumption i.
                     self.new_decision_level();
                 }
-                LBool::False => return PickOutcome::AssumptionConflict,
+                LBool::False => {
+                    // Proof: the negated-assumption-prefix clause is RUP —
+                    // asserting the prefix re-propagates ¬p. For a guarded
+                    // bound probe this is the certified window claim `¬g`.
+                    if self.config.proof {
+                        let lvl = self.decision_level() as usize;
+                        let clause: Vec<Lit> = assumptions[..=lvl].iter().map(|&a| !a).collect();
+                        self.proof_log().add(&clause);
+                    }
+                    return PickOutcome::AssumptionConflict;
+                }
                 LBool::Undef => {
                     self.new_decision_level();
                     self.assign(p, Reason::None);
@@ -1390,6 +1526,11 @@ impl Solver {
 
     fn learn(&mut self, learnt: &[Lit]) {
         self.stats.learned += 1;
+        // First-UIP learned clauses (after minimization) are RUP with
+        // respect to the inputs plus the earlier learned clauses.
+        if self.config.proof {
+            self.proof_log().add(learnt);
+        }
         match learnt.len() {
             0 => self.ok = false,
             1 => {
@@ -1439,6 +1580,12 @@ impl Solver {
     /// run outside search or at a restart boundary; backtracks to level 0
     /// (assumptions are re-decided by the next `pick_next` pass).
     fn import_shared(&mut self) {
+        // A foreign clause has no local derivation, so it could never be
+        // justified in the DRAT trace: under proof logging this solver
+        // exports but does not import.
+        if self.config.proof {
+            return;
+        }
         let Some(ex) = self.config.exchange.clone() else {
             return;
         };

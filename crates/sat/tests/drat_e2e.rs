@@ -1,0 +1,160 @@
+//! End-to-end proof-logging tests: run the solver on known instances with
+//! `SolverConfig::proof` enabled and verify the recorded trace with the
+//! built-in forward DRAT checker.
+
+use optalloc_sat::{check_proof, PbOp, PbTerm, SolveResult, Solver, SolverConfig, Var};
+
+/// Pigeonhole principle: `pigeons` into `holes`; UNSAT when pigeons > holes.
+fn pigeonhole(solver: &mut Solver, pigeons: usize, holes: usize) {
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    for p in &vars {
+        let clause: Vec<_> = p.iter().map(|v| v.positive()).collect();
+        solver.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for a in 0..pigeons {
+            for b in a + 1..pigeons {
+                solver.add_clause(&[vars[a][h].negative(), vars[b][h].negative()]);
+            }
+        }
+    }
+}
+
+#[test]
+fn unsat_proof_verifies_with_preprocessing() {
+    for preprocess in [false, true] {
+        let mut solver = Solver::new();
+        solver.config = SolverConfig {
+            proof: true,
+            preprocess,
+            ..SolverConfig::default()
+        };
+        pigeonhole(&mut solver, 6, 5);
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        let log = solver.take_proof().expect("proof recorded");
+        let checked = check_proof(&log).expect("every step RUP");
+        assert!(checked.proves_unsat(), "preprocess={preprocess}");
+        assert!(checked.adds_verified > 0);
+    }
+}
+
+#[test]
+fn proof_survives_clause_db_reduction() {
+    let mut solver = Solver::new();
+    solver.config = SolverConfig {
+        proof: true,
+        // Force several reduce_db passes so deletions appear in the trace.
+        first_reduce: 50,
+        ..SolverConfig::default()
+    };
+    pigeonhole(&mut solver, 7, 6);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    let log = solver.take_proof().expect("proof recorded");
+    let checked = check_proof(&log).expect("every step RUP");
+    assert!(checked.proves_unsat());
+    assert!(
+        checked.deletions > 0,
+        "reduce_db should have logged deletions"
+    );
+}
+
+#[test]
+fn sat_solve_produces_checkable_trace() {
+    // A satisfiable instance: no empty clause, but every learned clause in
+    // the trace must still pass its RUP check.
+    let mut solver = Solver::new();
+    solver.config.proof = true;
+    pigeonhole(&mut solver, 5, 5);
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    let log = solver.take_proof().expect("proof recorded");
+    let checked = check_proof(&log).expect("every step RUP");
+    assert!(!checked.proves_unsat());
+}
+
+#[test]
+fn guarded_assumption_unsat_yields_window_claim() {
+    // Incremental use like the cost prober: the base formula is SAT, a
+    // guard assumption turns it UNSAT; the trace must prove ¬guard.
+    let mut solver = Solver::new();
+    solver.config.proof = true;
+    pigeonhole(&mut solver, 5, 5);
+    let guard = solver.new_var().positive();
+    // guard → pigeon 0 avoids every hole (contradicts "some hole").
+    let first_pigeon: Vec<Var> = (0..5).map(Var::from_index).collect();
+    for v in &first_pigeon {
+        solver.add_clause(&[!guard, v.negative()]);
+    }
+    assert_eq!(solver.solve(&[guard]), SolveResult::Unsat);
+    solver.add_clause(&[!guard]);
+    // Solver stays usable without the guard.
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    let log = solver.take_proof().expect("proof recorded");
+    let checked = check_proof(&log).expect("every step RUP");
+    assert!(!checked.proves_unsat(), "base formula is SAT");
+    assert!(
+        checked.proves_clause(&[!guard]),
+        "the failed-assumption clause certifies the probe"
+    );
+}
+
+#[test]
+fn pb_constraints_enter_the_trace() {
+    // Σ xᵢ ≥ 3 over 4 vars plus Σ xᵢ ≤ 1 is UNSAT through PB reasoning.
+    let mut solver = Solver::new();
+    solver.config.proof = true;
+    let vars: Vec<Var> = (0..4).map(|_| solver.new_var()).collect();
+    let terms: Vec<PbTerm> = vars.iter().map(|v| PbTerm::new(v.positive(), 1)).collect();
+    solver.add_pb(&terms, PbOp::Ge, 3);
+    solver.add_pb(&terms, PbOp::Le, 1);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    let log = solver.take_proof().expect("proof recorded");
+    let checked = check_proof(&log).expect("PB-aware RUP");
+    assert!(checked.proves_unsat());
+    assert!(checked.inputs >= 2);
+}
+
+#[test]
+fn strengthening_chain_keeps_trace_checkable() {
+    // Regression: a subsumer can itself be strengthened and then subsumed
+    // by the very clause it strengthened. With write-back-time logging the
+    // dead parent was deleted (arena order) before the Add that resolves
+    // against it, so the Add failed RUP. Strengthened copies must be
+    // logged the moment they are derived, while both parents are present.
+    //
+    //   d = ¬a ∨ c ∨ ¬e          (dies: subsumed by the final copy of y)
+    //   y = a ∨ c ∨ f ∨ ¬e       (→ a ∨ c ∨ ¬e via s, → c ∨ ¬e via d)
+    //   s = c ∨ ¬f               (strengthens y first)
+    let mut solver = Solver::new();
+    solver.config = SolverConfig {
+        proof: true,
+        preprocess: true,
+        ..SolverConfig::default()
+    };
+    let a = solver.new_var().positive();
+    let c = solver.new_var().positive();
+    let e = solver.new_var().positive();
+    let f = solver.new_var().positive();
+    solver.add_clause(&[!a, c, !e]);
+    solver.add_clause(&[a, c, f, !e]);
+    solver.add_clause(&[c, !f]);
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
+    assert!(
+        solver.stats.pp_strengthened >= 2,
+        "the self-subsuming resolution chain should fire twice"
+    );
+    let log = solver.take_proof().expect("proof recorded");
+    let checked = check_proof(&log).expect("strengthened copies logged at derivation time");
+    assert!(checked.adds_verified >= 1);
+    assert!(checked.deletions >= 1);
+}
+
+#[test]
+fn proof_disabled_records_nothing() {
+    let mut solver = Solver::new();
+    pigeonhole(&mut solver, 6, 5);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    assert!(solver.proof().is_none());
+    assert!(solver.take_proof().is_none());
+}
