@@ -1,0 +1,38 @@
+//! Scratch test (review only): is the window-claim check vacuous for
+//! incremental traces because the guard-closing clause is logged as input?
+
+use optalloc_intopt::{BinSearchMode, CostProber, IntProblem, MinimizeOptions, Probe};
+
+#[test]
+fn claim_check_vacuity_probe() {
+    let mut p = IntProblem::new();
+    let x = p.int_var(0, 100);
+    p.assert(x.expr().ge(7));
+    let mut opts = MinimizeOptions::default();
+    opts.certify = true;
+    opts.mode = BinSearchMode::Incremental;
+    let mut prober = CostProber::new(&p, x, &opts);
+    // First probe is SAT: its window [7,100] is NOT refuted.
+    assert!(matches!(prober.probe(Some((7, 100))), Probe::Sat { .. }));
+    let proof = prober.take_proof().expect("trace");
+    assert!(proof.windows.is_empty(), "no window was certified");
+    let checked = optalloc_sat::check_proof(&proof.log).expect("trace checks");
+    // Find the guard-closing unit input clause(s) in the trace.
+    let mut closing_units = vec![];
+    for step in proof.log.steps() {
+        if let optalloc_sat::ProofStep::InputClause(lits) = step {
+            if lits.len() == 1 {
+                closing_units.push(lits[0]);
+            }
+        }
+    }
+    // The SAT probe's guard closure is an input unit; proves_clause accepts it,
+    // so a fabricated CertifiedWindow{lo:7, hi:100, claim:[¬g]} would verify
+    // even though the window is satisfiable.
+    let vacuous = closing_units
+        .iter()
+        .any(|&l| checked.proves_clause(&[l]));
+    println!("closing unit inputs: {}", closing_units.len());
+    println!("proves_clause accepts un-derived guard closure: {vacuous}");
+    assert!(vacuous, "if this fails, the claim check is NOT vacuous");
+}
