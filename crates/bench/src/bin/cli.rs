@@ -3,6 +3,8 @@
 //! ```text
 //! optalloc-cli generate <name> <out.json>       # dump a bundled workload
 //! optalloc-cli solve <workload.json> [options]  # optimize it
+//! optalloc-cli serve [options]                  # long-running TCP service
+//! optalloc-cli submit <request> [options]       # talk to a running service
 //!
 //! generate names: tindell43, tindell16, table2-e<N>, table3-t<N>,
 //!                 arch-a, arch-b, arch-c
@@ -12,6 +14,10 @@
 //!               (trt/busload use medium 0 unless --medium <k> is given)
 //!   --medium <k>            target medium index for trt/busload
 //!   --max-conflicts <n>     solver budget
+//!   --timeout-ms <n>        wall-clock limit; exceeding it exits 4
+//!   --json                  print one machine-readable JSON result line
+//!                           (the service protocol's JobResult) instead of
+//!                           the human report
 //!   --portfolio <n|auto>    race n diversified workers instead of one search
 //!                           (auto = one per host core)
 //!   --window <n|auto>       parallel window search: n workers over disjoint
@@ -31,26 +37,60 @@
 //!                           (text DRAT with `c` comments; implies --certify)
 //!   --max-slot <n>          upper bound for TDMA slot decision variables
 //!   --out <alloc.json>      write the allocation as JSON
+//!
+//! serve options:
+//!   --addr <host:port>      bind address (default 127.0.0.1:7723)
+//!   --workers <n>           solver worker threads (default 1; warm-start
+//!                           chains work best single-worker)
+//!   --queue <n>             bounded queue depth (default 16)
+//!   --cache <n>             result-cache capacity (default 64)
+//!   --timeout-ms <n>        default per-job timeout
+//!   plus the solve options --max-conflicts / --certify / --portfolio /
+//!   --window / --deterministic, applied to every job
+//!
+//! submit requests (all take --addr <host:port> and --json):
+//!   solve <workload.json> [--objective o] [--medium k] [--timeout-ms n]
+//!   delta <ops.json> [--base <fingerprint>] [--timeout-ms n]
+//!                           ops.json: JSON array of InstanceDelta values
+//!   status
+//!   shutdown                begin graceful drain, then exit
+//!
+//! exit codes (solve and submit): 0 optimal/feasible, 1 internal error or
+//! rejected submission, 2 usage/input error, 3 proven infeasible,
+//! 4 timeout or conflict-budget exhaustion.
 //! ```
 //!
 //! The workload file is the JSON serialization of
 //! `optalloc_workloads::Workload` (architecture + task set + a feasibility
 //! witness); the output is the optimal `optalloc_model::Allocation`.
 
-use optalloc::{EncoderOpt, Objective, Optimizer, SolveOptions, Strategy};
+use optalloc::{EncoderOpt, Objective, OptError, Optimizer, SolveOptions, Strategy};
 use optalloc_model::{ticks_to_ms, MediumId};
+use optalloc_service::protocol::{Instance, JobOutcome, JobResult, Request, Response, WarmLabel};
+use optalloc_service::{serve, Service, ServiceConfig};
 use optalloc_workloads::{
     architecture_scaling, generate, table4_workload, task_scaling, Fig2, GenParams, Workload,
 };
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7723";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
-         [--max-conflicts n] [--portfolio n|auto] [--window n|auto] \
-         [--deterministic] [--no-encoder-opt] [--certify] [--proof file] \
-         [--max-slot n] [--out alloc.json]"
+         [--max-conflicts n] [--timeout-ms n] [--json] [--portfolio n|auto] \
+         [--window n|auto] [--deterministic] [--no-encoder-opt] [--certify] \
+         [--proof file] [--max-slot n] [--out alloc.json]\n  \
+         optalloc-cli serve [--addr host:port] [--workers n] [--queue n] \
+         [--cache n] [--timeout-ms n] [--max-conflicts n] [--certify] \
+         [--portfolio n|auto] [--window n|auto] [--deterministic]\n  \
+         optalloc-cli submit solve <workload.json> | delta <ops.json> \
+         [--base fp] | status | shutdown  [--addr host:port] [--json]"
     );
     ExitCode::from(2)
 }
@@ -100,7 +140,6 @@ fn bundled(name: &str) -> Option<Workload> {
 /// cost windows it certifies, so an external checker can be pointed at
 /// the matching section.
 fn write_proofs(path: &str, cert: &optalloc::intopt::Certificate) -> std::io::Result<()> {
-    use std::io::Write;
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(
         f,
@@ -117,73 +156,433 @@ fn write_proofs(path: &str, cert: &optalloc::intopt::Certificate) -> std::io::Re
     f.flush()
 }
 
+/// The documented exit-code contract, applied to a job verdict.
+fn exit_for(outcome: &JobOutcome) -> ExitCode {
+    match outcome {
+        JobOutcome::Optimal { .. } => ExitCode::SUCCESS,
+        JobOutcome::Infeasible => ExitCode::from(3),
+        JobOutcome::Budget { .. } | JobOutcome::Timeout { .. } => ExitCode::from(4),
+        JobOutcome::Error { .. } => ExitCode::from(1),
+    }
+}
+
+fn parse_objective(name: &str, medium: u32) -> Option<Objective> {
+    match name {
+        "trt" => Some(Objective::TokenRotationTime(MediumId(medium))),
+        "sumtrt" => Some(Objective::SumTokenRotationTimes),
+        "busload" => Some(Objective::BusLoadPermille(MediumId(medium))),
+        "maxutil" => Some(Objective::MaxUtilizationPermille),
+        "spread" => Some(Objective::UtilizationSpreadPermille),
+        "feasible" => Some(Objective::Feasibility),
+        _ => None,
+    }
+}
+
+fn read_workload(path: &str) -> Result<Workload, ExitCode> {
+    let input = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    let w: Workload = serde_json::from_str(&input).map_err(|e| {
+        eprintln!("bad workload file: {e}");
+        ExitCode::from(2)
+    })?;
+    if let Err(e) = w.arch.validate() {
+        eprintln!("invalid architecture: {e}");
+        return Err(ExitCode::from(2));
+    }
+    if let Err(e) = w.tasks.validate() {
+        eprintln!("invalid task set: {e}");
+        return Err(ExitCode::from(2));
+    }
+    Ok(w)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("generate") => {
-            let (Some(name), Some(out)) = (args.get(1), args.get(2)) else {
-                return usage();
-            };
-            let Some(w) = bundled(name) else {
-                eprintln!("unknown workload `{name}`");
-                return ExitCode::from(2);
-            };
-            let json = serde_json::to_string_pretty(&w).expect("serialize");
-            if let Err(e) = std::fs::write(out, json) {
-                eprintln!("cannot write {out}: {e}");
-                return ExitCode::from(2);
-            }
-            println!(
-                "wrote {out}: {} tasks, {} ECUs, {} media",
-                w.tasks.len(),
-                w.arch.num_ecus(),
-                w.arch.num_media()
-            );
-            ExitCode::SUCCESS
-        }
-        Some("solve") => {
-            let Some(path) = args.get(1) else {
-                return usage();
-            };
-            let mut objective_name = "feasible".to_string();
-            let mut medium = 0u32;
-            let mut max_conflicts = None;
-            let mut out_path: Option<String> = None;
-            let mut portfolio: Option<usize> = None;
-            let mut window: Option<usize> = None;
-            let mut deterministic = false;
-            let mut certify = false;
-            let mut proof_path: Option<String> = None;
-            let mut max_slot: Option<u64> = None;
-            let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
-                EncoderOpt::none()
-            } else {
-                EncoderOpt::default()
-            };
-            let mut it = args[2..].iter();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--objective" => objective_name = it.next().cloned().unwrap_or_default(),
-                    "--medium" => medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
-                    "--max-conflicts" => max_conflicts = it.next().and_then(|s| s.parse().ok()),
-                    "--portfolio" => portfolio = parse_workers(it.next()),
-                    "--window" => window = parse_workers(it.next()),
-                    "--deterministic" => deterministic = true,
-                    "--certify" => certify = true,
-                    "--proof" => {
-                        proof_path = it.next().cloned();
-                        certify = true;
-                    }
-                    "--max-slot" => max_slot = it.next().and_then(|s| s.parse().ok()),
-                    "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
-                    "--out" => out_path = it.next().cloned(),
-                    other => {
-                        eprintln!("unknown option {other}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
+        Some("generate") => cmd_generate(&args),
+        Some("solve") => cmd_solve(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        _ => usage(),
+    }
+}
 
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let (Some(name), Some(out)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let Some(w) = bundled(name) else {
+        eprintln!("unknown workload `{name}`");
+        return ExitCode::from(2);
+    };
+    let json = serde_json::to_string_pretty(&w).expect("serialize");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out}: {} tasks, {} ECUs, {} media",
+        w.tasks.len(),
+        w.arch.num_ecus(),
+        w.arch.num_media()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_solve(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let mut objective_name = "feasible".to_string();
+    let mut medium = 0u32;
+    let mut max_conflicts = None;
+    let mut out_path: Option<String> = None;
+    let mut portfolio: Option<usize> = None;
+    let mut window: Option<usize> = None;
+    let mut deterministic = false;
+    let mut certify = false;
+    let mut json = false;
+    let mut timeout_ms: Option<u64> = None;
+    let mut proof_path: Option<String> = None;
+    let mut max_slot: Option<u64> = None;
+    let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
+        EncoderOpt::none()
+    } else {
+        EncoderOpt::default()
+    };
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--objective" => objective_name = it.next().cloned().unwrap_or_default(),
+            "--medium" => medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--max-conflicts" => max_conflicts = it.next().and_then(|s| s.parse().ok()),
+            "--timeout-ms" => timeout_ms = it.next().and_then(|s| s.parse().ok()),
+            "--json" => json = true,
+            "--portfolio" => portfolio = parse_workers(it.next()),
+            "--window" => window = parse_workers(it.next()),
+            "--deterministic" => deterministic = true,
+            "--certify" => certify = true,
+            "--proof" => {
+                proof_path = it.next().cloned();
+                certify = true;
+            }
+            "--max-slot" => max_slot = it.next().and_then(|s| s.parse().ok()),
+            "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let w = match read_workload(path) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let Some(objective) = parse_objective(&objective_name, medium) else {
+        eprintln!("unknown objective `{objective_name}`");
+        return ExitCode::from(2);
+    };
+
+    let mut opts = SolveOptions {
+        max_conflicts,
+        strategy: match (window, portfolio) {
+            (Some(workers), _) => Strategy::WindowSearch {
+                workers,
+                deterministic,
+            },
+            (None, Some(workers)) => Strategy::Portfolio {
+                workers,
+                deterministic,
+            },
+            (None, None) => Strategy::Single,
+        },
+        encoder_opt,
+        certify,
+        ..Default::default()
+    };
+    if let Some(ms) = max_slot {
+        opts.max_slot = ms;
+    }
+
+    // A wall-clock limit rides on cooperative cancellation: one detached
+    // watchdog thread raises the solvers' shared interrupt flag.
+    let timed_out = Arc::new(AtomicBool::new(false));
+    if let Some(ms) = timeout_ms {
+        let flag = Arc::new(AtomicBool::new(false));
+        opts.interrupt = Some(Arc::clone(&flag));
+        let timed_out = Arc::clone(&timed_out);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            timed_out.store(true, Ordering::Relaxed);
+            flag.store(true, Ordering::Relaxed);
+        });
+    }
+
+    let fingerprint = optalloc_service::fingerprint::fingerprint(
+        &Instance {
+            arch: w.arch.clone(),
+            tasks: w.tasks.clone(),
+        },
+        &objective,
+        &opts,
+        None,
+    );
+    let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
+    let start = std::time::Instant::now();
+
+    let feasibility = matches!(objective, Objective::Feasibility);
+    let solved = if feasibility {
+        optimizer.find_feasible().map(|sol| (sol, None))
+    } else {
+        optimizer
+            .minimize(&objective)
+            .map(|r| (r.solution.clone(), Some(r)))
+    };
+    let solve_ms = start.elapsed().as_millis() as u64;
+
+    let (outcome, report) = match solved {
+        Ok((sol, report)) => (
+            JobOutcome::Optimal {
+                cost: report.as_ref().map_or(0, |r| r.cost),
+                allocation: sol.allocation,
+                certified: report.as_ref().is_some_and(|r| r.certificate.is_some()),
+            },
+            report,
+        ),
+        Err(OptError::Infeasible) => (JobOutcome::Infeasible, None),
+        Err(OptError::Budget { incumbent }) => {
+            let incumbent_cost = incumbent.map(|(v, _)| v);
+            let outcome = if timed_out.load(Ordering::Relaxed) {
+                JobOutcome::Timeout { incumbent_cost }
+            } else {
+                JobOutcome::Budget { incumbent_cost }
+            };
+            (outcome, None)
+        }
+        Err(e) => (
+            JobOutcome::Error {
+                message: e.to_string(),
+            },
+            None,
+        ),
+    };
+    let code = exit_for(&outcome);
+
+    if json {
+        let result = JobResult {
+            fingerprint: fingerprint.to_string(),
+            outcome: outcome.clone(),
+            cached: false,
+            warm: WarmLabel::Cold,
+            solve_calls: report.as_ref().map_or(0, |r| r.solve_calls),
+            conflicts: report.as_ref().map_or(0, |r| r.stats.conflicts),
+            solve_ms,
+        };
+        println!("{}", serde_json::to_string(&result).expect("serialize"));
+    }
+
+    let JobOutcome::Optimal { allocation, .. } = outcome else {
+        if !json {
+            match &outcome {
+                JobOutcome::Infeasible => eprintln!("no feasible allocation exists"),
+                JobOutcome::Budget { .. } => eprintln!("conflict budget exhausted"),
+                JobOutcome::Timeout { .. } => eprintln!("timed out after {solve_ms} ms"),
+                JobOutcome::Error { message } => eprintln!("{message}"),
+                JobOutcome::Optimal { .. } => unreachable!(),
+            }
+        }
+        return code;
+    };
+
+    if !json {
+        if let Some(r) = &report {
+            let line = match objective {
+                Objective::TokenRotationTime(_) | Objective::SumTokenRotationTimes => {
+                    format!(
+                        "optimal {objective_name} = {} ticks ({:.2} ms)",
+                        r.cost,
+                        ticks_to_ms(r.cost as u64)
+                    )
+                }
+                _ => format!("optimal {objective_name} = {}", r.cost),
+            };
+            println!(
+                "encoding: {} vars, {} literals; {} SOLVE calls, {:.2}s",
+                r.encode.bool_vars,
+                r.encode.literals,
+                r.solve_calls,
+                r.wall.as_secs_f64()
+            );
+            for worker in &r.workers {
+                println!("  {worker}");
+            }
+            if let Some(cert) = &r.certificate {
+                println!(
+                    "certificate VERIFIED: {} — refutations cover [{}, {}], \
+                     witness replayed through independent analysis",
+                    cert.summary,
+                    cert.certificate.cost_lo,
+                    cert.certificate.optimum - 1
+                );
+            }
+            println!("{line}");
+        } else {
+            println!("feasible");
+        }
+        for (tid, t) in w.tasks.iter() {
+            println!(
+                "  {:<12} -> {}",
+                t.name,
+                w.arch.ecu(allocation.ecu_of(tid)).name
+            );
+        }
+    }
+    if let Some(pp) = &proof_path {
+        if let Some(cert) = report.as_ref().and_then(|r| r.certificate.as_ref()) {
+            if let Err(e) = write_proofs(pp, &cert.certificate) {
+                eprintln!("cannot write {pp}: {e}");
+                return ExitCode::from(2);
+            }
+            if !json {
+                println!("DRAT traces written to {pp}");
+            }
+        }
+    }
+    if let Some(out) = out_path {
+        let json_alloc = serde_json::to_string_pretty(&allocation).expect("serialize");
+        if let Err(e) = std::fs::write(&out, json_alloc) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        if !json {
+            println!("allocation written to {out}");
+        }
+    }
+    code
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut config = ServiceConfig::default();
+    let mut portfolio: Option<usize> = None;
+    let mut window: Option<usize> = None;
+    let mut deterministic = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or(addr),
+            "--workers" => {
+                config.workers = it.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            }
+            "--queue" => {
+                config.queue_capacity = it.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+            }
+            "--cache" => {
+                config.cache_capacity = it.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+            }
+            "--timeout-ms" => {
+                config.default_timeout = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .map(Duration::from_millis);
+            }
+            "--max-conflicts" => {
+                config.solve.max_conflicts = it.next().and_then(|s| s.parse().ok());
+            }
+            "--certify" => config.solve.certify = true,
+            "--portfolio" => portfolio = parse_workers(it.next()),
+            "--window" => window = parse_workers(it.next()),
+            "--deterministic" => deterministic = true,
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    config.solve.strategy = match (window, portfolio) {
+        (Some(workers), _) => Strategy::WindowSearch {
+            workers,
+            deterministic,
+        },
+        (None, Some(workers)) => Strategy::Portfolio {
+            workers,
+            deterministic,
+        },
+        (None, None) => Strategy::Single,
+    };
+    let mut server = match serve(Service::new(config), &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("optalloc-service listening on {}", server.addr());
+    server.wait();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(what) = args.get(1) else {
+        return usage();
+    };
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut json = false;
+    let mut objective_name = "maxutil".to_string();
+    let mut medium = 0u32;
+    let mut timeout_ms: Option<u64> = None;
+    let mut base: Option<String> = None;
+    let positional_after = match what.as_str() {
+        "solve" | "delta" => 3,
+        _ => 2,
+    };
+    let mut it = args.get(positional_after..).unwrap_or_default().iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or(addr),
+            "--json" => json = true,
+            "--objective" => objective_name = it.next().cloned().unwrap_or_default(),
+            "--medium" => medium = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--timeout-ms" => timeout_ms = it.next().and_then(|s| s.parse().ok()),
+            "--base" => base = it.next().cloned(),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let request = match what.as_str() {
+        "solve" => {
+            let Some(path) = args.get(2) else {
+                return usage();
+            };
+            let w = match read_workload(path) {
+                Ok(w) => w,
+                Err(code) => return code,
+            };
+            let Some(objective) = parse_objective(&objective_name, medium) else {
+                eprintln!("unknown objective `{objective_name}`");
+                return ExitCode::from(2);
+            };
+            Request::Solve {
+                instance: Instance {
+                    arch: w.arch,
+                    tasks: w.tasks,
+                },
+                objective,
+                timeout_ms,
+            }
+        }
+        "delta" => {
+            let Some(path) = args.get(2) else {
+                return usage();
+            };
             let input = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -191,129 +590,116 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let w: Workload = match serde_json::from_str(&input) {
-                Ok(w) => w,
+            let ops = match serde_json::from_str(&input) {
+                Ok(ops) => ops,
                 Err(e) => {
-                    eprintln!("bad workload file: {e}");
+                    eprintln!("bad delta file: {e}");
                     return ExitCode::from(2);
                 }
             };
-            if let Err(e) = w.arch.validate() {
-                eprintln!("invalid architecture: {e}");
-                return ExitCode::from(2);
+            Request::Delta {
+                base,
+                ops,
+                objective: None,
+                timeout_ms,
             }
-            if let Err(e) = w.tasks.validate() {
-                eprintln!("invalid task set: {e}");
-                return ExitCode::from(2);
-            }
+        }
+        "status" => Request::Status,
+        "shutdown" => Request::Shutdown,
+        other => {
+            eprintln!("unknown request `{other}`");
+            return usage();
+        }
+    };
 
-            let objective = match objective_name.as_str() {
-                "trt" => Objective::TokenRotationTime(MediumId(medium)),
-                "sumtrt" => Objective::SumTokenRotationTimes,
-                "busload" => Objective::BusLoadPermille(MediumId(medium)),
-                "maxutil" => Objective::MaxUtilizationPermille,
-                "spread" => Objective::UtilizationSpreadPermille,
-                "feasible" => Objective::Feasibility,
-                other => {
-                    eprintln!("unknown objective `{other}`");
-                    return ExitCode::from(2);
+    let stream = match std::net::TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("connection error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut line = serde_json::to_string(&request).expect("serialize");
+    line.push('\n');
+    let mut response_line = String::new();
+    let io = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.flush())
+        .and_then(|()| BufReader::new(stream).read_line(&mut response_line));
+    if let Err(e) = io {
+        eprintln!("connection error: {e}");
+        return ExitCode::from(1);
+    }
+    let response: Response = match serde_json::from_str(&response_line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bad response from server: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if json {
+        println!("{}", response_line.trim_end());
+    }
+    match response {
+        Response::Result(result) => {
+            if !json {
+                match &result.outcome {
+                    JobOutcome::Optimal {
+                        cost, certified, ..
+                    } => println!(
+                        "optimal cost {cost}{} — warm {:?}, {} SOLVE calls, \
+                         {} conflicts, {} ms{}",
+                        if *certified { " (certified)" } else { "" },
+                        result.warm,
+                        result.solve_calls,
+                        result.conflicts,
+                        result.solve_ms,
+                        if result.cached { " [cache hit]" } else { "" },
+                    ),
+                    other => println!("{other:?}"),
                 }
-            };
-
-            let mut opts = SolveOptions {
-                max_conflicts,
-                strategy: match (window, portfolio) {
-                    (Some(workers), _) => Strategy::WindowSearch {
-                        workers,
-                        deterministic,
-                    },
-                    (None, Some(workers)) => Strategy::Portfolio {
-                        workers,
-                        deterministic,
-                    },
-                    (None, None) => Strategy::Single,
-                },
-                encoder_opt,
-                certify,
-                ..Default::default()
-            };
-            if let Some(ms) = max_slot {
-                opts.max_slot = ms;
+                println!("fingerprint {}", result.fingerprint);
             }
-            let optimizer = Optimizer::new(&w.arch, &w.tasks).with_options(opts);
-            let (allocation, cost_line) = if matches!(objective, Objective::Feasibility) {
-                match optimizer.find_feasible() {
-                    Ok(sol) => (sol.allocation, "feasible".to_string()),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::from(1);
-                    }
-                }
-            } else {
-                match optimizer.minimize(&objective) {
-                    Ok(r) => {
-                        let line = match objective {
-                            Objective::TokenRotationTime(_) | Objective::SumTokenRotationTimes => {
-                                format!(
-                                    "optimal {objective_name} = {} ticks ({:.2} ms)",
-                                    r.cost,
-                                    ticks_to_ms(r.cost as u64)
-                                )
-                            }
-                            _ => format!("optimal {objective_name} = {}", r.cost),
-                        };
-                        println!(
-                            "encoding: {} vars, {} literals; {} SOLVE calls, {:.2}s",
-                            r.encode.bool_vars,
-                            r.encode.literals,
-                            r.solve_calls,
-                            r.wall.as_secs_f64()
-                        );
-                        for worker in &r.workers {
-                            println!("  {worker}");
-                        }
-                        if let Some(cert) = &r.certificate {
-                            println!(
-                                "certificate VERIFIED: {} — refutations cover [{}, {}], \
-                                 witness replayed through independent analysis",
-                                cert.summary,
-                                cert.certificate.cost_lo,
-                                cert.certificate.optimum - 1
-                            );
-                            if let Some(pp) = &proof_path {
-                                if let Err(e) = write_proofs(pp, &cert.certificate) {
-                                    eprintln!("cannot write {pp}: {e}");
-                                    return ExitCode::from(2);
-                                }
-                                println!("DRAT traces written to {pp}");
-                            }
-                        }
-                        (r.solution.allocation, line)
-                    }
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::from(1);
-                    }
-                }
-            };
-            println!("{cost_line}");
-            for (tid, t) in w.tasks.iter() {
+            exit_for(&result.outcome)
+        }
+        Response::Rejected { reason } => {
+            if !json {
+                eprintln!("rejected: {reason:?}");
+            }
+            ExitCode::from(1)
+        }
+        Response::Error { message } => {
+            if !json {
+                eprintln!("error: {message}");
+            }
+            ExitCode::from(1)
+        }
+        Response::Status {
+            queued,
+            inflight,
+            draining,
+            cached,
+        } => {
+            if !json {
                 println!(
-                    "  {:<12} -> {}",
-                    t.name,
-                    w.arch.ecu(allocation.ecu_of(tid)).name
+                    "queued {queued}, inflight {inflight}, draining {draining}, \
+                     cached {cached}"
                 );
-            }
-            if let Some(out) = out_path {
-                let json = serde_json::to_string_pretty(&allocation).expect("serialize");
-                if let Err(e) = std::fs::write(&out, json) {
-                    eprintln!("cannot write {out}: {e}");
-                    return ExitCode::from(2);
-                }
-                println!("allocation written to {out}");
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        Response::ShuttingDown => {
+            if !json {
+                println!("shutting down");
+            }
+            ExitCode::SUCCESS
+        }
     }
 }

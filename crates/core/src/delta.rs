@@ -1,0 +1,471 @@
+//! Instance deltas: small, typed mutations of an allocation instance.
+//!
+//! A long-running service rarely sees *unrelated* instances back to back —
+//! it sees the **same** instance with a WCET re-measured, a deadline
+//! tightened, a task added or retired, or a cost bound imposed by the
+//! caller. [`InstanceDelta`] captures exactly those mutations so the
+//! service can derive the next instance from the previous one instead of
+//! shipping a full model, and so the warm-start engine
+//! ([`optalloc_intopt::WarmEngine`]) can decide how much of the previous
+//! search to keep:
+//!
+//! * a pure [`InstanceDelta::CostBounds`] delta leaves the formula
+//!   untouched — the retained solver and its learned clauses survive;
+//! * every model mutation (WCET, deadline, add/remove) changes encoded
+//!   constants, so the engine re-encodes and keeps only the *validated*
+//!   optimum hint. Soundness never depends on this classification: the
+//!   engine re-derives it structurally from the encoded problems.
+//!
+//! Deltas are applied **transactionally** by [`apply_deltas`]: either every
+//! op applies and the mutated task set passes [`TaskSet::validate`], or the
+//! instance is left untouched and a typed [`DeltaError`] names the first
+//! offending op.
+
+use optalloc_model::{Architecture, EcuId, Task, TaskId, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+/// One mutation of an allocation instance.
+///
+/// Tasks and ECUs are addressed **by name**, not by id: names are stable
+/// under the canonical reordering the service's fingerprint layer performs,
+/// and ids shift when tasks are removed. The one exception is
+/// [`InstanceDelta::AddTask`], which carries a full model [`Task`] whose
+/// message targets and separation partners use the [`TaskId`]s of the
+/// instance *being mutated* (ids are dense indices, so a new task may also
+/// be referenced by id `len` from ops later in the same batch — but
+/// cross-references are validated, not trusted).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum InstanceDelta {
+    /// Re-measure (or newly permit) the WCET of `task` on `ecu`. Adding an
+    /// entry for an ECU the task could not previously run on *widens* the
+    /// placement permission set πᵢ.
+    SetWcet {
+        /// Task name.
+        task: String,
+        /// ECU name.
+        ecu: String,
+        /// New worst-case execution time in ticks (must be ≥ 1).
+        wcet: Time,
+    },
+    /// Forbid `task` from running on `ecu` (removes the WCET entry and with
+    /// it the placement permission).
+    ForbidEcu {
+        /// Task name.
+        task: String,
+        /// ECU name.
+        ecu: String,
+    },
+    /// Replace the relative deadline of `task`.
+    SetDeadline {
+        /// Task name.
+        task: String,
+        /// New relative deadline in ticks (must be ≥ 1).
+        deadline: Time,
+    },
+    /// Append a new task. Its name must be unused; its message targets and
+    /// separation partners must reference existing tasks (by id).
+    AddTask(Task),
+    /// Remove `task`. Messages *sent to* it by other tasks are dropped and
+    /// separation references to it are erased; all higher [`TaskId`]s shift
+    /// down by one (ids are dense indices).
+    RemoveTask {
+        /// Task name.
+        task: String,
+    },
+    /// Constrain the cost search window without touching the model. The
+    /// engine intersects this with the objective's own range; it reaches
+    /// the solver as a probe window, so a bound that excludes the true
+    /// optimum yields an *infeasible-in-window* verdict, never a wrong
+    /// optimum.
+    CostBounds {
+        /// Certified-from-outside lower bound (`None` = unchanged).
+        lower: Option<i64>,
+        /// Imposed upper bound (`None` = unchanged).
+        upper: Option<i64>,
+    },
+}
+
+/// The cost window accumulated from [`InstanceDelta::CostBounds`] ops —
+/// the intersection of every bound seen in the batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostWindow {
+    /// Tightest lower bound requested, if any.
+    pub lower: Option<i64>,
+    /// Tightest upper bound requested, if any.
+    pub upper: Option<i64>,
+}
+
+impl CostWindow {
+    /// Folds another bound pair in (lattice-style: max of lowers, min of
+    /// uppers).
+    fn fold(&mut self, lower: Option<i64>, upper: Option<i64>) {
+        self.lower = match (self.lower, lower) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.upper = match (self.upper, upper) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// `true` when no bound was requested.
+    pub fn is_unbounded(&self) -> bool {
+        self.lower.is_none() && self.upper.is_none()
+    }
+}
+
+/// Why a delta batch was rejected (the instance is left unchanged).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op referenced a task name the instance does not contain.
+    UnknownTask(String),
+    /// An op referenced an ECU name the architecture does not contain.
+    UnknownEcu(String),
+    /// An op carried a value the model rejects (zero WCET, zero deadline,
+    /// duplicate task name, dangling id reference, last placement removed).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownTask(t) => write!(f, "unknown task \"{t}\""),
+            DeltaError::UnknownEcu(e) => write!(f, "unknown ECU \"{e}\""),
+            DeltaError::Invalid(msg) => write!(f, "invalid delta: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn task_id_by_name(tasks: &TaskSet, name: &str) -> Result<TaskId, DeltaError> {
+    tasks
+        .iter()
+        .find(|(_, t)| t.name == name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| DeltaError::UnknownTask(name.to_string()))
+}
+
+fn ecu_id_by_name(arch: &Architecture, name: &str) -> Result<EcuId, DeltaError> {
+    arch.iter_ecus()
+        .find(|(_, e)| e.name == name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| DeltaError::UnknownEcu(name.to_string()))
+}
+
+/// Removes the task at `gone` and rewrites every dangling reference:
+/// messages to it are dropped, separation entries erased, and all ids above
+/// it shifted down (ids are dense vector indices).
+fn remove_task(tasks: &mut TaskSet, gone: TaskId) {
+    tasks.tasks.remove(gone.index());
+    let shift = |id: TaskId| {
+        if id.0 > gone.0 {
+            TaskId(id.0 - 1)
+        } else {
+            id
+        }
+    };
+    for t in &mut tasks.tasks {
+        t.messages.retain(|m| m.to != gone);
+        for m in &mut t.messages {
+            m.to = shift(m.to);
+        }
+        t.separation = t
+            .separation
+            .iter()
+            .filter(|&&s| s != gone)
+            .map(|&s| shift(s))
+            .collect();
+    }
+}
+
+fn apply_one(
+    arch: &Architecture,
+    tasks: &mut TaskSet,
+    delta: &InstanceDelta,
+    window: &mut CostWindow,
+) -> Result<(), DeltaError> {
+    match delta {
+        InstanceDelta::SetWcet { task, ecu, wcet } => {
+            if *wcet == 0 {
+                return Err(DeltaError::Invalid(format!(
+                    "WCET of \"{task}\" on \"{ecu}\" must be ≥ 1 (use ForbidEcu to \
+                     remove a placement)"
+                )));
+            }
+            let tid = task_id_by_name(tasks, task)?;
+            let eid = ecu_id_by_name(arch, ecu)?;
+            tasks.tasks[tid.index()].wcet.insert(eid, *wcet);
+        }
+        InstanceDelta::ForbidEcu { task, ecu } => {
+            let tid = task_id_by_name(tasks, task)?;
+            let eid = ecu_id_by_name(arch, ecu)?;
+            let t = &mut tasks.tasks[tid.index()];
+            if t.wcet.remove(&eid).is_none() {
+                return Err(DeltaError::Invalid(format!(
+                    "\"{task}\" was already forbidden on \"{ecu}\""
+                )));
+            }
+            if t.wcet.is_empty() {
+                return Err(DeltaError::Invalid(format!(
+                    "removing \"{ecu}\" leaves \"{task}\" with no allowed ECU"
+                )));
+            }
+        }
+        InstanceDelta::SetDeadline { task, deadline } => {
+            if *deadline == 0 {
+                return Err(DeltaError::Invalid(format!(
+                    "deadline of \"{task}\" must be ≥ 1"
+                )));
+            }
+            let tid = task_id_by_name(tasks, task)?;
+            tasks.tasks[tid.index()].deadline = *deadline;
+        }
+        InstanceDelta::AddTask(task) => {
+            if tasks.iter().any(|(_, t)| t.name == task.name) {
+                return Err(DeltaError::Invalid(format!(
+                    "a task named \"{}\" already exists",
+                    task.name
+                )));
+            }
+            tasks.push(task.clone());
+        }
+        InstanceDelta::RemoveTask { task } => {
+            let tid = task_id_by_name(tasks, task)?;
+            remove_task(tasks, tid);
+        }
+        InstanceDelta::CostBounds { lower, upper } => {
+            window.fold(*lower, *upper);
+        }
+    }
+    Ok(())
+}
+
+/// Applies a batch of deltas to `(arch, tasks)` transactionally.
+///
+/// On success the mutated task set replaces `tasks` (it already passed
+/// [`TaskSet::validate`]) and the accumulated [`CostWindow`] is returned.
+/// On any error `tasks` is left **untouched** and the first offending op's
+/// [`DeltaError`] is returned — a rejected batch never half-applies.
+pub fn apply_deltas(
+    arch: &Architecture,
+    tasks: &mut TaskSet,
+    deltas: &[InstanceDelta],
+) -> Result<CostWindow, DeltaError> {
+    let mut staged = tasks.clone();
+    let mut window = CostWindow::default();
+    for d in deltas {
+        apply_one(arch, &mut staged, d, &mut window)?;
+    }
+    staged.validate().map_err(DeltaError::Invalid)?;
+    *tasks = staged;
+    Ok(window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, Medium};
+
+    fn instance() -> (Architecture, TaskSet) {
+        let mut arch = Architecture::new();
+        let p0 = arch.push_ecu(Ecu::new("p0"));
+        let p1 = arch.push_ecu(Ecu::new("p1"));
+        arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+        let mut tasks = TaskSet::new();
+        let a = tasks.push(Task::new("a", 50, 50, vec![(p0, 10), (p1, 10)]));
+        tasks.push(Task::new("b", 50, 40, vec![(p0, 15), (p1, 15)]).sends(a, 4, 25));
+        tasks.push(Task::new("c", 50, 50, vec![(p0, 5)]).separated_from(a));
+        (arch, tasks)
+    }
+
+    #[test]
+    fn wcet_and_deadline_edits_apply_by_name() {
+        let (arch, mut tasks) = instance();
+        let w = apply_deltas(
+            &arch,
+            &mut tasks,
+            &[
+                InstanceDelta::SetWcet {
+                    task: "a".into(),
+                    ecu: "p1".into(),
+                    wcet: 22,
+                },
+                InstanceDelta::SetDeadline {
+                    task: "b".into(),
+                    deadline: 33,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(w.is_unbounded());
+        assert_eq!(tasks.task(TaskId(0)).wcet_on(EcuId(1)), Some(22));
+        assert_eq!(tasks.task(TaskId(1)).deadline, 33);
+    }
+
+    #[test]
+    fn set_wcet_can_widen_the_permission_set() {
+        let (arch, mut tasks) = instance();
+        assert!(!tasks.task(TaskId(2)).may_run_on(EcuId(1)));
+        apply_deltas(
+            &arch,
+            &mut tasks,
+            &[InstanceDelta::SetWcet {
+                task: "c".into(),
+                ecu: "p1".into(),
+                wcet: 7,
+            }],
+        )
+        .unwrap();
+        assert_eq!(tasks.task(TaskId(2)).wcet_on(EcuId(1)), Some(7));
+    }
+
+    #[test]
+    fn forbid_ecu_protects_the_last_placement() {
+        let (arch, mut tasks) = instance();
+        let err = apply_deltas(
+            &arch,
+            &mut tasks,
+            &[InstanceDelta::ForbidEcu {
+                task: "c".into(),
+                ecu: "p0".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::Invalid(_)));
+        // Transactional: the failed batch changed nothing.
+        assert!(tasks.task(TaskId(2)).may_run_on(EcuId(0)));
+    }
+
+    #[test]
+    fn remove_task_rewrites_references_and_shifts_ids() {
+        let (arch, mut tasks) = instance();
+        // Removing "a" (id 0): b's message to it is dropped, c's separation
+        // entry erased, and b/c shift down to ids 0/1.
+        apply_deltas(
+            &arch,
+            &mut tasks,
+            &[InstanceDelta::RemoveTask { task: "a".into() }],
+        )
+        .unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks.task(TaskId(0)).name, "b");
+        assert!(tasks.task(TaskId(0)).messages.is_empty());
+        assert_eq!(tasks.task(TaskId(1)).name, "c");
+        assert!(tasks.task(TaskId(1)).separation.is_empty());
+        assert!(tasks.validate().is_ok());
+    }
+
+    #[test]
+    fn remove_task_preserves_unrelated_references() {
+        let (arch, mut tasks) = instance();
+        // d sends to c; removing a must shift the target id (2 → 1), not
+        // drop the message.
+        tasks.push(Task::new("d", 50, 50, vec![(EcuId(0), 1)]).sends(TaskId(2), 2, 30));
+        apply_deltas(
+            &arch,
+            &mut tasks,
+            &[InstanceDelta::RemoveTask { task: "a".into() }],
+        )
+        .unwrap();
+        let d = tasks.iter().find(|(_, t)| t.name == "d").unwrap().1;
+        assert_eq!(d.messages.len(), 1);
+        assert_eq!(d.messages[0].to, TaskId(1));
+        assert_eq!(tasks.task(TaskId(1)).name, "c");
+    }
+
+    #[test]
+    fn add_task_rejects_duplicate_names_and_dangling_ids() {
+        let (arch, mut tasks) = instance();
+        let dup = Task::new("a", 10, 10, vec![(EcuId(0), 1)]);
+        assert!(matches!(
+            apply_deltas(&arch, &mut tasks, &[InstanceDelta::AddTask(dup)]),
+            Err(DeltaError::Invalid(_))
+        ));
+        let dangling = Task::new("e", 10, 10, vec![(EcuId(0), 1)]).sends(TaskId(40), 1, 5);
+        assert!(matches!(
+            apply_deltas(&arch, &mut tasks, &[InstanceDelta::AddTask(dangling)]),
+            Err(DeltaError::Invalid(_))
+        ));
+        assert_eq!(tasks.len(), 3, "rejected batches change nothing");
+    }
+
+    #[test]
+    fn cost_bounds_fold_as_a_lattice() {
+        let (arch, mut tasks) = instance();
+        let w = apply_deltas(
+            &arch,
+            &mut tasks,
+            &[
+                InstanceDelta::CostBounds {
+                    lower: Some(3),
+                    upper: Some(90),
+                },
+                InstanceDelta::CostBounds {
+                    lower: Some(10),
+                    upper: None,
+                },
+                InstanceDelta::CostBounds {
+                    lower: Some(5),
+                    upper: Some(70),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            w,
+            CostWindow {
+                lower: Some(10),
+                upper: Some(70)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let (arch, mut tasks) = instance();
+        assert_eq!(
+            apply_deltas(
+                &arch,
+                &mut tasks,
+                &[InstanceDelta::SetDeadline {
+                    task: "ghost".into(),
+                    deadline: 9
+                }]
+            ),
+            Err(DeltaError::UnknownTask("ghost".into()))
+        );
+        assert_eq!(
+            apply_deltas(
+                &arch,
+                &mut tasks,
+                &[InstanceDelta::SetWcet {
+                    task: "a".into(),
+                    ecu: "p9".into(),
+                    wcet: 1
+                }]
+            ),
+            Err(DeltaError::UnknownEcu("p9".into()))
+        );
+    }
+
+    #[test]
+    fn deltas_round_trip_through_serde() {
+        let ops = vec![
+            InstanceDelta::SetWcet {
+                task: "a".into(),
+                ecu: "p0".into(),
+                wcet: 12,
+            },
+            InstanceDelta::RemoveTask { task: "b".into() },
+            InstanceDelta::CostBounds {
+                lower: None,
+                upper: Some(400),
+            },
+        ];
+        let json = serde_json::to_string(&ops).unwrap();
+        let back: Vec<InstanceDelta> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ops);
+    }
+}

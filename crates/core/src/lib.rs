@@ -57,16 +57,20 @@
 #![warn(missing_docs)]
 
 mod decode;
+mod delta;
 mod encode;
 mod optimizer;
 mod options;
 
+pub use delta::{apply_deltas, CostWindow, DeltaError, InstanceDelta};
 pub use encode::objective::ObjectiveError;
 pub use optimizer::{AllocationSolution, CertificateReport, OptError, OptimizeReport, Optimizer};
 pub use options::{Objective, SolveOptions, Strategy};
 
-// The encoder-optimization switch travels with `SolveOptions`.
-pub use optalloc_intopt::EncoderOpt;
+// The encoder-optimization switch travels with `SolveOptions`; the
+// warm-start engine is constructed from `SolveOptions::minimize_options`
+// and driven through `Optimizer::minimize_warm`.
+pub use optalloc_intopt::{EncoderOpt, WarmEngine, WarmMode};
 
 // Facade re-exports so downstream users need a single dependency.
 pub use optalloc_analysis as analysis;

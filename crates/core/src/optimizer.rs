@@ -14,13 +14,13 @@ use optalloc_analysis::{
     utilization_minmax_spread_permille, validate, AnalysisConfig, Report,
 };
 use optalloc_intopt::{
-    Certificate, CertificateSummary, EncodeStats, MinimizeOptions, MinimizeStatus,
+    Certificate, CertificateSummary, EncodeStats, MinimizeStatus, WarmEngine, WarmMode,
 };
 use optalloc_model::{Allocation, Architecture, TaskSet};
 use optalloc_portfolio::{
     minimize_portfolio, minimize_window_search, PortfolioOptions, WorkerReport,
 };
-use optalloc_sat::SolverStats;
+use optalloc_sat::{SolverConfig, SolverStats};
 use std::time::{Duration, Instant};
 
 /// A feasible allocation together with its independent analysis report.
@@ -253,9 +253,14 @@ impl<'a> Optimizer<'a> {
         if enc.infeasible {
             return Err(OptError::Infeasible);
         }
-        match enc.problem.solve_with_options(
+        let config = SolverConfig {
+            max_conflicts: self.opts.max_conflicts,
+            interrupt: self.opts.interrupt.clone(),
+            ..SolverConfig::default()
+        };
+        match enc.problem.solve_with_solver_config(
             self.opts.backend,
-            self.opts.max_conflicts,
+            config,
             &self.opts.encoder_opt,
         ) {
             Err(()) => Err(OptError::Budget { incumbent: None }),
@@ -293,15 +298,7 @@ impl<'a> Optimizer<'a> {
             return Err(OptError::Infeasible);
         }
 
-        let min_opts = MinimizeOptions {
-            backend: self.opts.backend,
-            mode: self.opts.mode,
-            max_conflicts: self.opts.max_conflicts,
-            initial_upper: self.opts.initial_upper,
-            encoder_opt: self.opts.encoder_opt,
-            certify: self.opts.certify,
-            ..MinimizeOptions::default()
-        };
+        let min_opts = self.opts.minimize_options();
         let (status, solve_calls, encode, stats, workers, certificate) = match self.opts.strategy {
             Strategy::Single => {
                 let outcome = enc.problem.minimize(cost, &min_opts);
@@ -344,14 +341,114 @@ impl<'a> Optimizer<'a> {
             }
         };
         let wall = start.elapsed();
+        self.report_from_status(
+            objective,
+            &enc,
+            status,
+            solve_calls,
+            encode,
+            stats,
+            workers,
+            certificate,
+            wall,
+            self.opts.certify,
+        )
+    }
 
+    /// Re-solves through a long-lived [`WarmEngine`] instead of a one-shot
+    /// search: the engine decides per call how much of the *previous* solve
+    /// survives (retained solver with learned clauses, validated optimum
+    /// hint, or nothing — see [`WarmMode`]) and this wrapper applies the
+    /// same decode / re-validate / certify gates as
+    /// [`minimize`](Optimizer::minimize). The optional `window` restricts
+    /// the cost search to `lo ≤ cost ≤ hi`
+    /// ([`OptError::Infeasible`] then means *no solution in the window*).
+    ///
+    /// The engine must have been constructed from
+    /// [`SolveOptions::minimize_options`] of options equivalent to this
+    /// optimizer's — in particular the same `certify` flag — since the
+    /// engine's own options govern the search it runs. The configured
+    /// [`Strategy`](crate::Strategy) is ignored: warm re-solving is
+    /// inherently single-search (a retained solver cannot be raced).
+    pub fn minimize_warm(
+        &self,
+        objective: &Objective,
+        engine: &mut WarmEngine,
+        window: Option<(i64, i64)>,
+    ) -> Result<(OptimizeReport, WarmMode), OptError> {
+        let start = Instant::now();
+        if matches!(objective, Objective::Feasibility) {
+            let solution = self.find_feasible()?;
+            return Ok((
+                OptimizeReport {
+                    solution,
+                    cost: 0,
+                    encode: EncodeStats::default(),
+                    solve_calls: 1,
+                    stats: SolverStats::default(),
+                    wall: start.elapsed(),
+                    workers: Vec::new(),
+                    certificate: None,
+                },
+                WarmMode::Cold,
+            ));
+        }
+
+        let slot_media = variable_slot_media(self.arch, objective).map_err(OptError::Objective)?;
+        let mut enc = Encoding::build(self.arch, self.tasks, &self.opts, &slot_media);
+        let cost = enc
+            .encode_objective(objective)
+            .map_err(OptError::Objective)?
+            .expect("non-feasibility objectives define a cost");
+        if enc.infeasible {
+            return Err(OptError::Infeasible);
+        }
+
+        let certify = engine.options().certify;
+        let (outcome, mode) = match window {
+            Some((lo, hi)) => engine.solve_window(&enc.problem, cost, lo, hi),
+            None => engine.solve(&enc.problem, cost),
+        };
+        let wall = start.elapsed();
+        let report = self.report_from_status(
+            objective,
+            &enc,
+            outcome.status,
+            outcome.solve_calls,
+            outcome.encode,
+            outcome.stats,
+            Vec::new(),
+            outcome.certificate,
+            wall,
+            certify,
+        )?;
+        Ok((report, mode))
+    }
+
+    /// Shared tail of every optimization entry point: decode the winning
+    /// model, re-validate it independently, verify the certificate when one
+    /// was requested, and map non-optimal statuses to typed errors.
+    #[allow(clippy::too_many_arguments)] // internal plumbing, not API
+    fn report_from_status(
+        &self,
+        objective: &Objective,
+        enc: &Encoding,
+        status: MinimizeStatus,
+        solve_calls: u32,
+        encode: EncodeStats,
+        stats: SolverStats,
+        workers: Vec<WorkerReport>,
+        certificate: Option<Certificate>,
+        wall: Duration,
+        certify: bool,
+    ) -> Result<OptimizeReport, OptError> {
         match status {
             MinimizeStatus::Infeasible => Err(OptError::Infeasible),
             MinimizeStatus::Unknown { incumbent } | MinimizeStatus::Interrupted { incumbent } => {
                 let incumbent = match incumbent {
                     None => None,
                     Some((value, model)) => {
-                        let sol = self.check(decode(&enc, &model))?;
+                        let sol = self.check(decode(enc, &model))?;
                         Some((value, sol))
                     }
                 };
@@ -360,15 +457,15 @@ impl<'a> Optimizer<'a> {
             // The portfolio resolves external optima to concrete models
             // before returning; a bare ExternalOptimal can only escape a
             // direct `IntProblem::minimize` with a foreign shared bound,
-            // which the optimizer never configures.
+            // which neither the optimizer nor the warm engine configures.
             MinimizeStatus::ExternalOptimal { .. } => {
                 unreachable!("optimizer never shares bounds outside a portfolio")
             }
             MinimizeStatus::Optimal { value, model } => {
-                // Every portfolio (or single-search) winner passes the same
-                // independent re-validation gate.
-                let solution = self.check(decode(&enc, &model))?;
-                let certificate = if self.opts.certify {
+                // Every winner passes the same independent re-validation
+                // gate.
+                let solution = self.check(decode(enc, &model))?;
+                let certificate = if certify {
                     Some(self.certify(objective, value, &solution.allocation, certificate)?)
                 } else {
                     None

@@ -1,10 +1,12 @@
 //! Configuration of the encoder and optimizer.
 
-use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt};
+use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt, MinimizeOptions};
 use optalloc_model::{MediumId, Time};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// What the optimizer minimizes (paper §6).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Objective {
     /// Minimize the token rotation time (round length Λ) of one TDMA
     /// medium — the \[5\] benchmark objective of Table 1. The medium's slot
@@ -101,6 +103,35 @@ pub struct SolveOptions {
     /// without the encoder). Adds proof-logging overhead to the search and
     /// disables cross-worker clause *imports* (exports still flow).
     pub certify: bool,
+    /// Cooperative cancellation flag. When set, every solver the run
+    /// creates polls it and aborts with an *interrupted* verdict once it is
+    /// raised — the hook a job-scoped service timeout or shutdown uses. A
+    /// long-lived flag may be **reset** (store `false`) between runs and
+    /// reused; replacing the `Arc` after a search started has no effect on
+    /// that search.
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+impl SolveOptions {
+    /// The [`MinimizeOptions`] these solve options translate to — exactly
+    /// what [`Optimizer::minimize`](crate::Optimizer::minimize) hands the
+    /// binary search. Construct warm-start engines
+    /// ([`optalloc_intopt::WarmEngine`]) from this so the engine's search
+    /// behaviour (backend, certification, interrupt flag) matches the
+    /// optimizer's by construction.
+    pub fn minimize_options(&self) -> MinimizeOptions {
+        let mut opts = MinimizeOptions {
+            backend: self.backend,
+            mode: self.mode,
+            max_conflicts: self.max_conflicts,
+            initial_upper: self.initial_upper,
+            encoder_opt: self.encoder_opt,
+            certify: self.certify,
+            ..MinimizeOptions::default()
+        };
+        opts.solver_config.interrupt = self.interrupt.clone();
+        opts
+    }
 }
 
 impl Default for SolveOptions {
@@ -117,6 +148,7 @@ impl Default for SolveOptions {
             strategy: Strategy::Single,
             encoder_opt: EncoderOpt::default(),
             certify: false,
+            interrupt: None,
         }
     }
 }

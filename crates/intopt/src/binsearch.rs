@@ -150,17 +150,17 @@ impl MinimizeOptions {
     }
 
     /// The externally shared incumbent cost, or `i64::MAX` when solo.
-    fn external_upper(&self) -> i64 {
+    pub(crate) fn external_upper(&self) -> i64 {
         self.bounds.as_ref().map(|b| b.upper()).unwrap_or(i64::MAX)
     }
 
     /// The externally certified lower bound, or `i64::MIN` when solo.
-    fn external_lower(&self) -> i64 {
+    pub(crate) fn external_lower(&self) -> i64 {
         self.bounds.as_ref().map(|b| b.lower()).unwrap_or(i64::MIN)
     }
 
     /// Publishes a new local incumbent to the cooperating searches.
-    fn publish(&self, value: i64, model: &Model) {
+    pub(crate) fn publish(&self, value: i64, model: &Model) {
         if let Some(bounds) = &self.bounds {
             bounds.publish_upper(value);
         }
@@ -174,7 +174,7 @@ impl MinimizeOptions {
     /// lower bound is the join of globally valid facts: the chain of local
     /// UNSAT windows is anchored at `cost.lo` and each fold of the lattice
     /// lower bound is itself globally certified.
-    fn publish_lower(&self, bound: i64) {
+    pub(crate) fn publish_lower(&self, bound: i64) {
         if let Some(bounds) = &self.bounds {
             bounds.publish_lower(bound);
         }

@@ -129,6 +129,83 @@ mod tests {
         assert_eq!(b.snapshot(), (9, 5));
     }
 
+    /// Convergence against a certified optimum: lower-side publishers only
+    /// ever publish *certified* bounds (≤ OPT by soundness of UNSAT
+    /// proofs), upper-side publishers only *witnessed* bounds (≥ OPT by
+    /// feasibility). However the publications interleave, the lattice must
+    /// never cross the optimum from either side, and once both sides have
+    /// published their best facts it must close exactly at OPT.
+    #[test]
+    fn interleaved_publishers_never_cross_the_certified_optimum() {
+        const OPT: i64 = 1_000;
+        let b = Arc::new(BoundLattice::new());
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            // Lower publishers: rising certified bounds capped at OPT.
+            let lat = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    let certified = ((t * 7 + i * 13) % (OPT + 1)).min(OPT);
+                    let folded = lat.publish_lower(certified);
+                    assert!(folded <= OPT, "lower fold {folded} crossed the optimum");
+                }
+                lat.publish_lower(OPT);
+            }));
+            // Upper publishers: falling witnessed bounds floored at OPT.
+            let lat = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    let witnessed = OPT + ((t * 11 + i * 17) % 5_000);
+                    let folded = lat.publish_upper(witnessed);
+                    assert!(folded >= OPT, "upper fold {folded} crossed the optimum");
+                }
+                lat.publish_upper(OPT);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both sides converged exactly onto the optimum and the window is
+        // closed — the terminal state of every sound cooperating search.
+        assert_eq!(b.snapshot(), (OPT, OPT));
+        assert!(b.closed());
+    }
+
+    /// Mid-flight invariant under concurrency: sample the lattice while
+    /// sound publishers hammer it; every snapshot must bracket the optimum
+    /// (lower ≤ OPT ≤ upper) — a reader can never observe a crossed state
+    /// when all publications are sound.
+    #[test]
+    fn snapshots_bracket_the_optimum_while_publishing() {
+        const OPT: i64 = 64;
+        let b = Arc::new(BoundLattice::new());
+        let writers: Vec<_> = (0..2i64)
+            .map(|t| {
+                let lat = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..5_000 {
+                        lat.publish_lower((i + t) % (OPT + 1));
+                        lat.publish_upper(OPT + (i * 3 + t) % 100);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let lat = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    let (lo, hi) = lat.snapshot();
+                    assert!(lo <= OPT, "reader saw certified lower {lo} > optimum");
+                    assert!(hi >= OPT, "reader saw witnessed upper {hi} < optimum");
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+
     #[test]
     fn concurrent_folds_commute() {
         let b = Arc::new(BoundLattice::new());

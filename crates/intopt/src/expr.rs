@@ -335,6 +335,63 @@ impl From<&BoolExpr> for BoolExpr {
     }
 }
 
+/// Pointer pairs already compared (and found equal so far). Expression
+/// graphs are DAGs with heavy node sharing, so a naive recursive equality
+/// can revisit a shared subgraph once per reference — memoizing visited
+/// pairs keeps the comparison linear in the number of distinct node pairs.
+pub(crate) type SeenPairs = std::collections::HashSet<(usize, usize)>;
+
+/// Structural equality of integer expressions: same tree shape, constants,
+/// and variables (ids and ranges). Physically identical nodes short-circuit.
+pub(crate) fn int_structural_eq(a: &IntExpr, b: &IntExpr, seen: &mut SeenPairs) -> bool {
+    let pa = Arc::as_ptr(&a.0) as usize;
+    let pb = Arc::as_ptr(&b.0) as usize;
+    if pa == pb || !seen.insert((pa, pb)) {
+        // Revisited pairs were already compared: a `false` outcome aborts
+        // the whole comparison before any revisit, so reaching here again
+        // means the earlier visit concluded equal.
+        return true;
+    }
+    match (a.node(), b.node()) {
+        (IntNode::Const(x), IntNode::Const(y)) => x == y,
+        (IntNode::Var(x), IntNode::Var(y)) => x == y,
+        (IntNode::Add(ax, ay), IntNode::Add(bx, by))
+        | (IntNode::Sub(ax, ay), IntNode::Sub(bx, by))
+        | (IntNode::Mul(ax, ay), IntNode::Mul(bx, by)) => {
+            int_structural_eq(ax, bx, seen) && int_structural_eq(ay, by, seen)
+        }
+        _ => false,
+    }
+}
+
+/// Structural equality of Boolean expressions (see [`int_structural_eq`]).
+pub(crate) fn bool_structural_eq(a: &BoolExpr, b: &BoolExpr, seen: &mut SeenPairs) -> bool {
+    let pa = Arc::as_ptr(&a.0) as usize;
+    let pb = Arc::as_ptr(&b.0) as usize;
+    if pa == pb || !seen.insert((pa, pb)) {
+        return true;
+    }
+    match (a.node(), b.node()) {
+        (BoolNode::Const(x), BoolNode::Const(y)) => x == y,
+        (BoolNode::Var(x), BoolNode::Var(y)) => x == y,
+        (BoolNode::Cmp(oa, ax, ay), BoolNode::Cmp(ob, bx, by)) => {
+            oa == ob && int_structural_eq(ax, bx, seen) && int_structural_eq(ay, by, seen)
+        }
+        (BoolNode::Not(x), BoolNode::Not(y)) => bool_structural_eq(x, y, seen),
+        (BoolNode::And(xs), BoolNode::And(ys)) | (BoolNode::Or(xs), BoolNode::Or(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|(x, y)| bool_structural_eq(x, y, seen))
+        }
+        (BoolNode::Iff(ax, ay), BoolNode::Iff(bx, by)) => {
+            bool_structural_eq(ax, bx, seen) && bool_structural_eq(ay, by, seen)
+        }
+        _ => false,
+    }
+}
+
 /// Evaluates an integer expression under concrete variable values
 /// (`values[var.id]`). Used by tests and by model validation.
 pub fn eval_int(e: &IntExpr, values: &dyn Fn(IntVar) -> i64) -> i64 {

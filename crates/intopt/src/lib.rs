@@ -49,6 +49,7 @@ mod expr;
 mod prober;
 mod problem;
 mod triplet;
+mod warm;
 
 pub use binsearch::{
     BinSearchMode, EncodeStats, IncumbentCallback, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
@@ -62,6 +63,7 @@ pub use expr::{eval_bool, eval_int, BoolExpr, BoolVar, CmpOp, IntExpr, IntVar};
 pub use prober::{CostProber, Probe};
 pub use problem::{IntProblem, Model};
 pub use triplet::{ArithOp, BoolDef, BoolId, IntDef, IntDefKind, IntId, TripletForm};
+pub use warm::{WarmEngine, WarmMode};
 
 // Re-export the PB operator type used by `IntProblem::assert_pb`.
 pub use optalloc_sat::PbOp;

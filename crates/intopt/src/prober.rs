@@ -23,6 +23,7 @@ use crate::certificate::{CertifiedWindow, WindowProof};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
 use optalloc_sat::{SolveResult, Solver, SolverStats};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// Verdict of a single window probe.
@@ -46,7 +47,7 @@ pub enum Probe {
 /// An incremental solver bound to one problem, answering cost-window
 /// queries (see the module docs).
 pub struct CostProber<'p> {
-    problem: &'p IntProblem,
+    problem: Cow<'p, IntProblem>,
     cost: IntVar,
     solver: Solver,
     bl: Blast,
@@ -70,6 +71,22 @@ impl std::fmt::Debug for CostProber<'_> {
 impl<'p> CostProber<'p> {
     /// Encodes `problem` once into a solver configured per `opts`.
     pub fn new(problem: &'p IntProblem, cost: IntVar, opts: &MinimizeOptions) -> CostProber<'p> {
+        CostProber::build(Cow::Borrowed(problem), cost, opts)
+    }
+
+    /// Like [`CostProber::new`] but takes ownership of the problem, so the
+    /// prober can outlive the caller's frame. This is what lets a warm-start
+    /// engine retain a prober (encoding plus learned clauses) across
+    /// re-solve requests (see [`crate::WarmEngine`]).
+    pub fn new_owned(
+        problem: IntProblem,
+        cost: IntVar,
+        opts: &MinimizeOptions,
+    ) -> CostProber<'static> {
+        CostProber::build(Cow::Owned(problem), cost, opts)
+    }
+
+    fn build(problem: Cow<'p, IntProblem>, cost: IntVar, opts: &MinimizeOptions) -> CostProber<'p> {
         let mut solver = opts.new_solver();
         let encode_start = std::time::Instant::now();
         let (form, decls) = problem.prepare(&opts.encoder_opt);
@@ -97,9 +114,28 @@ impl<'p> CostProber<'p> {
         }
     }
 
+    /// The problem this prober is bound to.
+    pub fn problem(&self) -> &IntProblem {
+        &self.problem
+    }
+
     /// The cost variable this prober windows over.
     pub fn cost(&self) -> IntVar {
         self.cost
+    }
+
+    /// Number of learned clauses currently retained by the underlying
+    /// solver (the cross-probe reuse haul).
+    pub fn num_learned(&self) -> usize {
+        self.solver.num_learned()
+    }
+
+    /// Drops the retained learned clauses (see
+    /// [`optalloc_sat::Solver::clear_learned`]), returning how many were
+    /// removed. Used at re-solve boundaries when the database outgrew the
+    /// caller's retention budget.
+    pub fn clear_learned(&mut self) -> usize {
+        self.solver.clear_learned()
     }
 
     /// Size of the propositional encoding.
@@ -271,8 +307,10 @@ mod tests {
     #[test]
     fn certified_windows_pair_with_the_trace() {
         let (p, x) = geq7();
-        let mut opts = MinimizeOptions::default();
-        opts.certify = true;
+        let opts = MinimizeOptions {
+            certify: true,
+            ..MinimizeOptions::default()
+        };
         let mut prober = CostProber::new(&p, x, &opts);
         assert!(matches!(prober.probe(Some((0, 6))), Probe::Unsat));
         assert!(matches!(prober.probe(Some((7, 100))), Probe::Sat { .. }));
@@ -282,6 +320,104 @@ mod tests {
         let checked = optalloc_sat::check_proof(&proof.log).expect("trace verifies");
         assert!(checked.proves_clause(&proof.windows[0].claim));
         assert!(prober.take_proof().is_none(), "take_proof drains");
+    }
+
+    #[test]
+    fn take_proof_twice_returns_none_and_keeps_probing_sound() {
+        // Edge semantics pin: take_proof is draining — the second call is
+        // None even after further probes, because new certified windows
+        // would pair with a trace whose prefix was already taken.
+        let (p, x) = geq7();
+        let opts = MinimizeOptions {
+            certify: true,
+            ..MinimizeOptions::default()
+        };
+        let mut prober = CostProber::new(&p, x, &opts);
+        assert!(matches!(prober.probe(Some((0, 3))), Probe::Unsat));
+        assert!(prober.take_proof().is_some());
+        assert!(prober.take_proof().is_none(), "second take drains to None");
+        // Probing still works after the drain…
+        assert!(matches!(prober.probe(Some((7, 100))), Probe::Sat { .. }));
+        assert!(matches!(prober.probe(Some((4, 6))), Probe::Unsat));
+        // …and the post-drain refutation pairs with the *new* trace.
+        let proof = prober.take_proof().expect("new trace accumulates");
+        assert_eq!(proof.windows.len(), 1);
+        assert_eq!((proof.windows[0].lo, proof.windows[0].hi), (4, 6));
+    }
+
+    #[test]
+    fn take_proof_without_certify_is_always_none() {
+        let (p, x) = geq7();
+        let mut prober = CostProber::new(&p, x, &MinimizeOptions::default());
+        prober.probe(Some((0, 3)));
+        assert!(prober.take_proof().is_none());
+        assert!(prober.take_proof().is_none());
+    }
+
+    #[test]
+    fn probe_after_trivially_unsat_never_touches_the_solver() {
+        // x ≥ 7 with x ∈ [0, 5] is refuted during encoding (interval
+        // narrowing): every probe — bounded, inverted, unbounded — must
+        // answer Unsat vacuously without a solve call.
+        let mut p = IntProblem::new();
+        let x = p.int_var(0, 5);
+        p.assert(x.expr().ge(7));
+        let opts = MinimizeOptions::default();
+        let mut prober = CostProber::new(&p, x, &opts);
+        assert!(prober.trivially_unsat());
+        for window in [Some((0, 5)), Some((5, 0)), None] {
+            assert!(matches!(prober.probe(window), Probe::Unsat));
+        }
+        assert_eq!(prober.solve_calls(), 0);
+        assert_eq!(prober.stats().solve_ms, 0.0);
+    }
+
+    #[test]
+    fn empty_and_inverted_windows_are_vacuous() {
+        let (p, x) = geq7();
+        let opts = MinimizeOptions::default();
+        let mut prober = CostProber::new(&p, x, &opts);
+        // Inverted (lo > hi) windows of all shapes: no solver contact.
+        for window in [(9, 3), (1, 0), (i64::MAX, i64::MIN), (8, 7)] {
+            assert!(matches!(prober.probe(Some(window)), Probe::Unsat));
+        }
+        assert_eq!(prober.solve_calls(), 0);
+        // Degenerate one-value windows are real probes, not vacuous.
+        assert!(matches!(prober.probe(Some((7, 7))), Probe::Sat { .. }));
+        assert!(matches!(prober.probe(Some((6, 6))), Probe::Unsat));
+        assert_eq!(prober.solve_calls(), 2);
+    }
+
+    #[test]
+    fn inverted_windows_are_not_certified() {
+        // A vacuous refutation has no trace behind it: certifying it would
+        // pair a window with a claim the DRAT log never derives.
+        let (p, x) = geq7();
+        let opts = MinimizeOptions {
+            certify: true,
+            ..MinimizeOptions::default()
+        };
+        let mut prober = CostProber::new(&p, x, &opts);
+        assert!(matches!(prober.probe(Some((9, 3))), Probe::Unsat));
+        assert!(matches!(prober.probe(Some((0, 6))), Probe::Unsat));
+        let proof = prober.take_proof().expect("certify records a trace");
+        assert_eq!(proof.windows.len(), 1, "only the real probe is certified");
+        assert_eq!((proof.windows[0].lo, proof.windows[0].hi), (0, 6));
+    }
+
+    #[test]
+    fn owned_prober_outlives_the_source_problem() {
+        let opts = MinimizeOptions::default();
+        let mut prober: CostProber<'static> = {
+            let (p, x) = geq7();
+            CostProber::new_owned(p, x, &opts)
+        };
+        match prober.probe(Some((0, 20))) {
+            // A probe yields *some* witness in the window, not the minimum.
+            Probe::Sat { value, .. } => assert!((7..=20).contains(&value)),
+            ref r => panic!("expected Sat, got {r:?}"),
+        }
+        assert_eq!(prober.problem().num_asserts(), 1);
     }
 
     #[test]

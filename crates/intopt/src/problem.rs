@@ -3,9 +3,9 @@
 
 use crate::binsearch::{minimize, MinimizeOptions, MinimizeOutcome};
 use crate::blast::{blast_with, Backend, EncoderOpt};
-use crate::expr::{BoolExpr, BoolVar, IntVar};
+use crate::expr::{bool_structural_eq, BoolExpr, BoolVar, IntVar, SeenPairs};
 use crate::triplet::TripletForm;
-use optalloc_sat::{PbOp, SolveResult, Solver};
+use optalloc_sat::{PbOp, SolveResult, Solver, SolverConfig};
 
 /// A bounded-integer constraint problem: declare variables, assert Boolean
 /// combinations of integer (in)equations, then [`solve`](IntProblem::solve)
@@ -102,6 +102,41 @@ impl IntProblem {
         &self.int_decls
     }
 
+    /// Structural equality: same declarations and the same assertions in
+    /// the same order, compared node by node (expression identity is *not*
+    /// required — two independently built copies of the same problem are
+    /// structurally equal). This is the reuse gate for warm-started
+    /// re-solves: a retained incremental solver's learned clauses are only
+    /// sound for a request whose problem is structurally identical to the
+    /// one that was encoded. Shared subgraphs are memoized, so the check is
+    /// linear in the number of distinct node pairs.
+    pub fn structurally_eq(&self, other: &IntProblem) -> bool {
+        if self.int_decls != other.int_decls
+            || self.bool_decls != other.bool_decls
+            || self.asserts.len() != other.asserts.len()
+            || self.pb_asserts.len() != other.pb_asserts.len()
+        {
+            return false;
+        }
+        let mut seen = SeenPairs::default();
+        self.asserts
+            .iter()
+            .zip(&other.asserts)
+            .all(|(a, b)| bool_structural_eq(a, b, &mut seen))
+            && self
+                .pb_asserts
+                .iter()
+                .zip(&other.pb_asserts)
+                .all(|((ta, oa, ba), (tb, ob, bb))| {
+                    oa == ob
+                        && ba == bb
+                        && ta.len() == tb.len()
+                        && ta.iter().zip(tb).all(|((ea, ca), (eb, cb))| {
+                            ca == cb && bool_structural_eq(ea, eb, &mut seen)
+                        })
+                })
+    }
+
     /// Rewrites all assertions to triplet form (paper §5.1 step 1).
     pub fn triplet_form(&self) -> TripletForm {
         let mut tf = TripletForm::new();
@@ -182,6 +217,35 @@ impl IntProblem {
         let mut solver = Solver::new();
         solver.config.max_conflicts = max_conflicts;
         solver.config.preprocess = opt.preprocess;
+        let (form, decls) = self.prepare(opt);
+        let bl = blast_with(&form, &decls, &mut solver, backend, opt);
+        if bl.trivially_unsat() {
+            return Ok(None);
+        }
+        match solver.solve(&[]) {
+            SolveResult::Sat => Ok(Some(self.extract_model(&solver, &bl))),
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Unknown | SolveResult::Interrupted => Err(()),
+        }
+    }
+
+    /// Like [`solve_with_options`](IntProblem::solve_with_options) but with
+    /// a full [`SolverConfig`], which in particular carries the cooperative
+    /// [`SolverConfig::interrupt`] flag — the hook a long-running service
+    /// needs to cancel or time out a plain feasibility solve. Returns
+    /// `Err(())` on budget exhaustion *or* interruption.
+    #[allow(clippy::result_unit_err)]
+    pub fn solve_with_solver_config(
+        &self,
+        backend: Backend,
+        config: SolverConfig,
+        opt: &EncoderOpt,
+    ) -> Result<Option<Model>, ()> {
+        let mut solver = Solver::new();
+        solver.config = config;
+        if !opt.preprocess {
+            solver.config.preprocess = false;
+        }
         let (form, decls) = self.prepare(opt);
         let bl = blast_with(&form, &decls, &mut solver, backend, opt);
         if bl.trivially_unsat() {

@@ -8,9 +8,11 @@ fn claim_check_vacuity_probe() {
     let mut p = IntProblem::new();
     let x = p.int_var(0, 100);
     p.assert(x.expr().ge(7));
-    let mut opts = MinimizeOptions::default();
-    opts.certify = true;
-    opts.mode = BinSearchMode::Incremental;
+    let opts = MinimizeOptions {
+        certify: true,
+        mode: BinSearchMode::Incremental,
+        ..MinimizeOptions::default()
+    };
     let mut prober = CostProber::new(&p, x, &opts);
     // First probe is SAT: its window [7,100] is NOT refuted.
     assert!(matches!(prober.probe(Some((7, 100))), Probe::Sat { .. }));
@@ -29,9 +31,7 @@ fn claim_check_vacuity_probe() {
     // The SAT probe's guard closure is an input unit; proves_clause accepts it,
     // so a fabricated CertifiedWindow{lo:7, hi:100, claim:[¬g]} would verify
     // even though the window is satisfiable.
-    let vacuous = closing_units
-        .iter()
-        .any(|&l| checked.proves_clause(&[l]));
+    let vacuous = closing_units.iter().any(|&l| checked.proves_clause(&[l]));
     println!("closing unit inputs: {}", closing_units.len());
     println!("proves_clause accepts un-derived guard closure: {vacuous}");
     assert!(vacuous, "if this fails, the claim check is NOT vacuous");

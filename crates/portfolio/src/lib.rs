@@ -76,8 +76,13 @@ pub struct PortfolioOptions {
     pub deterministic: bool,
     /// Base minimization options diversified per worker by
     /// [`worker_options`]. Its own `bounds` / `on_incumbent` /
-    /// `solver_config.interrupt` / `solver_config.exchange` fields are
-    /// overwritten by the portfolio.
+    /// `solver_config.exchange` fields are overwritten by the portfolio.
+    /// `solver_config.interrupt` is honoured as the **job-scoped** cancel
+    /// flag: raising it aborts every worker cooperatively (the hook a
+    /// service timeout or shutdown uses). In racing mode it doubles as the
+    /// internal first-decisive-worker cancel signal, so the portfolio may
+    /// *raise* it on completion — reset it between jobs when reusing one
+    /// flag.
     pub base: MinimizeOptions,
     /// Print one stats line per worker to stderr after the run.
     pub verbose: bool,
@@ -280,7 +285,18 @@ pub fn minimize_portfolio(
     opts: &PortfolioOptions,
 ) -> PortfolioOutcome {
     let n = opts.workers.max(1);
-    let cancel = Arc::new(AtomicBool::new(false));
+    // The shared cancel flag *is* the caller's job-scoped interrupt flag
+    // when one is configured, so an external raise (timeout, shutdown)
+    // reaches every racing worker through the same channel the internal
+    // first-decisive-worker cancellation uses. Deterministic mode never
+    // overwrites per-worker interrupts, so the caller's flag propagates
+    // through `worker_options` cloning instead.
+    let cancel = opts
+        .base
+        .solver_config
+        .interrupt
+        .clone()
+        .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     // Two-sided bound lattice: witnessed upper bounds and certified lower
     // bounds, folded by every worker between SOLVE calls. Models for every
     // published upper bound live in the registry, so an `ExternalOptimal`
@@ -476,6 +492,59 @@ mod tests {
         assert!(out.winner.is_some());
         assert_eq!(out.workers.len(), 4);
         assert!(out.workers[out.winner.unwrap()].winner);
+    }
+
+    #[test]
+    fn pre_raised_job_flag_cancels_a_racing_portfolio() {
+        let (p, cost) = instance();
+        let mut opts = PortfolioOptions::default();
+        opts.base.solver_config.interrupt = Some(Arc::new(AtomicBool::new(true)));
+        let out = minimize_portfolio(&p, cost, &opts);
+        // Every worker aborts cooperatively before a decisive verdict; the
+        // job ends with no winner instead of hanging or claiming optimality.
+        assert!(out.winner.is_none());
+        assert!(matches!(out.status, MinimizeStatus::Unknown { .. }));
+    }
+
+    #[test]
+    fn pre_raised_job_flag_cancels_a_deterministic_portfolio() {
+        let (p, cost) = instance();
+        let mut opts = PortfolioOptions {
+            deterministic: true,
+            ..PortfolioOptions::default()
+        };
+        opts.base.solver_config.interrupt = Some(Arc::new(AtomicBool::new(true)));
+        let out = minimize_portfolio(&p, cost, &opts);
+        assert!(out.winner.is_none());
+        assert!(matches!(out.status, MinimizeStatus::Unknown { .. }));
+        assert!(out
+            .workers
+            .iter()
+            .all(|w| w.verdict == WorkerVerdict::Interrupted));
+    }
+
+    #[test]
+    fn racing_completion_raises_the_job_flag() {
+        // The job-scoped flag doubles as the internal cancel signal in
+        // racing mode, so a completed job leaves it raised — callers that
+        // reuse one flag across jobs must reset it in between (the service
+        // does exactly that).
+        let (p, cost) = instance();
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut opts = PortfolioOptions::default();
+        opts.base.solver_config.interrupt = Some(Arc::clone(&flag));
+        let out = minimize_portfolio(&p, cost, &opts);
+        assert!(matches!(
+            out.status,
+            MinimizeStatus::Optimal { value: 0, .. }
+        ));
+        assert!(flag.load(Ordering::Relaxed));
+        flag.store(false, Ordering::Relaxed);
+        let again = minimize_portfolio(&p, cost, &opts);
+        assert!(matches!(
+            again.status,
+            MinimizeStatus::Optimal { value: 0, .. }
+        ));
     }
 
     #[test]

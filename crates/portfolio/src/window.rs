@@ -285,6 +285,22 @@ impl Scheduler {
             f.store(true, Ordering::Relaxed);
         }
     }
+
+    /// External cancellation: ends the search with whatever incumbent was
+    /// found (`winner` stays `None`, so the outcome reports `Unknown`),
+    /// aborts every in-flight probe and releases workers blocked in
+    /// [`Scheduler::next`].
+    fn cancel(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.done = true;
+        self.raise_all();
+        self.cv.notify_all();
+    }
+
+    /// `true` once the search is over (by any path).
+    fn finished(&self) -> bool {
+        self.state.lock().unwrap().done
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -371,8 +387,10 @@ struct WorkerRun {
 /// Minimizes `cost` over `problem` with a parallel window search (see the
 /// module docs for the protocol and the determinism contract). The
 /// [`PortfolioOptions::base`] options configure every worker's solver; its
-/// coordination fields (`bounds`, `on_incumbent`, `solver_config.interrupt`,
-/// `solver_config.exchange`) are overwritten by the scheduler.
+/// coordination fields (`bounds`, `on_incumbent`, `solver_config.exchange`)
+/// are overwritten by the scheduler. `solver_config.interrupt` is honoured
+/// as the job-scoped cancel flag: raising it ends the search cooperatively
+/// with an `Unknown` outcome carrying the best incumbent.
 pub fn minimize_window_search(
     problem: &IntProblem,
     cost: IntVar,
@@ -389,7 +407,12 @@ pub fn minimize_window_search(
         w.mode = BinSearchMode::Incremental;
         w.bounds = None;
         w.on_incumbent = None;
-        w.solver_config.interrupt = None;
+        // Deterministic workers poll the caller's job-scoped interrupt flag
+        // directly (an externally-aborted round makes no progress, which
+        // terminates the barrier loop). Racing workers get a per-worker
+        // staleness flag instead, and a monitor thread bridges the caller's
+        // flag to the scheduler.
+        w.solver_config.interrupt = opts.base.solver_config.interrupt.clone();
         if let Some(ex) = &exchange {
             w.solver_config.exchange = Some(Arc::clone(ex));
             w.solver_config.share_writer = i as u32;
@@ -482,8 +505,24 @@ fn run_racing(
     worker_opts: &dyn Fn(usize) -> MinimizeOptions,
 ) -> (MinimizeStatus, Option<usize>, Vec<WorkerRun>) {
     let sched = Scheduler::new(n, cost, opts.base.initial_upper);
+    let parent_interrupt = opts.base.solver_config.interrupt.clone();
     let runs: Vec<WorkerRun> = std::thread::scope(|scope| {
         let sched = &sched;
+        // Bridge the caller's job-scoped interrupt flag (timeout, shutdown)
+        // into the scheduler: workers poll per-worker staleness flags, so
+        // an external raise must be translated to a full cancellation.
+        if let Some(parent) = &parent_interrupt {
+            let parent = Arc::clone(parent);
+            scope.spawn(move || {
+                while !sched.finished() {
+                    if parent.load(Ordering::Relaxed) {
+                        sched.cancel();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let mut wopts = worker_opts(i);
@@ -705,6 +744,59 @@ mod tests {
                 assert!(!all.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn pre_raised_job_flag_cancels_a_window_search() {
+        // Racing mode bridges the caller's flag through the monitor thread;
+        // deterministic mode polls it directly and terminates on the first
+        // no-progress round. Either way: no hang, no false optimum.
+        let (p, cost) = instance();
+        for deterministic in [false, true] {
+            let mut opts = PortfolioOptions {
+                workers: 3,
+                deterministic,
+                ..PortfolioOptions::default()
+            };
+            opts.base.solver_config.interrupt = Some(Arc::new(AtomicBool::new(true)));
+            let out = minimize_window_search(&p, cost, &opts);
+            assert!(
+                matches!(out.status, MinimizeStatus::Unknown { .. }),
+                "det={deterministic}: got {:?}",
+                out.status
+            );
+            assert!(out.winner.is_none(), "det={deterministic}");
+        }
+    }
+
+    #[test]
+    fn mid_flight_cancellation_releases_blocked_workers() {
+        // Raise the flag from outside while the racing search runs; the
+        // monitor must cancel the scheduler and release every worker
+        // (including any blocked in `Scheduler::next`) promptly.
+        let (p, cost) = instance();
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut opts = PortfolioOptions {
+            workers: 3,
+            deterministic: false,
+            ..PortfolioOptions::default()
+        };
+        opts.base.solver_config.interrupt = Some(Arc::clone(&flag));
+        let raiser = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        // Terminates either with the optimum (search won the race) or as
+        // cancelled — both are sound; hanging is the failure mode.
+        let out = minimize_window_search(&p, cost, &opts);
+        raiser.join().unwrap();
+        assert!(matches!(
+            out.status,
+            MinimizeStatus::Optimal { .. } | MinimizeStatus::Unknown { .. }
+        ));
     }
 
     #[test]

@@ -237,6 +237,7 @@ mod tests {
                 let cl: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
                 solver.add_clause(&cl);
             }
+            #[allow(clippy::needless_range_loop)] // h indexes two different rows at once
             for h in 0..4 {
                 for a in 0..5 {
                     for b in a + 1..5 {

@@ -201,6 +201,28 @@ impl SolverStats {
         self.pp_fixed += other.pp_fixed;
         self.solve_ms += other.solve_ms;
     }
+
+    /// The increment since `baseline` (an earlier snapshot of the same
+    /// solver's counters) — the inverse of [`absorb`](Self::absorb). A
+    /// long-lived solver reused across requests accumulates counters
+    /// monotonically; this attributes the cumulative totals to one request.
+    pub fn delta_since(&self, baseline: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions - baseline.decisions,
+            propagations: self.propagations - baseline.propagations,
+            conflicts: self.conflicts - baseline.conflicts,
+            restarts: self.restarts - baseline.restarts,
+            learned: self.learned - baseline.learned,
+            deleted: self.deleted - baseline.deleted,
+            pb_propagations: self.pb_propagations - baseline.pb_propagations,
+            exported: self.exported - baseline.exported,
+            imported: self.imported - baseline.imported,
+            pp_removed: self.pp_removed - baseline.pp_removed,
+            pp_strengthened: self.pp_strengthened - baseline.pp_strengthened,
+            pp_fixed: self.pp_fixed - baseline.pp_fixed,
+            solve_ms: self.solve_ms - baseline.solve_ms,
+        }
+    }
 }
 
 /// CDCL SAT solver with native pseudo-Boolean constraints.
@@ -969,6 +991,57 @@ impl Solver {
         if self.db.wasted * 4 > self.db.arena_len() {
             self.garbage_collect();
         }
+    }
+
+    /// Number of learned clauses currently retained in the database.
+    ///
+    /// Together with [`Solver::clear_learned`] this is the clause-retention
+    /// API used by warm-started re-solves: a long-lived solver accumulates
+    /// learned clauses across searches, and the caller decides when the
+    /// haul is worth keeping versus resetting.
+    pub fn num_learned(&self) -> usize {
+        self.learnts.len()
+    }
+
+    /// Drops every learned clause that is not locked as the reason of a
+    /// root-level propagation, returning the number removed.
+    ///
+    /// Unlike the activity-driven `reduce_db` heuristic this is a full
+    /// reset (glue clauses included), intended for re-solve
+    /// boundaries where the retained clauses are known to be stale or the
+    /// database has grown past the caller's retention budget. The solver
+    /// backtracks to the root level first, stays sound, and remains fully
+    /// usable afterwards; deletions are recorded in the proof trace when
+    /// proof logging is on.
+    pub fn clear_learned(&mut self) -> usize {
+        self.backtrack_to(0);
+        let mut removed = 0usize;
+        let learnts = std::mem::take(&mut self.learnts);
+        let mut kept = Vec::new();
+        for c in learnts {
+            let locked = {
+                let first = self.db.lits(c)[0];
+                self.reason[first.var().index()] == Reason::Clause(c)
+                    && self.value_lit(first) == LBool::True
+            };
+            if locked {
+                kept.push(c);
+                continue;
+            }
+            if self.config.proof {
+                let lits = self.db.lits(c).to_vec();
+                self.proof_log().delete(&lits);
+            }
+            self.detach(c);
+            self.db.delete(c);
+            removed += 1;
+        }
+        self.learnts = kept;
+        self.stats.deleted += removed as u64;
+        if self.db.wasted * 4 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+        removed
     }
 
     fn detach(&mut self, cref: ClauseRef) {
@@ -2053,6 +2126,55 @@ mod tests {
         // i.e. the interrupt lost no constraints and corrupted no state.
         flag.store(false, Ordering::Relaxed);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clear_learned_resets_the_database_and_keeps_the_solver_sound() {
+        // A guarded pigeonhole (5 pigeons, 4 holes): assuming the guard
+        // makes the instance UNSAT through real search, so clauses are
+        // learned but the solver itself stays consistent for re-solving.
+        let mut s = Solver::new();
+        let g = s.new_var();
+        let mut p = vec![];
+        for _ in 0..5 {
+            let row: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        #[allow(clippy::needless_range_loop)] // `hole` indexes two rows at once
+        for hole in 0..4 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause(&[g.negative(), p[i][hole].negative(), p[j][hole].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[g.positive()]), SolveResult::Unsat);
+        assert!(s.num_learned() > 0, "the refutation learned clauses");
+
+        let before = s.num_learned();
+        let deleted_before = s.stats.deleted;
+        let removed = s.clear_learned();
+        assert!(removed > 0);
+        assert_eq!(s.num_learned(), before - removed);
+        assert_eq!(s.stats.deleted, deleted_before + removed as u64);
+
+        // The reset lost no input constraints: both verdicts reproduce.
+        assert_eq!(s.solve(&[g.negative()]), SolveResult::Sat);
+        assert_eq!(s.solve(&[g.positive()]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clear_learned_on_a_fresh_solver_is_a_no_op() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        assert_eq!(s.clear_learned(), 0);
+        assert_eq!(s.num_learned(), 0);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]

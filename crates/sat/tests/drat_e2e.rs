@@ -13,6 +13,7 @@ fn pigeonhole(solver: &mut Solver, pigeons: usize, holes: usize) {
         let clause: Vec<_> = p.iter().map(|v| v.positive()).collect();
         solver.add_clause(&clause);
     }
+    #[allow(clippy::needless_range_loop)] // h indexes two different rows at once
     for h in 0..holes {
         for a in 0..pigeons {
             for b in a + 1..pigeons {

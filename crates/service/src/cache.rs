@@ -1,0 +1,142 @@
+//! LRU result cache keyed by canonical fingerprint.
+//!
+//! A hit returns the prior optimum, allocation **and certificate** without
+//! touching the SAT layer. The stored allocation lives in the id space of
+//! the instance that was first solved; the service remaps it by name when
+//! a permuted-but-identical instance hits (see
+//! [`fingerprint::remap_allocation`](crate::fingerprint::remap_allocation)).
+
+use crate::fingerprint::Fingerprint;
+use crate::protocol::{Instance, JobResult};
+use optalloc::CertificateReport;
+use std::collections::HashMap;
+
+/// One cached terminal result.
+#[derive(Clone)]
+pub(crate) struct CachedResult {
+    /// The result as it was first produced (allocation in the id space of
+    /// `instance`).
+    pub result: JobResult,
+    /// The instance the result was computed for (original declaration
+    /// order) — the remap source on permuted hits, and the equality
+    /// re-check against hash collisions.
+    pub instance: Instance,
+    /// The verified optimality certificate, when the job was certified.
+    pub certificate: Option<CertificateReport>,
+}
+
+struct Entry {
+    value: CachedResult,
+    /// Monotone access stamp; smallest = least recently used.
+    stamp: u64,
+}
+
+/// A small LRU map: capacity is a handful of instances, so eviction scans
+/// instead of maintaining an intrusive list.
+pub(crate) struct ResultCache {
+    map: HashMap<Fingerprint, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks a fingerprint up and refreshes its recency.
+    pub fn get(&mut self, key: &Fingerprint) -> Option<&CachedResult> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            &e.value
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used
+    /// one when over capacity. A zero-capacity cache stores nothing.
+    pub fn put(&mut self, key: Fingerprint, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                stamp: self.clock,
+            },
+        );
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty map has a minimum");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{JobOutcome, WarmLabel};
+    use optalloc_model::{Architecture, TaskSet};
+
+    fn dummy(fp: &str) -> (Fingerprint, CachedResult) {
+        let key: Fingerprint = format!("{fp:0>32}").parse().unwrap();
+        let value = CachedResult {
+            result: JobResult {
+                fingerprint: key.to_string(),
+                outcome: JobOutcome::Infeasible,
+                cached: false,
+                warm: WarmLabel::Cold,
+                solve_calls: 1,
+                conflicts: 0,
+                solve_ms: 0,
+            },
+            instance: Instance {
+                arch: Architecture::new(),
+                tasks: TaskSet::new(),
+            },
+            certificate: None,
+        };
+        (key, value)
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ResultCache::new(2);
+        let (a, va) = dummy("a");
+        let (b, vb) = dummy("b");
+        let (c, vc) = dummy("c");
+        cache.put(a, va);
+        cache.put(b, vb);
+        assert!(cache.get(&a).is_some()); // refresh a: b is now coldest
+        cache.put(c, vc);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut cache = ResultCache::new(0);
+        let (a, va) = dummy("a");
+        cache.put(a, va);
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(&a).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! The service wire protocol: newline-delimited JSON requests/responses.
+//!
+//! One request per line, one response per line, in order. The same types
+//! back the in-process [`Service::handle`](crate::Service::handle) API and
+//! the CLI's `--json` output, so a script driving the TCP server and a
+//! script parsing CLI output read the same shape.
+
+use optalloc::{InstanceDelta, Objective};
+use optalloc_model::{Allocation, Architecture, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// A full allocation instance as submitted to the service. Unlike the
+/// benchmark generator's `Workload` it carries no planted allocation — the
+/// service never needs one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The hardware platform.
+    pub arch: Architecture,
+    /// The application.
+    pub tasks: TaskSet,
+}
+
+impl Instance {
+    /// Structural sanity checks (dangling ids, degenerate timing) — run on
+    /// every submission before anything is encoded.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arch.validate().map_err(|e| e.to_string())?;
+        self.tasks.validate()
+    }
+}
+
+/// One request line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Solve a full instance from scratch (the service may still answer
+    /// from the result cache, or warm-start from the previous job).
+    Solve {
+        /// The instance to allocate.
+        instance: Instance,
+        /// The objective to minimize.
+        objective: Objective,
+        /// Per-job wall-clock timeout in milliseconds (`None` = the
+        /// service default).
+        timeout_ms: Option<u64>,
+    },
+    /// Re-solve a previously solved instance after a batch of mutations.
+    Delta {
+        /// Fingerprint (hex, as returned in [`JobResult::fingerprint`]) of
+        /// the base instance; `None` = the most recently solved instance.
+        base: Option<String>,
+        /// Mutations to apply to the base, in order, transactionally.
+        ops: Vec<InstanceDelta>,
+        /// Objective for the re-solve; `None` = the base job's objective.
+        objective: Option<Objective>,
+        /// Per-job wall-clock timeout in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Queue/cache introspection; never enqueued, answered immediately.
+    Status,
+    /// Begin graceful shutdown: drain queued and in-flight jobs, reject
+    /// new submissions with [`RejectReason::Draining`].
+    Shutdown,
+}
+
+/// Why a submission was refused (typed, so clients can distinguish
+/// back-pressure from shutdown).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The bounded job queue is full — retry later.
+    QueueFull,
+    /// The service is draining for shutdown — do not retry here.
+    Draining,
+}
+
+/// How much prior state the solve reused (mirrors
+/// [`optalloc::WarmMode`], plus the cache short-circuit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarmLabel {
+    /// Answered from the result cache; the SAT layer was never touched.
+    Cache,
+    /// Retained incremental solver with its learned clauses.
+    Reused,
+    /// Fresh encoding seeded with the previous optimum as a validated hint.
+    Seeded,
+    /// Nothing reusable; full cold solve.
+    Cold,
+}
+
+/// Terminal verdict of one job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Proven optimal allocation.
+    Optimal {
+        /// The minimal objective value.
+        cost: i64,
+        /// The optimal allocation (in the submitted instance's id space).
+        allocation: Allocation,
+        /// `true` when a verified optimality certificate backs the result
+        /// (retrievable in-process via
+        /// [`Service::certificate`](crate::Service::certificate)).
+        certified: bool,
+    },
+    /// No feasible allocation exists (within the requested cost window, if
+    /// the job carried one).
+    Infeasible,
+    /// The per-probe conflict budget ran out before a verdict.
+    Budget {
+        /// Best feasible cost found before giving up, if any.
+        incumbent_cost: Option<i64>,
+    },
+    /// The job's wall-clock timeout fired (or the job was cancelled).
+    Timeout {
+        /// Best feasible cost found before the interrupt, if any.
+        incumbent_cost: Option<i64>,
+    },
+    /// The job failed: invalid instance, rejected delta, or an internal
+    /// consistency error (failed re-validation or certification).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// The result of one solve or delta job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Canonical instance fingerprint (hex) — the cache/session key. Pass
+    /// it as [`Request::Delta::base`] to mutate this instance later.
+    pub fingerprint: String,
+    /// Terminal verdict.
+    pub outcome: JobOutcome,
+    /// `true` when the answer came from the result cache.
+    pub cached: bool,
+    /// How much prior search state the job reused.
+    pub warm: WarmLabel,
+    /// `SOLVE` calls the binary search issued (0 on a cache hit).
+    pub solve_calls: u32,
+    /// CDCL conflicts spent on this job (0 on a cache hit).
+    pub conflicts: u64,
+    /// Wall-clock time of the job in milliseconds.
+    pub solve_ms: u64,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A completed job.
+    Result(JobResult),
+    /// The submission was refused before entering the queue.
+    Rejected {
+        /// Typed refusal cause.
+        reason: RejectReason,
+    },
+    /// The request itself was malformed or referenced unknown state (e.g.
+    /// a delta against an unknown fingerprint). Nothing was enqueued.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// Jobs waiting in the queue.
+        queued: usize,
+        /// Jobs currently being solved.
+        inflight: usize,
+        /// `true` once shutdown began.
+        draining: bool,
+        /// Entries in the result cache.
+        cached: usize,
+    },
+    /// Acknowledgement of [`Request::Shutdown`]; the drain has begun.
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optalloc_model::{Ecu, Medium, Task};
+
+    #[test]
+    fn requests_round_trip_through_json_lines() {
+        let mut arch = Architecture::new();
+        let p0 = arch.push_ecu(Ecu::new("p0"));
+        let p1 = arch.push_ecu(Ecu::new("p1"));
+        let can = arch.push_medium(Medium::priority("can", vec![p0, p1], 1, 1));
+        let mut tasks = TaskSet::new();
+        tasks.push(Task::new("a", 50, 50, vec![(p0, 10), (p1, 10)]));
+        let req = Request::Solve {
+            instance: Instance { arch, tasks },
+            objective: Objective::BusLoadPermille(can),
+            timeout_ms: Some(5_000),
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(!line.contains('\n'), "wire format is one line per request");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+
+        let delta = Request::Delta {
+            base: None,
+            ops: vec![InstanceDelta::SetDeadline {
+                task: "a".into(),
+                deadline: 40,
+            }],
+            objective: None,
+            timeout_ms: None,
+        };
+        let line = serde_json::to_string(&delta).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&line).unwrap(), delta);
+    }
+
+    #[test]
+    fn responses_round_trip_through_json_lines() {
+        for r in [
+            Response::Rejected {
+                reason: RejectReason::QueueFull,
+            },
+            Response::Rejected {
+                reason: RejectReason::Draining,
+            },
+            Response::Error {
+                message: "unknown base".into(),
+            },
+            Response::Status {
+                queued: 1,
+                inflight: 2,
+                draining: false,
+                cached: 3,
+            },
+            Response::ShuttingDown,
+        ] {
+            let line = serde_json::to_string(&r).unwrap();
+            assert!(!line.contains('\n'));
+            assert_eq!(serde_json::from_str::<Response>(&line).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! TCP front-end: newline-delimited JSON over `std::net`.
+//!
+//! One [`Request`](crate::protocol::Request) per line in, one
+//! [`Response`](crate::protocol::Response) per line out, in order. Each
+//! connection gets its own thread; all connections share one [`Service`],
+//! so its admission control, cache and warm engines apply across clients.
+
+use crate::protocol::{Request, Response};
+use crate::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server wrapping a [`Service`].
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (use port 0 for an ephemeral test port) and starts
+/// accepting connections on a background thread.
+pub fn serve(service: Service, addr: &str) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(&listener, &service, &stop))
+    };
+    Ok(Server {
+        addr,
+        service,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service, e.g. for in-process certificate retrieval.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Stops accepting connections and gracefully drains the service
+    /// (queued and in-flight jobs complete first). Open connections keep
+    /// their socket until the client closes, but every further submission
+    /// on them is rejected as draining.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.service.begin_drain();
+        if let Some(t) = self.accept_thread.take() {
+            // Unblock the (otherwise indefinitely parked) accept call.
+            let _ = TcpStream::connect(self.addr);
+            t.join().expect("accept thread panicked");
+        }
+        self.service.shutdown();
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`], then completes
+    /// the drain — the run-forever mode of `optalloc-cli serve`.
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+        self.service.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &service, &stop);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let server_addr = stream.local_addr()?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => {
+                let shutting_down = matches!(request, Request::Shutdown);
+                let response = service.handle(request);
+                if shutting_down {
+                    // Stop the accept loop too — flag it, then self-connect
+                    // so the parked accept call returns and observes the
+                    // flag. `Server::wait`/`shutdown` join it from there.
+                    stop.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(server_addr);
+                }
+                response
+            }
+            Err(e) => Response::Error {
+                message: format!("malformed request: {e}"),
+            },
+        };
+        let mut line = serde_json::to_string(&response).map_err(std::io::Error::other)?;
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
