@@ -1,0 +1,152 @@
+//! **Canonical perf trajectory** — one fixed suite, one JSON file, so every
+//! future PR can compare itself against the same baseline.
+//!
+//! Runs the canonical t12/t20/t30 task-scaling instances (Table-3-style
+//! token ring, TRT objective, sequential incremental binary search) with
+//! the default solver configuration and writes
+//! `results/bench_trajectory.json`: wall-clock, conflicts, propagations,
+//! peak learnt-clause count, plus the per-axis search-engine configuration
+//! each row ran with. Wall-clock rows keep the minimum over
+//! `OPTALLOC_ABLATION_REPS` repetitions (default 3) — counts are
+//! deterministic, only the clock is noisy.
+//!
+//! Environment knobs:
+//!
+//! - `OPTALLOC_ABLATION_SIZES=12,20` — override the task-count grid;
+//! - `OPTALLOC_ABLATION_REPS=3` — wall-clock repetitions per instance;
+//! - `--search <engine>` is deliberately absent: the trajectory always
+//!   measures the defaults a user gets, axis settings are recorded in the
+//!   rows. Use `search_ablation` for per-axis comparisons.
+
+use optalloc::{Objective, Optimizer, RestartPolicy, SearchEngine, SolveOptions};
+use optalloc_bench::parse_cli;
+use optalloc_model::MediumId;
+use optalloc_workloads::task_scaling;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The search-engine axes a row ran with, spelled out per axis so the
+/// trajectory stays comparable even if future defaults change.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineConfig {
+    /// Compact label (`full`, `legacy`, `bin+tier`, ...).
+    label: String,
+    binary_watches: bool,
+    tiered_db: bool,
+    /// `luby` or `ema`.
+    restart_policy: String,
+    vivify: bool,
+}
+
+impl EngineConfig {
+    fn of(engine: &SearchEngine) -> EngineConfig {
+        EngineConfig {
+            label: engine.label(),
+            binary_watches: engine.binary_watches,
+            tiered_db: engine.tiered_db,
+            restart_policy: match engine.restart {
+                RestartPolicy::Luby => "luby".to_string(),
+                RestartPolicy::Ema => "ema".to_string(),
+            },
+            vivify: engine.vivify,
+        }
+    }
+}
+
+/// One instance of the canonical suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrajectoryRow {
+    instance: String,
+    tasks: usize,
+    /// Proven optimal TRT in ticks.
+    cost: i64,
+    conflicts: u64,
+    propagations: u64,
+    /// High-water mark of retained learned clauses.
+    peak_learnts: u64,
+    /// Wall-clock ms inside the SAT search, summed over all `SOLVE` calls.
+    solve_ms: f64,
+    /// End-to-end wall time of the whole minimization (min over reps).
+    time_s: f64,
+    /// The search-engine configuration this row ran with.
+    engine: EngineConfig,
+}
+
+fn main() {
+    let cli = parse_cli();
+    let objective = Objective::TokenRotationTime(MediumId(0));
+    let default_sizes: &[usize] = &[12, 20, 30];
+    let sizes: Vec<usize> = match std::env::var("OPTALLOC_ABLATION_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default_sizes.to_vec(),
+    };
+    let reps: usize = std::env::var("OPTALLOC_ABLATION_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3);
+
+    let engine = SearchEngine::full();
+    let mut rows: Vec<TrajectoryRow> = Vec::new();
+    for &n in &sizes {
+        let w = task_scaling(n);
+        let opts = SolveOptions {
+            max_conflicts: if cli.full { None } else { Some(3_000_000) },
+            max_slot: if cli.full { 48 } else { 24 },
+            search: engine,
+            ..Default::default()
+        };
+        let mut best: Option<(optalloc::OptimizeReport, f64)> = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = Optimizer::new(&w.arch, &w.tasks)
+                .with_options(opts.clone())
+                .minimize(&objective)
+                .unwrap_or_else(|e| panic!("{n} tasks: {e}"));
+            let elapsed = start.elapsed().as_secs_f64();
+            if let Some((prev, _)) = &best {
+                assert_eq!(
+                    (prev.cost, prev.stats.conflicts),
+                    (r.cost, r.stats.conflicts),
+                    "{n} tasks: nondeterministic search"
+                );
+            }
+            if best.as_ref().is_none_or(|(_, t)| elapsed < *t) {
+                best = Some((r, elapsed));
+            }
+        }
+        let (r, time_s) = best.expect("reps >= 1");
+        let row = TrajectoryRow {
+            instance: w.name.clone(),
+            tasks: n,
+            cost: r.cost,
+            conflicts: r.stats.conflicts,
+            propagations: r.stats.propagations,
+            peak_learnts: r.stats.peak_learnts,
+            solve_ms: r.stats.solve_ms,
+            time_s,
+            engine: EngineConfig::of(&engine),
+        };
+        eprintln!(
+            "{n} tasks: TRT = {} | {} conflicts, {} props, peak {} learnts | \
+             solve {:.2}s, total {:.2}s",
+            row.cost,
+            row.conflicts,
+            row.propagations,
+            row.peak_learnts,
+            row.solve_ms / 1e3,
+            row.time_s
+        );
+        rows.push(row);
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = &cli.json {
+        std::fs::write(path, &json).expect("write json");
+        eprintln!("(trajectory written to {})", path.display());
+    } else {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/bench_trajectory.json", &json).expect("write json");
+        eprintln!("(trajectory written to results/bench_trajectory.json)");
+    }
+}

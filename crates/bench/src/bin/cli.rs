@@ -29,6 +29,9 @@
 //!                           preprocessing) — the pre-optimization baseline;
 //!                           OPTALLOC_ENCODER_OPT=0 in the environment does
 //!                           the same
+//!   --search <engine>       CDCL search engine: `full` (default), `legacy`,
+//!                           or a +-joined subset of bin/tier/ema/viv
+//!                           (see docs/SOLVER.md)
 //!   --certify               record DRAT proof traces, assemble an optimality
 //!                           certificate, and verify it (built-in forward
 //!                           checker + independent witness replay); exits
@@ -64,9 +67,11 @@
 //! `optalloc_workloads::Workload` (architecture + task set + a feasibility
 //! witness); the output is the optimal `optalloc_model::Allocation`.
 
-use optalloc::{EncoderOpt, Objective, OptError, Optimizer, SolveOptions, Strategy};
+use optalloc::{EncoderOpt, Objective, OptError, Optimizer, SearchEngine, SolveOptions, Strategy};
 use optalloc_model::{ticks_to_ms, MediumId};
-use optalloc_service::protocol::{Instance, JobOutcome, JobResult, Request, Response, WarmLabel};
+use optalloc_service::protocol::{
+    Instance, JobOutcome, JobResult, Request, Response, SearchSummary, WarmLabel,
+};
 use optalloc_service::{serve, Service, ServiceConfig};
 use optalloc_workloads::{
     architecture_scaling, generate, table4_workload, task_scaling, Fig2, GenParams, Workload,
@@ -84,11 +89,13 @@ fn usage() -> ExitCode {
         "usage:\n  optalloc-cli generate <name> <out.json>\n  \
          optalloc-cli solve <workload.json> [--objective o] [--medium k] \
          [--max-conflicts n] [--timeout-ms n] [--json] [--portfolio n|auto] \
-         [--window n|auto] [--deterministic] [--no-encoder-opt] [--certify] \
-         [--proof file] [--max-slot n] [--out alloc.json]\n  \
+         [--window n|auto] [--deterministic] [--no-encoder-opt] \
+         [--search engine] [--certify] [--proof file] [--max-slot n] \
+         [--out alloc.json]\n  \
          optalloc-cli serve [--addr host:port] [--workers n] [--queue n] \
          [--cache n] [--timeout-ms n] [--max-conflicts n] [--certify] \
-         [--portfolio n|auto] [--window n|auto] [--deterministic]\n  \
+         [--search engine] [--portfolio n|auto] [--window n|auto] \
+         [--deterministic]\n  \
          optalloc-cli submit solve <workload.json> | delta <ops.json> \
          [--base fp] | status | shutdown  [--addr host:port] [--json]"
     );
@@ -247,6 +254,7 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut proof_path: Option<String> = None;
     let mut max_slot: Option<u64> = None;
+    let mut search = SearchEngine::full();
     let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
         EncoderOpt::none()
     } else {
@@ -270,6 +278,17 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             }
             "--max-slot" => max_slot = it.next().and_then(|s| s.parse().ok()),
             "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
+            "--search" => match it.next().map(|s| s.parse::<SearchEngine>()) {
+                Some(Ok(engine)) => search = engine,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--search needs an argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => out_path = it.next().cloned(),
             other => {
                 eprintln!("unknown option {other}");
@@ -301,6 +320,7 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             (None, None) => Strategy::Single,
         },
         encoder_opt,
+        search,
         certify,
         ..Default::default()
     };
@@ -381,6 +401,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             solve_calls: report.as_ref().map_or(0, |r| r.solve_calls),
             conflicts: report.as_ref().map_or(0, |r| r.stats.conflicts),
             solve_ms,
+            search: report.as_ref().map_or_else(SearchSummary::default, |r| {
+                SearchSummary::from_stats(&r.stats)
+            }),
         };
         println!("{}", serde_json::to_string(&result).expect("serialize"));
     }
@@ -416,6 +439,20 @@ fn cmd_solve(args: &[String]) -> ExitCode {
                 r.encode.literals,
                 r.solve_calls,
                 r.wall.as_secs_f64()
+            );
+            println!(
+                "search [{}]: {} conflicts, {} restarts ({} luby / {} ema, \
+                 {} blocked), {} vivified, tiers {}/{}/{}",
+                search.label(),
+                r.stats.conflicts,
+                r.stats.restarts,
+                r.stats.restarts_luby,
+                r.stats.restarts_ema,
+                r.stats.restarts_blocked,
+                r.stats.vivified,
+                r.stats.tier_core,
+                r.stats.tier_mid,
+                r.stats.tier_local,
             );
             for worker in &r.workers {
                 println!("  {worker}");
@@ -494,6 +531,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 config.solve.max_conflicts = it.next().and_then(|s| s.parse().ok());
             }
             "--certify" => config.solve.certify = true,
+            "--search" => match it.next().map(|s| s.parse::<SearchEngine>()) {
+                Some(Ok(engine)) => config.solve.search = engine,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--search needs an argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--portfolio" => portfolio = parse_workers(it.next()),
             "--window" => window = parse_workers(it.next()),
             "--deterministic" => deterministic = true,
@@ -686,11 +734,25 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             inflight,
             draining,
             cached,
+            search,
         } => {
             if !json {
                 println!(
                     "queued {queued}, inflight {inflight}, draining {draining}, \
                      cached {cached}"
+                );
+                println!(
+                    "search totals: {} propagations, {} luby + {} ema restarts \
+                     ({} blocked), {} vivified, tiers {}/{}/{}, peak {} learnts",
+                    search.propagations,
+                    search.restarts_luby,
+                    search.restarts_ema,
+                    search.restarts_blocked,
+                    search.vivified,
+                    search.tier_core,
+                    search.tier_mid,
+                    search.tier_local,
+                    search.peak_learnts,
                 );
             }
             ExitCode::SUCCESS

@@ -1,0 +1,325 @@
+//! **Search-engine ablation** — how much does each axis of the CDCL search
+//! core (binary-implication watch lists, tiered clause database, adaptive
+//! EMA restarts, in-search vivification) speed up the end-to-end binary
+//! search?
+//!
+//! Table-3-style instances (token-ring task-set scaling), TRT objective,
+//! plain incremental binary search ([`optalloc::Strategy::Single`]) so the
+//! measured wall-clock is a true single-core number. Five cumulative stages
+//! per instance:
+//!
+//! - `legacy` — [`SearchEngine::legacy`]: the pre-engine solver (generic
+//!   two-watched walk, sort-and-halve reduction, Luby restarts);
+//! - `+bin` — dedicated binary-implication watch lists;
+//! - `+tier` — plus the CORE/TIER2/LOCAL tiered learned-clause database;
+//! - `+ema` — plus Glucose-style adaptive restarts with trail blocking;
+//! - `+viv` — plus restart-boundary vivification (the full
+//!   [`SearchEngine::full`] configuration).
+//!
+//! The harness asserts the proven optimum is identical across all stages,
+//! reports conflicts/propagations/wall-clock per stage, and finishes with a
+//! certified full-engine solve on the smallest instance (vivification must
+//! keep the DRAT certificate checkable). Results go to
+//! `results/search_ablation.{json,txt}` (or the `--json` path).
+//!
+//! Environment knobs:
+//!
+//! - `OPTALLOC_ABLATION_SIZES=12,20` — override the task-count grid;
+//! - `OPTALLOC_ABLATION_REPS=3` — wall-clock repetitions per stage (the
+//!   minimum is reported; conflict counts are deterministic across reps,
+//!   only the wall clock is noisy). Default 3 quick, 1 with `--full`;
+//! - `OPTALLOC_CHECK_REF=<ref.json>` — regression mode: compare this run's
+//!   conflict/propagation counts per (tasks, engine) against the committed
+//!   reference rows and exit non-zero if any count drifts by more than
+//!   ±20%. Used by the CI perf-smoke job.
+
+use optalloc::{Objective, Optimizer, RestartPolicy, SearchEngine, SolveOptions};
+use optalloc_bench::parse_cli;
+use optalloc_model::MediumId;
+use optalloc_workloads::task_scaling;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One (instance, engine stage) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SearchRow {
+    instance: String,
+    tasks: usize,
+    /// `legacy`, `+bin`, `+tier`, `+ema`, or `+viv` (cumulative).
+    engine: String,
+    /// Proven optimal TRT in ticks (identical across stages — asserted).
+    cost: i64,
+    conflicts: u64,
+    propagations: u64,
+    restarts: u64,
+    /// EMA restarts suppressed by trail-size blocking.
+    restarts_blocked: u64,
+    /// Learned clauses strengthened by in-search vivification.
+    vivified: u64,
+    /// High-water mark of retained learned clauses.
+    peak_learnts: u64,
+    /// Wall-clock ms inside the SAT search, summed over all `SOLVE` calls.
+    solve_ms: f64,
+    /// End-to-end wall time of the whole minimization (min over reps).
+    time_s: f64,
+    /// `time_s(legacy) / time_s(this row)` for the same instance.
+    speedup_vs_legacy: f64,
+}
+
+/// The cumulative stage grid, in measurement order.
+fn stages() -> [(&'static str, SearchEngine); 5] {
+    let legacy = SearchEngine::legacy();
+    [
+        ("legacy", legacy),
+        (
+            "+bin",
+            SearchEngine {
+                binary_watches: true,
+                ..legacy
+            },
+        ),
+        (
+            "+tier",
+            SearchEngine {
+                binary_watches: true,
+                tiered_db: true,
+                ..legacy
+            },
+        ),
+        (
+            "+ema",
+            SearchEngine {
+                binary_watches: true,
+                tiered_db: true,
+                restart: RestartPolicy::Ema,
+                ..legacy
+            },
+        ),
+        ("+viv", SearchEngine::full()),
+    ]
+}
+
+fn render(rows: &[SearchRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+        "instance",
+        "engine",
+        "cost",
+        "conflicts",
+        "props",
+        "restarts",
+        "blocked",
+        "vivified",
+        "peak_lrnt",
+        "solve_s",
+        "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>8.2} {:>7.2}x\n",
+            r.instance,
+            r.engine,
+            r.cost,
+            r.conflicts,
+            r.propagations,
+            r.restarts,
+            r.restarts_blocked,
+            r.vivified,
+            r.peak_learnts,
+            r.solve_ms / 1e3,
+            r.speedup_vs_legacy
+        ));
+    }
+    out
+}
+
+/// Regression mode: every (tasks, engine) row present in the reference must
+/// match this run's conflict/propagation counts within ±20%. The search is
+/// deterministic per configuration, so drift means the engine changed.
+fn check_reference(rows: &[SearchRow], ref_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(ref_path)
+        .map_err(|e| format!("cannot read reference {ref_path}: {e}"))?;
+    let reference: Vec<SearchRow> =
+        serde_json::from_str(&text).map_err(|e| format!("bad reference {ref_path}: {e}"))?;
+    let within = |now: u64, reference: u64| {
+        let lo = reference as f64 * 0.8;
+        let hi = reference as f64 * 1.2;
+        (lo..=hi).contains(&(now as f64))
+    };
+    let mut failures = Vec::new();
+    let mut checked = 0;
+    for r in &reference {
+        let Some(now) = rows
+            .iter()
+            .find(|x| x.tasks == r.tasks && x.engine == r.engine)
+        else {
+            failures.push(format!("missing row: {} tasks, {}", r.tasks, r.engine));
+            continue;
+        };
+        checked += 1;
+        if now.cost != r.cost {
+            failures.push(format!(
+                "{} tasks, {}: cost {} vs reference {} (optimum must never move)",
+                r.tasks, r.engine, now.cost, r.cost
+            ));
+        }
+        if !within(now.conflicts, r.conflicts) {
+            failures.push(format!(
+                "{} tasks, {}: conflicts {} vs reference {} (> ±20%)",
+                r.tasks, r.engine, now.conflicts, r.conflicts
+            ));
+        }
+        if !within(now.propagations, r.propagations) {
+            failures.push(format!(
+                "{} tasks, {}: propagations {} vs reference {} (> ±20%)",
+                r.tasks, r.engine, now.propagations, r.propagations
+            ));
+        }
+    }
+    if checked == 0 {
+        failures.push(format!("no comparable rows in {ref_path}"));
+    }
+    if failures.is_empty() {
+        eprintln!("perf-smoke check: {checked} rows within ±20% of {ref_path}");
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// Certified solve with the full engine: vivification strengthenings are
+/// DRAT-logged, so the optimality certificate must still verify.
+fn certify_smallest(tasks: usize, objective: &Objective) {
+    let w = task_scaling(tasks);
+    let opts = SolveOptions {
+        max_slot: 24,
+        search: SearchEngine::full(),
+        certify: true,
+        ..Default::default()
+    };
+    let r = Optimizer::new(&w.arch, &w.tasks)
+        .with_options(opts)
+        .minimize(objective)
+        .unwrap_or_else(|e| panic!("certified {tasks}-task solve failed: {e}"));
+    let cert = r
+        .certificate
+        .as_ref()
+        .expect("certify: true must produce a verified certificate");
+    eprintln!(
+        "certified {} tasks with the full engine: {} ({} vivified)",
+        tasks, cert.summary, r.stats.vivified
+    );
+}
+
+fn main() {
+    let cli = parse_cli();
+    let objective = Objective::TokenRotationTime(MediumId(0));
+    let default_sizes: &[usize] = &[12, 20, 30];
+    let sizes: Vec<usize> = match std::env::var("OPTALLOC_ABLATION_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => default_sizes.to_vec(),
+    };
+    let reps: usize = std::env::var("OPTALLOC_ABLATION_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(if cli.full { 1 } else { 3 });
+
+    let mut rows: Vec<SearchRow> = Vec::new();
+    for &n in &sizes {
+        let w = task_scaling(n);
+        let mut legacy_ref: Option<(i64, f64)> = None; // (cost, time)
+        for (stage, engine) in stages() {
+            let opts = SolveOptions {
+                max_conflicts: if cli.full { None } else { Some(3_000_000) },
+                max_slot: if cli.full { 48 } else { 24 },
+                search: engine,
+                ..Default::default()
+            };
+            // Each engine configuration is deterministic — conflicts and
+            // the optimum repeat exactly — so repetitions only de-noise the
+            // wall clock; keep the fastest.
+            let mut best: Option<(optalloc::OptimizeReport, f64)> = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = Optimizer::new(&w.arch, &w.tasks)
+                    .with_options(opts.clone())
+                    .minimize(&objective)
+                    .unwrap_or_else(|e| panic!("{n} tasks, {stage}: {e}"));
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some((prev, _)) = &best {
+                    assert_eq!(
+                        (prev.cost, prev.stats.conflicts),
+                        (r.cost, r.stats.conflicts),
+                        "{n} tasks, {stage}: nondeterministic search"
+                    );
+                }
+                if best.as_ref().is_none_or(|(_, t)| elapsed < *t) {
+                    best = Some((r, elapsed));
+                }
+            }
+            let (r, time_s) = best.expect("reps >= 1");
+            let (legacy_cost, legacy_time) = *legacy_ref.get_or_insert((r.cost, time_s));
+            assert_eq!(
+                r.cost, legacy_cost,
+                "{n} tasks: {stage} optimum diverged from the legacy engine"
+            );
+            let row = SearchRow {
+                instance: w.name.clone(),
+                tasks: n,
+                engine: stage.to_string(),
+                cost: r.cost,
+                conflicts: r.stats.conflicts,
+                propagations: r.stats.propagations,
+                restarts: r.stats.restarts,
+                restarts_blocked: r.stats.restarts_blocked,
+                vivified: r.stats.vivified,
+                peak_learnts: r.stats.peak_learnts,
+                solve_ms: r.stats.solve_ms,
+                time_s,
+                speedup_vs_legacy: legacy_time / time_s,
+            };
+            eprintln!(
+                "{n} tasks, {stage}: TRT = {} | {} conflicts, {} props, \
+                 {} restarts ({} blocked), {} vivified | solve {:.2}s, \
+                 total {:.2}s ({:.2}x)",
+                row.cost,
+                row.conflicts,
+                row.propagations,
+                row.restarts,
+                row.restarts_blocked,
+                row.vivified,
+                row.solve_ms / 1e3,
+                row.time_s,
+                row.speedup_vs_legacy
+            );
+            rows.push(row);
+        }
+    }
+
+    if let Some(&smallest) = sizes.iter().min() {
+        certify_smallest(smallest, &objective);
+    }
+
+    let table = render(&rows);
+    println!("\n== search-engine ablation (identical optima asserted) ==");
+    print!("{table}");
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = &cli.json {
+        std::fs::write(path, &json).expect("write json");
+        eprintln!("(rows written to {})", path.display());
+    } else if std::fs::create_dir_all("results").is_ok() {
+        std::fs::write("results/search_ablation.json", &json).expect("write json");
+        std::fs::write("results/search_ablation.txt", &table).expect("write txt");
+        eprintln!("(rows written to results/search_ablation.{{json,txt}})");
+    }
+
+    if let Ok(ref_path) = std::env::var("OPTALLOC_CHECK_REF") {
+        if let Err(msg) = check_reference(&rows, &ref_path) {
+            eprintln!("perf-smoke check FAILED:\n{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -253,11 +253,12 @@ impl<'a> Optimizer<'a> {
         if enc.infeasible {
             return Err(OptError::Infeasible);
         }
-        let config = SolverConfig {
+        let mut config = SolverConfig {
             max_conflicts: self.opts.max_conflicts,
             interrupt: self.opts.interrupt.clone(),
             ..SolverConfig::default()
         };
+        self.opts.search.configure(&mut config);
         match enc.problem.solve_with_solver_config(
             self.opts.backend,
             config,

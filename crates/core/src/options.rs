@@ -1,6 +1,6 @@
 //! Configuration of the encoder and optimizer.
 
-use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt, MinimizeOptions};
+use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt, MinimizeOptions, SearchEngine};
 use optalloc_model::{MediumId, Time};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -95,6 +95,13 @@ pub struct SolveOptions {
     /// SAT preprocessing). Default all-on; [`EncoderOpt::none`] reproduces
     /// the unoptimized baseline encoding for ablations.
     pub encoder_opt: EncoderOpt,
+    /// CDCL search-engine configuration (binary-implication watch lists,
+    /// tiered learned-clause database, restart policy, in-search
+    /// vivification). Default all-on; [`SearchEngine::legacy`] reproduces
+    /// the pre-engine solver for ablations. Search knobs change *how* the
+    /// solver explores, never *what* it concludes — optima are identical
+    /// across engines.
+    pub search: SearchEngine,
     /// Produce and check an optimality certificate: every solver records a
     /// DRAT proof trace, the optimum ships with refutations of all cheaper
     /// cost windows, and the optimizer verifies the proofs with the
@@ -130,6 +137,7 @@ impl SolveOptions {
             ..MinimizeOptions::default()
         };
         opts.solver_config.interrupt = self.interrupt.clone();
+        self.search.configure(&mut opts.solver_config);
         opts
     }
 }
@@ -147,6 +155,7 @@ impl Default for SolveOptions {
             task_jitter: false,
             strategy: Strategy::Single,
             encoder_opt: EncoderOpt::default(),
+            search: SearchEngine::full(),
             certify: false,
             interrupt: None,
         }

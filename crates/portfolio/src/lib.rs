@@ -58,7 +58,7 @@ use optalloc_intopt::{
     Backend, BinSearchMode, BoundLattice, Certificate, EncodeStats, IncumbentCallback, IntProblem,
     IntVar, MinimizeOptions, MinimizeOutcome, MinimizeStatus, Model,
 };
-use optalloc_sat::{ClauseExchange, SolverStats};
+use optalloc_sat::{ClauseExchange, RestartPolicy, SolverStats};
 
 pub mod window;
 
@@ -201,8 +201,12 @@ pub struct PortfolioOutcome {
 /// |-------------|-------------|----------|------------------------------------|
 /// | 0           | base        | base     | none (baseline, incl. warm start)  |
 /// | 1           | Fresh       | base     | no warm start (paper baseline)     |
-/// | 2           | Incremental | base     | random phases, restarts ×½, decay 0.90 |
+/// | 2           | Incremental | base     | random phases, Luby restarts ×½, decay 0.90 |
 /// | 3           | Incremental | flipped  | random phases, restarts ×2         |
+///
+/// Worker 2 forces [`RestartPolicy::Luby`] so its halved restart unit is
+/// effective (the default adaptive EMA policy ignores `restart_unit`) and
+/// the portfolio always mixes both restart disciplines.
 ///
 /// Workers ≥ 4 additionally get a distinct phase seed so no two workers are
 /// identical.
@@ -218,6 +222,7 @@ pub fn worker_options(base: &MinimizeOptions, index: usize) -> (MinimizeOptions,
         2 => {
             o.mode = BinSearchMode::Incremental;
             o.solver_config.phase_seed = Some(seed);
+            o.solver_config.restart_policy = RestartPolicy::Luby;
             o.solver_config.restart_unit = (base.solver_config.restart_unit / 2).max(1);
             o.solver_config.var_decay = 0.90;
         }
@@ -242,7 +247,11 @@ pub fn worker_options(base: &MinimizeOptions, index: usize) -> (MinimizeOptions,
         Backend::PseudoBoolean => "pb",
         Backend::Cnf => "cnf",
     };
-    let mut desc = format!("{mode}/{backend}/r{}", o.solver_config.restart_unit);
+    let restart = match o.solver_config.restart_policy {
+        RestartPolicy::Luby => format!("r{}", o.solver_config.restart_unit),
+        RestartPolicy::Ema => "ema".to_string(),
+    };
+    let mut desc = format!("{mode}/{backend}/{restart}");
     if o.solver_config.phase_seed.is_some() {
         desc.push_str("/rnd");
     }
@@ -672,6 +681,12 @@ mod tests {
         assert!(descs[0].starts_with("incr/pb"));
         assert!(descs[1].starts_with("fresh/pb"));
         assert!(descs[3].starts_with("incr/cnf"));
+        // Worker 2 switches to Luby restarts (descriptor shows the unit);
+        // the others inherit the default adaptive EMA policy.
+        assert!(descs[2].contains("/r"), "{}", descs[2]);
+        assert!(descs[0].contains("/ema"), "{}", descs[0]);
+        let (o2, _) = worker_options(&base, 2);
+        assert_eq!(o2.solver_config.restart_policy, RestartPolicy::Luby);
         // Workers ≥ 4 repeat the cycle but with their own phase seeds.
         let (o4, _) = worker_options(&base, 4);
         let (o0, _) = worker_options(&base, 0);

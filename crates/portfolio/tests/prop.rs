@@ -1,13 +1,14 @@
 //! Agreement property: on random optimization instances, the paper's two
 //! `BIN_SEARCH` modes (each with the encoder optimization layer on and
-//! off), the portfolio (deterministic and racing), and the parallel window
-//! search (deterministic and racing) all prove the same optimal cost —
-//! neither parallel flavour nor the optimized encoder trades correctness
-//! for speed.
+//! off), the portfolio (deterministic and racing), the parallel window
+//! search (deterministic and racing), and every point of the search-engine
+//! grid (restart policy × tiered DB × vivification) all prove the same
+//! optimal cost — neither parallel flavour, the optimized encoder, nor any
+//! search-core axis trades correctness for speed.
 
 use optalloc_intopt::{
     BinSearchMode, BoolExpr, EncoderOpt, IntExpr, IntProblem, IntVar, MinimizeOptions,
-    MinimizeStatus,
+    MinimizeStatus, RestartPolicy, SearchEngine,
 };
 use optalloc_portfolio::{minimize_portfolio, minimize_window_search, PortfolioOptions};
 use proptest::prelude::*;
@@ -64,6 +65,22 @@ fn optimum_single(
         MinimizeStatus::Optimal { value, .. } => Some(value),
         MinimizeStatus::Infeasible => None,
         ref s => panic!("{mode:?} ({encoder_opt:?}): unexpected {s:?}"),
+    }
+}
+
+/// Optimal cost under one search-engine configuration (incremental mode,
+/// which exercises the engine across re-solves under assumptions).
+fn optimum_engine(p: &IntProblem, cost: IntVar, engine: SearchEngine) -> Option<i64> {
+    let mut opts = MinimizeOptions {
+        mode: BinSearchMode::Incremental,
+        ..MinimizeOptions::default()
+    };
+    engine.configure(&mut opts.solver_config);
+    let out = p.minimize(cost, &opts);
+    match out.status {
+        MinimizeStatus::Optimal { value, .. } => Some(value),
+        MinimizeStatus::Infeasible => None,
+        ref s => panic!("engine {}: unexpected {s:?}", engine.label()),
     }
 }
 
@@ -159,5 +176,22 @@ proptest! {
         prop_assert_eq!(det, racing, "deterministic vs racing portfolio");
         prop_assert_eq!(racing, window_det, "racing portfolio vs deterministic window search");
         prop_assert_eq!(window_det, window_racing, "deterministic vs racing window search");
+
+        // The search-engine grid: restart policy × tiered DB × vivification
+        // (binary watches on throughout — the legacy all-off point is
+        // already covered, every default run above used the full engine).
+        for restart in [RestartPolicy::Luby, RestartPolicy::Ema] {
+            for tiered_db in [false, true] {
+                for vivify in [false, true] {
+                    let engine = SearchEngine { binary_watches: true, tiered_db, restart, vivify };
+                    prop_assert_eq!(
+                        optimum_engine(&p, cost, engine),
+                        incremental,
+                        "engine {} vs default incremental",
+                        engine.label()
+                    );
+                }
+            }
+        }
     }
 }

@@ -5,10 +5,12 @@
 //! arena. Each clause is laid out as:
 //!
 //! ```text
-//! [ header ][ activity(f32 bits) ][ lbd ][ lit_0 ] ... [ lit_{n-1} ]
+//! [ header ][ activity(f32 bits) ][ lbd ][ meta ][ lit_0 ] ... [ lit_{n-1} ]
 //! ```
 //!
-//! where the header packs the length and a `learnt` flag. Deleted clauses are
+//! where the header packs the length and a `learnt` flag, and `meta` packs the
+//! learned-clause tier, a "vivified" flag, and a recency stamp (the conflict
+//! count when the clause last participated in a conflict). Deleted clauses are
 //! tombstoned and reclaimed by [`ClauseDb::collect`], which compacts the
 //! arena and reports the relocation map so watch lists can be rebuilt.
 
@@ -21,6 +23,29 @@ pub struct ClauseRef(pub(crate) u32);
 const LEARNT_BIT: u32 = 1 << 31;
 const DELETED_BIT: u32 = 1 << 30;
 const LEN_MASK: u32 = (1 << 30) - 1;
+
+/// Words of per-clause metadata preceding the literals.
+const HEADER_WORDS: usize = 4;
+
+// Meta-word layout: bits 31..30 tier, bit 29 vivified, bits 28..0 touch stamp.
+const TIER_SHIFT: u32 = 30;
+const VIVIFIED_BIT: u32 = 1 << 29;
+const TOUCH_MASK: u32 = (1 << 29) - 1;
+
+/// Quality tier of a learned clause (see `docs/SOLVER.md`).
+///
+/// `Core` clauses (glue, LBD ≤ 2) are kept forever, `Mid` clauses survive
+/// reductions while recently used, and `Local` clauses are aggressively
+/// reduced. Input clauses ignore their tier.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// Glue clauses, never deleted.
+    Core = 0,
+    /// Mid-LBD clauses, demoted to `Local` when idle for too long.
+    Mid = 1,
+    /// Everything else; worst half deleted at each reduction.
+    Local = 2,
+}
 
 /// Flat arena holding every clause in the solver.
 #[derive(Default)]
@@ -46,6 +71,7 @@ impl ClauseDb {
         self.data.push(header);
         self.data.push(0f32.to_bits());
         self.data.push(lits.len() as u32); // initial LBD upper bound
+        self.data.push((Tier::Local as u32) << TIER_SHIFT);
         self.data.extend(lits.iter().map(|l| l.0));
         cref
     }
@@ -68,7 +94,7 @@ impl ClauseDb {
     }
 
     /// `true` if the clause has been tombstoned.
-    #[cfg(test)]
+    #[inline]
     pub fn is_deleted(&self, cref: ClauseRef) -> bool {
         self.data[self.base(cref)] & DELETED_BIT != 0
     }
@@ -79,7 +105,7 @@ impl ClauseDb {
         let b = self.base(cref);
         debug_assert!(self.data[b] & DELETED_BIT == 0);
         self.data[b] |= DELETED_BIT;
-        self.wasted += self.len(cref) + 3;
+        self.wasted += self.len(cref) + HEADER_WORDS;
     }
 
     /// The literals of the clause.
@@ -89,7 +115,7 @@ impl ClauseDb {
         let len = self.len(cref);
         // SAFETY: `Lit` is a transparent wrapper over `u32` with identical
         // layout, and the range is in bounds by construction.
-        unsafe { std::mem::transmute(&self.data[b + 3..b + 3 + len]) }
+        unsafe { std::mem::transmute(&self.data[b + HEADER_WORDS..b + HEADER_WORDS + len]) }
     }
 
     /// Mutable access to the literals of the clause.
@@ -98,7 +124,7 @@ impl ClauseDb {
         let b = self.base(cref);
         let len = self.len(cref);
         // SAFETY: as in `lits`.
-        unsafe { std::mem::transmute(&mut self.data[b + 3..b + 3 + len]) }
+        unsafe { std::mem::transmute(&mut self.data[b + HEADER_WORDS..b + HEADER_WORDS + len]) }
     }
 
     /// Clause activity (bumped when the clause participates in a conflict).
@@ -128,6 +154,51 @@ impl ClauseDb {
         self.data[b + 2] = lbd;
     }
 
+    /// Tier of a learned clause.
+    #[inline]
+    pub fn tier(&self, cref: ClauseRef) -> Tier {
+        match self.data[self.base(cref) + 3] >> TIER_SHIFT {
+            0 => Tier::Core,
+            1 => Tier::Mid,
+            _ => Tier::Local,
+        }
+    }
+
+    /// Moves a learned clause to `tier`.
+    #[inline]
+    pub fn set_tier(&mut self, cref: ClauseRef, tier: Tier) {
+        let b = self.base(cref) + 3;
+        self.data[b] = (self.data[b] & !(3 << TIER_SHIFT)) | ((tier as u32) << TIER_SHIFT);
+    }
+
+    /// Conflict count the last time the clause was used in conflict analysis
+    /// (saturates at 2^29-1).
+    #[inline]
+    pub fn touch(&self, cref: ClauseRef) -> u64 {
+        (self.data[self.base(cref) + 3] & TOUCH_MASK) as u64
+    }
+
+    /// Records the conflict count of the clause's most recent use.
+    #[inline]
+    pub fn set_touch(&mut self, cref: ClauseRef, conflicts: u64) {
+        let b = self.base(cref) + 3;
+        let stamp = (conflicts.min(TOUCH_MASK as u64)) as u32;
+        self.data[b] = (self.data[b] & !TOUCH_MASK) | stamp;
+    }
+
+    /// `true` once the clause has been through a vivification attempt.
+    #[inline]
+    pub fn is_vivified(&self, cref: ClauseRef) -> bool {
+        self.data[self.base(cref) + 3] & VIVIFIED_BIT != 0
+    }
+
+    /// Marks the clause as vivified so it is not re-examined.
+    #[inline]
+    pub fn set_vivified(&mut self, cref: ClauseRef) {
+        let b = self.base(cref) + 3;
+        self.data[b] |= VIVIFIED_BIT;
+    }
+
     /// Iterates over the refs of all live (non-deleted) clauses.
     pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
         ClauseIter { db: self, pos: 0 }
@@ -148,7 +219,7 @@ impl ClauseDb {
         while pos < self.data.len() {
             let header = self.data[pos];
             let len = (header & LEN_MASK) as usize;
-            let total = len + 3;
+            let total = len + HEADER_WORDS;
             if header & DELETED_BIT == 0 {
                 let new_ref = ClauseRef(new_data.len() as u32);
                 relocs.push((ClauseRef(pos as u32), new_ref));
@@ -174,7 +245,7 @@ impl Iterator for ClauseIter<'_> {
             let header = self.db.data[self.pos];
             let len = (header & LEN_MASK) as usize;
             let cref = ClauseRef(self.pos as u32);
-            self.pos += len + 3;
+            self.pos += len + HEADER_WORDS;
             if header & DELETED_BIT == 0 {
                 return Some(cref);
             }
@@ -218,6 +289,37 @@ mod tests {
     }
 
     #[test]
+    fn tier_touch_and_vivified_roundtrip() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[1, 2, 3]), true);
+        assert_eq!(db.tier(c), Tier::Local);
+        assert_eq!(db.touch(c), 0);
+        assert!(!db.is_vivified(c));
+
+        db.set_tier(c, Tier::Core);
+        db.set_touch(c, 12345);
+        db.set_vivified(c);
+        assert_eq!(db.tier(c), Tier::Core);
+        assert_eq!(db.touch(c), 12345);
+        assert!(db.is_vivified(c));
+
+        // Fields are independent: updating one leaves the others intact.
+        db.set_tier(c, Tier::Mid);
+        assert_eq!(db.touch(c), 12345);
+        assert!(db.is_vivified(c));
+        db.set_touch(c, u64::MAX); // saturates, must not clobber tier bits
+        assert_eq!(db.tier(c), Tier::Mid);
+        assert!(db.is_vivified(c));
+
+        // LBD and activity live in separate words.
+        db.set_lbd(c, 9);
+        db.set_activity(c, 1.25);
+        assert_eq!(db.tier(c), Tier::Mid);
+        assert_eq!(db.lbd(c), 9);
+        assert_eq!(db.activity(c), 1.25);
+    }
+
+    #[test]
     fn delete_and_collect_relocates() {
         let mut db = ClauseDb::new();
         let c1 = db.alloc(&lits(&[1, 2, 3]), false);
@@ -234,6 +336,23 @@ mod tests {
         let new_c3 = relocs[1].1;
         assert_eq!(db.lits(new_c3), &lits(&[6, 7, 8, 9])[..]);
         assert_eq!(db.wasted, 0);
+    }
+
+    #[test]
+    fn collect_preserves_meta() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&lits(&[1, 2]), true);
+        let c2 = db.alloc(&lits(&[3, 4, 5]), true);
+        db.set_tier(c2, Tier::Mid);
+        db.set_touch(c2, 777);
+        db.set_vivified(c2);
+        db.delete(c1);
+        let relocs = db.collect();
+        assert_eq!(relocs.len(), 1);
+        let n2 = relocs[0].1;
+        assert_eq!(db.tier(n2), Tier::Mid);
+        assert_eq!(db.touch(n2), 777);
+        assert!(db.is_vivified(n2));
     }
 
     #[test]

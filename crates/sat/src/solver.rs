@@ -10,19 +10,25 @@
 //! sequence speeds optimization up by a factor of two or more.
 //!
 //! Feature set:
-//! - two-watched-literal clause propagation with blocker literals,
+//! - two-watched-literal clause propagation with blocker literals, with
+//!   dedicated binary-implication watch lists walked first,
 //! - counter-based PB propagation with on-demand clause explanations,
 //! - first-UIP conflict analysis with learned-clause minimization,
 //! - EVSIDS variable activities with phase saving,
-//! - Luby restarts,
-//! - activity/LBD-driven deletion of learned clauses with arena compaction,
+//! - Luby or adaptive (Glucose-style LBD-EMA) restarts with trail blocking,
+//! - tiered learned-clause database (CORE/TIER2/LOCAL) or legacy
+//!   activity/LBD sort-and-halve deletion, with arena compaction,
+//! - in-search vivification of kept learned clauses at restart boundaries,
 //! - solving under assumptions; all clauses (input and learned) persist
 //!   across `solve` calls.
+//!
+//! The four search-core axes are individually switchable through
+//! [`SolverConfig`] (see [`SearchEngine`] and `docs/SOLVER.md`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::drat::ProofLog;
 use crate::exchange::{ClauseExchange, MAX_SHARED_LITS};
 use crate::heap::VarOrderHeap;
@@ -69,6 +75,178 @@ struct Watcher {
     /// true the clause is satisfied and the watch list walk can skip it.
     blocker: Lit,
 }
+
+/// Watch-list entry for a binary clause: the other literal is stored inline,
+/// so propagating a binary implication never dereferences the arena.
+#[derive(Copy, Clone)]
+struct BinWatch {
+    other: Lit,
+    cref: ClauseRef,
+}
+
+/// Restart strategy for the CDCL loop.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Classic Luby-sequence restarts scaled by [`SolverConfig::restart_unit`].
+    Luby,
+    /// Glucose-style adaptive restarts: restart when the fast LBD EMA runs
+    /// above the slow one, blocked while the trail is unusually deep (a sign
+    /// the search is closing in on a model). Deterministic per seed.
+    Ema,
+}
+
+/// The four search-core performance axes bundled as one plumbable value.
+///
+/// Each axis maps onto one [`SolverConfig`] knob; the default is everything
+/// on (the modern engine), [`SearchEngine::legacy`] is everything off (the
+/// pre-engine solver). Both orderings of every axis combination reach the
+/// same verdicts and optima — the axes change only how fast the search gets
+/// there, which is what the `search_ablation` bench measures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SearchEngine {
+    /// Dedicated binary-implication watch lists.
+    pub binary_watches: bool,
+    /// Tiered (CORE/TIER2/LOCAL) learned-clause database.
+    pub tiered_db: bool,
+    /// Restart strategy.
+    pub restart: RestartPolicy,
+    /// In-search vivification of kept learned clauses.
+    pub vivify: bool,
+}
+
+impl Default for SearchEngine {
+    fn default() -> SearchEngine {
+        SearchEngine::full()
+    }
+}
+
+impl SearchEngine {
+    /// Every axis on: the modern search core.
+    pub fn full() -> SearchEngine {
+        SearchEngine {
+            binary_watches: true,
+            tiered_db: true,
+            restart: RestartPolicy::Ema,
+            vivify: true,
+        }
+    }
+
+    /// Every axis off: the solver as it behaved before the engine existed.
+    pub fn legacy() -> SearchEngine {
+        SearchEngine {
+            binary_watches: false,
+            tiered_db: false,
+            restart: RestartPolicy::Luby,
+            vivify: false,
+        }
+    }
+
+    /// Writes the axes into a [`SolverConfig`]. Must happen before
+    /// constraints are added: watch-list routing is decided at attach time.
+    pub fn configure(&self, cfg: &mut SolverConfig) {
+        cfg.binary_watches = self.binary_watches;
+        cfg.tiered_db = self.tiered_db;
+        cfg.restart_policy = self.restart;
+        cfg.vivify = self.vivify;
+    }
+
+    /// Reads the axes back out of a [`SolverConfig`].
+    pub fn from_config(cfg: &SolverConfig) -> SearchEngine {
+        SearchEngine {
+            binary_watches: cfg.binary_watches,
+            tiered_db: cfg.tiered_db,
+            restart: cfg.restart_policy,
+            vivify: cfg.vivify,
+        }
+    }
+
+    /// Compact human-readable label, e.g. `full`, `legacy` or `bin+ema`.
+    pub fn label(&self) -> String {
+        if *self == SearchEngine::full() {
+            return "full".to_string();
+        }
+        if *self == SearchEngine::legacy() {
+            return "legacy".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.binary_watches {
+            parts.push("bin");
+        }
+        if self.tiered_db {
+            parts.push("tier");
+        }
+        if self.restart == RestartPolicy::Ema {
+            parts.push("ema");
+        }
+        if self.vivify {
+            parts.push("viv");
+        }
+        if parts.is_empty() {
+            "legacy".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl std::str::FromStr for SearchEngine {
+    type Err = String;
+
+    /// Parses `full`, `legacy`, or a `+`-separated subset of
+    /// `bin`/`tier`/`ema`/`viv` (e.g. `bin+tier`).
+    fn from_str(s: &str) -> Result<SearchEngine, String> {
+        match s {
+            "full" => return Ok(SearchEngine::full()),
+            "legacy" => return Ok(SearchEngine::legacy()),
+            _ => {}
+        }
+        let mut e = SearchEngine::legacy();
+        for part in s.split('+').filter(|p| !p.is_empty()) {
+            match part {
+                "bin" => e.binary_watches = true,
+                "tier" => e.tiered_db = true,
+                "ema" => e.restart = RestartPolicy::Ema,
+                "viv" => e.vivify = true,
+                other => {
+                    return Err(format!(
+                        "unknown search axis '{other}' (expected full, legacy, \
+                         or a +-joined subset of bin/tier/ema/viv)"
+                    ))
+                }
+            }
+        }
+        Ok(e)
+    }
+}
+
+// Search-engine tuning constants (see docs/SOLVER.md for the rationale).
+/// Learned clauses with LBD ≤ this are CORE: kept forever.
+const CORE_LBD: u32 = 2;
+/// Learned clauses with LBD ≤ this start in TIER2 (`Tier::Mid`).
+const MID_LBD: u32 = 6;
+/// A TIER2 clause untouched for this many conflicts is demoted to LOCAL.
+const TIER_IDLE_CONFLICTS: u64 = 30_000;
+/// Conflict interval between tiered reductions starts at
+/// `first_reduce / 2` and grows by `reduce_grow`; this is the floor.
+const TIER_REDUCE_MIN_INTERVAL: u64 = 100;
+/// Fast LBD EMA horizon (Glucose's recent-quality window).
+const EMA_FAST_ALPHA: f64 = 1.0 / 32.0;
+/// Slow LBD / trail EMA horizon (the long-run baseline).
+const EMA_SLOW_ALPHA: f64 = 1.0 / 4096.0;
+/// Restart when `fast > K * slow`.
+const EMA_RESTART_K: f64 = 1.25;
+/// Block a pending restart when the conflict trail is deeper than
+/// `R * trail_ema`.
+const EMA_BLOCK_R: f64 = 1.4;
+/// Minimum conflicts between consecutive EMA restarts.
+const EMA_MIN_RESTART_CONFLICTS: u64 = 50;
+/// Vivification runs at a restart boundary once this many new clauses were
+/// learned since the previous pass.
+const VIVIFY_MIN_LEARNED: u64 = 2_000;
+/// Propagation budget per vivification round.
+const VIVIFY_PROP_BUDGET: u64 = 200_000;
+/// Without the tiered DB, vivification candidates are capped at this LBD.
+const VIVIFY_MAX_LBD: u32 = 6;
 
 /// Tunable solver parameters.
 #[derive(Clone, Debug)]
@@ -125,6 +303,20 @@ pub struct SolverConfig {
     /// exchange are **not imported** (they have no local derivation, so
     /// they could not be justified in the proof); exporting still works.
     pub proof: bool,
+    /// Route binary clauses through dedicated watch lists (other literal
+    /// inline), propagated before long clauses. Must not be flipped after
+    /// the first constraint is added: attach routing is decided per clause.
+    pub binary_watches: bool,
+    /// Keep the learned-clause database in CORE/TIER2/LOCAL tiers with
+    /// recency-based demotion instead of the legacy sort-and-halve
+    /// reduction.
+    pub tiered_db: bool,
+    /// Restart strategy; [`RestartPolicy::Ema`] adapts to conflict quality,
+    /// [`RestartPolicy::Luby`] follows the fixed Luby sequence.
+    pub restart_policy: RestartPolicy,
+    /// Vivify kept learned clauses at restart boundaries (strengthenings
+    /// are DRAT-logged, so `proof` stays sound).
+    pub vivify: bool,
 }
 
 impl Default for SolverConfig {
@@ -146,6 +338,10 @@ impl Default for SolverConfig {
             share_max_lbd: 6,
             preprocess: true,
             proof: false,
+            binary_watches: true,
+            tiered_db: true,
+            restart_policy: RestartPolicy::Ema,
+            vivify: true,
         }
     }
 }
@@ -178,6 +374,26 @@ pub struct SolverStats {
     pub pp_strengthened: u64,
     /// Variables fixed at level 0 by preprocessing.
     pub pp_fixed: u64,
+    /// Restarts taken under [`RestartPolicy::Luby`].
+    pub restarts_luby: u64,
+    /// Restarts taken under [`RestartPolicy::Ema`].
+    pub restarts_ema: u64,
+    /// EMA restarts suppressed by trail-size blocking.
+    pub restarts_blocked: u64,
+    /// Learned clauses strengthened by in-search vivification.
+    pub vivified: u64,
+    /// Literals removed from learned clauses by vivification.
+    pub vivify_lits_removed: u64,
+    /// CORE-tier learned clauses currently retained (gauge).
+    pub tier_core: u64,
+    /// TIER2 learned clauses currently retained (gauge).
+    pub tier_mid: u64,
+    /// LOCAL-tier learned clauses currently retained (gauge).
+    pub tier_local: u64,
+    /// High-water mark of retained learned clauses (gauge).
+    pub peak_learnts: u64,
+    /// Bytes of watch-list capacity released during garbage collection.
+    pub watch_bytes_reclaimed: u64,
     /// Wall-clock milliseconds spent inside `solve` calls (search only;
     /// encoding time is tracked separately by the callers).
     pub solve_ms: f64,
@@ -199,6 +415,18 @@ impl SolverStats {
         self.pp_removed += other.pp_removed;
         self.pp_strengthened += other.pp_strengthened;
         self.pp_fixed += other.pp_fixed;
+        self.restarts_luby += other.restarts_luby;
+        self.restarts_ema += other.restarts_ema;
+        self.restarts_blocked += other.restarts_blocked;
+        self.vivified += other.vivified;
+        self.vivify_lits_removed += other.vivify_lits_removed;
+        // Gauges: tier sizes sum to the total retention across solvers;
+        // the peak takes the worst single solver.
+        self.tier_core += other.tier_core;
+        self.tier_mid += other.tier_mid;
+        self.tier_local += other.tier_local;
+        self.peak_learnts = self.peak_learnts.max(other.peak_learnts);
+        self.watch_bytes_reclaimed += other.watch_bytes_reclaimed;
         self.solve_ms += other.solve_ms;
     }
 
@@ -220,6 +448,21 @@ impl SolverStats {
             pp_removed: self.pp_removed - baseline.pp_removed,
             pp_strengthened: self.pp_strengthened - baseline.pp_strengthened,
             pp_fixed: self.pp_fixed - baseline.pp_fixed,
+            restarts_luby: self.restarts_luby - baseline.restarts_luby,
+            restarts_ema: self.restarts_ema - baseline.restarts_ema,
+            restarts_blocked: self.restarts_blocked - baseline.restarts_blocked,
+            vivified: self.vivified - baseline.vivified,
+            vivify_lits_removed: self.vivify_lits_removed - baseline.vivify_lits_removed,
+            // Gauges carry their current value: "what is retained now" is
+            // the meaningful per-request answer, and a difference against
+            // the baseline could go negative after a reduction.
+            tier_core: self.tier_core,
+            tier_mid: self.tier_mid,
+            tier_local: self.tier_local,
+            peak_learnts: self.peak_learnts,
+            watch_bytes_reclaimed: self
+                .watch_bytes_reclaimed
+                .saturating_sub(baseline.watch_bytes_reclaimed),
             solve_ms: self.solve_ms - baseline.solve_ms,
         }
     }
@@ -238,6 +481,10 @@ pub struct Solver {
     /// `watches[lit]` holds clauses to inspect when `lit` becomes **true**
     /// (i.e. clauses watching `¬lit`).
     watches: Vec<Vec<Watcher>>,
+    /// Binary clauses, indexed like `watches` but with the implied literal
+    /// inline; walked before the long-clause lists. Only populated when
+    /// [`SolverConfig::binary_watches`] is on.
+    bin_watches: Vec<Vec<BinWatch>>,
 
     assigns: Vec<LBool>,
     level: Vec<u32>,
@@ -256,6 +503,20 @@ pub struct Solver {
     /// Learned clause refs, for DB reduction.
     learnts: Vec<ClauseRef>,
     max_learnts: usize,
+    /// Tiered-DB reduction schedule: next reduction fires at this conflict
+    /// count, with the interval growing by `reduce_grow` each time.
+    next_reduce: u64,
+    reduce_interval: f64,
+
+    // Adaptive-restart state (RestartPolicy::Ema). The EMAs persist across
+    // `solve` calls so incremental re-solves keep their calibration.
+    lbd_fast: f64,
+    lbd_slow: f64,
+    trail_ema: f64,
+    ema_conflicts: u64,
+
+    /// Clauses learned since the last vivification round.
+    learned_since_vivify: u64,
 
     // Conflict-analysis scratch space.
     seen: Vec<bool>,
@@ -299,6 +560,7 @@ impl Solver {
             pbs: Vec::new(),
             pb_occs: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -313,6 +575,13 @@ impl Solver {
             saved_phase: Vec::new(),
             learnts: Vec::new(),
             max_learnts: 0,
+            next_reduce: 0,
+            reduce_interval: 0.0,
+            lbd_fast: 0.0,
+            lbd_slow: 0.0,
+            trail_ema: 0.0,
+            ema_conflicts: 0,
+            learned_since_vivify: 0,
             seen: Vec::new(),
             reason_buf: Vec::new(),
             ok: true,
@@ -369,6 +638,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.pb_occs.push(Vec::new());
         self.pb_occs.push(Vec::new());
         self.order.insert(v, &self.activity);
@@ -583,8 +854,13 @@ impl Solver {
             let ls = self.db.lits(cref);
             (ls[0], ls[1])
         };
-        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
-        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+        if self.config.binary_watches && self.db.len(cref) == 2 {
+            self.bin_watches[(!l0).index()].push(BinWatch { other: l1, cref });
+            self.bin_watches[(!l1).index()].push(BinWatch { other: l0, cref });
+        } else {
+            self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -629,6 +905,12 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
+            if self.config.binary_watches {
+                if let Some(confl) = self.propagate_bins(p) {
+                    self.qhead = self.trail.len();
+                    return Some(Conflict::Clause(confl));
+                }
+            }
             if let Some(confl) = self.propagate_clauses(p) {
                 self.qhead = self.trail.len();
                 return Some(Conflict::Clause(confl));
@@ -636,6 +918,31 @@ impl Solver {
             if let Some(confl) = self.propagate_pbs(p) {
                 self.qhead = self.trail.len();
                 return Some(confl);
+            }
+        }
+        None
+    }
+
+    /// Walks the binary watch list of `p`: every entry is a clause
+    /// `(¬p ∨ other)`, so `other` is forced outright — no arena access, no
+    /// watch migration. Returns the conflicting clause, if any.
+    fn propagate_bins(&mut self, p: Lit) -> Option<ClauseRef> {
+        // Entries are never added or removed during propagation, so plain
+        // indexing is safe even though `assign` mutates other solver state.
+        for i in 0..self.bin_watches[p.index()].len() {
+            let BinWatch { other, cref } = self.bin_watches[p.index()][i];
+            match self.value_lit(other) {
+                LBool::True => {}
+                LBool::False => return Some(cref),
+                LBool::Undef => {
+                    // Keep the propagated literal in slot 0: DB reduction
+                    // and `clear_learned` rely on it for the locked check.
+                    let lits = self.db.lits_mut(cref);
+                    if lits[0] != other {
+                        lits.swap(0, 1);
+                    }
+                    self.assign(other, Reason::Clause(cref));
+                }
             }
         }
         None
@@ -913,6 +1220,7 @@ impl Solver {
         if !self.db.is_learnt(cref) {
             return;
         }
+        self.db.set_touch(cref, self.stats.conflicts);
         let act = self.db.activity(cref) + self.cla_inc;
         self.db.set_activity(cref, act);
         if act > 1e20 {
@@ -921,6 +1229,23 @@ impl Solver {
                 self.db.set_activity(c, a * 1e-20);
             }
             self.cla_inc *= 1e-20;
+        }
+        // Glucose-style LBD refresh: a clause used in conflict analysis has
+        // all literals assigned, so its LBD can be recomputed; improvements
+        // promote the clause into a safer tier.
+        if self.config.tiered_db {
+            let old = self.db.lbd(cref);
+            if old > CORE_LBD {
+                let new = self.lbd(self.db.lits(cref));
+                if new < old {
+                    self.db.set_lbd(cref, new);
+                    if new <= CORE_LBD {
+                        self.db.set_tier(cref, Tier::Core);
+                    } else if new <= MID_LBD && self.db.tier(cref) == Tier::Local {
+                        self.db.set_tier(cref, Tier::Mid);
+                    }
+                }
+            }
         }
     }
 
@@ -954,7 +1279,71 @@ impl Solver {
     // Learned-clause database management
     // ------------------------------------------------------------------
 
+    /// `true` while the clause is the active reason of its first literal
+    /// (deleting it would leave a dangling [`Reason::Clause`]).
+    fn is_locked(&self, c: ClauseRef) -> bool {
+        let first = self.db.lits(c)[0];
+        self.reason[first.var().index()] == Reason::Clause(c)
+            && self.value_lit(first) == LBool::True
+    }
+
     fn reduce_db(&mut self) {
+        if self.config.tiered_db {
+            self.reduce_db_tiered();
+        } else {
+            self.reduce_db_legacy();
+        }
+    }
+
+    /// Tiered reduction: CORE is untouchable, idle TIER2 clauses are
+    /// demoted, and the worst (least active) half of LOCAL is deleted.
+    fn reduce_db_tiered(&mut self) {
+        let now = self.stats.conflicts;
+        for i in 0..self.learnts.len() {
+            let c = self.learnts[i];
+            if self.db.tier(c) == Tier::Mid
+                && now.saturating_sub(self.db.touch(c)) >= TIER_IDLE_CONFLICTS
+            {
+                self.db.set_tier(c, Tier::Local);
+            }
+        }
+        let mut local: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| self.db.tier(c) == Tier::Local && !self.is_locked(c))
+            .collect();
+        // Worst first: lowest activity, ties broken toward higher LBD.
+        let db = &self.db;
+        local.sort_by(|&a, &b| {
+            db.activity(a)
+                .partial_cmp(&db.activity(b))
+                .unwrap()
+                .then(db.lbd(b).cmp(&db.lbd(a)))
+        });
+        let target = local.len() / 2;
+        for &c in &local[..target] {
+            if self.config.proof {
+                let lits = self.db.lits(c).to_vec();
+                self.proof_log().delete(&lits);
+            }
+            self.detach(c);
+            self.db.delete(c);
+        }
+        let db = &self.db;
+        self.learnts.retain(|&c| !db.is_deleted(c));
+        self.stats.deleted += target as u64;
+        self.refresh_tier_stats();
+        self.reduce_interval *= self.config.reduce_grow;
+        self.next_reduce = now + (self.reduce_interval as u64).max(TIER_REDUCE_MIN_INTERVAL);
+
+        if self.db.wasted * 4 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Legacy reduction: sort everything worst-first and delete half.
+    fn reduce_db_legacy(&mut self) {
         // Sort worst-first: high LBD, then low activity.
         let db = &self.db;
         self.learnts.sort_by(|&a, &b| {
@@ -967,12 +1356,7 @@ impl Solver {
         let mut kept = Vec::with_capacity(self.learnts.len() - target);
         let learnts = std::mem::take(&mut self.learnts);
         for (i, &c) in learnts.iter().enumerate() {
-            let locked = {
-                let first = self.db.lits(c)[0];
-                self.reason[first.var().index()] == Reason::Clause(c)
-                    && self.value_lit(first) == LBool::True
-            };
-            if i < target && !locked && self.db.lbd(c) > 2 {
+            if i < target && !self.is_locked(c) && self.db.lbd(c) > 2 {
                 if self.config.proof {
                     let lits = self.db.lits(c).to_vec();
                     self.proof_log().delete(&lits);
@@ -988,6 +1372,194 @@ impl Solver {
         self.stats.deleted += removed as u64;
         self.max_learnts = (self.max_learnts as f64 * self.config.reduce_grow) as usize;
 
+        if self.db.wasted * 4 > self.db.arena_len() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Recounts the tier-size gauges from the live learned-clause list.
+    fn refresh_tier_stats(&mut self) {
+        let (mut core, mut mid, mut local) = (0u64, 0u64, 0u64);
+        for &c in &self.learnts {
+            match self.db.tier(c) {
+                Tier::Core => core += 1,
+                Tier::Mid => mid += 1,
+                Tier::Local => local += 1,
+            }
+        }
+        self.stats.tier_core = core;
+        self.stats.tier_mid = mid;
+        self.stats.tier_local = local;
+    }
+
+    /// One in-search vivification round over the kept learned clauses.
+    ///
+    /// For a candidate `C = (l₁ ∨ … ∨ lₖ)` the negations `¬l₁, ¬l₂, …` are
+    /// asserted as decisions in clause order, with `C` itself detached so it
+    /// cannot propagate against its own test:
+    /// - `lᵢ` already **false**: it is implied false by the earlier
+    ///   negations (or a root fact), so `C ∖ {lᵢ}` is entailed — drop it;
+    /// - `lᵢ` already **true**: `¬l₁ ∧ … ∧ ¬lᵢ₋₁` implies `lᵢ`, so `C`
+    ///   truncates to `(l₁ ∨ … ∨ lᵢ)`;
+    /// - propagation **conflicts** after asserting `¬lᵢ`: same truncation.
+    ///
+    /// Every strengthened clause is RUP with respect to the database *still
+    /// containing the original* (asserting the negation of the strengthened
+    /// clause replays the same unit propagations into the original or the
+    /// conflict), so under proof logging the new clause is logged **before**
+    /// the original is deleted — the same derivation-time discipline as
+    /// preprocessing. Runs at level 0 (restart boundaries), bounded by a
+    /// propagation budget; assumptions are re-decided by the next
+    /// `pick_next` pass.
+    fn vivify_round(&mut self) {
+        // Restarts only rewind to the assumption prefix; vivification needs
+        // the true root level (assumptions are re-decided afterwards).
+        self.backtrack_to(0);
+        let candidates: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| {
+                self.db.len(c) >= 3
+                    && !self.db.is_vivified(c)
+                    && !self.is_locked(c)
+                    && if self.config.tiered_db {
+                        self.db.tier(c) != Tier::Local
+                    } else {
+                        self.db.lbd(c) <= VIVIFY_MAX_LBD
+                    }
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let budget_start = self.stats.propagations;
+        let mut replaced: Vec<(ClauseRef, ClauseRef)> = Vec::new();
+        let mut changed = false;
+        for cref in candidates {
+            if self.stats.propagations - budget_start > VIVIFY_PROP_BUDGET || self.interrupted() {
+                break;
+            }
+            let lits = self.db.lits(cref).to_vec();
+            // Detached for the duration of its own test; re-attached (or
+            // replaced) below.
+            self.detach(cref);
+            let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+            let mut root_satisfied = false;
+            for &l in &lits {
+                match self.value_lit(l) {
+                    // A root-level true literal satisfies the clause
+                    // permanently — drop the whole clause instead.
+                    LBool::True if self.level[l.var().index()] == 0 => {
+                        root_satisfied = true;
+                        break;
+                    }
+                    LBool::True => {
+                        kept.push(l);
+                        break;
+                    }
+                    LBool::False => {}
+                    LBool::Undef => {
+                        self.new_decision_level();
+                        self.assign(!l, Reason::None);
+                        kept.push(l);
+                        if self.propagate().is_some() {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.backtrack_to(0);
+            if root_satisfied {
+                if self.config.proof {
+                    self.proof_log().delete(&lits);
+                }
+                self.db.delete(cref);
+                self.stats.deleted += 1;
+                changed = true;
+                continue;
+            }
+            if kept.len() == lits.len() {
+                self.attach(cref);
+                self.db.set_vivified(cref);
+                continue;
+            }
+            // Strengthened: log the new clause first (RUP while the
+            // original is still present), then retire the original.
+            changed = true;
+            self.stats.vivified += 1;
+            self.stats.vivify_lits_removed += (lits.len() - kept.len()) as u64;
+            if kept.is_empty() {
+                // Every literal was root-false: unconditional conflict.
+                self.db.delete(cref);
+                self.clear_root_reasons();
+                self.set_unsat();
+                return;
+            }
+            if self.config.proof {
+                self.proof_log().add(&kept);
+                self.proof_log().delete(&lits);
+            }
+            let old_lbd = self.db.lbd(cref);
+            let old_act = self.db.activity(cref);
+            let old_tier = self.db.tier(cref);
+            self.db.delete(cref);
+            if kept.len() == 1 {
+                match self.value_lit(kept[0]) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.clear_root_reasons();
+                        self.set_unsat();
+                        return;
+                    }
+                    LBool::Undef => {
+                        self.assign(kept[0], Reason::None);
+                        if self.propagate().is_some() {
+                            self.clear_root_reasons();
+                            self.set_unsat();
+                            return;
+                        }
+                    }
+                }
+                continue;
+            }
+            let nc = self.db.alloc(&kept, true);
+            let new_lbd = old_lbd.min(kept.len() as u32).max(1);
+            self.db.set_lbd(nc, new_lbd);
+            self.db.set_activity(nc, old_act);
+            if self.config.tiered_db {
+                // Never demote: the strengthened clause subsumes the
+                // original, so it is at least as valuable.
+                let promoted = tier_for_lbd(new_lbd);
+                let tier = if (promoted as u32) < (old_tier as u32) {
+                    promoted
+                } else {
+                    old_tier
+                };
+                self.db.set_tier(nc, tier);
+            }
+            self.db.set_touch(nc, self.stats.conflicts);
+            self.db.set_vivified(nc);
+            self.attach(nc);
+            replaced.push((cref, nc));
+        }
+        if changed || !replaced.is_empty() {
+            let map: std::collections::HashMap<ClauseRef, ClauseRef> =
+                replaced.into_iter().collect();
+            for c in self.learnts.iter_mut() {
+                if let Some(&n) = map.get(c) {
+                    *c = n;
+                }
+            }
+            let db = &self.db;
+            self.learnts.retain(|&c| !db.is_deleted(c));
+        }
+        // Units derived above propagate at level 0 and record clause
+        // reasons; one of those reason clauses may itself have been
+        // vivified away, and garbage collection must not meet a reference
+        // to a deleted clause. Root facts never need explaining, so drop
+        // the reasons wholesale (same discipline as preprocessing).
+        self.clear_root_reasons();
         if self.db.wasted * 4 > self.db.arena_len() {
             self.garbage_collect();
         }
@@ -1019,12 +1591,7 @@ impl Solver {
         let learnts = std::mem::take(&mut self.learnts);
         let mut kept = Vec::new();
         for c in learnts {
-            let locked = {
-                let first = self.db.lits(c)[0];
-                self.reason[first.var().index()] == Reason::Clause(c)
-                    && self.value_lit(first) == LBool::True
-            };
-            if locked {
+            if self.is_locked(c) {
                 kept.push(c);
                 continue;
             }
@@ -1049,18 +1616,32 @@ impl Solver {
             let ls = self.db.lits(cref);
             (ls[0], ls[1])
         };
-        self.watches[(!l0).index()].retain(|w| w.cref != cref);
-        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+        if self.config.binary_watches && self.db.len(cref) == 2 {
+            self.bin_watches[(!l0).index()].retain(|w| w.cref != cref);
+            self.bin_watches[(!l1).index()].retain(|w| w.cref != cref);
+        } else {
+            self.watches[(!l0).index()].retain(|w| w.cref != cref);
+            self.watches[(!l1).index()].retain(|w| w.cref != cref);
+        }
     }
 
     fn garbage_collect(&mut self) {
         let relocs = self.db.collect();
         let map: std::collections::HashMap<ClauseRef, ClauseRef> = relocs.into_iter().collect();
+        let mut reclaimed = 0usize;
         for ws in &mut self.watches {
             for w in ws.iter_mut() {
                 w.cref = map[&w.cref];
             }
+            reclaimed += shrink_excess(ws) * std::mem::size_of::<Watcher>();
         }
+        for ws in &mut self.bin_watches {
+            for w in ws.iter_mut() {
+                w.cref = map[&w.cref];
+            }
+            reclaimed += shrink_excess(ws) * std::mem::size_of::<BinWatch>();
+        }
+        self.stats.watch_bytes_reclaimed += reclaimed as u64;
         for r in &mut self.reason {
             if let Reason::Clause(c) = r {
                 *r = Reason::Clause(map[c]);
@@ -1456,21 +2037,41 @@ impl Solver {
         if self.max_learnts == 0 {
             self.max_learnts = self.config.first_reduce;
         }
+        if self.next_reduce == 0 {
+            self.reduce_interval =
+                ((self.config.first_reduce as u64 / 2).max(TIER_REDUCE_MIN_INTERVAL)) as f64;
+            self.next_reduce = self.stats.conflicts + self.reduce_interval as u64;
+        }
 
         let result = loop {
-            let budget = luby(restarts) * self.config.restart_unit;
+            let budget = match self.config.restart_policy {
+                RestartPolicy::Luby => luby(restarts) * self.config.restart_unit,
+                // EMA restarts are decided by the LBD EMAs inside `search`.
+                RestartPolicy::Ema => u64::MAX,
+            };
             match self.search(assumptions, budget, &mut conflicts_this_call) {
                 SearchOutcome::Sat => break SolveResult::Sat,
                 SearchOutcome::Unsat => break SolveResult::Unsat,
                 SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    match self.config.restart_policy {
+                        RestartPolicy::Luby => self.stats.restarts_luby += 1,
+                        RestartPolicy::Ema => self.stats.restarts_ema += 1,
+                    }
                     // Restart boundaries are the one safe point inside a
                     // solve call to pull in foreign clauses (level 0, no
                     // pending conflict).
                     self.import_shared();
                     if !self.ok {
                         break SolveResult::Unsat;
+                    }
+                    if self.config.vivify && self.learned_since_vivify >= VIVIFY_MIN_LEARNED {
+                        self.learned_since_vivify = 0;
+                        self.vivify_round();
+                        if !self.ok {
+                            break SolveResult::Unsat;
+                        }
                     }
                 }
                 SearchOutcome::Budget => break SolveResult::Unknown,
@@ -1489,6 +2090,7 @@ impl Solver {
                 }));
         }
         self.backtrack_to(0);
+        self.refresh_tier_stats();
         result
     }
 
@@ -1522,10 +2124,14 @@ impl Solver {
                     self.set_unsat();
                     return SearchOutcome::Unsat;
                 }
+                let trail_at_conflict = self.trail.len();
                 let (learnt, bt_level) = self.analyze(confl);
                 self.backtrack_to(bt_level);
-                self.learn(&learnt);
+                let lbd = self.learn(&learnt);
                 self.decay_activities();
+                if self.config.restart_policy == RestartPolicy::Ema {
+                    self.update_restart_emas(lbd, trail_at_conflict, conflicts_since_restart);
+                }
                 if let Some(max) = self.config.max_conflicts {
                     if *conflicts_this_call >= max {
                         return SearchOutcome::Budget;
@@ -1538,13 +2144,23 @@ impl Solver {
                 if self.interrupted() {
                     return SearchOutcome::Interrupted;
                 }
-                if conflicts_since_restart >= restart_budget
-                    && self.decision_level() > assumptions.len() as u32
-                {
+                let restart_due = match self.config.restart_policy {
+                    RestartPolicy::Luby => conflicts_since_restart >= restart_budget,
+                    RestartPolicy::Ema => {
+                        conflicts_since_restart >= EMA_MIN_RESTART_CONFLICTS
+                            && self.lbd_fast > EMA_RESTART_K * self.lbd_slow
+                    }
+                };
+                if restart_due && self.decision_level() > assumptions.len() as u32 {
                     self.backtrack_to(assumptions.len() as u32);
                     return SearchOutcome::Restart;
                 }
-                if self.learnts.len() >= self.max_learnts {
+                let reduce_due = if self.config.tiered_db {
+                    self.stats.conflicts >= self.next_reduce
+                } else {
+                    self.learnts.len() >= self.max_learnts
+                };
+                if reduce_due {
                     self.reduce_db();
                 }
                 // Extend with assumptions, then decide.
@@ -1554,6 +2170,35 @@ impl Solver {
                     PickOutcome::Decided => {}
                 }
             }
+        }
+    }
+
+    /// Feeds one conflict into the adaptive-restart estimators.
+    ///
+    /// `fast` tracks the LBD of recent conflicts, `slow` the long-run
+    /// average; a fast EMA above `K·slow` means the search is currently
+    /// producing poor clauses, so a restart is scheduled. A conflict trail
+    /// much deeper than its own average suggests the search is near a model
+    /// instead — then the pending restart is blocked by collapsing the fast
+    /// EMA back onto the slow one. All arithmetic is deterministic.
+    fn update_restart_emas(&mut self, lbd: u32, trail_at_conflict: usize, since_restart: u64) {
+        self.ema_conflicts += 1;
+        // Bias correction: behave like plain running means until each
+        // horizon has filled up, instead of crawling away from zero.
+        let n = self.ema_conflicts as f64;
+        let fast_alpha = EMA_FAST_ALPHA.max(1.0 / n);
+        let slow_alpha = EMA_SLOW_ALPHA.max(1.0 / n);
+        let l = lbd.max(1) as f64;
+        self.lbd_fast += fast_alpha * (l - self.lbd_fast);
+        self.lbd_slow += slow_alpha * (l - self.lbd_slow);
+        let t = trail_at_conflict as f64;
+        self.trail_ema += slow_alpha * (t - self.trail_ema);
+        if since_restart >= EMA_MIN_RESTART_CONFLICTS
+            && self.lbd_fast > EMA_RESTART_K * self.lbd_slow
+            && t > EMA_BLOCK_R * self.trail_ema
+        {
+            self.lbd_fast = self.lbd_slow;
+            self.stats.restarts_blocked += 1;
         }
     }
 
@@ -1597,7 +2242,9 @@ impl Solver {
         PickOutcome::AllAssigned
     }
 
-    fn learn(&mut self, learnt: &[Lit]) {
+    /// Installs a freshly learned clause and returns its LBD (feeding the
+    /// adaptive-restart EMAs).
+    fn learn(&mut self, learnt: &[Lit]) -> u32 {
         self.stats.learned += 1;
         // First-UIP learned clauses (after minimization) are RUP with
         // respect to the inputs plus the earlier learned clauses.
@@ -1605,20 +2252,31 @@ impl Solver {
             self.proof_log().add(learnt);
         }
         match learnt.len() {
-            0 => self.ok = false,
+            0 => {
+                self.ok = false;
+                0
+            }
             1 => {
                 self.assign(learnt[0], Reason::None);
                 self.maybe_export(learnt, 1);
+                1
             }
             _ => {
                 let cref = self.db.alloc(learnt, true);
                 let lbd = self.lbd(learnt);
                 self.db.set_lbd(cref, lbd);
                 self.db.set_activity(cref, self.cla_inc);
+                if self.config.tiered_db {
+                    self.db.set_tier(cref, tier_for_lbd(lbd));
+                }
+                self.db.set_touch(cref, self.stats.conflicts);
                 self.attach(cref);
                 self.learnts.push(cref);
+                self.stats.peak_learnts = self.stats.peak_learnts.max(self.learnts.len() as u64);
+                self.learned_since_vivify += 1;
                 self.assign(learnt[0], Reason::Clause(cref));
                 self.maybe_export(learnt, lbd);
+                lbd
             }
         }
     }
@@ -1714,8 +2372,13 @@ impl Solver {
                 let cref = self.db.alloc(&cl, true);
                 self.db.set_lbd(cref, cl.len() as u32);
                 self.db.set_activity(cref, self.cla_inc);
+                if self.config.tiered_db {
+                    self.db.set_tier(cref, tier_for_lbd(cl.len() as u32));
+                }
+                self.db.set_touch(cref, self.stats.conflicts);
                 self.attach(cref);
                 self.learnts.push(cref);
+                self.stats.peak_learnts = self.stats.peak_learnts.max(self.learnts.len() as u64);
             }
         }
     }
@@ -1808,6 +2471,30 @@ enum PickOutcome {
     AllAssigned,
     AssumptionConflict,
     Decided,
+}
+
+/// Releases the excess capacity of a grossly over-allocated list, returning
+/// the number of surplus elements freed. Lists near their high-water mark
+/// are left alone: `shrink_to_fit` on a hot watch list that immediately
+/// regrows would thrash the allocator.
+/// Initial tier of a learned clause by LBD.
+fn tier_for_lbd(lbd: u32) -> Tier {
+    if lbd <= CORE_LBD {
+        Tier::Core
+    } else if lbd <= MID_LBD {
+        Tier::Mid
+    } else {
+        Tier::Local
+    }
+}
+
+fn shrink_excess<T>(v: &mut Vec<T>) -> usize {
+    if v.capacity() <= 16 || v.capacity() < 4 * v.len().max(1) {
+        return 0;
+    }
+    let before = v.capacity();
+    v.shrink_to_fit();
+    before - v.capacity()
 }
 
 /// SplitMix64 finalizer; mixes a seed into a well-distributed word. Used for
@@ -2305,6 +2992,258 @@ mod tests {
         add(&mut s, &mut ids, &[-1]);
         add(&mut s, &mut ids, &[-2]);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    /// Unsatisfiable pigeonhole clauses over fresh variables.
+    fn add_pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let mut p = vec![];
+        for _ in 0..pigeons {
+            let row: Vec<Var> = (0..holes).map(|_| s.new_var()).collect();
+            p.push(row);
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        #[allow(clippy::needless_range_loop)] // `hole` indexes two rows at once
+        for hole in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause(&[p[i][hole].negative(), p[j][hole].negative()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_engine_label_and_parse_roundtrip() {
+        for e in [
+            SearchEngine::full(),
+            SearchEngine::legacy(),
+            SearchEngine {
+                binary_watches: true,
+                tiered_db: false,
+                restart: RestartPolicy::Ema,
+                vivify: false,
+            },
+        ] {
+            let label = e.label();
+            assert_eq!(label.parse::<SearchEngine>().unwrap(), e, "label {label}");
+        }
+        assert!("bogus".parse::<SearchEngine>().is_err());
+        let mut cfg = SolverConfig::default();
+        SearchEngine::legacy().configure(&mut cfg);
+        assert_eq!(SearchEngine::from_config(&cfg), SearchEngine::legacy());
+    }
+
+    #[test]
+    fn every_axis_combination_agrees_on_random_instances() {
+        // 3-SAT with a sprinkle of binary clauses; every one of the 16 axis
+        // combinations must reproduce the reference verdict, including
+        // under an assumption re-solve (incremental reuse).
+        for seed in 0..8u64 {
+            let mut clauses = Vec::new();
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let nv = 14i32;
+            for k in 0..56 {
+                let width = if k % 4 == 0 { 2 } else { 3 };
+                let mut c = Vec::new();
+                for _ in 0..width {
+                    let v = (next() % nv as u64) as i32 + 1;
+                    let sign = if next() & 1 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                clauses.push(c);
+            }
+            let mut reference: Option<SolveResult> = None;
+            for bits in 0..16u32 {
+                let engine = SearchEngine {
+                    binary_watches: bits & 1 != 0,
+                    tiered_db: bits & 2 != 0,
+                    restart: if bits & 4 != 0 {
+                        RestartPolicy::Ema
+                    } else {
+                        RestartPolicy::Luby
+                    },
+                    vivify: bits & 8 != 0,
+                };
+                let mut s = Solver::new();
+                engine.configure(&mut s.config);
+                let mut ids = Vec::new();
+                for c in &clauses {
+                    add(&mut s, &mut ids, c);
+                }
+                let r = s.solve(&[]);
+                match reference {
+                    None => reference = Some(r),
+                    Some(want) => assert_eq!(r, want, "seed {seed} engine {}", engine.label()),
+                }
+                if r == SolveResult::Sat {
+                    s.debug_check_model();
+                    let ra = s.solve(&[ids[0].negative()]);
+                    let mut fresh = Solver::new();
+                    SearchEngine::legacy().configure(&mut fresh.config);
+                    let mut fids = Vec::new();
+                    for c in &clauses {
+                        add(&mut fresh, &mut fids, c);
+                    }
+                    let want = fresh.solve(&[fids[0].negative()]);
+                    assert_eq!(ra, want, "seed {seed} engine {} assumption", engine.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ema_restarts_are_deterministic_and_counted() {
+        let run = || {
+            let mut s = Solver::new();
+            s.config.restart_policy = RestartPolicy::Ema;
+            add_pigeonhole(&mut s, 7, 6);
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            (
+                s.stats.conflicts,
+                s.stats.decisions,
+                s.stats.propagations,
+                s.stats.restarts,
+                s.stats.restarts_ema,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "bit-identical replay");
+        assert!(a.4 > 0, "EMA restarts fired");
+        assert_eq!(a.3, a.4, "all restarts attributed to the EMA policy");
+    }
+
+    #[test]
+    fn luby_policy_attributes_restarts() {
+        let mut s = Solver::new();
+        s.config.restart_policy = RestartPolicy::Luby;
+        s.config.restart_unit = 10;
+        add_pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats.restarts_luby > 0);
+        assert_eq!(s.stats.restarts, s.stats.restarts_luby);
+        assert_eq!(s.stats.restarts_ema, 0);
+    }
+
+    #[test]
+    fn tiered_db_populates_tier_gauges() {
+        let mut s = Solver::new();
+        s.config.tiered_db = true;
+        add_pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let total = s.stats.tier_core + s.stats.tier_mid + s.stats.tier_local;
+        assert_eq!(total, s.num_learned() as u64);
+        assert!(s.stats.peak_learnts > 0);
+        assert!(s.stats.peak_learnts >= total);
+    }
+
+    #[test]
+    fn binary_clauses_use_dedicated_lists() {
+        let mut s = Solver::new();
+        assert!(s.config.binary_watches);
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[b.negative(), c.positive()]);
+        s.add_clause(&[a.positive(), b.positive(), c.positive()]);
+        assert_eq!(s.bin_watches.iter().map(Vec::len).sum::<usize>(), 4);
+        assert_eq!(s.watches.iter().map(Vec::len).sum::<usize>(), 2);
+        // The implication chain propagates through the binary lists.
+        assert_eq!(s.solve(&[a.positive()]), SolveResult::Sat);
+        assert!(s.model_value(c.positive()));
+    }
+
+    #[test]
+    fn vivify_round_strengthens_and_keeps_proof_checkable() {
+        let mut s = Solver::new();
+        s.config.proof = true;
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let x = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[b.negative(), c.positive()]);
+        // Inject (¬a ∨ c ∨ x) as a kept learned clause: it is implied by
+        // the chain above, and asserting `a` propagates `c` true, so
+        // vivification must truncate it to (¬a ∨ c).
+        let lemma = vec![a.negative(), c.positive(), x.positive()];
+        let cref = s.db.alloc(&lemma, true);
+        s.db.set_lbd(cref, 3);
+        s.db.set_tier(cref, Tier::Mid);
+        s.attach(cref);
+        s.learnts.push(cref);
+
+        s.vivify_round();
+        assert_eq!(s.stats.vivified, 1);
+        assert_eq!(s.stats.vivify_lits_removed, 1);
+        assert_eq!(s.num_learned(), 1);
+        let kept = s.learnts[0];
+        assert_eq!(s.db.lits(kept), &[a.negative(), c.positive()][..]);
+        assert!(s.db.is_vivified(kept));
+
+        // The trace stays checkable and the solver stays sound.
+        assert_eq!(s.solve(&[a.positive()]), SolveResult::Sat);
+        assert!(s.model_value(c.positive()));
+        let log = s.take_proof().expect("proof recorded");
+        let checked = crate::drat::check_proof(&log).expect("vivified clause is RUP");
+        assert!(checked.adds_verified >= 1);
+        // The injected lemma was never Add-ed to the trace, so its delete is
+        // the checker's lenient "ignored" kind.
+        assert!(checked.deletions + checked.ignored_deletions >= 1);
+    }
+
+    #[test]
+    fn vivify_round_skips_clauses_it_cannot_improve() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.positive(), b.positive(), c.positive()]);
+        // An irredundant lemma over independent variables: nothing to cut.
+        let lemma = vec![a.negative(), b.negative(), c.negative()];
+        let cref = s.db.alloc(&lemma, true);
+        s.db.set_lbd(cref, 3);
+        s.db.set_tier(cref, Tier::Core);
+        s.attach(cref);
+        s.learnts.push(cref);
+        s.vivify_round();
+        assert_eq!(s.stats.vivified, 0);
+        assert!(s.db.is_vivified(cref), "examined once, never re-examined");
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn garbage_collection_reclaims_watch_capacity() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        // Grow one watch list far past its steady-state size with learned
+        // clauses, then delete them all: the GC shrink must release bytes.
+        for i in 0..200 {
+            let lits = vec![
+                vars[0].positive(),
+                vars[1 + (i % 4)].positive(),
+                vars[5].lit(i % 2 == 0),
+            ];
+            let cref = s.db.alloc(&lits, true);
+            s.attach(cref);
+            s.learnts.push(cref);
+        }
+        assert_eq!(s.clear_learned(), 200);
+        assert!(
+            s.stats.watch_bytes_reclaimed > 0,
+            "oversized watch lists were shrunk"
+        );
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{JobOutcome, WarmLabel};
+    use crate::protocol::{JobOutcome, SearchSummary, WarmLabel};
     use optalloc_model::{Architecture, TaskSet};
 
     fn dummy(fp: &str) -> (Fingerprint, CachedResult) {
@@ -105,6 +105,7 @@ mod tests {
                 solve_calls: 1,
                 conflicts: 0,
                 solve_ms: 0,
+                search: SearchSummary::default(),
             },
             instance: Instance {
                 arch: Architecture::new(),

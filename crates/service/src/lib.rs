@@ -49,7 +49,7 @@ pub mod server;
 use crate::cache::{CachedResult, ResultCache};
 use crate::fingerprint::{canonicalize, remap_allocation, Fingerprint};
 use crate::protocol::{
-    Instance, JobOutcome, JobResult, RejectReason, Request, Response, WarmLabel,
+    Instance, JobOutcome, JobResult, RejectReason, Request, Response, SearchSummary, WarmLabel,
 };
 use optalloc::{
     apply_deltas, CertificateReport, Objective, OptError, Optimizer, SolveOptions, Strategy,
@@ -225,6 +225,9 @@ struct Shared {
     cache: Mutex<ResultCache>,
     sessions: Mutex<Sessions>,
     watchdog: Watchdog,
+    /// Search-engine counters accumulated over every solved job (cache
+    /// hits contribute nothing) — reported by [`Response::Status`].
+    search_totals: Mutex<SearchSummary>,
 }
 
 /// The long-running allocation service (see the crate docs).
@@ -249,6 +252,7 @@ impl Service {
                 state: Mutex::new(WatchdogState::default()),
                 cv: Condvar::new(),
             },
+            search_totals: Mutex::new(SearchSummary::default()),
         });
         let mut threads = Vec::with_capacity(workers + 1);
         for _ in 0..workers {
@@ -277,6 +281,7 @@ impl Service {
                     inflight: st.inflight,
                     draining: st.draining,
                     cached: self.shared.cache.lock().unwrap().len(),
+                    search: *self.shared.search_totals.lock().unwrap(),
                 }
             }
             Request::Shutdown => {
@@ -376,6 +381,7 @@ impl Service {
             solve_calls: 0,
             conflicts: 0,
             solve_ms: 0,
+            search: SearchSummary::default(),
         }));
         st.queue.retain(|&q| q != id);
         self.shared.job_done.notify_all();
@@ -568,6 +574,7 @@ fn run_job(
                 result.solve_calls = 0;
                 result.conflicts = 0;
                 result.solve_ms = start.elapsed().as_millis() as u64;
+                result.search = SearchSummary::default();
                 return Response::Result(result);
             }
         }
@@ -606,7 +613,7 @@ fn run_job(
     };
 
     let solve_ms = start.elapsed().as_millis() as u64;
-    let (outcome, warm, solve_calls, conflicts, certificate) = match solved {
+    let (outcome, warm, solve_calls, conflicts, search, certificate) = match solved {
         Ok((report, mode)) => {
             let warm = match mode {
                 WarmMode::Cold => WarmLabel::Cold,
@@ -622,10 +629,18 @@ fn run_job(
                 warm,
                 report.solve_calls,
                 report.stats.conflicts,
+                SearchSummary::from_stats(&report.stats),
                 report.certificate,
             )
         }
-        Err(OptError::Infeasible) => (JobOutcome::Infeasible, WarmLabel::Cold, 0, 0, None),
+        Err(OptError::Infeasible) => (
+            JobOutcome::Infeasible,
+            WarmLabel::Cold,
+            0,
+            0,
+            SearchSummary::default(),
+            None,
+        ),
         Err(OptError::Budget { incumbent }) => {
             let incumbent_cost = incumbent.map(|(v, _)| v);
             let outcome = if timed_out.load(Ordering::Relaxed) {
@@ -633,7 +648,14 @@ fn run_job(
             } else {
                 JobOutcome::Budget { incumbent_cost }
             };
-            (outcome, WarmLabel::Cold, 0, 0, None)
+            (
+                outcome,
+                WarmLabel::Cold,
+                0,
+                0,
+                SearchSummary::default(),
+                None,
+            )
         }
         Err(e) => (
             JobOutcome::Error {
@@ -642,9 +664,11 @@ fn run_job(
             WarmLabel::Cold,
             0,
             0,
+            SearchSummary::default(),
             None,
         ),
     };
+    shared.search_totals.lock().unwrap().absorb(&search);
 
     let result = JobResult {
         fingerprint: fp.to_string(),
@@ -654,6 +678,7 @@ fn run_job(
         solve_calls,
         conflicts,
         solve_ms,
+        search,
     };
 
     // 3. Session bookkeeping: the instance is addressable for future

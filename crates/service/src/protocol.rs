@@ -121,6 +121,64 @@ pub enum JobOutcome {
     },
 }
 
+/// Search-engine counters of one job, summed over every solver the job ran
+/// (all zero on a cache hit — the SAT layer was never touched). Guarded by
+/// `#[serde(default)]` wherever it is embedded, so result lines written
+/// before the engine existed still parse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSummary {
+    /// Literals propagated (clause + PB).
+    pub propagations: u64,
+    /// Restarts taken under the fixed Luby policy.
+    pub restarts_luby: u64,
+    /// Restarts taken under the adaptive EMA policy.
+    pub restarts_ema: u64,
+    /// EMA restarts suppressed by trail-size blocking.
+    pub restarts_blocked: u64,
+    /// Learned clauses strengthened by in-search vivification.
+    pub vivified: u64,
+    /// CORE-tier learned clauses retained when the job finished.
+    pub tier_core: u64,
+    /// TIER2 learned clauses retained when the job finished.
+    pub tier_mid: u64,
+    /// LOCAL-tier learned clauses retained when the job finished.
+    pub tier_local: u64,
+    /// High-water mark of retained learned clauses.
+    pub peak_learnts: u64,
+}
+
+impl SearchSummary {
+    /// Extracts the wire summary from full solver statistics.
+    pub fn from_stats(stats: &optalloc::sat::SolverStats) -> SearchSummary {
+        SearchSummary {
+            propagations: stats.propagations,
+            restarts_luby: stats.restarts_luby,
+            restarts_ema: stats.restarts_ema,
+            restarts_blocked: stats.restarts_blocked,
+            vivified: stats.vivified,
+            tier_core: stats.tier_core,
+            tier_mid: stats.tier_mid,
+            tier_local: stats.tier_local,
+            peak_learnts: stats.peak_learnts,
+        }
+    }
+
+    /// Adds every counter of `other` into `self` (tier gauges and the peak
+    /// follow [`optalloc::sat::SolverStats::absorb`] semantics: tiers sum,
+    /// the peak takes the max).
+    pub fn absorb(&mut self, other: &SearchSummary) {
+        self.propagations += other.propagations;
+        self.restarts_luby += other.restarts_luby;
+        self.restarts_ema += other.restarts_ema;
+        self.restarts_blocked += other.restarts_blocked;
+        self.vivified += other.vivified;
+        self.tier_core += other.tier_core;
+        self.tier_mid += other.tier_mid;
+        self.tier_local += other.tier_local;
+        self.peak_learnts = self.peak_learnts.max(other.peak_learnts);
+    }
+}
+
 /// The result of one solve or delta job.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobResult {
@@ -139,6 +197,10 @@ pub struct JobResult {
     pub conflicts: u64,
     /// Wall-clock time of the job in milliseconds.
     pub solve_ms: u64,
+    /// Search-engine counters (restarts by policy, tier sizes,
+    /// vivification); all zero on a cache hit.
+    #[serde(default)]
+    pub search: SearchSummary,
 }
 
 /// One response line.
@@ -167,6 +229,10 @@ pub enum Response {
         draining: bool,
         /// Entries in the result cache.
         cached: usize,
+        /// Search-engine counters accumulated over every job the service
+        /// solved since startup (cache hits contribute nothing).
+        #[serde(default)]
+        search: SearchSummary,
     },
     /// Acknowledgement of [`Request::Shutdown`]; the drain has begun.
     ShuttingDown,
@@ -209,6 +275,24 @@ mod tests {
     }
 
     #[test]
+    fn result_lines_without_search_counters_still_parse() {
+        // Result lines written before the search engine existed carry no
+        // `search` object; `#[serde(default)]` fills in zeros.
+        let old = r#"{"fingerprint":"00","outcome":"Infeasible","cached":false,
+                      "warm":"Cold","solve_calls":3,"conflicts":17,"solve_ms":5}"#;
+        let r: JobResult = serde_json::from_str(old).unwrap();
+        assert_eq!(r.conflicts, 17);
+        assert_eq!(r.search, SearchSummary::default());
+        // And a fully populated line round-trips.
+        let mut modern = r.clone();
+        modern.search.restarts_ema = 4;
+        modern.search.tier_core = 2;
+        modern.search.peak_learnts = 99;
+        let line = serde_json::to_string(&modern).unwrap();
+        assert_eq!(serde_json::from_str::<JobResult>(&line).unwrap(), modern);
+    }
+
+    #[test]
     fn responses_round_trip_through_json_lines() {
         for r in [
             Response::Rejected {
@@ -225,6 +309,12 @@ mod tests {
                 inflight: 2,
                 draining: false,
                 cached: 3,
+                search: SearchSummary {
+                    propagations: 10,
+                    restarts_ema: 2,
+                    tier_core: 1,
+                    ..SearchSummary::default()
+                },
             },
             Response::ShuttingDown,
         ] {

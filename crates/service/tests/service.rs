@@ -391,9 +391,13 @@ fn tcp_round_trip_solve_status_shutdown() {
             inflight,
             draining,
             cached,
+            search,
         } => {
             assert_eq!((queued, inflight, draining), (0, 0, false));
             assert_eq!(cached, 1);
+            // The first (uncached) solve propagated something; the cache
+            // hit added nothing on top.
+            assert!(search.propagations > 0, "{search:?}");
         }
         other => panic!("expected status, got {other:?}"),
     }

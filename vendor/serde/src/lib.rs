@@ -408,3 +408,13 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
         None => Err(DeError::custom(format!("missing field `{name}`"))),
     }
 }
+
+/// Reads the named field of an object value, falling back to
+/// `T::default()` when the field is absent — the behaviour of serde's
+/// `#[serde(default)]` field attribute.
+pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(fv) => T::from_value(fv).map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}

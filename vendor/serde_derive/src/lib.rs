@@ -12,20 +12,29 @@
 //! - tuple structs (arity 1 serializes transparently, like serde newtypes)
 //! - unit structs
 //! - enums with unit, tuple, and struct variants (externally tagged)
+//! - the `#[serde(default)]` field attribute on named fields (absent
+//!   fields deserialize to `Default::default()`)
 //!
-//! Not supported: generics, field/variant attributes (`#[serde(...)]`),
-//! unions.
+//! Not supported: generics, other `#[serde(...)]` attributes, unions.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
+
+/// A named field plus the attributes the stub understands.
+struct NamedField {
+    name: String,
+    /// `#[serde(default)]`: an absent field deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
 
 /// A parsed field list.
 enum Fields {
     Unit,
     /// Tuple fields; the arity.
     Tuple(usize),
-    /// Named field identifiers, in declaration order.
-    Named(Vec<String>),
+    /// Named fields, in declaration order.
+    Named(Vec<NamedField>),
 }
 
 struct Variant {
@@ -59,6 +68,39 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
+/// `true` when the bracket-group body of an attribute is `serde(default)`.
+fn attr_is_serde_default(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Like [`skip_attrs`], but reports whether any skipped attribute was
+/// `#[serde(default)]`.
+fn skip_attrs_noting_default(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                default |= attr_is_serde_default(g.stream());
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
+}
+
 /// Skips a `pub` / `pub(...)` visibility starting at `i`.
 fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
@@ -90,13 +132,15 @@ fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Parses a brace-group body of named fields into their identifiers.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parses a brace-group body of named fields into their identifiers and
+/// recognized attributes.
+fn parse_named_fields(group: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = group.into_iter().collect();
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let (after_attrs, default) = skip_attrs_noting_default(&tokens, i);
+        i = skip_vis(&tokens, after_attrs);
         if i >= tokens.len() {
             break;
         }
@@ -106,7 +150,10 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
                 tokens[i]
             );
         };
-        names.push(name.to_string());
+        fields.push(NamedField {
+            name: name.to_string(),
+            default,
+        });
         i += 1; // name
         assert!(
             matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
@@ -114,7 +161,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
         );
         i = skip_to_comma(&tokens, i + 1) + 1;
     }
-    names
+    fields
 }
 
 /// Counts the fields of a paren-group (tuple struct / tuple variant) body.
@@ -232,10 +279,13 @@ fn ser_tuple_bindings(arity: usize) -> String {
     format!("serde::Value::Array(vec![{}])", items.join(", "))
 }
 
-fn ser_named_bindings(fields: &[String]) -> String {
+fn ser_named_bindings(fields: &[NamedField]) -> String {
     let items: Vec<String> = fields
         .iter()
-        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+        .map(|f| {
+            let f = &f.name;
+            format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+        })
         .collect();
     format!("serde::Value::Object(vec![{}])", items.join(", "))
 }
@@ -257,6 +307,7 @@ fn gen_serialize(item: &Item) -> String {
                     let items: Vec<String> = names
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))")
                         })
                         .collect();
@@ -291,10 +342,11 @@ fn gen_serialize(item: &Item) -> String {
                     }
                     Fields::Named(fields) => {
                         let inner = ser_named_bindings(fields);
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         write!(
                             arms,
                             "{name}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_string(), {inner})]),\n",
-                            fields.join(", ")
+                            binds.join(", ")
                         )
                         .unwrap();
                     }
@@ -324,12 +376,21 @@ fn de_tuple(ctor: &str, arity: usize, v: &str) -> String {
     )
 }
 
-fn de_named(ctor: &str, fields: &[String], v: &str) -> String {
-    let inits: Vec<String> = fields
-        .iter()
-        .map(|f| format!("{f}: serde::field({v}, {f:?})?"))
-        .collect();
+fn de_named(ctor: &str, fields: &[NamedField], v: &str) -> String {
+    let inits: Vec<String> = fields.iter().map(|f| de_field_init(f, v)).collect();
     format!("return Ok({ctor} {{ {} }});", inits.join(", "))
+}
+
+/// `name: serde::field(v, "name")?`, or the `field_or_default` variant for
+/// `#[serde(default)]` fields.
+fn de_field_init(f: &NamedField, v: &str) -> String {
+    let name = &f.name;
+    let getter = if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    };
+    format!("{name}: serde::{getter}({v}, {name:?})?")
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -351,10 +412,7 @@ fn gen_deserialize(item: &Item) -> String {
                     )
                 }
                 Fields::Named(names) => {
-                    let inits: Vec<String> = names
-                        .iter()
-                        .map(|f| format!("{f}: serde::field(v, {f:?})?"))
-                        .collect();
+                    let inits: Vec<String> = names.iter().map(|f| de_field_init(f, "v")).collect();
                     format!("Ok({name} {{ {} }})", inits.join(", "))
                 }
             };
@@ -415,7 +473,7 @@ fn gen_deserialize(item: &Item) -> String {
 }
 
 /// Derives the stub `serde::Serialize` (value-tree conversion).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -424,7 +482,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the stub `serde::Deserialize` (value-tree conversion).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
