@@ -36,6 +36,9 @@ struct EngineConfig {
     /// `luby` or `ema`.
     restart_policy: String,
     vivify: bool,
+    /// Bounded variable elimination (absent in pre-elimination rows).
+    #[serde(default)]
+    elim: bool,
 }
 
 impl EngineConfig {
@@ -49,6 +52,7 @@ impl EngineConfig {
                 RestartPolicy::Ema => "ema".to_string(),
             },
             vivify: engine.vivify,
+            elim: engine.elim,
         }
     }
 }
@@ -64,6 +68,9 @@ struct TrajectoryRow {
     propagations: u64,
     /// High-water mark of retained learned clauses.
     peak_learnts: u64,
+    /// Variables removed by bounded variable elimination.
+    #[serde(default)]
+    elim_vars: u64,
     /// Wall-clock ms inside the SAT search, summed over all `SOLVE` calls.
     solve_ms: f64,
     /// End-to-end wall time of the whole minimization (min over reps).
@@ -123,17 +130,19 @@ fn main() {
             conflicts: r.stats.conflicts,
             propagations: r.stats.propagations,
             peak_learnts: r.stats.peak_learnts,
+            elim_vars: r.stats.elim_vars,
             solve_ms: r.stats.solve_ms,
             time_s,
             engine: EngineConfig::of(&engine),
         };
         eprintln!(
-            "{n} tasks: TRT = {} | {} conflicts, {} props, peak {} learnts | \
-             solve {:.2}s, total {:.2}s",
+            "{n} tasks: TRT = {} | {} conflicts, {} props, peak {} learnts, \
+             {} eliminated | solve {:.2}s, total {:.2}s",
             row.cost,
             row.conflicts,
             row.propagations,
             row.peak_learnts,
+            row.elim_vars,
             row.solve_ms / 1e3,
             row.time_s
         );

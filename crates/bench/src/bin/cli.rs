@@ -30,7 +30,7 @@
 //!                           OPTALLOC_ENCODER_OPT=0 in the environment does
 //!                           the same
 //!   --search <engine>       CDCL search engine: `full` (default), `legacy`,
-//!                           or a +-joined subset of bin/tier/ema/viv
+//!                           or a +-joined subset of bin/tier/ema/viv/elim
 //!                           (see docs/SOLVER.md)
 //!   --certify               record DRAT proof traces, assemble an optimality
 //!                           certificate, and verify it (built-in forward
@@ -442,7 +442,8 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             );
             println!(
                 "search [{}]: {} conflicts, {} restarts ({} luby / {} ema, \
-                 {} blocked), {} vivified, tiers {}/{}/{}",
+                 {} blocked), {} vivified, {} eliminated (+{} resolvents), \
+                 tiers {}/{}/{}",
                 search.label(),
                 r.stats.conflicts,
                 r.stats.restarts,
@@ -450,6 +451,8 @@ fn cmd_solve(args: &[String]) -> ExitCode {
                 r.stats.restarts_ema,
                 r.stats.restarts_blocked,
                 r.stats.vivified,
+                r.stats.elim_vars,
+                r.stats.elim_resolvents,
                 r.stats.tier_core,
                 r.stats.tier_mid,
                 r.stats.tier_local,
@@ -743,12 +746,14 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 );
                 println!(
                     "search totals: {} propagations, {} luby + {} ema restarts \
-                     ({} blocked), {} vivified, tiers {}/{}/{}, peak {} learnts",
+                     ({} blocked), {} vivified, {} eliminated, tiers {}/{}/{}, \
+                     peak {} learnts",
                     search.propagations,
                     search.restarts_luby,
                     search.restarts_ema,
                     search.restarts_blocked,
                     search.vivified,
+                    search.elim_vars,
                     search.tier_core,
                     search.tier_mid,
                     search.tier_local,

@@ -5,7 +5,7 @@
 //!
 //! Table-3-style instances (token-ring task-set scaling), TRT objective,
 //! plain incremental binary search ([`optalloc::Strategy::Single`]) so the
-//! measured wall-clock is a true single-core number. Five cumulative stages
+//! measured wall-clock is a true single-core number. Six cumulative stages
 //! per instance:
 //!
 //! - `legacy` — [`SearchEngine::legacy`]: the pre-engine solver (generic
@@ -13,8 +13,9 @@
 //! - `+bin` — dedicated binary-implication watch lists;
 //! - `+tier` — plus the CORE/TIER2/LOCAL tiered learned-clause database;
 //! - `+ema` — plus Glucose-style adaptive restarts with trail blocking;
-//! - `+viv` — plus restart-boundary vivification (the full
-//!   [`SearchEngine::full`] configuration).
+//! - `+viv` — plus restart-boundary vivification;
+//! - `+elim` — plus occurrence-list inprocessing with bounded variable
+//!   elimination (the full [`SearchEngine::full`] configuration).
 //!
 //! The harness asserts the proven optimum is identical across all stages,
 //! reports conflicts/propagations/wall-clock per stage, and finishes with a
@@ -45,7 +46,7 @@ use std::time::Instant;
 struct SearchRow {
     instance: String,
     tasks: usize,
-    /// `legacy`, `+bin`, `+tier`, `+ema`, or `+viv` (cumulative).
+    /// `legacy`, `+bin`, `+tier`, `+ema`, `+viv`, or `+elim` (cumulative).
     engine: String,
     /// Proven optimal TRT in ticks (identical across stages — asserted).
     cost: i64,
@@ -56,6 +57,13 @@ struct SearchRow {
     restarts_blocked: u64,
     /// Learned clauses strengthened by in-search vivification.
     vivified: u64,
+    /// Variables removed by bounded variable elimination (absent in
+    /// pre-elim reference files).
+    #[serde(default)]
+    elim_vars: u64,
+    /// Resolvents distributed in their place.
+    #[serde(default)]
+    elim_resolvents: u64,
     /// High-water mark of retained learned clauses.
     peak_learnts: u64,
     /// Wall-clock ms inside the SAT search, summed over all `SOLVE` calls.
@@ -67,7 +75,7 @@ struct SearchRow {
 }
 
 /// The cumulative stage grid, in measurement order.
-fn stages() -> [(&'static str, SearchEngine); 5] {
+fn stages() -> [(&'static str, SearchEngine); 6] {
     let legacy = SearchEngine::legacy();
     [
         ("legacy", legacy),
@@ -95,14 +103,21 @@ fn stages() -> [(&'static str, SearchEngine); 5] {
                 ..legacy
             },
         ),
-        ("+viv", SearchEngine::full()),
+        (
+            "+viv",
+            SearchEngine {
+                elim: false,
+                ..SearchEngine::full()
+            },
+        ),
+        ("+elim", SearchEngine::full()),
     ]
 }
 
 fn render(rows: &[SearchRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+        "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
         "instance",
         "engine",
         "cost",
@@ -111,13 +126,14 @@ fn render(rows: &[SearchRow]) -> String {
         "restarts",
         "blocked",
         "vivified",
+        "elim",
         "peak_lrnt",
         "solve_s",
         "speedup"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>8.2} {:>7.2}x\n",
+            "{:<10} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8.2} {:>7.2}x\n",
             r.instance,
             r.engine,
             r.cost,
@@ -126,6 +142,7 @@ fn render(rows: &[SearchRow]) -> String {
             r.restarts,
             r.restarts_blocked,
             r.vivified,
+            r.elim_vars,
             r.peak_learnts,
             r.solve_ms / 1e3,
             r.speedup_vs_legacy
@@ -207,8 +224,8 @@ fn certify_smallest(tasks: usize, objective: &Objective) {
         .as_ref()
         .expect("certify: true must produce a verified certificate");
     eprintln!(
-        "certified {} tasks with the full engine: {} ({} vivified)",
-        tasks, cert.summary, r.stats.vivified
+        "certified {} tasks with the full engine: {} ({} vivified, {} eliminated)",
+        tasks, cert.summary, r.stats.vivified, r.stats.elim_vars
     );
 }
 
@@ -275,6 +292,8 @@ fn main() {
                 restarts: r.stats.restarts,
                 restarts_blocked: r.stats.restarts_blocked,
                 vivified: r.stats.vivified,
+                elim_vars: r.stats.elim_vars,
+                elim_resolvents: r.stats.elim_resolvents,
                 peak_learnts: r.stats.peak_learnts,
                 solve_ms: r.stats.solve_ms,
                 time_s,
@@ -282,14 +301,15 @@ fn main() {
             };
             eprintln!(
                 "{n} tasks, {stage}: TRT = {} | {} conflicts, {} props, \
-                 {} restarts ({} blocked), {} vivified | solve {:.2}s, \
-                 total {:.2}s ({:.2}x)",
+                 {} restarts ({} blocked), {} vivified, {} eliminated | \
+                 solve {:.2}s, total {:.2}s ({:.2}x)",
                 row.cost,
                 row.conflicts,
                 row.propagations,
                 row.restarts,
                 row.restarts_blocked,
                 row.vivified,
+                row.elim_vars,
                 row.solve_ms / 1e3,
                 row.time_s,
                 row.speedup_vs_legacy

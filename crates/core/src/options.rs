@@ -97,7 +97,8 @@ pub struct SolveOptions {
     pub encoder_opt: EncoderOpt,
     /// CDCL search-engine configuration (binary-implication watch lists,
     /// tiered learned-clause database, restart policy, in-search
-    /// vivification). Default all-on; [`SearchEngine::legacy`] reproduces
+    /// vivification, bounded variable elimination). Default all-on;
+    /// [`SearchEngine::legacy`] reproduces
     /// the pre-engine solver for ablations. Search knobs change *how* the
     /// solver explores, never *what* it concludes — optima are identical
     /// across engines.

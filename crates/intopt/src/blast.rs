@@ -207,6 +207,24 @@ impl Blast {
             .unwrap_or(false)
     }
 
+    /// Freezes every solver literal backing `var`'s bit-vector against
+    /// variable elimination ([`Solver::freeze_var`]). An incremental prober
+    /// re-references these bits on every bounded probe (each
+    /// [`Blast::add_guarded_bounds`] call emits fresh clauses over them),
+    /// so letting the inprocessing pass eliminate them would force a
+    /// restore cycle per window; freezing keeps them resident. Gate outputs
+    /// and other inputs stay eligible — the solver's melt-on-reuse restore
+    /// reinstates them if a later probe's cache hit resurfaces one.
+    pub fn freeze_int_var(&self, solver: &mut Solver, var: IntVar) {
+        if let Some(bv) = self.int_inputs.get(&var.id) {
+            for &b in &bv.bits {
+                if let Bit::Lit(l) = b {
+                    solver.freeze_var(l.var());
+                }
+            }
+        }
+    }
+
     /// Adds `guard → (lo ≤ var ≤ hi)` to the solver, for the binary-search
     /// bound constraints (§5.2). The guard is passed as an assumption while
     /// the bound is active.

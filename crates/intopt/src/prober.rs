@@ -97,6 +97,9 @@ impl<'p> CostProber<'p> {
         if solver.config.share_var_limit == 0 {
             solver.config.share_var_limit = solver.num_vars();
         }
+        // The cost bits are re-referenced by every bounded probe's guard
+        // clauses; keep them out of variable elimination.
+        bl.freeze_int_var(&mut solver, cost);
         let encode = EncodeStats {
             bool_vars: solver.num_vars() as u64,
             literals: solver.num_literals(),

@@ -183,7 +183,13 @@ proptest! {
         for restart in [RestartPolicy::Luby, RestartPolicy::Ema] {
             for tiered_db in [false, true] {
                 for vivify in [false, true] {
-                    let engine = SearchEngine { binary_watches: true, tiered_db, restart, vivify };
+                    let engine = SearchEngine {
+                        binary_watches: true,
+                        tiered_db,
+                        restart,
+                        vivify,
+                        elim: vivify,
+                    };
                     prop_assert_eq!(
                         optimum_engine(&p, cost, engine),
                         incremental,

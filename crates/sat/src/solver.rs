@@ -19,14 +19,23 @@
 //! - tiered learned-clause database (CORE/TIER2/LOCAL) or legacy
 //!   activity/LBD sort-and-halve deletion, with arena compaction,
 //! - in-search vivification of kept learned clauses at restart boundaries,
+//! - occurrence-list inprocessing: subsumption, self-subsuming resolution
+//!   and bounded variable elimination with a freeze/melt protocol and a
+//!   reconstruction stack that extends models back to eliminated variables
+//!   (see `solver/simp.rs` and the "Inprocessing" section of
+//!   `docs/SOLVER.md`),
 //! - solving under assumptions; all clauses (input and learned) persist
 //!   across `solve` calls.
 //!
-//! The four search-core axes are individually switchable through
+//! The five search-core axes are individually switchable through
 //! [`SolverConfig`] (see [`SearchEngine`] and `docs/SOLVER.md`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+mod simp;
+
+use simp::ElimGroup;
 
 use crate::clause::{ClauseDb, ClauseRef, Tier};
 use crate::drat::ProofLog;
@@ -95,7 +104,7 @@ pub enum RestartPolicy {
     Ema,
 }
 
-/// The four search-core performance axes bundled as one plumbable value.
+/// The five search-core performance axes bundled as one plumbable value.
 ///
 /// Each axis maps onto one [`SolverConfig`] knob; the default is everything
 /// on (the modern engine), [`SearchEngine::legacy`] is everything off (the
@@ -112,6 +121,10 @@ pub struct SearchEngine {
     pub restart: RestartPolicy,
     /// In-search vivification of kept learned clauses.
     pub vivify: bool,
+    /// Bounded variable elimination during the occurrence-list
+    /// simplification pass, at first solve and as inprocessing between
+    /// incremental `solve` calls.
+    pub elim: bool,
 }
 
 impl Default for SearchEngine {
@@ -128,6 +141,7 @@ impl SearchEngine {
             tiered_db: true,
             restart: RestartPolicy::Ema,
             vivify: true,
+            elim: true,
         }
     }
 
@@ -138,6 +152,7 @@ impl SearchEngine {
             tiered_db: false,
             restart: RestartPolicy::Luby,
             vivify: false,
+            elim: false,
         }
     }
 
@@ -148,6 +163,7 @@ impl SearchEngine {
         cfg.tiered_db = self.tiered_db;
         cfg.restart_policy = self.restart;
         cfg.vivify = self.vivify;
+        cfg.elim = self.elim;
     }
 
     /// Reads the axes back out of a [`SolverConfig`].
@@ -157,6 +173,7 @@ impl SearchEngine {
             tiered_db: cfg.tiered_db,
             restart: cfg.restart_policy,
             vivify: cfg.vivify,
+            elim: cfg.elim,
         }
     }
 
@@ -181,6 +198,9 @@ impl SearchEngine {
         if self.vivify {
             parts.push("viv");
         }
+        if self.elim {
+            parts.push("elim");
+        }
         if parts.is_empty() {
             "legacy".to_string()
         } else {
@@ -193,7 +213,7 @@ impl std::str::FromStr for SearchEngine {
     type Err = String;
 
     /// Parses `full`, `legacy`, or a `+`-separated subset of
-    /// `bin`/`tier`/`ema`/`viv` (e.g. `bin+tier`).
+    /// `bin`/`tier`/`ema`/`viv`/`elim` (e.g. `bin+tier`).
     fn from_str(s: &str) -> Result<SearchEngine, String> {
         match s {
             "full" => return Ok(SearchEngine::full()),
@@ -207,10 +227,11 @@ impl std::str::FromStr for SearchEngine {
                 "tier" => e.tiered_db = true,
                 "ema" => e.restart = RestartPolicy::Ema,
                 "viv" => e.vivify = true,
+                "elim" => e.elim = true,
                 other => {
                     return Err(format!(
                         "unknown search axis '{other}' (expected full, legacy, \
-                         or a +-joined subset of bin/tier/ema/viv)"
+                         or a +-joined subset of bin/tier/ema/viv/elim)"
                     ))
                 }
             }
@@ -292,11 +313,20 @@ pub struct SolverConfig {
     pub share_max_len: usize,
     /// Maximum LBD (glue) of an exported clause.
     pub share_max_lbd: u32,
-    /// Run the level-0 input preprocessing pass (duplicate/subsumed clause
-    /// removal and self-subsuming resolution) once, at the first `solve`
-    /// call. Equivalence-preserving, so sound under incremental reuse,
-    /// assumptions, and clause exchange.
+    /// Run the level-0 occurrence-list simplification pass
+    /// (duplicate/subsumed clause removal and self-subsuming resolution; plus
+    /// bounded variable elimination when [`elim`](Self::elim) is on) at the
+    /// first `solve` call. Equivalence-preserving, so sound under incremental
+    /// reuse, assumptions, and clause exchange.
     pub preprocess: bool,
+    /// Bounded variable elimination (SatELite-style clause distribution
+    /// under a growth cutoff) inside the simplification pass, plus bounded
+    /// re-runs of the pass between incremental `solve` calls once enough new
+    /// input clauses arrived. Eliminated variables are transparently
+    /// restored when referenced again ([`Solver::freeze_var`] opts a
+    /// variable out up front) and every model is extended back over them, so
+    /// the switch is invisible to callers except in speed.
+    pub elim: bool,
     /// Record an extended DRAT trace ([`crate::ProofLog`]) of every input
     /// constraint and every derived clause, retrievable with
     /// [`Solver::take_proof`]. Implies that foreign clauses from the
@@ -337,6 +367,7 @@ impl Default for SolverConfig {
             share_max_len: MAX_SHARED_LITS,
             share_max_lbd: 6,
             preprocess: true,
+            elim: true,
             proof: false,
             binary_watches: true,
             tiered_db: true,
@@ -374,6 +405,18 @@ pub struct SolverStats {
     pub pp_strengthened: u64,
     /// Variables fixed at level 0 by preprocessing.
     pub pp_fixed: u64,
+    /// Variables removed by bounded variable elimination (cumulative).
+    pub elim_vars: u64,
+    /// Input clauses moved onto the reconstruction stack by elimination.
+    pub elim_clauses: u64,
+    /// Resolvents added by clause distribution during elimination.
+    pub elim_resolvents: u64,
+    /// Eliminated variables restored because a later constraint, assumption
+    /// or freeze referenced them (the melt-on-reuse protocol).
+    pub elim_restored: u64,
+    /// Variables currently eliminated, i.e. the live depth of the
+    /// model-reconstruction stack (gauge).
+    pub elim_stack_depth: u64,
     /// Restarts taken under [`RestartPolicy::Luby`].
     pub restarts_luby: u64,
     /// Restarts taken under [`RestartPolicy::Ema`].
@@ -415,6 +458,13 @@ impl SolverStats {
         self.pp_removed += other.pp_removed;
         self.pp_strengthened += other.pp_strengthened;
         self.pp_fixed += other.pp_fixed;
+        self.elim_vars += other.elim_vars;
+        self.elim_clauses += other.elim_clauses;
+        self.elim_resolvents += other.elim_resolvents;
+        self.elim_restored += other.elim_restored;
+        // Gauge: like the tier sizes, the stack depths sum to the total
+        // across cooperating solvers.
+        self.elim_stack_depth += other.elim_stack_depth;
         self.restarts_luby += other.restarts_luby;
         self.restarts_ema += other.restarts_ema;
         self.restarts_blocked += other.restarts_blocked;
@@ -448,6 +498,12 @@ impl SolverStats {
             pp_removed: self.pp_removed - baseline.pp_removed,
             pp_strengthened: self.pp_strengthened - baseline.pp_strengthened,
             pp_fixed: self.pp_fixed - baseline.pp_fixed,
+            elim_vars: self.elim_vars - baseline.elim_vars,
+            elim_clauses: self.elim_clauses - baseline.elim_clauses,
+            elim_resolvents: self.elim_resolvents - baseline.elim_resolvents,
+            elim_restored: self.elim_restored - baseline.elim_restored,
+            // Gauge: current stack depth (see the tier-size comment below).
+            elim_stack_depth: self.elim_stack_depth,
             restarts_luby: self.restarts_luby - baseline.restarts_luby,
             restarts_ema: self.restarts_ema - baseline.restarts_ema,
             restarts_blocked: self.restarts_blocked - baseline.restarts_blocked,
@@ -535,8 +591,24 @@ pub struct Solver {
     /// Read position on the clause exchange, if one is configured.
     exchange_cursor: u64,
 
-    /// Whether the one-shot input preprocessing pass has run.
+    /// Whether the first-solve simplification pass has run.
     preprocessed: bool,
+
+    /// Per-variable freeze marks: frozen variables are never eliminated.
+    frozen: Vec<bool>,
+    /// Per-variable elimination marks; an eliminated variable occurs in no
+    /// attached input clause and is skipped by decision picking.
+    eliminated: Vec<bool>,
+    /// Clauses removed by each elimination, in elimination order — replayed
+    /// backwards to extend models, forwards (per variable) to restore.
+    elim_stack: Vec<ElimGroup>,
+    /// `var index → elim_stack position` while eliminated (`u32::MAX`
+    /// otherwise); stale stack entries of re-eliminated variables are
+    /// recognized by this indirection.
+    elim_pos: Vec<u32>,
+    /// Input clauses added since the last simplification pass; drives the
+    /// bounded inprocessing trigger.
+    inputs_since_simplify: u64,
 
     /// Extended DRAT trace, lazily created when `config.proof` is set.
     proof: Option<ProofLog>,
@@ -590,6 +662,11 @@ impl Solver {
             input_clauses: 0,
             exchange_cursor: 0,
             preprocessed: false,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            elim_pos: Vec::new(),
+            inputs_since_simplify: 0,
             proof: None,
             stats: SolverStats::default(),
         }
@@ -642,6 +719,9 @@ impl Solver {
         self.bin_watches.push(Vec::new());
         self.pb_occs.push(Vec::new());
         self.pb_occs.push(Vec::new());
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.elim_pos.push(u32::MAX);
         self.order.insert(v, &self.activity);
         v
     }
@@ -715,6 +795,15 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // Melt-on-reuse: a clause over an eliminated variable re-activates
+        // it (and, transitively, anything its stored clauses mention) before
+        // the new clause constrains it.
+        if lits.iter().any(|l| self.eliminated[l.var().index()]) {
+            self.restore_vars_in(lits);
+            if !self.ok {
+                return false;
+            }
+        }
         if self.config.proof {
             self.proof_log().input_clause(lits);
         }
@@ -755,6 +844,7 @@ impl Solver {
             _ => {
                 let cref = self.db.alloc(&cl, false);
                 self.attach(cref);
+                self.inputs_since_simplify += 1;
                 true
             }
         }
@@ -766,6 +856,13 @@ impl Solver {
         self.backtrack_to(0);
         if !self.ok {
             return false;
+        }
+        if terms.iter().any(|t| self.eliminated[t.lit.var().index()]) {
+            let lits: Vec<Lit> = terms.iter().map(|t| t.lit).collect();
+            self.restore_vars_in(&lits);
+            if !self.ok {
+                return false;
+            }
         }
         self.input_clauses += 1;
         self.input_literals += terms.len() as u64;
@@ -1653,7 +1750,8 @@ impl Solver {
     }
 
     // ------------------------------------------------------------------
-    // Input preprocessing (SatELite-style, level 0, one-shot)
+    // Input simplification support (the occurrence-list pass itself lives
+    // in solver/simp.rs)
     // ------------------------------------------------------------------
 
     /// Clears the reason of every level-0 trail literal. Root facts never
@@ -1695,302 +1793,6 @@ impl Solver {
         }
     }
 
-    /// One-shot input preprocessing at level 0: removes clauses satisfied by
-    /// root facts, strips falsified literals, deletes duplicate and subsumed
-    /// clauses, and applies self-subsuming resolution (if `C∖{l} ⊆ D` and
-    /// `¬l ∈ D`, the resolvent strengthens `D` to `D∖{¬l}`).
-    ///
-    /// Every step is equivalence-preserving over the input clauses (removed
-    /// clauses are implied by the rest, strengthened clauses are resolvents),
-    /// so assumptions, guard literals added later, incremental reuse, and the
-    /// cross-solver clause exchange all stay sound. PB constraints are left
-    /// untouched. Iteration follows arena/occurrence order, so the pass is
-    /// deterministic.
-    fn preprocess_input(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
-        self.clear_root_reasons();
-
-        // Working copies of the live input clauses, simplified against the
-        // current root assignment.
-        struct Pc {
-            cref: ClauseRef,
-            lits: Vec<Lit>,
-            sig: u64,
-            dead: bool,
-            changed: bool,
-            /// Last working copy logged into the proof trace. Strengthened
-            /// copies are logged the moment they are derived — while both
-            /// resolution parents are still present, so the step is RUP —
-            /// never at write-back, where the parents may already have been
-            /// deleted (a subsumer can itself be strengthened or subsumed).
-            logged: Option<Vec<Lit>>,
-        }
-        fn signature(lits: &[Lit]) -> u64 {
-            lits.iter()
-                .fold(0u64, |s, l| s | 1u64 << (l.var().index() & 63))
-        }
-        let crefs: Vec<ClauseRef> = self
-            .db
-            .iter_refs()
-            .filter(|&c| !self.db.is_learnt(c))
-            .collect();
-        let mut pcs: Vec<Pc> = Vec::with_capacity(crefs.len());
-        let mut doomed: Vec<ClauseRef> = Vec::new();
-        for cref in crefs {
-            let orig_len = self.db.len(cref);
-            let mut lits: Vec<Lit> = Vec::with_capacity(orig_len);
-            let mut satisfied = false;
-            for i in 0..orig_len {
-                let l = self.db.lits(cref)[i];
-                match self.value_lit(l) {
-                    LBool::True => {
-                        satisfied = true;
-                        break;
-                    }
-                    LBool::False => {}
-                    LBool::Undef => lits.push(l),
-                }
-            }
-            if satisfied {
-                doomed.push(cref);
-                self.stats.pp_removed += 1;
-                continue;
-            }
-            match lits.len() {
-                // All-false clauses would have conflicted during propagation.
-                0 => {
-                    self.set_unsat();
-                    return;
-                }
-                1 => {
-                    doomed.push(cref);
-                    if !self.pp_assign_unit(lits[0]) {
-                        return;
-                    }
-                    continue;
-                }
-                _ => {}
-            }
-            lits.sort_unstable();
-            let sig = signature(&lits);
-            let changed = lits.len() != orig_len;
-            pcs.push(Pc {
-                cref,
-                lits,
-                sig,
-                dead: false,
-                changed,
-                logged: None,
-            });
-        }
-
-        // Occurrence lists over the copies, by literal index.
-        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); 2 * self.num_vars()];
-        for (i, pc) in pcs.iter().enumerate() {
-            for &l in &pc.lits {
-                occ[l.index()].push(i as u32);
-            }
-        }
-
-        // Returns Some(None) if a ⊆ b, Some(Some(l)) if a∖{l} ⊆ b with
-        // ¬l ∈ b (self-subsumption resolving on l), None otherwise. Both
-        // inputs are sorted.
-        fn sub_check(a: &[Lit], b: &[Lit]) -> Option<Option<Lit>> {
-            let mut flipped = None;
-            for &l in a {
-                if b.binary_search(&l).is_ok() {
-                    continue;
-                }
-                if flipped.is_none() && b.binary_search(&!l).is_ok() {
-                    flipped = Some(l);
-                    continue;
-                }
-                return None;
-            }
-            Some(flipped)
-        }
-
-        // Forward subsumption with the short clauses as subsumers, cheapest
-        // occurrence list first, bounded by a global step budget.
-        const SUBSUMER_MAX_LEN: usize = 16;
-        let mut budget: u64 = 20_000_000;
-        let mut order: Vec<u32> = (0..pcs.len() as u32).collect();
-        order.sort_by_key(|&i| (pcs[i as usize].lits.len(), i));
-        let mut worklist: std::collections::VecDeque<u32> = order.into();
-        while let Some(ci) = worklist.pop_front() {
-            if budget == 0 {
-                break;
-            }
-            let (c_lits, c_sig) = {
-                let c = &pcs[ci as usize];
-                if c.dead || c.lits.len() > SUBSUMER_MAX_LEN {
-                    continue;
-                }
-                (c.lits.clone(), c.sig)
-            };
-            // Candidates must contain the subsumer's least-occurring literal
-            // in either polarity.
-            let best = c_lits
-                .iter()
-                .min_by_key(|l| occ[l.index()].len() + occ[(!**l).index()].len())
-                .copied()
-                .unwrap();
-            for side in [best, !best] {
-                for &dj in &occ[side.index()] {
-                    if dj == ci || pcs[dj as usize].dead {
-                        continue;
-                    }
-                    let d = &pcs[dj as usize];
-                    if d.lits.len() < c_lits.len() || c_sig & !d.sig != 0 {
-                        continue;
-                    }
-                    budget = budget.saturating_sub(d.lits.len() as u64);
-                    match sub_check(&c_lits, &d.lits) {
-                        None => {}
-                        Some(None) => {
-                            pcs[dj as usize].dead = true;
-                            self.stats.pp_removed += 1;
-                        }
-                        Some(Some(l)) => {
-                            {
-                                let d = &mut pcs[dj as usize];
-                                d.lits.retain(|&x| x != !l);
-                                d.sig = signature(&d.lits);
-                                d.changed = true;
-                            }
-                            self.stats.pp_strengthened += 1;
-                            // Proof: the new copy is the resolvent of the
-                            // current copies of `d` and the subsumer, both
-                            // present right now (their originals are only
-                            // deleted at write-back, their own strengthened
-                            // copies were logged when derived) — so it is
-                            // RUP *here*. The superseded copy is deleted
-                            // after: it is subsumed by the new one, so the
-                            // deletion never weakens propagation.
-                            if self.config.proof {
-                                let new = pcs[dj as usize].lits.clone();
-                                let prev = pcs[dj as usize].logged.replace(new.clone());
-                                self.proof_log().add(&new);
-                                if let Some(prev) = prev {
-                                    self.proof_log().delete(&prev);
-                                }
-                            }
-                            if pcs[dj as usize].lits.len() == 1 {
-                                let unit = pcs[dj as usize].lits[0];
-                                pcs[dj as usize].dead = true;
-                                if !self.pp_assign_unit(unit) {
-                                    return;
-                                }
-                            } else {
-                                // A stronger clause subsumes more; requeue.
-                                worklist.push_back(dj);
-                            }
-                        }
-                    }
-                    if budget == 0 {
-                        break;
-                    }
-                }
-                if budget == 0 {
-                    break;
-                }
-            }
-        }
-
-        // Write results back into the solver: drop dead clauses, re-allocate
-        // strengthened ones (watches must move to the new literal set).
-        for cref in doomed {
-            if self.config.proof {
-                let old = self.db.lits(cref).to_vec();
-                self.proof_log().delete(&old);
-            }
-            self.detach(cref);
-            self.db.delete(cref);
-        }
-        for pc in &pcs {
-            if pc.dead {
-                if self.config.proof {
-                    let old = self.db.lits(pc.cref).to_vec();
-                    self.proof_log().delete(&old);
-                    // Drop the logged working copy too (units stay: they
-                    // carry a root fact).
-                    if let Some(lg) = &pc.logged {
-                        if lg.len() > 1 {
-                            let lg = lg.clone();
-                            self.proof_log().delete(&lg);
-                        }
-                    }
-                }
-                self.detach(pc.cref);
-                self.db.delete(pc.cref);
-                continue;
-            }
-            if !pc.changed {
-                continue;
-            }
-            // Re-simplify against the final root assignment so the new
-            // clause's watched literals are all unassigned.
-            let mut lits: Vec<Lit> = Vec::with_capacity(pc.lits.len());
-            let mut satisfied = false;
-            for &l in &pc.lits {
-                match self.value_lit(l) {
-                    LBool::True => {
-                        satisfied = true;
-                        break;
-                    }
-                    LBool::False => {}
-                    LBool::Undef => lits.push(l),
-                }
-            }
-            // Proof: strengthened copies were already logged when derived
-            // (see the worklist arm). Here only root-simplification remains:
-            // the final clause is the last copy minus root-false literals,
-            // which is RUP through the persistent root facts. Log it before
-            // deleting the original and the superseded copy.
-            if self.config.proof {
-                let already = pc.logged.as_deref() == Some(&lits[..]);
-                if !satisfied && !lits.is_empty() && !already {
-                    let new = lits.clone();
-                    self.proof_log().add(&new);
-                }
-                let old = self.db.lits(pc.cref).to_vec();
-                self.proof_log().delete(&old);
-                if let Some(lg) = &pc.logged {
-                    if !already {
-                        let lg = lg.clone();
-                        self.proof_log().delete(&lg);
-                    }
-                }
-            }
-            self.detach(pc.cref);
-            self.db.delete(pc.cref);
-            if satisfied {
-                continue;
-            }
-            match lits.len() {
-                0 => {
-                    self.set_unsat();
-                    return;
-                }
-                1 => {
-                    if !self.pp_assign_unit(lits[0]) {
-                        return;
-                    }
-                }
-                _ => {
-                    let cref = self.db.alloc(&lits, false);
-                    self.attach(cref);
-                }
-            }
-        }
-        // Propagation during preprocessing may have set clause reasons on
-        // root facts; clear them again so none points at a deleted clause.
-        self.clear_root_reasons();
-        if self.db.wasted * 4 > self.db.arena_len() {
-            self.garbage_collect();
-        }
-    }
-
     // ------------------------------------------------------------------
     // Main search
     // ------------------------------------------------------------------
@@ -2024,9 +1826,19 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
-        if self.config.preprocess && !self.preprocessed {
+        // Assuming an eliminated variable would search the distributed
+        // formula `F′ ∧ x` instead of `F ∧ x` — not equisatisfiable — so
+        // melt it back first.
+        if assumptions.iter().any(|a| self.eliminated[a.var().index()]) {
+            self.restore_vars_in(assumptions);
+            if !self.ok {
+                return SolveResult::Unsat;
+            }
+        }
+        if self.config.preprocess && (!self.preprocessed || self.inprocess_due()) {
+            let first = !self.preprocessed;
             self.preprocessed = true;
-            self.preprocess_input();
+            self.simplify(assumptions, first);
             if !self.ok {
                 return SolveResult::Unsat;
             }
@@ -2088,6 +1900,9 @@ impl Solver {
                     LBool::False => false,
                     LBool::Undef => self.saved_phase[i],
                 }));
+            // Replay the reconstruction stack so the snapshot also satisfies
+            // every clause removed by variable elimination.
+            self.extend_model();
         }
         self.backtrack_to(0);
         self.refresh_tier_stats();
@@ -2231,6 +2046,9 @@ impl Solver {
         }
         // Regular decision by activity.
         while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.eliminated[v.index()] {
+                continue;
+            }
             if self.value_var(v) == LBool::Undef {
                 self.stats.decisions += 1;
                 self.new_decision_level();
@@ -2338,6 +2156,12 @@ impl Solver {
     fn import_clause(&mut self, lits: &[Lit]) {
         // Defensive: a clause from a differently-sized encoding is dropped.
         if lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+            return;
+        }
+        // Shared-base variables are automatically frozen, so a foreign
+        // clause should never mention an eliminated variable; drop it rather
+        // than restore (a learned clause is never worth the churn).
+        if lits.iter().any(|l| self.eliminated[l.var().index()]) {
             return;
         }
         let mut cl: Vec<Lit> = lits.to_vec();
@@ -2456,6 +2280,9 @@ impl Solver {
                 pb.bound
             );
         }
+        // Clauses removed by variable elimination must be satisfied through
+        // the reconstruction-extended part of the model.
+        self.debug_check_elim_stack();
     }
 }
 
@@ -3025,6 +2852,14 @@ mod tests {
                 tiered_db: false,
                 restart: RestartPolicy::Ema,
                 vivify: false,
+                elim: false,
+            },
+            SearchEngine {
+                binary_watches: false,
+                tiered_db: false,
+                restart: RestartPolicy::Luby,
+                vivify: true,
+                elim: true,
             },
         ] {
             let label = e.label();
@@ -3038,7 +2873,7 @@ mod tests {
 
     #[test]
     fn every_axis_combination_agrees_on_random_instances() {
-        // 3-SAT with a sprinkle of binary clauses; every one of the 16 axis
+        // 3-SAT with a sprinkle of binary clauses; every one of the 32 axis
         // combinations must reproduce the reference verdict, including
         // under an assumption re-solve (incremental reuse).
         for seed in 0..8u64 {
@@ -3062,7 +2897,7 @@ mod tests {
                 clauses.push(c);
             }
             let mut reference: Option<SolveResult> = None;
-            for bits in 0..16u32 {
+            for bits in 0..32u32 {
                 let engine = SearchEngine {
                     binary_watches: bits & 1 != 0,
                     tiered_db: bits & 2 != 0,
@@ -3072,6 +2907,7 @@ mod tests {
                         RestartPolicy::Luby
                     },
                     vivify: bits & 8 != 0,
+                    elim: bits & 16 != 0,
                 };
                 let mut s = Solver::new();
                 engine.configure(&mut s.config);

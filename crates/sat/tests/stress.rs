@@ -141,6 +141,44 @@ fn hundreds_of_small_incremental_probes() {
 }
 
 #[test]
+fn elimination_churn_over_a_long_incremental_session() {
+    // Arena hammer for the inprocessing pass: large random instance with
+    // many low-occurrence (hence eliminable) variables, then repeated
+    // rounds of re-solving under assumptions and re-adding clauses over
+    // *eliminated* variables. Every restore detaches/reallocates stored
+    // clauses in the arena while reductions and GC run, so use-after-free
+    // or stale-reference bugs in the unsafe clause arena surface here (and
+    // under the sanitizer CI job, which runs exactly this test).
+    let mut s = Solver::new();
+    s.config.first_reduce = 60;
+    s.config.reduce_grow = 1.05;
+    let vars = random_3sat(&mut s, 200, 2.0, 41);
+    let mut rng = SmallRng::seed_from_u64(42);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    assert!(s.stats.elim_vars > 0, "low-ratio 3-SAT must eliminate vars");
+    for round in 0..30u64 {
+        // Re-reference a spread of variables, eliminated or not: each
+        // eliminated one takes the melt-on-reuse restore path.
+        let mut lits = Vec::new();
+        for _ in 0..4 {
+            let v = vars[rng.gen_range(0..vars.len())];
+            lits.push(v.lit(rng.gen_bool(0.5)));
+        }
+        s.add_clause(&lits);
+        let a = vars[rng.gen_range(0..vars.len())];
+        let verdict = s.solve(&[a.lit(round % 2 == 0)]);
+        assert_ne!(verdict, SolveResult::Unknown);
+        if verdict == SolveResult::Sat {
+            s.debug_check_model();
+        }
+        if s.solve(&[]) == SolveResult::Unsat {
+            break;
+        }
+    }
+    assert!(s.stats.elim_restored > 0, "no restore was ever exercised");
+}
+
+#[test]
 fn export_formula_roundtrips_semantics() {
     use optalloc_sat::Formula;
     // Build a mixed instance, export it, re-import, and compare verdicts

@@ -137,6 +137,19 @@ pub struct SearchSummary {
     pub restarts_blocked: u64,
     /// Learned clauses strengthened by in-search vivification.
     pub vivified: u64,
+    /// Variables removed by bounded variable elimination.
+    #[serde(default)]
+    pub elim_vars: u64,
+    /// Resolvents added when distributing eliminated variables.
+    #[serde(default)]
+    pub elim_resolvents: u64,
+    /// Eliminated variables restored by melt-on-reuse.
+    #[serde(default)]
+    pub elim_restored: u64,
+    /// Reconstruction-stack depth (live elimination groups) when the job
+    /// finished — the extension work a model extraction pays.
+    #[serde(default)]
+    pub elim_stack_depth: u64,
     /// CORE-tier learned clauses retained when the job finished.
     pub tier_core: u64,
     /// TIER2 learned clauses retained when the job finished.
@@ -156,6 +169,10 @@ impl SearchSummary {
             restarts_ema: stats.restarts_ema,
             restarts_blocked: stats.restarts_blocked,
             vivified: stats.vivified,
+            elim_vars: stats.elim_vars,
+            elim_resolvents: stats.elim_resolvents,
+            elim_restored: stats.elim_restored,
+            elim_stack_depth: stats.elim_stack_depth,
             tier_core: stats.tier_core,
             tier_mid: stats.tier_mid,
             tier_local: stats.tier_local,
@@ -172,6 +189,10 @@ impl SearchSummary {
         self.restarts_ema += other.restarts_ema;
         self.restarts_blocked += other.restarts_blocked;
         self.vivified += other.vivified;
+        self.elim_vars += other.elim_vars;
+        self.elim_resolvents += other.elim_resolvents;
+        self.elim_restored += other.elim_restored;
+        self.elim_stack_depth += other.elim_stack_depth;
         self.tier_core += other.tier_core;
         self.tier_mid += other.tier_mid;
         self.tier_local += other.tier_local;

@@ -116,11 +116,13 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Every point of the restart-policy × tiered-DB × vivification grid
-    /// proves the same certified optimum, and every proof checks. This is
-    /// the soundness contract of the search engine: the axes may change how
-    /// the search runs, never what it proves — even with DRAT logging on,
-    /// where vivification must log its strengthenings derivation-first.
+    /// Every point of the restart-policy × tiered-DB × vivification/
+    /// elimination grid proves the same certified optimum, and every proof
+    /// checks. This is the soundness contract of the search engine: the
+    /// axes may change how the search runs, never what it proves — even
+    /// with DRAT logging on, where vivification must log its
+    /// strengthenings derivation-first and variable elimination its
+    /// resolvents parents-first.
     #[test]
     fn search_engine_grid_certifies_identical_optima(
         seed in 0u64..1000,
@@ -131,12 +133,13 @@ proptest! {
         let mut reference: Option<i64> = None;
         for restart in [RestartPolicy::Luby, RestartPolicy::Ema] {
             for tiered_db in [false, true] {
-                for vivify in [false, true] {
+                for (vivify, elim) in [(false, false), (true, false), (false, true), (true, true)] {
                     let search = SearchEngine {
                         binary_watches: true,
                         tiered_db,
                         restart,
                         vivify,
+                        elim,
                     };
                     let opts = SolveOptions {
                         search,
