@@ -322,6 +322,14 @@ impl<'a> Encoding<'a> {
                 .map(|&p| t.wcet_on(p).unwrap())
                 .min()
                 .unwrap();
+            if min_c as i64 > t.deadline as i64 {
+                // Even the smallest WCET overshoots the deadline: no
+                // placement can meet eq. (13). Encode the contradiction
+                // directly instead of declaring an empty-range variable.
+                self.problem.assert(BoolExpr::constant(false));
+                self.resp.push(self.problem.int_var(0, 0));
+                continue;
+            }
             let r = self.problem.int_var(min_c as i64, t.deadline as i64);
             self.resp.push(r);
         }

@@ -259,6 +259,7 @@ impl<'a> Optimizer<'a> {
             ..SolverConfig::default()
         };
         self.opts.search.configure(&mut config);
+        config.paranoid = self.opts.paranoid;
         match enc.problem.solve_with_solver_config(
             self.opts.backend,
             config,

@@ -118,6 +118,12 @@ pub struct SolveOptions {
     /// reused; replacing the `Arc` after a search started has no effect on
     /// that search.
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// Checked-mode solving: every solver the run creates walks its deep
+    /// invariants at solve/restart boundaries and re-verifies each model
+    /// (see `optalloc_sat::SolverConfig::paranoid`). Much slower —
+    /// intended for fuzz campaigns and debugging. Defaults to on in debug
+    /// builds when the `OPTALLOC_PARANOID` environment variable is set.
+    pub paranoid: bool,
 }
 
 impl SolveOptions {
@@ -139,6 +145,7 @@ impl SolveOptions {
         };
         opts.solver_config.interrupt = self.interrupt.clone();
         self.search.configure(&mut opts.solver_config);
+        opts.solver_config.paranoid = self.paranoid;
         opts
     }
 }
@@ -159,6 +166,7 @@ impl Default for SolveOptions {
             search: SearchEngine::full(),
             certify: false,
             interrupt: None,
+            paranoid: cfg!(debug_assertions) && optalloc_sat::paranoid_env(),
         }
     }
 }

@@ -30,7 +30,7 @@
 use std::sync::Arc;
 
 use crate::blast::{blast_with, Backend, EncoderOpt};
-use crate::bounds::BoundLattice;
+use crate::bounds::{BoundLattice, BoundWatch};
 use crate::certificate::{Certificate, CertifiedWindow, WindowProof};
 use crate::prober::{CostProber, Probe};
 use crate::problem::{IntProblem, Model};
@@ -330,8 +330,14 @@ fn minimize_incremental(
     opts.publish(best_value, &best_model);
     let mut lower = cost.lo;
     let mut upper = best_value;
+    // Checked mode: this reader's view of the shared lattice must be
+    // monotone (lower only rises, upper only falls).
+    let mut bound_watch = opts.solver_config.paranoid.then(BoundWatch::new);
 
     let external = loop {
+        if let (Some(w), Some(b)) = (bound_watch.as_mut(), opts.bounds.as_deref()) {
+            w.observe(b);
+        }
         // Between SOLVE calls, fold in both sides of the shared lattice:
         // nothing at or above `min(upper, external upper)` needs probing
         // (somebody already holds a model that cheap), and nothing below
@@ -499,8 +505,12 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
     opts.publish(best_value, &best_model);
     let mut lower = cost.lo;
     let mut upper = best_value;
+    let mut bound_watch = opts.solver_config.paranoid.then(BoundWatch::new);
 
     let external = loop {
+        if let (Some(w), Some(b)) = (bound_watch.as_mut(), opts.bounds.as_deref()) {
+            w.observe(b);
+        }
         // Fold in both sides of the shared lattice (see the incremental
         // variant for the protocol).
         let external = opts.external_upper();

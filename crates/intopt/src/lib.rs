@@ -55,7 +55,7 @@ pub use binsearch::{
     BinSearchMode, EncodeStats, IncumbentCallback, MinimizeOptions, MinimizeOutcome, MinimizeStatus,
 };
 pub use blast::{blast, blast_with, Backend, Blast, EncoderOpt};
-pub use bounds::BoundLattice;
+pub use bounds::{BoundLattice, BoundWatch, Interval};
 pub use certificate::{
     Certificate, CertificateError, CertificateSummary, CertifiedWindow, WindowProof,
 };

@@ -15,22 +15,20 @@
 //! arithmetic, exactly as the paper infers "appropriate ranges … from the
 //! ranges of the subexpressions".
 
+use crate::bounds::Interval;
 use crate::expr::{BoolExpr, BoolNode, CmpOp, IntExpr, IntNode};
 use std::collections::HashMap;
 
-/// Interval arithmetic for one operator (the bottom-up direction).
+/// Interval arithmetic for one operator (the bottom-up direction), on the
+/// exact [`Interval`] algebra from `bounds`.
 fn op_interval(op: ArithOp, (al, ah): (i64, i64), (bl, bh): (i64, i64)) -> (i64, i64) {
-    match op {
-        ArithOp::Add => (al + bl, ah + bh),
-        ArithOp::Sub => (al - bh, ah - bl),
-        ArithOp::Mul => {
-            let p = [al * bl, al * bh, ah * bl, ah * bh];
-            (
-                p.iter().copied().min().unwrap(),
-                p.iter().copied().max().unwrap(),
-            )
-        }
-    }
+    let (a, b) = (Interval::new(al, ah), Interval::new(bl, bh));
+    let r = match op {
+        ArithOp::Add => a.add(b),
+        ArithOp::Sub => a.sub(b),
+        ArithOp::Mul => a.mul(b),
+    };
+    (r.lo, r.hi)
 }
 
 /// Decides a comparison from operand intervals alone, if possible.

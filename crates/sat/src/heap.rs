@@ -177,6 +177,87 @@ mod tests {
         assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
     }
 
+    /// Drains the heap, returning variables in pop order.
+    fn drain(heap: &mut VarOrderHeap, activity: &[f64]) -> Vec<u32> {
+        std::iter::from_fn(|| heap.pop_max(activity).map(|v| v.0)).collect()
+    }
+
+    #[test]
+    fn evsids_decay_orders_recent_bumps_first() {
+        // EVSIDS decays by *growing the increment*: bumping v later adds a
+        // larger var_inc, so recently-bumped variables overtake earlier
+        // ones of equal bump count. Simulate the solver's loop (decay 0.95)
+        // and check the heap tracks each re-ordering via `increased`.
+        let n = 4;
+        let mut activity = vec![0.0f64; n];
+        let mut var_inc = 1.0f64;
+        let mut heap = VarOrderHeap::new();
+        for i in 0..n {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        // Bump in order 0,1,2,3 with decay between bumps: 3 ends hottest.
+        for i in 0..n {
+            activity[i] += var_inc;
+            heap.increased(Var::from_index(i), &activity);
+            heap.check_invariant(&activity);
+            var_inc /= 0.95;
+        }
+        assert_eq!(drain(&mut heap, &activity), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn rescale_on_overflow_preserves_pop_order() {
+        // The solver multiplies every activity by 1e-100 when one crosses
+        // 1e100. Uniform scaling must not change the relative order the
+        // heap yields (`rescaled` is a no-op precisely because of this).
+        let mut activity = vec![3e100, 1e100, 7e100, 5e100];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..activity.len() {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let reference = heap_clone_order(&activity);
+        for a in &mut activity {
+            *a *= 1e-100;
+        }
+        heap.rescaled();
+        heap.check_invariant(&activity);
+        assert_eq!(drain(&mut heap, &activity), reference);
+    }
+
+    /// Pop order the activities imply, computed independently of the heap.
+    fn heap_clone_order(activity: &[f64]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..activity.len() as u32).collect();
+        idx.sort_by(|&a, &b| activity[b as usize].total_cmp(&activity[a as usize]));
+        idx
+    }
+
+    #[test]
+    fn rebuild_after_resize_keeps_old_entries() {
+        // grow_to must extend the position table without disturbing queued
+        // variables; inserting far past the old capacity self-grows too.
+        let mut activity = vec![2.0, 1.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(1), &activity);
+        activity.resize(10, 0.0);
+        heap.grow_to(10);
+        assert!(heap.contains(Var::from_index(0)));
+        assert!(heap.contains(Var::from_index(1)));
+        assert!(!heap.contains(Var::from_index(9)));
+        activity[9] = 5.0;
+        heap.insert(Var::from_index(9), &activity);
+        heap.check_invariant(&activity);
+        assert_eq!(drain(&mut heap, &activity), vec![9, 0, 1]);
+    }
+
+    #[test]
+    fn pop_from_grown_but_empty_heap_is_none() {
+        let mut heap = VarOrderHeap::new();
+        heap.grow_to(16);
+        assert_eq!(heap.pop_max(&[0.0; 16]), None);
+        assert_eq!(heap.len(), 0);
+    }
+
     #[test]
     fn reinsert_after_pop() {
         let activity = vec![1.0, 2.0];

@@ -57,5 +57,7 @@ pub use drat::{check_proof, CheckError, CheckedProof, ProofLog, ProofStep};
 pub use exchange::{ClauseExchange, EXCHANGE_SLOTS, MAX_SHARED_LITS};
 pub use formula::{Formula, ParseError};
 pub use pb::{normalize_ge, to_ge_constraints, Normalized, PbOp, PbTerm};
-pub use solver::{RestartPolicy, SearchEngine, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    paranoid_env, RestartPolicy, SearchEngine, SolveResult, Solver, SolverConfig, SolverStats,
+};
 pub use types::{LBool, Lit, Var};

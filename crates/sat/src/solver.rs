@@ -33,6 +33,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+mod paranoid;
 mod simp;
 
 use simp::ElimGroup;
@@ -347,6 +348,27 @@ pub struct SolverConfig {
     /// Vivify kept learned clauses at restart boundaries (strengthenings
     /// are DRAT-logged, so `proof` stays sound).
     pub vivify: bool,
+    /// Checked mode: walk deep solver invariants (watch-list coherence,
+    /// trail/level consistency, PB counter sums, learned-DB integrity,
+    /// elimination-stack state) at solve entry, every restart boundary and
+    /// solve exit, and re-verify every `Sat` model against the full input
+    /// formula. Each check is `O(formula)`, so this is for fuzz campaigns
+    /// and debugging, not production solving. Defaults to on in debug
+    /// builds when the `OPTALLOC_PARANOID` environment variable is set to
+    /// `1`/`true`/`on`; settable explicitly in any build.
+    pub paranoid: bool,
+}
+
+/// `true` when the `OPTALLOC_PARANOID` environment variable requests
+/// checked-mode solving (read once; see [`SolverConfig::paranoid`]).
+pub fn paranoid_env() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        matches!(
+            std::env::var("OPTALLOC_PARANOID").as_deref(),
+            Ok("1") | Ok("true") | Ok("on") | Ok("yes")
+        )
+    })
 }
 
 impl Default for SolverConfig {
@@ -373,6 +395,7 @@ impl Default for SolverConfig {
             tiered_db: true,
             restart_policy: RestartPolicy::Ema,
             vivify: true,
+            paranoid: cfg!(debug_assertions) && paranoid_env(),
         }
     }
 }
@@ -947,10 +970,16 @@ impl Solver {
     }
 
     fn attach(&mut self, cref: ClauseRef) {
+        debug_assert!(
+            self.db.len(cref) >= 2,
+            "only clauses of length >= 2 carry watches"
+        );
         let (l0, l1) = {
             let ls = self.db.lits(cref);
             (ls[0], ls[1])
         };
+        debug_assert_ne!(l0, l1, "duplicate watched literal in {:?}", cref);
+        debug_assert_ne!(l0, !l1, "tautology reached attach: {:?}", cref);
         if self.config.binary_watches && self.db.len(cref) == 2 {
             self.bin_watches[(!l0).index()].push(BinWatch { other: l1, cref });
             self.bin_watches[(!l1).index()].push(BinWatch { other: l0, cref });
@@ -983,6 +1012,14 @@ impl Solver {
     fn unassign(&mut self, v: Var) {
         let val = self.assigns[v.index()];
         debug_assert!(val.is_assigned());
+        // Only ever called from `backtrack_to`, immediately after popping
+        // this variable's literal — so its recorded position must be the
+        // (new) trail length.
+        debug_assert_eq!(
+            self.trail_pos[v.index()] as usize,
+            self.trail.len(),
+            "unassign must pop the trail tail"
+        );
         let true_lit = v.lit(val == LBool::True);
         let fl = !true_lit;
         for &(pb, coef) in &self.pb_occs[fl.index()] {
@@ -1028,6 +1065,11 @@ impl Solver {
         // indexing is safe even though `assign` mutates other solver state.
         for i in 0..self.bin_watches[p.index()].len() {
             let BinWatch { other, cref } = self.bin_watches[p.index()][i];
+            debug_assert_eq!(
+                self.db.len(cref),
+                2,
+                "non-binary clause on a binary watch list"
+            );
             match self.value_lit(other) {
                 LBool::True => {}
                 LBool::False => return Some(cref),
@@ -1366,9 +1408,15 @@ impl Solver {
         }
         self.trail_lim.truncate(level as usize);
         self.qhead = self.trail.len();
+        debug_assert_eq!(self.decision_level(), level);
     }
 
     fn new_decision_level(&mut self) {
+        debug_assert_eq!(
+            self.qhead,
+            self.trail.len(),
+            "decision level opened with pending propagations"
+        );
         self.trail_lim.push(self.trail.len());
     }
 
@@ -1843,6 +1891,9 @@ impl Solver {
                 return SolveResult::Unsat;
             }
         }
+        if self.config.paranoid {
+            self.check_invariants("solve-entry");
+        }
 
         let mut restarts = 0u64;
         let mut conflicts_this_call = 0u64;
@@ -1885,6 +1936,9 @@ impl Solver {
                             break SolveResult::Unsat;
                         }
                     }
+                    if self.config.paranoid {
+                        self.check_invariants("restart");
+                    }
                 }
                 SearchOutcome::Budget => break SolveResult::Unknown,
                 SearchOutcome::Interrupted => break SolveResult::Interrupted,
@@ -1906,6 +1960,15 @@ impl Solver {
         }
         self.backtrack_to(0);
         self.refresh_tier_stats();
+        if self.config.paranoid {
+            self.check_invariants("solve-exit");
+            if result == SolveResult::Sat {
+                // The model must satisfy the *input* formula, including
+                // every clause the eliminator removed — this is where a
+                // broken reconstruction stack is caught.
+                self.debug_check_model();
+            }
+        }
         result
     }
 

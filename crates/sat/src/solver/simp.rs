@@ -60,6 +60,19 @@ const ELIM_BUDGET_INPROCESS: u64 = 500_000;
 /// Subsumers longer than this are not probed against the occurrence lists.
 const SUBSUMER_MAX_LEN: usize = 16;
 
+/// Deliberate soundness-fault hook used by the testkit acceptance campaign
+/// (`OPTALLOC_TESTKIT_INJECT=skip-elim-restore`): when set, `extend_model`
+/// skips the replay of one reconstruction group, silently corrupting the
+/// extended model. The paranoid model check must detect the corruption and
+/// the shrinker must minimize it. Read once per process; the fuzz binary is
+/// spawned with the variable already set.
+fn inject_skip_elim_restore() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("OPTALLOC_TESTKIT_INJECT").as_deref() == Ok("skip-elim-restore")
+    })
+}
+
 /// One eliminated variable: the clauses that mentioned it, captured at
 /// elimination time. Replayed backwards for model extension, forwards (per
 /// variable) by the melt-on-reuse restore path.
@@ -269,10 +282,18 @@ impl Solver {
         if self.stats.elim_stack_depth == 0 {
             return;
         }
+        // Fault-injection hook for the testkit acceptance campaign: skip
+        // the replay of one live group, leaving that variable's model value
+        // at its saved phase. The paranoid model check must catch this.
+        let mut skip_one = inject_skip_elim_restore();
         for gi in (0..self.elim_stack.len()).rev() {
             let var = self.elim_stack[gi].var;
             // Skip restored groups and stale entries of re-eliminated vars.
             if self.elim_pos[var.index()] != gi as u32 {
+                continue;
+            }
+            if skip_one {
+                skip_one = false;
                 continue;
             }
             let pos = var.positive();

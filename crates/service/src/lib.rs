@@ -524,7 +524,33 @@ fn worker_loop(shared: &Shared) {
         };
 
         interrupt.store(false, Ordering::Relaxed);
-        let response = run_job(shared, &mut engine, &solve_opts, &payload, &timed_out);
+        // A panicking solve (checked-mode invariant assertion, encoder bug)
+        // must not take the worker down with the job still marked inflight
+        // — `wait` would block forever. Convert the panic into a job error
+        // and discard the engine: its retained solvers may be mid-mutation.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &mut engine, &solve_opts, &payload, &timed_out)
+        }))
+        .unwrap_or_else(|panic| {
+            engine = WarmEngine::new(solve_opts.minimize_options());
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Response::Result(JobResult {
+                fingerprint: payload.fingerprint.to_string(),
+                outcome: JobOutcome::Error {
+                    message: format!("solver panicked: {message}"),
+                },
+                cached: false,
+                warm: WarmLabel::Cold,
+                solve_calls: 0,
+                conflicts: 0,
+                solve_ms: 0,
+                search: SearchSummary::default(),
+            })
+        });
 
         let mut st = shared.state.lock().unwrap();
         if let Some(job) = st.jobs.get_mut(&id) {

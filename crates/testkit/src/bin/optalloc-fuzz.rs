@@ -1,0 +1,219 @@
+//! Metamorphic fuzzing campaigns against the allocation pipeline.
+//!
+//! ```text
+//! optalloc-fuzz campaign [--seed N] [--iters N] [--time-secs N] [--checked]
+//!                        [--relations a,b,...] [--max-tasks N]
+//!                        [--regressions DIR] [--corpus FILE]
+//!                        [--max-violations N] [--summary FILE] [--quiet]
+//! optalloc-fuzz replay <seed> [--checked] [--relations a,b,...]
+//!                      [--max-tasks N]
+//! ```
+//!
+//! `campaign` generates instances from a master seed and checks every
+//! requested metamorphic relation on each; violations are shrunk to
+//! minimal reproducers, persisted under `--regressions`, and the run exits
+//! nonzero. `replay` re-runs all relations on the single instance a seed
+//! denotes — the loop is: campaign fails in CI, replay the reported seed
+//! locally, debug against the shrunk regression file.
+
+use optalloc_testkit::campaign::{replay, run_campaign, CampaignConfig};
+use optalloc_testkit::gen::GenConfig;
+use optalloc_testkit::relations::RelationKind;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: optalloc-fuzz campaign [--seed N] [--iters N] [--time-secs N] [--checked]\n\
+         \x20                             [--relations a,b,...] [--max-tasks N]\n\
+         \x20                             [--regressions DIR] [--corpus FILE]\n\
+         \x20                             [--max-violations N] [--summary FILE] [--quiet]\n\
+         \x20      optalloc-fuzz replay <seed> [--checked] [--relations a,b,...] [--max-tasks N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_relations(arg: &str) -> Result<Vec<RelationKind>, String> {
+    if arg == "all" {
+        return Ok(RelationKind::all());
+    }
+    arg.split(',')
+        .map(|name| {
+            RelationKind::parse(name.trim()).ok_or_else(|| {
+                let known: Vec<&str> = RelationKind::all().iter().map(|r| r.name()).collect();
+                format!("unknown relation '{name}' (known: {})", known.join(", "))
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing command");
+    };
+    match command.as_str() {
+        "campaign" => run_campaign_cmd(&args[1..]),
+        "replay" => run_replay_cmd(&args[1..]),
+        other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+/// Pulls the value of `--flag value`; `None` if absent, `Err` if dangling.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{flag} needs a value")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad value '{v}' for {flag}"))
+}
+
+fn run_campaign_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = CampaignConfig {
+        iterations: 500,
+        regressions_dir: Some("tests/regressions".into()),
+        ..CampaignConfig::default()
+    };
+    let mut summary_file: Option<String> = None;
+    let quiet = args.iter().any(|a| a == "--quiet");
+    cfg.paranoid = args.iter().any(|a| a == "--checked");
+
+    let parsed = (|| -> Result<(), String> {
+        if let Some(v) = flag_value(args, "--seed")? {
+            cfg.seed = parse_num(v, "--seed")?;
+        }
+        if let Some(v) = flag_value(args, "--iters")? {
+            cfg.iterations = parse_num(v, "--iters")?;
+        }
+        if let Some(v) = flag_value(args, "--time-secs")? {
+            cfg.time_limit = Some(Duration::from_secs(parse_num(v, "--time-secs")?));
+        }
+        if let Some(v) = flag_value(args, "--relations")? {
+            cfg.relations = parse_relations(v)?;
+        }
+        if let Some(v) = flag_value(args, "--max-tasks")? {
+            cfg.gen = GenConfig {
+                max_tasks: parse_num(v, "--max-tasks")?,
+                ..cfg.gen
+            };
+        }
+        if let Some(v) = flag_value(args, "--regressions")? {
+            cfg.regressions_dir = if v == "none" { None } else { Some(v.into()) };
+        }
+        if let Some(v) = flag_value(args, "--corpus")? {
+            cfg.corpus_file = Some(v.into());
+        }
+        if let Some(v) = flag_value(args, "--max-violations")? {
+            cfg.max_violations = parse_num(v, "--max-violations")?;
+        }
+        summary_file = flag_value(args, "--summary")?.map(String::from);
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        return usage(&e);
+    }
+
+    if !quiet {
+        eprintln!(
+            "campaign: seed {} / {} iterations / relations [{}]{}",
+            cfg.seed,
+            cfg.iterations,
+            cfg.relations
+                .iter()
+                .map(|r| r.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            if cfg.paranoid { " / checked mode" } else { "" }
+        );
+    }
+    let summary = run_campaign(&cfg, |line| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    });
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    match &summary_file {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: could not write summary to {path}: {e}");
+                return ExitCode::from(2);
+            }
+            if !quiet {
+                eprintln!("summary written to {path}");
+            }
+        }
+        None => println!("{json}"),
+    }
+    if summary.clean() {
+        if !quiet {
+            eprintln!(
+                "clean: {} iterations, {} checks passed, {} skipped, {} ms",
+                summary.iterations_run,
+                summary.checks_passed,
+                summary.checks_skipped,
+                summary.wall_ms
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FOUND {} violation(s); replay with `optalloc-fuzz replay <seed>`",
+            summary.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_replay_cmd(args: &[String]) -> ExitCode {
+    let Some(seed_arg) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage("replay needs a seed");
+    };
+    let seed: u64 = match seed_arg.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => seed_arg.parse(),
+    }
+    .unwrap_or_else(|_| {
+        eprintln!("error: bad seed '{seed_arg}'");
+        std::process::exit(2)
+    });
+    let paranoid = args.iter().any(|a| a == "--checked");
+    let mut relations = RelationKind::all();
+    let mut gen = GenConfig::default();
+    let parsed = (|| -> Result<(), String> {
+        if let Some(v) = flag_value(args, "--relations")? {
+            relations = parse_relations(v)?;
+        }
+        if let Some(v) = flag_value(args, "--max-tasks")? {
+            gen.max_tasks = parse_num(v, "--max-tasks")?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        return usage(&e);
+    }
+
+    let verdicts = replay(seed, &gen, &relations, paranoid);
+    let mut failed = false;
+    for (kind, verdict) in &verdicts {
+        match verdict {
+            Ok(true) => eprintln!("{:>11}: ok", kind.name()),
+            Ok(false) => eprintln!("{:>11}: skipped (budget)", kind.name()),
+            Err(msg) => {
+                failed = true;
+                eprintln!("{:>11}: VIOLATION: {msg}", kind.name());
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

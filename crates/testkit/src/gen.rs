@@ -1,0 +1,221 @@
+//! Structured instance generator.
+//!
+//! Builds *valid* hierarchical instances from a seed: a chain of 1–3
+//! communication media (priority/TDMA mix) joined by gateway ECUs such that
+//! adjacent media share exactly one ECU (the model layer's hierarchy rule),
+//! and a task set with placement restrictions, separation constraints,
+//! multi-hop messages and occasional memory footprints. Everything is
+//! derived from one `u64` through a self-contained xoshiro stream, so a
+//! seed is a complete reproducer.
+
+use crate::spec::{EcuSpec, InstanceSpec, MediumSpec, MsgSpec, ObjectiveSpec, TaskSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Size dials for the generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Upper bound on generated tasks (lower bound is 3).
+    pub max_tasks: usize,
+    /// Upper bound on generated media (lower bound is 1).
+    pub max_media: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_tasks: 8,
+            max_media: 3,
+        }
+    }
+}
+
+/// Generates one instance from `seed`. The result always passes both
+/// model-layer validators (checked by `debug_assert` here and re-checked by
+/// every consumer through [`InstanceSpec::build`]).
+pub fn gen_spec(seed: u64, cfg: &GenConfig) -> InstanceSpec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_media = rng.gen_range(1..=cfg.max_media.max(1));
+
+    // Architecture: per-medium ECU groups chained by gateways. Medium `i`
+    // spans its own group plus the first ECU of group `i+1`, so adjacent
+    // media share exactly that one ECU and non-adjacent media share none.
+    let mut ecus: Vec<EcuSpec> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for g in 0..n_media {
+        // The last group carries the whole final medium, so it needs two
+        // members on its own.
+        let size = if g == n_media - 1 {
+            2
+        } else {
+            rng.gen_range(1..=2)
+        };
+        let mut group = Vec::new();
+        for _ in 0..size {
+            let idx = ecus.len();
+            ecus.push(EcuSpec {
+                name: format!("e{idx}"),
+                memory: None,
+                gateway_only: false,
+            });
+            group.push(idx);
+        }
+        groups.push(group);
+    }
+    // Occasionally dedicate a gateway to protocol conversion only.
+    for g in 1..n_media {
+        if rng.gen_bool(0.3) {
+            ecus[groups[g][0]].gateway_only = true;
+        }
+    }
+
+    let mut media: Vec<MediumSpec> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        let mut members = group.clone();
+        if g + 1 < n_media {
+            members.push(groups[g + 1][0]);
+        }
+        let tdma = rng.gen_bool(0.5);
+        let tdma_slots = tdma.then(|| {
+            members
+                .iter()
+                .map(|_| rng.gen_range(4..=16))
+                .collect::<Vec<_>>()
+        });
+        media.push(MediumSpec {
+            name: format!("m{g}"),
+            tdma_slots,
+            members,
+            frame_overhead: rng.gen_range(1..=3),
+            per_byte: rng.gen_range(1..=2),
+        });
+    }
+
+    let hosts: Vec<usize> = (0..ecus.len()).filter(|&e| !ecus[e].gateway_only).collect();
+
+    // Tasks.
+    let n_tasks = rng.gen_range(3..=cfg.max_tasks.max(3));
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    for t in 0..n_tasks {
+        let period: u64 = rng.gen_range(20..=120);
+        let n_hosts = rng.gen_range(1..=hosts.len().min(3));
+        let mut allowed = hosts.clone();
+        // Partial Fisher–Yates: the first `n_hosts` entries become the
+        // placement permission set.
+        for i in 0..n_hosts {
+            let j = rng.gen_range(i..allowed.len());
+            allowed.swap(i, j);
+        }
+        allowed.truncate(n_hosts);
+        let wcet: Vec<(usize, u64)> = allowed
+            .into_iter()
+            .map(|e| (e, rng.gen_range(1..=12)))
+            .collect();
+        let max_wcet = wcet.iter().map(|&(_, w)| w).max().unwrap();
+        // Deadlines between "twice the worst WCET" and the period keep most
+        // instances feasible-but-tight; infeasible ones are still legal.
+        let deadline = rng.gen_range((max_wcet * 2).min(period)..=period);
+        tasks.push(TaskSpec {
+            name: format!("t{t}"),
+            period,
+            deadline,
+            wcet,
+            messages: Vec::new(),
+            separation: Vec::new(),
+            memory: if rng.gen_bool(0.25) {
+                rng.gen_range(1..=8)
+            } else {
+                0
+            },
+            jitter: 0,
+        });
+    }
+    // Messages (possibly multi-hop across the gateway chain) and
+    // separation constraints, added after all receivers exist.
+    for (t, task) in tasks.iter_mut().enumerate() {
+        if rng.gen_bool(0.4) {
+            let to = rng.gen_range(0..n_tasks - 1);
+            let to = if to >= t { to + 1 } else { to };
+            task.messages.push(MsgSpec {
+                to,
+                size: rng.gen_range(1..=6),
+                deadline: rng.gen_range(15..=60),
+            });
+        }
+        if rng.gen_bool(0.2) {
+            let other = rng.gen_range(0..n_tasks - 1);
+            let other = if other >= t { other + 1 } else { other };
+            if !task.separation.contains(&other) {
+                task.separation.push(other);
+            }
+        }
+    }
+    // Occasionally cap one hosting ECU's memory generously enough to stay
+    // mostly satisfiable.
+    if rng.gen_bool(0.2) {
+        let e = hosts[rng.gen_range(0..hosts.len())];
+        ecus[e].memory = Some(rng.gen_range(16..=64));
+    }
+
+    // Objective: pick one the generated media mix supports.
+    let tdma_media: Vec<usize> = (0..media.len())
+        .filter(|&i| media[i].tdma_slots.is_some())
+        .collect();
+    let prio_media: Vec<usize> = (0..media.len())
+        .filter(|&i| media[i].tdma_slots.is_none())
+        .collect();
+    let mut candidates = vec![
+        ObjectiveSpec::MaxUtil,
+        ObjectiveSpec::Spread,
+        ObjectiveSpec::Feasibility,
+    ];
+    if let Some(&m) = tdma_media.first() {
+        candidates.push(ObjectiveSpec::Trt(m));
+        candidates.push(ObjectiveSpec::SumTrt);
+    }
+    if let Some(&m) = prio_media.first() {
+        candidates.push(ObjectiveSpec::BusLoad(m));
+    }
+    let objective = candidates[rng.gen_range(0..candidates.len())];
+
+    let spec = InstanceSpec {
+        ecus,
+        media,
+        tasks,
+        objective,
+    };
+    debug_assert!(spec.build().is_ok(), "generator produced invalid spec");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_seeds_build_valid_instances() {
+        let cfg = GenConfig::default();
+        for seed in 0..100 {
+            let spec = gen_spec(seed, &cfg);
+            let (arch, tasks) = spec.build().expect("generated spec must build");
+            assert!(arch.num_ecus() >= 2);
+            assert!(tasks.len() >= 3);
+            // Objective media references must exist and match the kind.
+            if let Some(m) = spec.objective.medium() {
+                let is_tdma = spec.media[m].tdma_slots.is_some();
+                match spec.objective {
+                    ObjectiveSpec::Trt(_) => assert!(is_tdma),
+                    ObjectiveSpec::BusLoad(_) => assert!(!is_tdma),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        assert_eq!(gen_spec(42, &cfg), gen_spec(42, &cfg));
+        assert_ne!(gen_spec(42, &cfg), gen_spec(43, &cfg));
+    }
+}

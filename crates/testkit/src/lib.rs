@@ -1,0 +1,38 @@
+//! Metamorphic fuzzing subsystem for the allocation pipeline.
+//!
+//! The certification layer (`certify: true`) proves that one answer to one
+//! instance is right. This crate attacks the orthogonal question: is the
+//! pipeline right *across* instances — under relabeling, rescaling,
+//! tightening, redundant constraints, engine diversity and warm-start
+//! reuse? Each of those transforms implies a provable relationship between
+//! optima ([`relations`]); holding the implementation to them explores
+//! corners no hand-written test enumerates.
+//!
+//! The pieces:
+//!
+//! - [`spec`] — a compact, serializable seed grammar for hierarchical
+//!   instances; every regression file is one self-contained spec.
+//! - [`gen`] — a structured generator producing *valid* gateway-chained
+//!   CAN/TDMA architectures and constrained task sets from a `u64` seed.
+//! - [`relations`] — the metamorphic relation library.
+//! - [`shrink`] — a delta-debugging shrinker that reduces violations to
+//!   locally-minimal reproducers.
+//! - [`campaign`] — the seed loop tying it together, with JSON summaries
+//!   and persisted regression files; driven by the `optalloc-fuzz` binary.
+//!
+//! Checked mode (`--checked` / `SolveOptions::paranoid`) additionally
+//! walks deep solver invariants after every solve and re-verifies each
+//! model against the pre-elimination input formula, so a violation
+//! surfaces as close to the broken state transition as possible.
+
+pub mod campaign;
+pub mod gen;
+pub mod relations;
+pub mod shrink;
+pub mod spec;
+
+pub use campaign::{replay, run_campaign, CampaignConfig, CampaignSummary, ViolationRecord};
+pub use gen::{gen_spec, GenConfig};
+pub use relations::{check_relation, solve_spec, Outcome, RelationKind};
+pub use shrink::shrink;
+pub use spec::{base_options, InstanceSpec};

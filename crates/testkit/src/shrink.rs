@@ -1,0 +1,317 @@
+//! Delta-debugging shrinker.
+//!
+//! Given a spec on which some predicate holds (usually "relation X is
+//! violated"), greedily removes and simplifies structure while the
+//! predicate keeps holding, iterating to a fixpoint. Passes, in order of
+//! how much each removes:
+//!
+//! 1. drop whole tasks (highest index first, via
+//!    [`InstanceSpec::remove_task`] so cross-references stay sound),
+//! 2. drop messages and separation constraints,
+//! 3. drop media (with member-ECU and objective-index remapping) and then
+//!    unused structure inside the survivors,
+//! 4. halve numeric fields (WCETs, periods/deadlines, sizes) toward 1 and
+//!    zero memory footprints.
+//!
+//! Every candidate must still [`InstanceSpec::build`] — the predicate is
+//! never consulted on invalid specs. The total number of predicate
+//! evaluations is capped so a slow oracle cannot stall a campaign.
+
+use crate::spec::{InstanceSpec, ObjectiveSpec};
+
+/// Hard cap on oracle evaluations per shrink (each evaluation may run
+/// several full solves).
+const MAX_EVALS: usize = 400;
+
+struct Budget {
+    evals: usize,
+}
+
+impl Budget {
+    fn spent(&mut self) -> bool {
+        if self.evals >= MAX_EVALS {
+            return true;
+        }
+        self.evals += 1;
+        false
+    }
+}
+
+/// Shrinks `spec` to a (locally) minimal instance on which `fails` still
+/// returns `true`. `fails` is only ever called with specs that build.
+pub fn shrink<F>(spec: &InstanceSpec, mut fails: F) -> InstanceSpec
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    let mut budget = Budget { evals: 0 };
+    let mut best = spec.clone();
+    loop {
+        let mut progressed = false;
+        for pass in [
+            drop_tasks,
+            drop_messages,
+            drop_separations,
+            drop_media,
+            halve_numbers,
+        ] {
+            while let Some(smaller) = pass(&best, &mut fails, &mut budget) {
+                best = smaller;
+                progressed = true;
+            }
+        }
+        if !progressed || budget.evals >= MAX_EVALS {
+            return best;
+        }
+    }
+}
+
+fn try_candidate<F>(cand: InstanceSpec, fails: &mut F, budget: &mut Budget) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    if budget.spent() || cand.build().is_err() {
+        return None;
+    }
+    fails(&cand).then_some(cand)
+}
+
+fn drop_tasks<F>(spec: &InstanceSpec, fails: &mut F, budget: &mut Budget) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    for t in (0..spec.tasks.len()).rev() {
+        if spec.tasks.len() <= 1 {
+            break;
+        }
+        if let Some(c) = try_candidate(spec.remove_task(t), fails, budget) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+fn drop_messages<F>(spec: &InstanceSpec, fails: &mut F, budget: &mut Budget) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    for t in 0..spec.tasks.len() {
+        for m in (0..spec.tasks[t].messages.len()).rev() {
+            let mut cand = spec.clone();
+            cand.tasks[t].messages.remove(m);
+            if let Some(c) = try_candidate(cand, fails, budget) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn drop_separations<F>(
+    spec: &InstanceSpec,
+    fails: &mut F,
+    budget: &mut Budget,
+) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    for t in 0..spec.tasks.len() {
+        for s in (0..spec.tasks[t].separation.len()).rev() {
+            let mut cand = spec.clone();
+            cand.tasks[t].separation.remove(s);
+            if let Some(c) = try_candidate(cand, fails, budget) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Drops medium `m` and every ECU that becomes unreachable with it,
+/// remapping all surviving indices. Tasks keep only WCET entries on
+/// surviving ECUs; tasks left without any placement are removed. Returns
+/// `None` when the objective pins this medium.
+fn spec_without_medium(spec: &InstanceSpec, m: usize) -> Option<InstanceSpec> {
+    if spec.objective.medium() == Some(m) {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.media.remove(m);
+    // Fix the objective's medium index for the shift.
+    s.objective = match s.objective {
+        ObjectiveSpec::Trt(i) if i > m => ObjectiveSpec::Trt(i - 1),
+        ObjectiveSpec::BusLoad(i) if i > m => ObjectiveSpec::BusLoad(i - 1),
+        o => o,
+    };
+    // ECUs on no remaining medium disappear.
+    let keep: Vec<bool> = (0..s.ecus.len())
+        .map(|e| s.media.iter().any(|md| md.members.contains(&e)))
+        .collect();
+    let mut remap = vec![usize::MAX; s.ecus.len()];
+    let mut next = 0;
+    for (e, &k) in keep.iter().enumerate() {
+        if k {
+            remap[e] = next;
+            next += 1;
+        }
+    }
+    s.ecus = s
+        .ecus
+        .into_iter()
+        .enumerate()
+        .filter(|(e, _)| keep[*e])
+        .map(|(_, e)| e)
+        .collect();
+    for md in &mut s.media {
+        for mem in &mut md.members {
+            *mem = remap[*mem];
+        }
+    }
+    for t in &mut s.tasks {
+        t.wcet.retain(|&(e, _)| keep[e]);
+        for (e, _) in &mut t.wcet {
+            *e = remap[*e];
+        }
+    }
+    // Remove tasks stranded without a placement (highest first so the
+    // index remapping inside remove_task stays straightforward).
+    while let Some(t) = (0..s.tasks.len())
+        .rev()
+        .find(|&t| s.tasks[t].wcet.is_empty())
+    {
+        if s.tasks.len() == 1 {
+            return None; // would empty the task set
+        }
+        s = s.remove_task(t);
+    }
+    Some(s)
+}
+
+fn drop_media<F>(spec: &InstanceSpec, fails: &mut F, budget: &mut Budget) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    if spec.media.len() <= 1 {
+        return None;
+    }
+    for m in (0..spec.media.len()).rev() {
+        let Some(cand) = spec_without_medium(spec, m) else {
+            continue;
+        };
+        if let Some(c) = try_candidate(cand, fails, budget) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// One halving step toward 1 (for quantities that must stay positive).
+fn halved(v: u64) -> Option<u64> {
+    (v > 1).then_some(v.div_ceil(2))
+}
+
+fn halve_numbers<F>(spec: &InstanceSpec, fails: &mut F, budget: &mut Budget) -> Option<InstanceSpec>
+where
+    F: FnMut(&InstanceSpec) -> bool,
+{
+    for t in 0..spec.tasks.len() {
+        for e in 0..spec.tasks[t].wcet.len() {
+            if let Some(w) = halved(spec.tasks[t].wcet[e].1) {
+                let mut cand = spec.clone();
+                cand.tasks[t].wcet[e].1 = w;
+                if let Some(c) = try_candidate(cand, fails, budget) {
+                    return Some(c);
+                }
+            }
+        }
+        // Halve period and deadline together so deadline ≤ period survives.
+        if let Some(p) = halved(spec.tasks[t].period) {
+            let mut cand = spec.clone();
+            cand.tasks[t].period = p;
+            cand.tasks[t].deadline = cand.tasks[t].deadline.min(p);
+            if let Some(c) = try_candidate(cand, fails, budget) {
+                return Some(c);
+            }
+        }
+        if spec.tasks[t].memory > 0 {
+            let mut cand = spec.clone();
+            cand.tasks[t].memory = 0;
+            if let Some(c) = try_candidate(cand, fails, budget) {
+                return Some(c);
+            }
+        }
+        for m in 0..spec.tasks[t].messages.len() {
+            let sz = spec.tasks[t].messages[m].size;
+            if sz > 1 {
+                let mut cand = spec.clone();
+                cand.tasks[t].messages[m].size = sz.div_ceil(2);
+                if let Some(c) = try_candidate(cand, fails, budget) {
+                    return Some(c);
+                }
+            }
+        }
+    }
+    for e in 0..spec.ecus.len() {
+        if spec.ecus[e].memory.is_some() {
+            let mut cand = spec.clone();
+            cand.ecus[e].memory = None;
+            if let Some(c) = try_candidate(cand, fails, budget) {
+                return Some(c);
+            }
+        }
+    }
+    for m in 0..spec.media.len() {
+        let Some(slots) = &spec.media[m].tdma_slots else {
+            continue;
+        };
+        for (i, &slot) in slots.iter().enumerate() {
+            if let Some(s) = halved(slot) {
+                let mut cand = spec.clone();
+                cand.media[m].tdma_slots.as_mut().unwrap()[i] = s;
+                if let Some(c) = try_candidate(cand, fails, budget) {
+                    return Some(c);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_spec, GenConfig};
+
+    #[test]
+    fn shrinks_to_single_offending_task() {
+        // Synthetic oracle: "fails" whenever any task has WCET ≥ 9
+        // somewhere. The shrinker should strip everything else.
+        let cfg = GenConfig::default();
+        let spec = (0..200)
+            .map(|s| gen_spec(s, &cfg))
+            .find(|s| {
+                s.tasks.len() >= 5 && s.tasks.iter().any(|t| t.wcet.iter().any(|&(_, w)| w >= 9))
+            })
+            .expect("some generated spec has a big-WCET task");
+        let fails = |s: &InstanceSpec| s.tasks.iter().any(|t| t.wcet.iter().any(|&(_, w)| w >= 9));
+        let small = shrink(&spec, fails);
+        assert!(fails(&small), "shrinking must preserve the failure");
+        assert!(small.build().is_ok(), "shrunk spec must stay valid");
+        assert_eq!(small.tasks.len(), 1, "one task should survive");
+        assert_eq!(small.media.len(), 1, "one medium should survive");
+        assert!(
+            small.tasks[0].messages.is_empty() && small.tasks[0].separation.is_empty(),
+            "dependent structure should be stripped"
+        );
+    }
+
+    #[test]
+    fn eval_budget_bounds_oracle_calls() {
+        let spec = gen_spec(7, &GenConfig::default());
+        let mut calls = 0usize;
+        let _ = shrink(&spec, |_| {
+            calls += 1;
+            true // everything "fails": worst case for the budget
+        });
+        assert!(calls <= MAX_EVALS);
+    }
+}

@@ -8,6 +8,11 @@
 //! The heuristics share no code with the SAT pipeline below the model
 //! layer, so agreement here cross-checks the encoder, the solver, the
 //! proof checker and the analysis against each other.
+//!
+//! Reproducibility knobs (CI pins all of these — see docs/TESTING.md):
+//! `PROPTEST_RNG_SEED` fixes the case-generation RNG, `PROPTEST_CASES`
+//! scales the number of cases, and `PROPTEST_REGRESSIONS_DIR` persists
+//! shrunk counterexamples under `tests/regressions/`.
 
 use optalloc::{Objective, Optimizer, RestartPolicy, SearchEngine, SolveOptions, Strategy};
 use optalloc_analysis::validate;

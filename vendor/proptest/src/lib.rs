@@ -16,6 +16,19 @@
 //!   proptest's RNG, which this stub does not reproduce).
 //! - The RNG is seeded deterministically from the test name, so runs are
 //!   reproducible without a persistence file.
+//!
+//! Environment knobs (all optional, used to pin CI runs — see
+//! `docs/TESTING.md`):
+//! - `PROPTEST_CASES`: overrides the case count of every
+//!   [`ProptestConfig`] (including explicit `with_cases` configs), e.g.
+//!   `PROPTEST_CASES=16` for a quick smoke or `=2048` for a deep soak.
+//! - `PROPTEST_RNG_SEED`: a `u64` mixed into every per-test seed, so CI can
+//!   pin one reproducible stream (`PROPTEST_RNG_SEED=0` is the implicit
+//!   default) or rotate nightly for fresh coverage.
+//! - `PROPTEST_REGRESSIONS_DIR`: when set, the inputs of every failing case
+//!   are appended to `<dir>/<test_name>.txt` (with the active seed/case
+//!   knobs) before the panic, so a CI failure can be replayed locally by
+//!   exporting the same environment.
 
 use std::fmt;
 use std::sync::Arc;
@@ -30,9 +43,11 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// A reproducible RNG seeded from the test name.
+    /// A reproducible RNG seeded from the test name, with the
+    /// `PROPTEST_RNG_SEED` environment value (if any) mixed in so CI can
+    /// pin or rotate the stream without code changes.
     pub fn deterministic(name: &str) -> TestRng {
-        let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed: u64 = 0x9e37_79b9_7f4a_7c15 ^ env_rng_seed();
         for b in name.bytes() {
             seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
         }
@@ -385,15 +400,66 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases.
+    /// A config running `cases` cases (`PROPTEST_CASES` overrides it).
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
+    }
+}
+
+/// The `PROPTEST_CASES` override, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+/// The `PROPTEST_RNG_SEED` stream selector (0 when unset/unparseable,
+/// matching historical behaviour).
+fn env_rng_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Appends a failing case's inputs to `$PROPTEST_REGRESSIONS_DIR/<test>.txt`
+/// so CI failures can be replayed locally. Best-effort: IO errors are
+/// swallowed (the test is about to panic with the same information anyway).
+#[doc(hidden)]
+pub fn persist_failure(test_name: &str, inputs: &str, message: &str) {
+    let Ok(dir) = std::env::var("PROPTEST_REGRESSIONS_DIR") else {
+        return;
+    };
+    if dir.trim().is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    // `module::path::test` → a flat, filesystem-safe file name.
+    let file: String = test_name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("{file}.txt"));
+    let entry = format!(
+        "# {test_name} (PROPTEST_RNG_SEED={}, PROPTEST_CASES={})\n# {message}\n{inputs}\n",
+        env_rng_seed(),
+        env_cases().map_or_else(|| "default".to_string(), |c| c.to_string()),
+    );
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(entry.as_bytes());
     }
 }
 
@@ -457,6 +523,9 @@ macro_rules! __proptest_impl {
                         ::std::result::Result::Ok(()) => __passed += 1,
                         ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            let __test_name =
+                                concat!(module_path!(), "::", stringify!($name));
+                            $crate::persist_failure(__test_name, &__inputs, &msg);
                             panic!(
                                 "proptest stub: {} failed: {}\n  inputs: {}",
                                 stringify!($name), msg, __inputs
