@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the observability layer.
+//!
+//! Two kinds of measurement back the overhead contract in
+//! `docs/OBSERVABILITY.md`:
+//!
+//! - `registry/*` — the raw primitive costs (counter increment, gauge
+//!   set, histogram observe, the disabled-stopwatch branch);
+//! - `solve/*` — the canonical `table3-t<N>` minimization with the obs
+//!   handle disabled vs. enabled, whose ratio the CI gate
+//!   (`obs_overhead`) enforces. Compare the `disabled` row against a
+//!   pre-change baseline with `cargo bench --bench obs -- --save-baseline`
+//!   to check the ≤2% disabled-path budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optalloc::{Objective, Optimizer, SolveOptions};
+use optalloc_model::MediumId;
+use optalloc_obs::{MetricsRegistry, Obs, Phase, DEFAULT_MS_BUCKETS};
+use optalloc_workloads::task_scaling;
+
+fn bench_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registry");
+    let reg = MetricsRegistry::new();
+    let counter = reg.counter("bench.counter");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let gauge = reg.gauge("bench.gauge");
+    g.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v += 1;
+            gauge.set(std::hint::black_box(v));
+        })
+    });
+    let histogram = reg.histogram("bench.histogram", DEFAULT_MS_BUCKETS);
+    g.bench_function("histogram_observe", |b| {
+        let mut v = 0.1f64;
+        b.iter(|| {
+            v = (v * 1.7) % 80_000.0;
+            histogram.observe(std::hint::black_box(v));
+        })
+    });
+
+    // The cost a solver pays per consult when nothing is recording: this
+    // must stay a branch, not a measurement.
+    let disabled = Obs::disabled();
+    g.bench_function("stopwatch_disabled", |b| {
+        b.iter(|| std::hint::black_box(disabled.stopwatch(Phase::Search)).finish())
+    });
+    let enabled = Obs::enabled();
+    g.bench_function("stopwatch_enabled", |b| {
+        b.iter(|| std::hint::black_box(enabled.stopwatch(Phase::Search)).finish())
+    });
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(10);
+    let w = task_scaling(12);
+    for (label, obs) in [("disabled", Obs::disabled()), ("enabled", Obs::enabled())] {
+        g.bench_with_input(BenchmarkId::new("t12", label), &obs, |b, obs| {
+            b.iter(|| {
+                let opts = SolveOptions {
+                    max_conflicts: Some(3_000_000),
+                    max_slot: 24,
+                    obs: obs.clone(),
+                    ..Default::default()
+                };
+                let r = Optimizer::new(&w.arch, &w.tasks)
+                    .with_options(opts)
+                    .minimize(&Objective::TokenRotationTime(MediumId(0)))
+                    .expect("canonical instance solves");
+                std::hint::black_box(r.cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_registry, bench_solve);
+criterion_main!(benches);

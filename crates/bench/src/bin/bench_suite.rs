@@ -3,12 +3,15 @@
 //!
 //! Runs the canonical t12/t20/t30 task-scaling instances (Table-3-style
 //! token ring, TRT objective, sequential incremental binary search) with
-//! the default solver configuration and writes
-//! `results/bench_trajectory.json`: wall-clock, conflicts, propagations,
-//! peak learnt-clause count, plus the per-axis search-engine configuration
-//! each row ran with. Wall-clock rows keep the minimum over
-//! `OPTALLOC_ABLATION_REPS` repetitions (default 3) — counts are
-//! deterministic, only the clock is noisy.
+//! the default solver configuration and **appends** one schema-versioned
+//! entry to `results/bench_trajectory.json` — the file is a history, one
+//! entry per run, so regressions show up as a trend rather than silently
+//! replacing the previous numbers. Each row records wall-clock, conflicts,
+//! propagations, peak learnt-clause count, the span-derived phase
+//! breakdown (encode / search / certify, see `docs/OBSERVABILITY.md`),
+//! plus the per-axis search-engine configuration it ran with. Wall-clock
+//! rows keep the minimum over `OPTALLOC_ABLATION_REPS` repetitions
+//! (default 3) — counts are deterministic, only the clock is noisy.
 //!
 //! Environment knobs:
 //!
@@ -21,9 +24,14 @@
 use optalloc::{Objective, Optimizer, RestartPolicy, SearchEngine, SolveOptions};
 use optalloc_bench::parse_cli;
 use optalloc_model::MediumId;
+use optalloc_obs::PhaseTotals;
 use optalloc_workloads::task_scaling;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Schema tag of entries this binary appends. Bump when the entry or row
+/// layout changes incompatibly; readers skip entries they don't know.
+const TRAJECTORY_SCHEMA: &str = "optalloc-bench-trajectory-v2";
 
 /// The search-engine axes a row ran with, spelled out per axis so the
 /// trajectory stays comparable even if future defaults change.
@@ -75,8 +83,41 @@ struct TrajectoryRow {
     solve_ms: f64,
     /// End-to-end wall time of the whole minimization (min over reps).
     time_s: f64,
+    /// Span-derived phase breakdown of the fastest repetition (encode /
+    /// search / certify ms; `search_ms` equals `solve_ms`).
+    #[serde(default)]
+    phases: PhaseTotals,
     /// The search-engine configuration this row ran with.
     engine: EngineConfig,
+}
+
+/// One appended run of the suite: the trajectory file is a JSON array of
+/// these, newest last.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrajectoryEntry {
+    /// Entry layout version ([`TRAJECTORY_SCHEMA`]).
+    schema: String,
+    /// Seconds since the Unix epoch when the suite ran (0 for entries
+    /// migrated from the pre-append format).
+    recorded_at_unix: u64,
+    rows: Vec<TrajectoryRow>,
+}
+
+/// Loads the existing trajectory history. The pre-v2 format was a bare
+/// row array that every run overwrote; it is migrated in place into a
+/// single v1-tagged entry so no history is lost.
+fn load_history(text: &str) -> Vec<TrajectoryEntry> {
+    if let Ok(entries) = serde_json::from_str::<Vec<TrajectoryEntry>>(text) {
+        return entries;
+    }
+    match serde_json::from_str::<Vec<TrajectoryRow>>(text) {
+        Ok(rows) => vec![TrajectoryEntry {
+            schema: "optalloc-bench-trajectory-v1".to_string(),
+            recorded_at_unix: 0,
+            rows,
+        }],
+        Err(_) => Vec::new(),
+    }
 }
 
 fn main() {
@@ -133,6 +174,7 @@ fn main() {
             elim_vars: r.stats.elim_vars,
             solve_ms: r.stats.solve_ms,
             time_s,
+            phases: r.phases,
             engine: EngineConfig::of(&engine),
         };
         eprintln!(
@@ -149,13 +191,27 @@ fn main() {
         rows.push(row);
     }
 
-    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
-    if let Some(path) = &cli.json {
-        std::fs::write(path, &json).expect("write json");
-        eprintln!("(trajectory written to {})", path.display());
-    } else {
-        std::fs::create_dir_all("results").expect("create results/");
-        std::fs::write("results/bench_trajectory.json", &json).expect("write json");
-        eprintln!("(trajectory written to results/bench_trajectory.json)");
-    }
+    let entry = TrajectoryEntry {
+        schema: TRAJECTORY_SCHEMA.to_string(),
+        recorded_at_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        rows,
+    };
+    let path = match &cli.json {
+        Some(path) => path.clone(),
+        None => {
+            std::fs::create_dir_all("results").expect("create results/");
+            std::path::PathBuf::from("results/bench_trajectory.json")
+        }
+    };
+    let mut entries = match std::fs::read_to_string(&path) {
+        Ok(text) => load_history(&text),
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    let json = serde_json::to_string_pretty(&entries).expect("entries serialize");
+    std::fs::write(&path, &json).expect("write json");
+    eprintln!("(entry {} appended to {})", entries.len(), path.display());
 }

@@ -40,6 +40,15 @@
 //!                           (text DRAT with `c` comments; implies --certify)
 //!   --max-slot <n>          upper bound for TDMA slot decision variables
 //!   --out <alloc.json>      write the allocation as JSON
+//!   --trace <file>          record phase spans and write the trace after
+//!                           solving: `.jsonl` extension for the line
+//!                           format, anything else for Chrome trace_event
+//!                           JSON (loadable in chrome://tracing / Perfetto);
+//!                           see docs/OBSERVABILITY.md
+//!   --metrics               print a metrics-registry snapshot (JSON) to
+//!                           stderr after solving
+//!   --progress              live progress line on stderr while searching
+//!                           (conflicts/s, restarts, learnt tiers, window)
 //!
 //! serve options:
 //!   --addr <host:port>      bind address (default 127.0.0.1:7723)
@@ -56,6 +65,7 @@
 //!   delta <ops.json> [--base <fingerprint>] [--timeout-ms n]
 //!                           ops.json: JSON array of InstanceDelta values
 //!   status
+//!   metrics                 service metrics-registry snapshot
 //!   shutdown                begin graceful drain, then exit
 //!
 //! exit codes (solve and submit): 0 optimal/feasible, 1 internal error or
@@ -69,6 +79,7 @@
 
 use optalloc::{EncoderOpt, Objective, OptError, Optimizer, SearchEngine, SolveOptions, Strategy};
 use optalloc_model::{ticks_to_ms, MediumId};
+use optalloc_obs::{format_progress_line, Obs, PhaseTotals, ProgressHook};
 use optalloc_service::protocol::{
     Instance, JobOutcome, JobResult, Request, Response, SearchSummary, WarmLabel,
 };
@@ -91,13 +102,13 @@ fn usage() -> ExitCode {
          [--max-conflicts n] [--timeout-ms n] [--json] [--portfolio n|auto] \
          [--window n|auto] [--deterministic] [--no-encoder-opt] \
          [--search engine] [--certify] [--proof file] [--max-slot n] \
-         [--out alloc.json]\n  \
+         [--out alloc.json] [--trace file] [--metrics] [--progress]\n  \
          optalloc-cli serve [--addr host:port] [--workers n] [--queue n] \
          [--cache n] [--timeout-ms n] [--max-conflicts n] [--certify] \
          [--search engine] [--portfolio n|auto] [--window n|auto] \
          [--deterministic]\n  \
          optalloc-cli submit solve <workload.json> | delta <ops.json> \
-         [--base fp] | status | shutdown  [--addr host:port] [--json]"
+         [--base fp] | status | metrics | shutdown  [--addr host:port] [--json]"
     );
     ExitCode::from(2)
 }
@@ -254,6 +265,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut proof_path: Option<String> = None;
     let mut max_slot: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut progress = false;
     let mut search = SearchEngine::full();
     let mut encoder_opt = if optalloc_bench::encoder_opt_disabled() {
         EncoderOpt::none()
@@ -277,6 +291,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
                 certify = true;
             }
             "--max-slot" => max_slot = it.next().and_then(|s| s.parse().ok()),
+            "--trace" => trace_path = it.next().cloned(),
+            "--metrics" => metrics = true,
+            "--progress" => progress = true,
             "--no-encoder-opt" => encoder_opt = EncoderOpt::none(),
             "--search" => match it.next().map(|s| s.parse::<SearchEngine>()) {
                 Some(Ok(engine)) => search = engine,
@@ -328,6 +345,21 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         opts.max_slot = ms;
     }
 
+    // Tracing and metrics share one live handle; without either flag the
+    // solvers keep the default no-op handle (a single branch per use).
+    let obs = if trace_path.is_some() || metrics {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    opts.obs = obs.clone();
+    if progress {
+        opts.progress = Some(ProgressHook::new(|ev| {
+            eprint!("\r{}\x1b[K", format_progress_line(ev));
+            let _ = std::io::stderr().flush();
+        }));
+    }
+
     // A wall-clock limit rides on cooperative cancellation: one detached
     // watchdog thread raises the solvers' shared interrupt flag.
     let timed_out = Arc::new(AtomicBool::new(false));
@@ -363,6 +395,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             .map(|r| (r.solution.clone(), Some(r)))
     };
     let solve_ms = start.elapsed().as_millis() as u64;
+    if progress {
+        eprintln!(); // terminate the live progress line
+    }
 
     let (outcome, report) = match solved {
         Ok((sol, report)) => (
@@ -392,6 +427,25 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     };
     let code = exit_for(&outcome);
 
+    // Trace and metrics export happen for every outcome, not just optimal
+    // ones — a budget-exhausted run is exactly when you want the trace.
+    if let Some(tp) = &trace_path {
+        if let Err(e) = obs.write_trace(std::path::Path::new(tp)) {
+            eprintln!("cannot write {tp}: {e}");
+            return ExitCode::from(2);
+        }
+        if !json {
+            println!("trace written to {tp}");
+        }
+    }
+    if metrics {
+        let snapshot = obs.metrics().expect("--metrics enables obs").snapshot();
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&snapshot).expect("serialize")
+        );
+    }
+
     if json {
         let result = JobResult {
             fingerprint: fingerprint.to_string(),
@@ -404,6 +458,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
             search: report.as_ref().map_or_else(SearchSummary::default, |r| {
                 SearchSummary::from_stats(&r.stats)
             }),
+            phases: report
+                .as_ref()
+                .map_or_else(PhaseTotals::default, |r| r.phases),
         };
         println!("{}", serde_json::to_string(&result).expect("serialize"));
     }
@@ -656,6 +713,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             }
         }
         "status" => Request::Status,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
             eprintln!("unknown request `{other}`");
@@ -738,11 +796,17 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             draining,
             cached,
             search,
+            phases,
         } => {
             if !json {
                 println!(
                     "queued {queued}, inflight {inflight}, draining {draining}, \
                      cached {cached}"
+                );
+                println!(
+                    "phase totals: encode {:.1} ms, search {:.1} ms, \
+                     certify {:.1} ms",
+                    phases.encode_ms, phases.search_ms, phases.certify_ms,
                 );
                 println!(
                     "search totals: {} propagations, {} luby + {} ema restarts \
@@ -759,6 +823,20 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                     search.tier_local,
                     search.peak_learnts,
                 );
+            }
+            ExitCode::SUCCESS
+        }
+        Response::Metrics { snapshot } => {
+            if !json {
+                for c in &snapshot.counters {
+                    println!("{} {}", c.name, c.value);
+                }
+                for g in &snapshot.gauges {
+                    println!("{} {}", g.name, g.value);
+                }
+                for h in &snapshot.histograms {
+                    println!("{} count {} sum {:.1} ms", h.name, h.count, h.sum_ms);
+                }
             }
             ExitCode::SUCCESS
         }

@@ -1,0 +1,150 @@
+//! `obs-check` — validate an optalloc trace file and cross-check it
+//! against a solver result.
+//!
+//! ```text
+//! obs-check <trace-file> [--result <result.json>]
+//! ```
+//!
+//! The trace may be either export format (JSONL or Chrome `trace_event`;
+//! see `docs/OBSERVABILITY.md`). Validation checks the schema, the span
+//! tree (every `parent` reference resolves, durations are finite and
+//! non-negative, phases are known), then prints per-phase totals.
+//!
+//! With `--result`, the file must hold the one-line JSON `JobResult`
+//! printed by `optalloc-cli solve --json`. The summed `encode` /
+//! `search` / `certify` span durations must equal the result's
+//! `phases.encode_ms` / `phases.search_ms` / `phases.certify_ms`
+//! **bit-exactly**: both sides accumulate the same f64 values in the same
+//! (chronological, single-threaded) order, so any difference means a
+//! timing site bypassed the span layer. Exit code 0 on success, 1 on any
+//! validation or cross-check failure, 2 on usage errors.
+
+use optalloc_obs::{parse_trace, Phase, SpanRecord};
+use optalloc_service::protocol::JobResult;
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+/// The documented span names (`Phase::label`); anything else in a trace
+/// means a producer drifted from `docs/OBSERVABILITY.md`.
+const KNOWN_PHASES: &[&str] = &[
+    "encode",
+    "preprocess",
+    "search",
+    "bisect-window",
+    "certify",
+    "relation",
+];
+
+fn validate(spans: &[SpanRecord]) -> Result<(), String> {
+    if spans.is_empty() {
+        return Err("trace contains no spans".into());
+    }
+    let ids: HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    if ids.len() != spans.len() {
+        return Err("duplicate span ids".into());
+    }
+    for s in spans {
+        if !KNOWN_PHASES.contains(&s.phase.as_str()) {
+            return Err(format!("span {}: unknown phase `{}`", s.id, s.phase));
+        }
+        if !s.dur_ms.is_finite() || s.dur_ms < 0.0 {
+            return Err(format!("span {}: bad duration {}", s.id, s.dur_ms));
+        }
+        if let Some(p) = s.parent {
+            if !ids.contains(&p) {
+                return Err(format!("span {}: dangling parent {p}", s.id));
+            }
+            if p == s.id {
+                return Err(format!("span {}: is its own parent", s.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sums `dur_ms` over spans of `phase`, in record order — the same order
+/// the solver accumulated its stat fields in, so the f64 sum is identical.
+fn total(spans: &[SpanRecord], phase: Phase) -> f64 {
+    spans
+        .iter()
+        .filter(|s| s.phase == phase.label())
+        .map(|s| s.dur_ms)
+        // fold, not sum(): an empty Sum<f64> is -0.0, which prints as "-0"
+        .fold(0.0, |acc, d| acc + d)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (trace_path, result_path) = match args.get(1..) {
+        Some([t]) => (t, None),
+        Some([t, flag, r]) if flag == "--result" => (t, Some(r)),
+        _ => {
+            eprintln!("usage: obs-check <trace-file> [--result <result.json>]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match parse_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("INVALID {trace_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(e) = validate(&spans) {
+        eprintln!("INVALID {trace_path}: {e}");
+        return ExitCode::from(1);
+    }
+
+    let encode = total(&spans, Phase::Encode);
+    let search = total(&spans, Phase::Search);
+    let certify = total(&spans, Phase::Certify);
+    println!(
+        "{} spans ok: encode {encode} ms, search {search} ms, certify {certify} ms",
+        spans.len()
+    );
+
+    let Some(result_path) = result_path else {
+        return ExitCode::SUCCESS;
+    };
+    let result_text = match std::fs::read_to_string(result_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {result_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result: JobResult = match serde_json::from_str(result_text.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bad result file {result_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut ok = true;
+    for (name, from_trace, from_result) in [
+        ("encode_ms", encode, result.phases.encode_ms),
+        ("search_ms", search, result.phases.search_ms),
+        ("certify_ms", certify, result.phases.certify_ms),
+    ] {
+        // Bit-exact by construction; see the module docs.
+        if from_trace != from_result {
+            eprintln!("MISMATCH {name}: trace sums to {from_trace}, result reports {from_result}");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("trace totals match result phases exactly");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -17,6 +17,7 @@ use optalloc_intopt::{
     Certificate, CertificateSummary, EncodeStats, MinimizeStatus, WarmEngine, WarmMode,
 };
 use optalloc_model::{Allocation, Architecture, TaskSet};
+use optalloc_obs::{Phase, PhaseTotals};
 use optalloc_portfolio::{
     minimize_portfolio, minimize_window_search, PortfolioOptions, WorkerReport,
 };
@@ -47,6 +48,12 @@ pub struct OptimizeReport {
     pub stats: SolverStats,
     /// Wall-clock time of the full run (encode + search + decode).
     pub wall: Duration,
+    /// Per-phase wall-time breakdown. `encode_ms` and `search_ms` are the
+    /// same numbers as `encode.encode_ms` and `stats.solve_ms` — all three
+    /// are fed by the stopwatches that record the trace spans, so a trace
+    /// written by [`optalloc_obs::Obs::write_trace`] sums to exactly these
+    /// values.
+    pub phases: PhaseTotals,
     /// Per-worker execution records when [`Strategy::Portfolio`] or
     /// [`Strategy::WindowSearch`] ran; empty under [`Strategy::Single`].
     pub workers: Vec<WorkerReport>,
@@ -285,6 +292,7 @@ impl<'a> Optimizer<'a> {
                 solve_calls: 1,
                 stats: SolverStats::default(),
                 wall: start.elapsed(),
+                phases: PhaseTotals::default(),
                 workers: Vec::new(),
                 certificate: None,
             });
@@ -389,6 +397,7 @@ impl<'a> Optimizer<'a> {
                     solve_calls: 1,
                     stats: SolverStats::default(),
                     wall: start.elapsed(),
+                    phases: PhaseTotals::default(),
                     workers: Vec::new(),
                     certificate: None,
                 },
@@ -467,10 +476,22 @@ impl<'a> Optimizer<'a> {
                 // Every winner passes the same independent re-validation
                 // gate.
                 let solution = self.check(decode(enc, &model))?;
+                let mut certify_ms = 0.0;
                 let certificate = if certify {
-                    Some(self.certify(objective, value, &solution.allocation, certificate)?)
+                    // The stopwatch both times verification and records the
+                    // `certify` trace span from the same f64, mirroring the
+                    // encode/search attribution.
+                    let sw = self.opts.obs.stopwatch(Phase::Certify);
+                    let report = self.certify(objective, value, &solution.allocation, certificate);
+                    certify_ms = sw.finish();
+                    Some(report?)
                 } else {
                     None
+                };
+                let phases = PhaseTotals {
+                    encode_ms: encode.encode_ms,
+                    search_ms: stats.solve_ms,
+                    certify_ms,
                 };
                 Ok(OptimizeReport {
                     solution,
@@ -479,6 +500,7 @@ impl<'a> Optimizer<'a> {
                     solve_calls,
                     stats,
                     wall,
+                    phases,
                     workers,
                     certificate,
                 })

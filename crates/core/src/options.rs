@@ -2,6 +2,7 @@
 
 use optalloc_intopt::{Backend, BinSearchMode, EncoderOpt, MinimizeOptions, SearchEngine};
 use optalloc_model::{MediumId, Time};
+use optalloc_obs::{Obs, ProgressHook};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
@@ -124,6 +125,18 @@ pub struct SolveOptions {
     /// intended for fuzz campaigns and debugging. Defaults to on in debug
     /// builds when the `OPTALLOC_PARANOID` environment variable is set.
     pub paranoid: bool,
+    /// Observability handle threaded into every solver the run creates.
+    /// [`Obs::disabled`] (the default) costs a single branch on solver hot
+    /// paths; an [`Obs::enabled`] handle records phase spans
+    /// (encode → preprocess → search → bisect-window → certify) and a
+    /// metrics registry, exportable as JSONL or Chrome `trace_event` files
+    /// (see `docs/OBSERVABILITY.md`).
+    pub obs: Obs,
+    /// Live progress hook: throttled [`optalloc_obs::ProgressEvent`]s from
+    /// inside every search (conflict rate, restarts, learnt-DB tiers,
+    /// current cost window). Portfolio strategies stamp each worker's
+    /// events with its index.
+    pub progress: Option<ProgressHook>,
 }
 
 impl SolveOptions {
@@ -146,6 +159,8 @@ impl SolveOptions {
         opts.solver_config.interrupt = self.interrupt.clone();
         self.search.configure(&mut opts.solver_config);
         opts.solver_config.paranoid = self.paranoid;
+        opts.solver_config.obs = self.obs.clone();
+        opts.solver_config.progress = self.progress.clone();
         opts
     }
 }
@@ -167,6 +182,8 @@ impl Default for SolveOptions {
             certify: false,
             interrupt: None,
             paranoid: cfg!(debug_assertions) && optalloc_sat::paranoid_env(),
+            obs: Obs::disabled(),
+            progress: None,
         }
     }
 }

@@ -35,6 +35,7 @@ use crate::certificate::{Certificate, CertifiedWindow, WindowProof};
 use crate::prober::{CostProber, Probe};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
+use optalloc_obs::Phase;
 use optalloc_sat::{SolveResult, Solver, SolverConfig, SolverStats};
 
 /// How the sequence of `SOLVE` calls shares work.
@@ -425,7 +426,17 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
                 p.assert(cost.expr().ge(lo).and(cost.expr().le(hi)));
             }
         }
-        let encode_start = std::time::Instant::now();
+        // One `bisect-window` span per fresh-mode probe, with the `encode`
+        // and `search` spans nested inside; the same stopwatch f64 feeds
+        // `encode_ms` so the trace and stats agree exactly.
+        let mut probe_sw = solver.config.obs.stopwatch(Phase::BisectWindow);
+        if probe_sw.recording() {
+            if let Some((lo, hi)) = bounds {
+                probe_sw.attr("lo", lo.to_string());
+                probe_sw.attr("hi", hi.to_string());
+            }
+        }
+        let sw = solver.config.obs.stopwatch(Phase::Encode);
         let (form, decls) = p.prepare(&opts.encoder_opt);
         let mut bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
         let guard = use_guard.then(|| {
@@ -434,7 +445,7 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
             bl.add_guarded_bounds(&mut solver, cost, lo, hi, guard);
             guard
         });
-        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+        let encode_ms = sw.finish();
         if outcome.solve_calls == 0 {
             outcome.encode = EncodeStats {
                 bool_vars: solver.num_vars() as u64,
@@ -448,10 +459,12 @@ fn minimize_fresh(problem: &IntProblem, cost: IntVar, opts: &MinimizeOptions) ->
         if bl.trivially_unsat() {
             return (SolveResult::Unsat, None);
         }
+        solver.config.progress_window = bounds;
         let r = match guard {
             Some(g) => solver.solve(&[g]),
             None => solver.solve(&[]),
         };
+        probe_sw.finish();
         outcome.stats.absorb(&solver.stats);
         if opts.certify && r == SolveResult::Unsat {
             if let Some(log) = solver.take_proof() {

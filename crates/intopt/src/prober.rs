@@ -22,6 +22,7 @@ use crate::blast::{blast_with, Blast};
 use crate::certificate::{CertifiedWindow, WindowProof};
 use crate::problem::{IntProblem, Model};
 use crate::IntVar;
+use optalloc_obs::Phase;
 use optalloc_sat::{SolveResult, Solver, SolverStats};
 use std::borrow::Cow;
 use std::sync::Arc;
@@ -88,10 +89,17 @@ impl<'p> CostProber<'p> {
 
     fn build(problem: Cow<'p, IntProblem>, cost: IntVar, opts: &MinimizeOptions) -> CostProber<'p> {
         let mut solver = opts.new_solver();
-        let encode_start = std::time::Instant::now();
+        // The stopwatch both times the encoding and (when observability is
+        // enabled) records the `encode` trace span from the *same* f64, so
+        // `EncodeStats::encode_ms` and the trace can never disagree.
+        let mut sw = solver.config.obs.stopwatch(Phase::Encode);
         let (form, decls) = problem.prepare(&opts.encoder_opt);
         let bl = blast_with(&form, &decls, &mut solver, opts.backend, &opts.encoder_opt);
-        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+        if sw.recording() {
+            sw.attr("vars", solver.num_vars().to_string());
+            sw.attr("constraints", solver.num_constraints().to_string());
+        }
+        let encode_ms = sw.finish();
         // Clause sharing may only cover the base encoding: guard variables
         // for window bounds are allocated from here on up.
         if solver.config.share_var_limit == 0 {
@@ -187,16 +195,30 @@ impl<'p> CostProber<'p> {
                 if lo > hi {
                     return Probe::Unsat;
                 }
+                // The whole bounded probe is one `bisect-window` span; the
+                // guard encoding and the solver's own `search` span nest
+                // inside it via the thread-local span stack.
+                let mut probe_sw = self.solver.config.obs.stopwatch(Phase::BisectWindow);
+                if probe_sw.recording() {
+                    probe_sw.attr("lo", lo.to_string());
+                    probe_sw.attr("hi", hi.to_string());
+                }
                 // Guard-clause emission is encoding work: attribute it to
                 // encode_ms so solve_ms stays pure search time even across
-                // many reused probes.
-                let encode_start = std::time::Instant::now();
+                // many reused probes. Same stopwatch-as-span pattern as the
+                // base encoding above.
+                let mut sw = self.solver.config.obs.stopwatch(Phase::Encode);
                 let guard = self.solver.new_var().positive();
                 self.bl
                     .add_guarded_bounds(&mut self.solver, self.cost, lo, hi, guard);
-                self.encode.encode_ms += encode_start.elapsed().as_secs_f64() * 1e3;
+                if sw.recording() {
+                    sw.attr("pass", "guard-bounds");
+                }
+                self.encode.encode_ms += sw.finish();
                 self.solve_calls += 1;
+                self.solver.config.progress_window = Some((lo, hi));
                 let r = self.solver.solve(&[guard]);
+                probe_sw.finish();
                 if r == SolveResult::Unsat && self.solver.config.proof {
                     // The failed-assumption clause ¬guard in the trace
                     // certifies "no model with lo ≤ cost ≤ hi".
@@ -213,6 +235,7 @@ impl<'p> CostProber<'p> {
             }
             None => {
                 self.solve_calls += 1;
+                self.solver.config.progress_window = None;
                 let r = self.solver.solve(&[]);
                 if r == SolveResult::Unsat && self.solver.config.proof {
                     // Unbounded refutation: the trace proves the base

@@ -1,0 +1,258 @@
+//! Hierarchical phase spans: wall-clock timing with a thread-local parent
+//! stack, exportable as JSONL or Chrome `trace_event` JSON.
+//!
+//! The central primitive is the [`Stopwatch`]: it *always* measures elapsed
+//! time (that is the pre-existing cost of the `encode_ms`/`solve_ms`
+//! bookkeeping, not new overhead) and *additionally* records a span when the
+//! owning [`Obs`](crate::Obs) handle is enabled. Because the recorded span
+//! duration and the value returned to the caller are the **same** `f64`,
+//! a trace's per-phase totals and the stat fields fed from stopwatches can
+//! never disagree: both are sums over the identical sequence of numbers.
+
+use crate::Obs;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The pipeline phase a span belongs to (its `name` in trace exports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Bit-blasting the integer problem (or a probe's guard bounds) to
+    /// clauses/PB constraints.
+    Encode,
+    /// Level-0 simplification / inprocessing inside the SAT solver
+    /// (occurs nested under a [`Phase::Search`] span; its time is part of
+    /// the search total).
+    Preprocess,
+    /// One SAT `solve` call.
+    Search,
+    /// One cost-window probe of the `BIN_SEARCH` bisection (parents the
+    /// probe's guard [`Phase::Encode`] and [`Phase::Search`] spans).
+    BisectWindow,
+    /// Certificate assembly + verification (DRAT re-check, witness replay).
+    Certify,
+    /// One metamorphic-relation check in a fuzz campaign.
+    Relation,
+    /// Anything else; the label is used verbatim as the span name.
+    Other(&'static str),
+}
+
+impl Phase {
+    /// The span name used in trace exports (stable, documented in
+    /// `docs/OBSERVABILITY.md`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Encode => "encode",
+            Phase::Preprocess => "preprocess",
+            Phase::Search => "search",
+            Phase::BisectWindow => "bisect-window",
+            Phase::Certify => "certify",
+            Phase::Relation => "relation",
+            Phase::Other(s) => s,
+        }
+    }
+}
+
+/// One completed span, as recorded in the trace buffer. Field meanings are
+/// part of the documented JSONL schema (`docs/OBSERVABILITY.md`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Unique id within the trace (allocation order, starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Phase label (see [`Phase::label`]).
+    pub phase: String,
+    /// Start offset in microseconds since the trace epoch (handle creation).
+    pub start_us: u64,
+    /// Duration in milliseconds — the exact `f64` the stopwatch returned to
+    /// its caller (single source of truth with `encode_ms`/`solve_ms`).
+    pub dur_ms: f64,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+    /// Free-form key/value attributes (`window`, `worker`, `seed`, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Aggregated per-phase totals computed from a trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseTotal {
+    /// Phase label.
+    pub phase: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Sum of `dur_ms` in record order.
+    pub total_ms: f64,
+}
+
+/// Per-request phase breakdown carried on reports and wire responses.
+///
+/// The fields are fed from the same stopwatches that record trace spans, so
+/// with tracing enabled `encode_ms` equals the trace's `encode` total and
+/// `search_ms` equals its `search` total exactly. `preprocess_ms` is *not*
+/// additive with `search_ms` — preprocessing runs nested inside solve calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTotals {
+    /// Encoding time (problem blast + per-probe guard emission), ms.
+    pub encode_ms: f64,
+    /// SAT search time (sum over solve calls; includes nested
+    /// preprocessing), ms.
+    pub search_ms: f64,
+    /// Certificate assembly + verification time, ms.
+    pub certify_ms: f64,
+}
+
+impl PhaseTotals {
+    /// Adds every component of `other` into `self` (aggregation across
+    /// jobs or workers).
+    pub fn absorb(&mut self, other: &PhaseTotals) {
+        self.encode_ms += other.encode_ms;
+        self.search_ms += other.search_ms;
+        self.certify_ms += other.certify_ms;
+    }
+
+    /// Total attributed time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.encode_ms + self.search_ms + self.certify_ms
+    }
+}
+
+// Small dense per-thread ids for trace display; assigned on first use,
+// process-global (trace consumers only need stable distinct values).
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Ids of the currently-open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+pub(crate) struct PendingSpan {
+    pub(crate) obs: Obs,
+    pub(crate) id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) phase: Phase,
+    pub(crate) start_us: u64,
+    pub(crate) attrs: Vec<(String, String)>,
+}
+
+/// Measures one phase. Created by [`Obs::stopwatch`]; call
+/// [`finish`](Stopwatch::finish) to obtain the elapsed milliseconds (a
+/// dropped stopwatch still records its span, but the duration is lost to
+/// the caller).
+pub struct Stopwatch {
+    start: Instant,
+    pending: Option<PendingSpan>,
+}
+
+impl Stopwatch {
+    pub(crate) fn start(obs: &Obs, phase: Phase) -> Stopwatch {
+        let pending = obs.core().map(|core| {
+            let id = core.next_span_id();
+            let parent = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied();
+                s.push(id);
+                parent
+            });
+            PendingSpan {
+                obs: obs.clone(),
+                id,
+                parent,
+                phase,
+                start_us: core.epoch_us(),
+                attrs: Vec::new(),
+            }
+        });
+        Stopwatch {
+            start: Instant::now(),
+            pending,
+        }
+    }
+
+    /// `true` when this stopwatch will record a span — guard any
+    /// attribute-formatting work on it to keep the disabled path free of
+    /// allocations.
+    pub fn recording(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Attaches a key/value attribute to the recorded span (no-op when
+    /// disabled; prefer `if sw.recording()` around expensive formatting).
+    pub fn attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(p) = &mut self.pending {
+            p.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Stops the watch, records the span (when enabled) and returns the
+    /// elapsed milliseconds. The recorded `dur_ms` is this exact value.
+    pub fn finish(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        let dur_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        if let Some(p) = self.pending.take() {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                // Robust against out-of-order drops (panic unwinding): pop
+                // through any abandoned inner ids.
+                while let Some(top) = s.pop() {
+                    if top == p.id {
+                        break;
+                    }
+                }
+            });
+            if let Some(core) = p.obs.core() {
+                core.record(SpanRecord {
+                    id: p.id,
+                    parent: p.parent,
+                    phase: p.phase.label().to_string(),
+                    start_us: p.start_us,
+                    dur_ms,
+                    tid: current_tid(),
+                    attrs: p.attrs,
+                });
+            }
+        }
+        dur_ms
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        if self.pending.is_some() {
+            self.close();
+        }
+    }
+}
+
+/// Sums spans per phase, in record order (so a sum over a single-threaded
+/// trace reproduces the stat-field accumulation bit-for-bit).
+pub fn phase_totals(spans: &[SpanRecord]) -> Vec<PhaseTotal> {
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: Vec<PhaseTotal> = Vec::new();
+    for s in spans {
+        match order.iter().position(|p| *p == s.phase) {
+            Some(i) => {
+                totals[i].count += 1;
+                totals[i].total_ms += s.dur_ms;
+            }
+            None => {
+                order.push(s.phase.clone());
+                totals.push(PhaseTotal {
+                    phase: s.phase.clone(),
+                    count: 1,
+                    total_ms: s.dur_ms,
+                });
+            }
+        }
+    }
+    totals
+}

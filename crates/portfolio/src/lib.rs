@@ -327,6 +327,9 @@ pub fn minimize_portfolio(
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let (mut wopts, desc) = worker_options(&opts.base, i);
+                // Each worker's progress events and spans carry its index,
+                // so merged streams stay attributable.
+                wopts.solver_config.progress_worker = Some(i);
                 let keep_model: IncumbentCallback = {
                     let registry = Arc::clone(&registry);
                     Arc::new(move |value, model: &Model| {

@@ -413,6 +413,9 @@ pub fn minimize_window_search(
         // staleness flag instead, and a monitor thread bridges the caller's
         // flag to the scheduler.
         w.solver_config.interrupt = opts.base.solver_config.interrupt.clone();
+        // Progress events from a window worker carry its index; the solver
+        // stamps the per-probe window itself.
+        w.solver_config.progress_worker = Some(i);
         if let Some(ex) = &exchange {
             w.solver_config.exchange = Some(Arc::clone(ex));
             w.solver_config.share_writer = i as u32;

@@ -33,6 +33,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use optalloc_obs::{Obs, Phase, ProgressEvent, ProgressHook, ProgressThrottle, DEFAULT_MS_BUCKETS};
+
 mod paranoid;
 mod simp;
 
@@ -357,6 +359,29 @@ pub struct SolverConfig {
     /// builds when the `OPTALLOC_PARANOID` environment variable is set to
     /// `1`/`true`/`on`; settable explicitly in any build.
     pub paranoid: bool,
+    /// Observability handle ([`optalloc_obs::Obs`]). Disabled by default;
+    /// when enabled, every `solve` call records a `search` span (with
+    /// nested `preprocess` spans for simplification/vivification rounds)
+    /// and pushes its counter deltas into the metrics registry at solve
+    /// exit. The hot search loop itself is never touched: with the handle
+    /// disabled the only cost anywhere is a single branch per solve call.
+    pub obs: Obs,
+    /// Progress-event subscriber. When set, the solver emits a throttled
+    /// [`ProgressEvent`] stream from the conflict loop (see
+    /// [`progress_every_conflicts`](Self::progress_every_conflicts)); when
+    /// `None` — the default — the per-conflict cost is one branch.
+    pub progress: Option<ProgressHook>,
+    /// Conflicts between progress-event emission checks (the integer-only
+    /// fast path of the throttle).
+    pub progress_every_conflicts: u64,
+    /// Minimum wall-clock milliseconds between emitted progress events.
+    pub progress_interval_ms: u64,
+    /// Worker index stamped on emitted progress events (portfolio/window
+    /// searches tag each worker's stream before merging).
+    pub progress_worker: Option<usize>,
+    /// Cost window `[lo, hi]` stamped on emitted progress events; the
+    /// bisection loop updates it before each probe.
+    pub progress_window: Option<(i64, i64)>,
 }
 
 /// `true` when the `OPTALLOC_PARANOID` environment variable requests
@@ -396,155 +421,159 @@ impl Default for SolverConfig {
             restart_policy: RestartPolicy::Ema,
             vivify: true,
             paranoid: cfg!(debug_assertions) && paranoid_env(),
+            obs: Obs::disabled(),
+            progress: None,
+            progress_every_conflicts: 2048,
+            progress_interval_ms: 50,
+            progress_worker: None,
+            progress_window: None,
         }
     }
 }
 
-/// Execution counters, exposed for the paper's complexity tables.
-#[derive(Default, Clone, Debug)]
-pub struct SolverStats {
-    /// Decisions made.
-    pub decisions: u64,
-    /// Literals propagated (clause + PB).
-    pub propagations: u64,
-    /// Conflicts analyzed.
-    pub conflicts: u64,
-    /// Restarts performed.
-    pub restarts: u64,
-    /// Clauses learned (including units).
-    pub learned: u64,
-    /// Learned clauses deleted by DB reduction.
-    pub deleted: u64,
-    /// Propagations caused by PB constraints.
-    pub pb_propagations: u64,
-    /// Learned clauses published to the cross-solver exchange.
-    pub exported: u64,
-    /// Foreign clauses imported from the exchange.
-    pub imported: u64,
-    /// Input clauses removed by preprocessing (satisfied, duplicate or
-    /// subsumed).
-    pub pp_removed: u64,
-    /// Literals removed from input clauses by self-subsuming resolution.
-    pub pp_strengthened: u64,
-    /// Variables fixed at level 0 by preprocessing.
-    pub pp_fixed: u64,
-    /// Variables removed by bounded variable elimination (cumulative).
-    pub elim_vars: u64,
-    /// Input clauses moved onto the reconstruction stack by elimination.
-    pub elim_clauses: u64,
-    /// Resolvents added by clause distribution during elimination.
-    pub elim_resolvents: u64,
-    /// Eliminated variables restored because a later constraint, assumption
-    /// or freeze referenced them (the melt-on-reuse protocol).
-    pub elim_restored: u64,
-    /// Variables currently eliminated, i.e. the live depth of the
-    /// model-reconstruction stack (gauge).
-    pub elim_stack_depth: u64,
-    /// Restarts taken under [`RestartPolicy::Luby`].
-    pub restarts_luby: u64,
-    /// Restarts taken under [`RestartPolicy::Ema`].
-    pub restarts_ema: u64,
-    /// EMA restarts suppressed by trail-size blocking.
-    pub restarts_blocked: u64,
-    /// Learned clauses strengthened by in-search vivification.
-    pub vivified: u64,
-    /// Literals removed from learned clauses by vivification.
-    pub vivify_lits_removed: u64,
-    /// CORE-tier learned clauses currently retained (gauge).
-    pub tier_core: u64,
-    /// TIER2 learned clauses currently retained (gauge).
-    pub tier_mid: u64,
-    /// LOCAL-tier learned clauses currently retained (gauge).
-    pub tier_local: u64,
-    /// High-water mark of retained learned clauses (gauge).
-    pub peak_learnts: u64,
-    /// Bytes of watch-list capacity released during garbage collection.
-    pub watch_bytes_reclaimed: u64,
-    /// Wall-clock milliseconds spent inside `solve` calls (search only;
-    /// encoding time is tracked separately by the callers).
-    pub solve_ms: f64,
+/// Per-field aggregation rule inside [`define_solver_stats!`]:
+/// `counter` adds in `absorb` and subtracts in `delta_since`;
+/// `counter_sat` is a counter whose delta saturates at zero;
+/// `gauge` sums across cooperating solvers in `absorb` (tier sizes and
+/// stack depths add up to the fleet total) but carries its *current* value
+/// in `delta_since` (a difference could go negative after a reduction);
+/// `max` keeps the worst single solver in `absorb` and the current value
+/// in `delta_since`.
+macro_rules! stat_absorb {
+    (counter, $a:expr, $b:expr) => {
+        $a += $b
+    };
+    (counter_sat, $a:expr, $b:expr) => {
+        $a += $b
+    };
+    (gauge, $a:expr, $b:expr) => {
+        $a += $b
+    };
+    (max, $a:expr, $b:expr) => {
+        $a = $a.max($b)
+    };
 }
 
-impl SolverStats {
-    /// Adds every counter of `other` into `self` — for aggregating the
-    /// per-call or per-worker statistics of cooperating solvers.
-    pub fn absorb(&mut self, other: &SolverStats) {
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.conflicts += other.conflicts;
-        self.restarts += other.restarts;
-        self.learned += other.learned;
-        self.deleted += other.deleted;
-        self.pb_propagations += other.pb_propagations;
-        self.exported += other.exported;
-        self.imported += other.imported;
-        self.pp_removed += other.pp_removed;
-        self.pp_strengthened += other.pp_strengthened;
-        self.pp_fixed += other.pp_fixed;
-        self.elim_vars += other.elim_vars;
-        self.elim_clauses += other.elim_clauses;
-        self.elim_resolvents += other.elim_resolvents;
-        self.elim_restored += other.elim_restored;
-        // Gauge: like the tier sizes, the stack depths sum to the total
-        // across cooperating solvers.
-        self.elim_stack_depth += other.elim_stack_depth;
-        self.restarts_luby += other.restarts_luby;
-        self.restarts_ema += other.restarts_ema;
-        self.restarts_blocked += other.restarts_blocked;
-        self.vivified += other.vivified;
-        self.vivify_lits_removed += other.vivify_lits_removed;
-        // Gauges: tier sizes sum to the total retention across solvers;
-        // the peak takes the worst single solver.
-        self.tier_core += other.tier_core;
-        self.tier_mid += other.tier_mid;
-        self.tier_local += other.tier_local;
-        self.peak_learnts = self.peak_learnts.max(other.peak_learnts);
-        self.watch_bytes_reclaimed += other.watch_bytes_reclaimed;
-        self.solve_ms += other.solve_ms;
-    }
+macro_rules! stat_delta {
+    (counter, $a:expr, $b:expr) => {
+        $a - $b
+    };
+    (counter_sat, $a:expr, $b:expr) => {
+        $a.saturating_sub($b)
+    };
+    (gauge, $a:expr, $b:expr) => {
+        $a
+    };
+    (max, $a:expr, $b:expr) => {
+        $a
+    };
+}
 
-    /// The increment since `baseline` (an earlier snapshot of the same
-    /// solver's counters) — the inverse of [`absorb`](Self::absorb). A
-    /// long-lived solver reused across requests accumulates counters
-    /// monotonically; this attributes the cumulative totals to one request.
-    pub fn delta_since(&self, baseline: &SolverStats) -> SolverStats {
-        SolverStats {
-            decisions: self.decisions - baseline.decisions,
-            propagations: self.propagations - baseline.propagations,
-            conflicts: self.conflicts - baseline.conflicts,
-            restarts: self.restarts - baseline.restarts,
-            learned: self.learned - baseline.learned,
-            deleted: self.deleted - baseline.deleted,
-            pb_propagations: self.pb_propagations - baseline.pb_propagations,
-            exported: self.exported - baseline.exported,
-            imported: self.imported - baseline.imported,
-            pp_removed: self.pp_removed - baseline.pp_removed,
-            pp_strengthened: self.pp_strengthened - baseline.pp_strengthened,
-            pp_fixed: self.pp_fixed - baseline.pp_fixed,
-            elim_vars: self.elim_vars - baseline.elim_vars,
-            elim_clauses: self.elim_clauses - baseline.elim_clauses,
-            elim_resolvents: self.elim_resolvents - baseline.elim_resolvents,
-            elim_restored: self.elim_restored - baseline.elim_restored,
-            // Gauge: current stack depth (see the tier-size comment below).
-            elim_stack_depth: self.elim_stack_depth,
-            restarts_luby: self.restarts_luby - baseline.restarts_luby,
-            restarts_ema: self.restarts_ema - baseline.restarts_ema,
-            restarts_blocked: self.restarts_blocked - baseline.restarts_blocked,
-            vivified: self.vivified - baseline.vivified,
-            vivify_lits_removed: self.vivify_lits_removed - baseline.vivify_lits_removed,
-            // Gauges carry their current value: "what is retained now" is
-            // the meaningful per-request answer, and a difference against
-            // the baseline could go negative after a reduction.
-            tier_core: self.tier_core,
-            tier_mid: self.tier_mid,
-            tier_local: self.tier_local,
-            peak_learnts: self.peak_learnts,
-            watch_bytes_reclaimed: self
-                .watch_bytes_reclaimed
-                .saturating_sub(baseline.watch_bytes_reclaimed),
-            solve_ms: self.solve_ms - baseline.solve_ms,
-        }
+/// Converts a stat field to `f64` for metric export (used by
+/// [`SolverStats::for_each_metric`]).
+trait StatField {
+    fn as_metric(&self) -> f64;
+}
+
+impl StatField for u64 {
+    fn as_metric(&self) -> f64 {
+        *self as f64
     }
+}
+
+impl StatField for f64 {
+    fn as_metric(&self) -> f64 {
+        *self
+    }
+}
+
+/// Declares [`SolverStats`] from a single field list, generating the
+/// struct, [`absorb`](SolverStats::absorb),
+/// [`delta_since`](SolverStats::delta_since) and
+/// [`for_each_metric`](SolverStats::for_each_metric) together so a new
+/// counter can never be added to one and silently dropped from the others
+/// (the attribution-drift bug this replaces: three hand-maintained
+/// field-by-field copies).
+macro_rules! define_solver_stats {
+    ($( [$kind:ident] $name:ident : $ty:ty = $doc:expr; )+) => {
+        /// Execution counters, exposed for the paper's complexity tables.
+        #[derive(Default, Clone, Debug)]
+        pub struct SolverStats {
+            $( #[doc = $doc] pub $name: $ty, )+
+        }
+
+        impl SolverStats {
+            /// Adds every counter of `other` into `self` — for aggregating
+            /// the per-call or per-worker statistics of cooperating
+            /// solvers. Gauges sum to the fleet total; peaks take the max.
+            pub fn absorb(&mut self, other: &SolverStats) {
+                $( stat_absorb!($kind, self.$name, other.$name); )+
+            }
+
+            /// The increment since `baseline` (an earlier snapshot of the
+            /// same solver's counters) — the inverse of
+            /// [`absorb`](Self::absorb) for counters, while gauges carry
+            /// their current value. A long-lived solver reused across
+            /// requests accumulates counters monotonically; this attributes
+            /// the cumulative totals to one request.
+            pub fn delta_since(&self, baseline: &SolverStats) -> SolverStats {
+                SolverStats {
+                    $( $name: stat_delta!($kind, self.$name, baseline.$name), )+
+                }
+            }
+
+            /// Visits every field as `(name, kind, value)` with kind one of
+            /// `"counter"`, `"counter_sat"`, `"gauge"`, `"max"` — the
+            /// single source the metrics export walks, so the registry can
+            /// never miss a field that exists on the struct.
+            pub fn for_each_metric(&self, f: &mut dyn FnMut(&'static str, &'static str, f64)) {
+                $( f(stringify!($name), stringify!($kind), StatField::as_metric(&self.$name)); )+
+            }
+        }
+    };
+}
+
+define_solver_stats! {
+    [counter] decisions: u64 = "Decisions made.";
+    [counter] propagations: u64 = "Literals propagated (clause + PB).";
+    [counter] conflicts: u64 = "Conflicts analyzed.";
+    [counter] restarts: u64 = "Restarts performed.";
+    [counter] learned: u64 = "Clauses learned (including units).";
+    [counter] deleted: u64 = "Learned clauses deleted by DB reduction.";
+    [counter] pb_propagations: u64 = "Propagations caused by PB constraints.";
+    [counter] exported: u64 = "Learned clauses published to the cross-solver exchange.";
+    [counter] imported: u64 = "Foreign clauses imported from the exchange.";
+    [counter] pp_removed: u64 =
+        "Input clauses removed by preprocessing (satisfied, duplicate or subsumed).";
+    [counter] pp_strengthened: u64 =
+        "Literals removed from input clauses by self-subsuming resolution.";
+    [counter] pp_fixed: u64 = "Variables fixed at level 0 by preprocessing.";
+    [counter] elim_vars: u64 = "Variables removed by bounded variable elimination (cumulative).";
+    [counter] elim_clauses: u64 =
+        "Input clauses moved onto the reconstruction stack by elimination.";
+    [counter] elim_resolvents: u64 = "Resolvents added by clause distribution during elimination.";
+    [counter] elim_restored: u64 =
+        "Eliminated variables restored because a later constraint, assumption or freeze \
+         referenced them (the melt-on-reuse protocol).";
+    [gauge] elim_stack_depth: u64 =
+        "Variables currently eliminated, i.e. the live depth of the model-reconstruction \
+         stack (gauge).";
+    [counter] restarts_luby: u64 = "Restarts taken under [`RestartPolicy::Luby`].";
+    [counter] restarts_ema: u64 = "Restarts taken under [`RestartPolicy::Ema`].";
+    [counter] restarts_blocked: u64 = "EMA restarts suppressed by trail-size blocking.";
+    [counter] vivified: u64 = "Learned clauses strengthened by in-search vivification.";
+    [counter] vivify_lits_removed: u64 =
+        "Literals removed from learned clauses by vivification.";
+    [gauge] tier_core: u64 = "CORE-tier learned clauses currently retained (gauge).";
+    [gauge] tier_mid: u64 = "TIER2 learned clauses currently retained (gauge).";
+    [gauge] tier_local: u64 = "LOCAL-tier learned clauses currently retained (gauge).";
+    [max] peak_learnts: u64 = "High-water mark of retained learned clauses (gauge).";
+    [counter_sat] watch_bytes_reclaimed: u64 =
+        "Bytes of watch-list capacity released during garbage collection.";
+    [counter] solve_ms: f64 =
+        "Wall-clock milliseconds spent inside `solve` calls (search only; encoding time is \
+         tracked separately by the callers). Fed from the same stopwatch that records the \
+         `search` trace span, so the two can never disagree.";
 }
 
 /// CDCL SAT solver with native pseudo-Boolean constraints.
@@ -636,6 +665,10 @@ pub struct Solver {
     /// Extended DRAT trace, lazily created when `config.proof` is set.
     proof: Option<ProofLog>,
 
+    /// Rate limiter for the progress stream, lazily created from the config
+    /// the first time a hooked solver reaches a conflict.
+    progress_throttle: Option<ProgressThrottle>,
+
     /// Execution counters.
     pub stats: SolverStats,
 }
@@ -691,6 +724,7 @@ impl Solver {
             elim_pos: Vec::new(),
             inputs_since_simplify: 0,
             proof: None,
+            progress_throttle: None,
             stats: SolverStats::default(),
         }
     }
@@ -1851,10 +1885,91 @@ impl Solver {
     /// All constraints and learned clauses persist across calls, which is
     /// what makes the binary-search optimization loop incremental.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        let start = std::time::Instant::now();
+        // The stopwatch replaces the raw `Instant` this used to hold: it
+        // always measures, and when observability is enabled the *same* f64
+        // it returns becomes the recorded `search` span's `dur_ms` — so the
+        // trace and `stats.solve_ms` can never disagree.
+        let before = self.config.obs.is_enabled().then(|| self.stats.clone());
+        let mut sw = self.config.obs.stopwatch(Phase::Search);
         let result = self.solve_inner(assumptions);
-        self.stats.solve_ms += start.elapsed().as_secs_f64() * 1e3;
+        if sw.recording() {
+            sw.attr(
+                "result",
+                match result {
+                    SolveResult::Sat => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                    SolveResult::Interrupted => "interrupted",
+                },
+            );
+            sw.attr("assumptions", assumptions.len().to_string());
+        }
+        self.stats.solve_ms += sw.finish();
+        if let Some(before) = before {
+            self.export_metrics(&before);
+        }
         result
+    }
+
+    /// Pushes the per-call increment of every stat field into the metrics
+    /// registry as `solver.<field>` counters/gauges, plus a latency
+    /// histogram over `solver.solve_ms`. Driven by
+    /// [`SolverStats::for_each_metric`], so a field added to the struct is
+    /// exported automatically.
+    #[cold]
+    fn export_metrics(&mut self, before: &SolverStats) {
+        let Some(metrics) = self.config.obs.metrics() else {
+            return;
+        };
+        let delta = self.stats.delta_since(before);
+        let mut name = String::with_capacity(32);
+        delta.for_each_metric(&mut |field, kind, value| {
+            name.clear();
+            name.push_str("solver.");
+            name.push_str(field);
+            match kind {
+                // Gauges and peaks carry the current value; everything else
+                // is a monotone per-call increment.
+                "gauge" | "max" => metrics.gauge(&name).set(value as i64),
+                _ => metrics.counter(&name).add(value as u64),
+            }
+        });
+        metrics
+            .histogram("solver.solve_ms", DEFAULT_MS_BUCKETS)
+            .observe(delta.solve_ms);
+    }
+
+    /// Emits a throttled [`ProgressEvent`] through the configured hook.
+    /// Reached only when a hook is installed; the caller guards with a
+    /// single `Option` test so the unhooked per-conflict cost stays at one
+    /// branch.
+    #[cold]
+    fn emit_progress(&mut self) {
+        let throttle = self.progress_throttle.get_or_insert_with(|| {
+            ProgressThrottle::new(
+                self.config.progress_every_conflicts,
+                self.config.progress_interval_ms,
+            )
+        });
+        let Some(rate) = throttle.due(self.stats.conflicts) else {
+            return;
+        };
+        self.refresh_tier_stats();
+        let ev = ProgressEvent {
+            worker: self.config.progress_worker,
+            conflicts: self.stats.conflicts,
+            conflicts_per_s: rate,
+            propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
+            learnt_core: self.stats.tier_core,
+            learnt_mid: self.stats.tier_mid,
+            learnt_local: self.stats.tier_local,
+            window: self.config.progress_window,
+            elim_vars: self.stats.elim_vars,
+        };
+        if let Some(hook) = &self.config.progress {
+            hook.emit(&ev);
+        }
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
@@ -1886,7 +2001,12 @@ impl Solver {
         if self.config.preprocess && (!self.preprocessed || self.inprocess_due()) {
             let first = !self.preprocessed;
             self.preprocessed = true;
+            let mut sw = self.config.obs.stopwatch(Phase::Preprocess);
+            if sw.recording() {
+                sw.attr("pass", if first { "simplify-first" } else { "inprocess" });
+            }
             self.simplify(assumptions, first);
+            sw.finish();
             if !self.ok {
                 return SolveResult::Unsat;
             }
@@ -1931,7 +2051,12 @@ impl Solver {
                     }
                     if self.config.vivify && self.learned_since_vivify >= VIVIFY_MIN_LEARNED {
                         self.learned_since_vivify = 0;
+                        let mut sw = self.config.obs.stopwatch(Phase::Preprocess);
+                        if sw.recording() {
+                            sw.attr("pass", "vivify");
+                        }
                         self.vivify_round();
+                        sw.finish();
                         if !self.ok {
                             break SolveResult::Unsat;
                         }
@@ -2009,6 +2134,11 @@ impl Solver {
                 self.decay_activities();
                 if self.config.restart_policy == RestartPolicy::Ema {
                     self.update_restart_emas(lbd, trail_at_conflict, conflicts_since_restart);
+                }
+                // Unhooked solvers pay exactly this one branch per conflict;
+                // hooked ones fall into the throttle's integer fast path.
+                if self.config.progress.is_some() {
+                    self.emit_progress();
                 }
                 if let Some(max) = self.config.max_conflicts {
                     if *conflicts_this_call >= max {
@@ -2429,6 +2559,167 @@ mod tests {
     fn add(s: &mut Solver, ids: &mut Vec<Var>, clause: &[i32]) -> bool {
         let lits: Vec<Lit> = clause.iter().map(|&i| lit(s, ids, i)).collect();
         s.add_clause(&lits)
+    }
+
+    /// Fills every stat field with a distinct value derived from `base`
+    /// via the metric iterator, so the test can never silently skip a
+    /// newly added field.
+    fn synthetic_stats(base: u64) -> SolverStats {
+        let mut s = SolverStats::default();
+        let mut names = Vec::new();
+        s.for_each_metric(&mut |name, kind, _| names.push((name, kind)));
+        s.decisions = base;
+        s.propagations = base + 1;
+        s.conflicts = base + 2;
+        s.restarts = base + 3;
+        s.learned = base + 4;
+        s.deleted = base + 5;
+        s.pb_propagations = base + 6;
+        s.exported = base + 7;
+        s.imported = base + 8;
+        s.pp_removed = base + 9;
+        s.pp_strengthened = base + 10;
+        s.pp_fixed = base + 11;
+        s.elim_vars = base + 12;
+        s.elim_clauses = base + 13;
+        s.elim_resolvents = base + 14;
+        s.elim_restored = base + 15;
+        s.elim_stack_depth = base + 16;
+        s.restarts_luby = base + 17;
+        s.restarts_ema = base + 18;
+        s.restarts_blocked = base + 19;
+        s.vivified = base + 20;
+        s.vivify_lits_removed = base + 21;
+        s.tier_core = base + 22;
+        s.tier_mid = base + 23;
+        s.tier_local = base + 24;
+        s.peak_learnts = base + 25;
+        s.watch_bytes_reclaimed = base + 26;
+        s.solve_ms = base as f64 + 27.5;
+        assert_eq!(names.len(), 28, "synthetic_stats must cover every field");
+        s
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters_and_maxes_peak() {
+        let mut a = synthetic_stats(100);
+        let b = synthetic_stats(1000);
+        a.absorb(&b);
+        assert_eq!(a.decisions, 1100);
+        assert_eq!(a.solve_ms, 127.5 + 1027.5);
+        // Gauges sum to the fleet total.
+        assert_eq!(a.tier_core, 122 + 1022);
+        assert_eq!(a.elim_stack_depth, 116 + 1016);
+        // Peak takes the worst single solver.
+        assert_eq!(a.peak_learnts, 1025);
+    }
+
+    #[test]
+    fn stats_delta_inverts_absorb_for_counters() {
+        let baseline = synthetic_stats(100);
+        let mut grown = baseline.clone();
+        let increment = synthetic_stats(40);
+        grown.absorb(&increment);
+        let delta = grown.delta_since(&baseline);
+        // Counters recover the increment exactly.
+        assert_eq!(delta.decisions, increment.decisions);
+        assert_eq!(delta.conflicts, increment.conflicts);
+        assert_eq!(delta.watch_bytes_reclaimed, increment.watch_bytes_reclaimed);
+        assert_eq!(delta.solve_ms, increment.solve_ms);
+        // Gauges and peaks carry the grown (current) value, not a diff.
+        assert_eq!(delta.tier_core, grown.tier_core);
+        assert_eq!(delta.elim_stack_depth, grown.elim_stack_depth);
+        assert_eq!(delta.peak_learnts, grown.peak_learnts);
+    }
+
+    #[test]
+    fn stats_delta_saturates_watch_bytes() {
+        // A GC in the baseline epoch can make the cumulative counter look
+        // like it shrank per-request; the delta must clamp at zero rather
+        // than wrap.
+        let now = SolverStats {
+            watch_bytes_reclaimed: 10,
+            ..SolverStats::default()
+        };
+        let base = SolverStats {
+            watch_bytes_reclaimed: 25,
+            ..SolverStats::default()
+        };
+        assert_eq!(now.delta_since(&base).watch_bytes_reclaimed, 0);
+    }
+
+    #[test]
+    fn stats_metric_iterator_covers_every_field() {
+        let s = synthetic_stats(7);
+        let mut seen = std::collections::BTreeMap::new();
+        s.for_each_metric(&mut |name, kind, value| {
+            seen.insert(name, (kind, value));
+        });
+        assert_eq!(seen.len(), 28);
+        assert_eq!(seen["decisions"], ("counter", 7.0));
+        assert_eq!(seen["elim_stack_depth"].0, "gauge");
+        assert_eq!(seen["peak_learnts"].0, "max");
+        assert_eq!(seen["watch_bytes_reclaimed"].0, "counter_sat");
+        assert_eq!(seen["solve_ms"], ("counter", 34.5));
+    }
+
+    #[test]
+    fn solve_records_search_span_matching_solve_ms() {
+        let obs = Obs::enabled();
+        let mut s = Solver::new();
+        s.config.obs = obs.clone();
+        let mut ids = Vec::new();
+        for i in 1..=8 {
+            add(&mut s, &mut ids, &[i, -(i % 8 + 1)]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.solve(&[ids[0].positive()]), SolveResult::Sat);
+        let spans = obs.spans();
+        let search: Vec<_> = spans.iter().filter(|r| r.phase == "search").collect();
+        assert_eq!(search.len(), 2, "one search span per solve call");
+        let total: f64 = search.iter().map(|r| r.dur_ms).sum();
+        // Same f64 stream, same order: bit-exact, not approximate.
+        assert_eq!(total, s.stats.solve_ms);
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter("solver.solve_calls"), None, "no such metric");
+        assert!(snap.counter("solver.propagations").unwrap() > 0);
+        assert_eq!(snap.counter("solver.decisions").unwrap(), s.stats.decisions);
+    }
+
+    #[test]
+    fn progress_hook_fires_and_respects_worker_stamp() {
+        use std::sync::Mutex;
+        let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let mut s = Solver::new();
+        // Keep the conflicts in search: preprocessing would refute this
+        // instance at level 0 before a single conflict fires.
+        s.config.preprocess = false;
+        s.config.progress = Some(ProgressHook::new(move |ev| {
+            sink.lock().unwrap().push(ev.clone());
+        }));
+        s.config.progress_every_conflicts = 1;
+        s.config.progress_interval_ms = 0;
+        s.config.progress_worker = Some(3);
+        s.config.progress_window = Some((10, 20));
+        let mut ids = Vec::new();
+        // Small pigeonhole-ish contradiction to force conflicts.
+        for i in 1..=4 {
+            for j in (i + 1)..=4 {
+                add(&mut s, &mut ids, &[-i, -j]);
+            }
+        }
+        add(&mut s, &mut ids, &[1, 2, 3, 4]);
+        add(&mut s, &mut ids, &[5, 6]);
+        add(&mut s, &mut ids, &[-5, 6]);
+        add(&mut s, &mut ids, &[5, -6]);
+        add(&mut s, &mut ids, &[-5, -6]);
+        let _ = s.solve(&[]);
+        let got = events.lock().unwrap();
+        assert!(!got.is_empty(), "at least one progress event");
+        assert_eq!(got[0].worker, Some(3));
+        assert_eq!(got[0].window, Some((10, 20)));
+        assert!(got[0].conflicts >= 1);
     }
 
     #[test]

@@ -106,6 +106,7 @@ mod tests {
                 conflicts: 0,
                 solve_ms: 0,
                 search: SearchSummary::default(),
+                phases: optalloc_obs::PhaseTotals::default(),
             },
             instance: Instance {
                 arch: Architecture::new(),

@@ -55,6 +55,7 @@ use optalloc::{
     apply_deltas, CertificateReport, Objective, OptError, Optimizer, SolveOptions, Strategy,
     WarmEngine, WarmMode,
 };
+use optalloc_obs::{MetricsRegistry, PhaseTotals, DEFAULT_MS_BUCKETS};
 pub use server::{serve, Server};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -228,6 +229,12 @@ struct Shared {
     /// Search-engine counters accumulated over every solved job (cache
     /// hits contribute nothing) — reported by [`Response::Status`].
     search_totals: Mutex<SearchSummary>,
+    /// Span-derived phase times accumulated over every solved job —
+    /// reported by [`Response::Status`].
+    phase_totals: Mutex<PhaseTotals>,
+    /// Service telemetry (job counters, cache hits, per-job latency
+    /// histogram) — snapshotted by [`Request::Metrics`].
+    metrics: MetricsRegistry,
 }
 
 /// The long-running allocation service (see the crate docs).
@@ -253,6 +260,8 @@ impl Service {
                 cv: Condvar::new(),
             },
             search_totals: Mutex::new(SearchSummary::default()),
+            phase_totals: Mutex::new(PhaseTotals::default()),
+            metrics: MetricsRegistry::new(),
         });
         let mut threads = Vec::with_capacity(workers + 1);
         for _ in 0..workers {
@@ -282,8 +291,12 @@ impl Service {
                     draining: st.draining,
                     cached: self.shared.cache.lock().unwrap().len(),
                     search: *self.shared.search_totals.lock().unwrap(),
+                    phases: *self.shared.phase_totals.lock().unwrap(),
                 }
             }
+            Request::Metrics => Response::Metrics {
+                snapshot: self.shared.metrics.snapshot(),
+            },
             Request::Shutdown => {
                 self.begin_drain();
                 Response::ShuttingDown
@@ -382,6 +395,7 @@ impl Service {
             conflicts: 0,
             solve_ms: 0,
             search: SearchSummary::default(),
+            phases: PhaseTotals::default(),
         }));
         st.queue.retain(|&q| q != id);
         self.shared.job_done.notify_all();
@@ -473,7 +487,7 @@ impl Service {
                 };
                 (instance, objective, window, timeout_ms)
             }
-            Request::Status | Request::Shutdown => {
+            Request::Status | Request::Metrics | Request::Shutdown => {
                 unreachable!("handled before resolution")
             }
         };
@@ -549,6 +563,7 @@ fn worker_loop(shared: &Shared) {
                 conflicts: 0,
                 solve_ms: 0,
                 search: SearchSummary::default(),
+                phases: PhaseTotals::default(),
             })
         });
 
@@ -601,6 +616,8 @@ fn run_job(
                 result.conflicts = 0;
                 result.solve_ms = start.elapsed().as_millis() as u64;
                 result.search = SearchSummary::default();
+                result.phases = PhaseTotals::default();
+                shared.metrics.counter("service.cache_hits").inc();
                 return Response::Result(result);
             }
         }
@@ -639,7 +656,7 @@ fn run_job(
     };
 
     let solve_ms = start.elapsed().as_millis() as u64;
-    let (outcome, warm, solve_calls, conflicts, search, certificate) = match solved {
+    let (outcome, warm, solve_calls, conflicts, search, phases, certificate) = match solved {
         Ok((report, mode)) => {
             let warm = match mode {
                 WarmMode::Cold => WarmLabel::Cold,
@@ -656,6 +673,7 @@ fn run_job(
                 report.solve_calls,
                 report.stats.conflicts,
                 SearchSummary::from_stats(&report.stats),
+                report.phases,
                 report.certificate,
             )
         }
@@ -665,6 +683,7 @@ fn run_job(
             0,
             0,
             SearchSummary::default(),
+            PhaseTotals::default(),
             None,
         ),
         Err(OptError::Budget { incumbent }) => {
@@ -680,6 +699,7 @@ fn run_job(
                 0,
                 0,
                 SearchSummary::default(),
+                PhaseTotals::default(),
                 None,
             )
         }
@@ -691,10 +711,28 @@ fn run_job(
             0,
             0,
             SearchSummary::default(),
+            PhaseTotals::default(),
             None,
         ),
     };
     shared.search_totals.lock().unwrap().absorb(&search);
+    shared.phase_totals.lock().unwrap().absorb(&phases);
+    shared.metrics.counter("service.jobs").inc();
+    shared
+        .metrics
+        .counter(match &outcome {
+            JobOutcome::Optimal { .. } => "service.jobs_optimal",
+            JobOutcome::Infeasible => "service.jobs_infeasible",
+            JobOutcome::Budget { .. } => "service.jobs_budget",
+            JobOutcome::Timeout { .. } => "service.jobs_timeout",
+            JobOutcome::Error { .. } => "service.jobs_error",
+        })
+        .inc();
+    shared.metrics.counter("service.conflicts").add(conflicts);
+    shared
+        .metrics
+        .histogram("service.job_ms", DEFAULT_MS_BUCKETS)
+        .observe(solve_ms as f64);
 
     let result = JobResult {
         fingerprint: fp.to_string(),
@@ -705,6 +743,7 @@ fn run_job(
         conflicts,
         solve_ms,
         search,
+        phases,
     };
 
     // 3. Session bookkeeping: the instance is addressable for future

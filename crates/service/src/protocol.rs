@@ -7,6 +7,7 @@
 
 use optalloc::{InstanceDelta, Objective};
 use optalloc_model::{Allocation, Architecture, TaskSet};
+use optalloc_obs::{MetricsSnapshot, PhaseTotals};
 use serde::{Deserialize, Serialize};
 
 /// A full allocation instance as submitted to the service. Unlike the
@@ -57,6 +58,10 @@ pub enum Request {
     },
     /// Queue/cache introspection; never enqueued, answered immediately.
     Status,
+    /// Snapshot of the service metrics registry (job counters, cache
+    /// hit/miss counters, per-job latency histogram); never enqueued,
+    /// answered immediately.
+    Metrics,
     /// Begin graceful shutdown: drain queued and in-flight jobs, reject
     /// new submissions with [`RejectReason::Draining`].
     Shutdown,
@@ -222,6 +227,11 @@ pub struct JobResult {
     /// vivification); all zero on a cache hit.
     #[serde(default)]
     pub search: SearchSummary,
+    /// Per-phase wall-time breakdown (encode / search / certify, in ms) —
+    /// the span-derived numbers, so they match any trace the job recorded.
+    /// All zero on a cache hit.
+    #[serde(default)]
+    pub phases: PhaseTotals,
 }
 
 /// One response line.
@@ -254,6 +264,15 @@ pub enum Response {
         /// solved since startup (cache hits contribute nothing).
         #[serde(default)]
         search: SearchSummary,
+        /// Phase-time totals (encode / search / certify, ms) accumulated
+        /// over every solved job.
+        #[serde(default)]
+        phases: PhaseTotals,
+    },
+    /// Answer to [`Request::Metrics`]: the service registry snapshot.
+    Metrics {
+        /// Every counter, gauge and histogram the service recorded.
+        snapshot: MetricsSnapshot,
     },
     /// Acknowledgement of [`Request::Shutdown`]; the drain has begun.
     ShuttingDown,
@@ -336,6 +355,14 @@ mod tests {
                     tier_core: 1,
                     ..SearchSummary::default()
                 },
+                phases: PhaseTotals {
+                    encode_ms: 1.5,
+                    search_ms: 20.25,
+                    certify_ms: 0.0,
+                },
+            },
+            Response::Metrics {
+                snapshot: MetricsSnapshot::default(),
             },
             Response::ShuttingDown,
         ] {

@@ -97,6 +97,83 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<Atomic
     }
 }
 
+/// Hard cap on a single request line. Protects the server from a client
+/// (or a port scanner) streaming an unbounded line into memory; real
+/// instances serialize to a few hundred KiB at most.
+pub const MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+enum LineRead {
+    /// A complete line (newline stripped), or the final unterminated line
+    /// before EOF — a half-closed client still gets its request answered.
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_REQUEST_BYTES`]; the remainder through the
+    /// newline has been discarded so the connection can keep going.
+    Oversized,
+    Eof,
+}
+
+/// Like `BufRead::read_line`, but refuses to buffer more than `max` bytes.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(buf)
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    reader.consume(pos + 1);
+                    return Ok(LineRead::Oversized);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line(buf));
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max {
+                    reader.consume(len);
+                    discard_to_newline(reader)?;
+                    return Ok(LineRead::Oversized);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn discard_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn write_response(writer: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(response).map_err(std::io::Error::other)?;
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &Service,
@@ -104,9 +181,24 @@ fn handle_connection(
 ) -> std::io::Result<()> {
     let server_addr = stream.local_addr()?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let bytes = match read_line_bounded(&mut reader, MAX_REQUEST_BYTES)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversized => {
+                write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!(
+                            "oversized request: line exceeds {MAX_REQUEST_BYTES} bytes"
+                        ),
+                    },
+                )?;
+                continue;
+            }
+            LineRead::Line(bytes) => bytes,
+        };
+        let line = String::from_utf8_lossy(&bytes);
         if line.trim().is_empty() {
             continue;
         }
@@ -127,10 +219,6 @@ fn handle_connection(
                 message: format!("malformed request: {e}"),
             },
         };
-        let mut line = serde_json::to_string(&response).map_err(std::io::Error::other)?;
-        line.push('\n');
-        writer.write_all(line.as_bytes())?;
-        writer.flush()?;
+        write_response(&mut writer, &response)?;
     }
-    Ok(())
 }

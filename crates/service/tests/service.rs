@@ -392,12 +392,19 @@ fn tcp_round_trip_solve_status_shutdown() {
             draining,
             cached,
             search,
+            phases,
         } => {
             assert_eq!((queued, inflight, draining), (0, 0, false));
             assert_eq!(cached, 1);
             // The first (uncached) solve propagated something; the cache
             // hit added nothing on top.
             assert!(search.propagations > 0, "{search:?}");
+            // Phase totals accumulate across jobs: the uncached solve
+            // spent real time encoding and searching.
+            assert!(
+                phases.encode_ms >= 0.0 && phases.search_ms >= 0.0,
+                "{phases:?}"
+            );
         }
         other => panic!("expected status, got {other:?}"),
     }
@@ -430,6 +437,125 @@ fn tcp_malformed_requests_answer_with_a_typed_error() {
     match serde_json::from_str::<Response>(&resp).unwrap() {
         Response::Error { message } => assert!(message.contains("malformed")),
         other => panic!("expected an error, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_oversized_request_gets_a_typed_error_and_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = serve(Service::new(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Stream one line well past the cap. The server must not buffer it
+    // all: it answers with a typed error as soon as the cap is crossed,
+    // then discards the remainder of the line.
+    let chunk = vec![b'x'; 64 * 1024];
+    let total = optalloc_service::server::MAX_REQUEST_BYTES + 2 * chunk.len();
+    let mut sent = 0;
+    while sent < total {
+        writer.write_all(&chunk).unwrap();
+        sent += chunk.len();
+    }
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    match serde_json::from_str::<Response>(&resp).unwrap() {
+        Response::Error { message } => assert!(message.contains("oversized"), "{message}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+
+    // The connection is still usable for well-formed requests.
+    let mut line = serde_json::to_string(&Request::Status).unwrap();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(matches!(
+        serde_json::from_str::<Response>(&resp).unwrap(),
+        Response::Status { .. }
+    ));
+}
+
+#[test]
+fn tcp_half_closed_connection_still_gets_its_last_request_answered() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, TcpStream};
+
+    let server = serve(Service::new(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // The client sends a request with no trailing newline and half-closes
+    // its write side. The server must treat EOF as end-of-line, answer on
+    // the still-open read side, and not just drop the connection.
+    let line = serde_json::to_string(&Request::Status).unwrap();
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(matches!(
+        serde_json::from_str::<Response>(&resp).unwrap(),
+        Response::Status { .. }
+    ));
+    // After the reply the server sees EOF and closes cleanly.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+}
+
+#[test]
+fn tcp_metrics_round_trip_reports_job_counters() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = serve(Service::new(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut call = |req: &Request| -> Response {
+        let mut line = serde_json::to_string(req).unwrap();
+        line.push('\n');
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        serde_json::from_str(&resp).unwrap()
+    };
+
+    let first = expect_result(call(&solve_request(small_instance())));
+    assert!(matches!(first.outcome, JobOutcome::Optimal { .. }));
+    let cached = expect_result(call(&solve_request(small_instance())));
+    assert!(cached.cached);
+
+    match call(&Request::Metrics) {
+        Response::Metrics { snapshot } => {
+            let counter = |name: &str| {
+                snapshot
+                    .counters
+                    .iter()
+                    .find(|c| c.name == name)
+                    .map(|c| c.value)
+            };
+            assert_eq!(counter("service.jobs"), Some(1), "{snapshot:?}");
+            assert_eq!(counter("service.jobs_optimal"), Some(1));
+            assert_eq!(counter("service.cache_hits"), Some(1));
+            let job_ms = snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == "service.job_ms")
+                .expect("job_ms histogram");
+            assert_eq!(job_ms.count, 1);
+        }
+        other => panic!("expected metrics, got {other:?}"),
     }
 }
 

@@ -12,7 +12,9 @@ use crate::gen::{gen_spec, GenConfig};
 use crate::relations::{check_relation, RelationKind};
 use crate::shrink::shrink;
 use crate::spec::InstanceSpec;
+use optalloc_obs::{Obs, Phase};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -107,6 +109,28 @@ pub struct CampaignSummary {
     pub violations: Vec<ViolationRecord>,
     /// Wall-clock time of the whole campaign in milliseconds.
     pub wall_ms: u64,
+    /// Per-relation timing, slowest total first — every primary check runs
+    /// under a `relation` span (see `docs/OBSERVABILITY.md`) and this is
+    /// their aggregation, so slow relations can be ranked from the JSON
+    /// summary alone.
+    #[serde(default)]
+    pub profile: Vec<RelationProfile>,
+}
+
+/// Aggregated span summary of one relation across a campaign.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RelationProfile {
+    /// Relation name.
+    pub relation: String,
+    /// Primary checks timed (shrink re-checks are excluded).
+    pub checks: u64,
+    /// Total milliseconds across those checks.
+    pub total_ms: f64,
+    /// Slowest single check in milliseconds.
+    pub max_ms: f64,
+    /// Instance seed of that slowest check — feed it to
+    /// `optalloc-fuzz replay` to dig in.
+    pub slowest_seed: u64,
 }
 
 impl CampaignSummary {
@@ -192,7 +216,12 @@ pub fn run_campaign<P: FnMut(&str)>(cfg: &CampaignConfig, mut progress: P) -> Ca
         checks_skipped: 0,
         violations: Vec::new(),
         wall_ms: 0,
+        profile: Vec::new(),
     };
+    // Every primary check runs under a `relation` span; the aggregation
+    // below is what lands in the summary's `profile`.
+    let obs = Obs::enabled();
+    let mut profile: HashMap<&'static str, RelationProfile> = HashMap::new();
     'iters: for i in 0..cfg.iterations {
         if let Some(limit) = cfg.time_limit {
             if start.elapsed() >= limit {
@@ -204,7 +233,24 @@ pub fn run_campaign<P: FnMut(&str)>(cfg: &CampaignConfig, mut progress: P) -> Ca
         let spec = gen_spec(seed, &cfg.gen);
         summary.iterations_run += 1;
         for &kind in &cfg.relations {
-            match check_quietly(kind, &spec, seed, cfg.paranoid) {
+            let mut sw = obs.stopwatch(Phase::Relation);
+            sw.attr("relation", kind.name());
+            sw.attr("seed", format!("{seed:#018x}"));
+            let verdict = check_quietly(kind, &spec, seed, cfg.paranoid);
+            let ms = sw.finish();
+            let p = profile
+                .entry(kind.name())
+                .or_insert_with(|| RelationProfile {
+                    relation: kind.name().to_string(),
+                    ..RelationProfile::default()
+                });
+            p.checks += 1;
+            p.total_ms += ms;
+            if ms > p.max_ms {
+                p.max_ms = ms;
+                p.slowest_seed = seed;
+            }
+            match verdict {
                 Ok(true) => summary.checks_passed += 1,
                 Ok(false) => summary.checks_skipped += 1,
                 Err(message) => {
@@ -262,6 +308,10 @@ pub fn run_campaign<P: FnMut(&str)>(cfg: &CampaignConfig, mut progress: P) -> Ca
         }
     }
     summary.wall_ms = start.elapsed().as_millis() as u64;
+    summary.profile = profile.into_values().collect();
+    summary
+        .profile
+        .sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
     summary
 }
 
@@ -309,11 +359,43 @@ mod tests {
                 regression_file: None,
             }],
             wall_ms: 1234,
+            profile: vec![RelationProfile {
+                relation: "rename".into(),
+                checks: 13,
+                total_ms: 98.5,
+                max_ms: 40.25,
+                slowest_seed: 0xbeef,
+            }],
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: CampaignSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seed, 7);
         assert_eq!(back.violations.len(), 1);
         assert!(!back.clean());
+        assert_eq!(back.profile[0].relation, "rename");
+        assert_eq!(back.profile[0].slowest_seed, 0xbeef);
+    }
+
+    #[test]
+    fn campaign_profiles_every_relation() {
+        let cfg = CampaignConfig {
+            seed: 3,
+            iterations: 2,
+            relations: vec![RelationKind::all()[0], RelationKind::all()[1]],
+            gen: GenConfig {
+                max_tasks: 4,
+                max_media: 1,
+            },
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg, |_| {});
+        assert_eq!(summary.profile.len(), 2, "{:?}", summary.profile);
+        for p in &summary.profile {
+            assert_eq!(p.checks, summary.iterations_run);
+            assert!(p.total_ms >= p.max_ms);
+            assert!(p.max_ms >= 0.0);
+        }
+        // Ranked slowest-total first.
+        assert!(summary.profile[0].total_ms >= summary.profile[1].total_ms);
     }
 }
